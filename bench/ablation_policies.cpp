@@ -1,0 +1,87 @@
+// Ablation: cleaning policy and age-sorting on the REAL filesystem (not the
+// abstract simulator): greedy vs cost-benefit, with and without sorting
+// live blocks by age, under a hot-and-cold overwrite workload at several
+// disk utilizations. This validates that the policy conclusions from
+// Section 3.5's simulator carry over to the full system with inodes,
+// directories, and metadata in the log.
+//
+// Expected shape: cost-benefit + age-sort gives the lowest write cost at
+// high utilization; the gap shrinks at low utilization where cleaning is
+// nearly free for everyone.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/util/rng.h"
+
+using namespace lfs;
+using namespace lfs::bench;
+
+namespace {
+
+void Check(const Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "ablation: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+}
+
+double RunOne(CleaningPolicy policy, bool age_sort, double utilization) {
+  LfsConfig cfg;
+  cfg.block_size = 4096;
+  cfg.segment_blocks = 64;  // smaller segments -> more cleaning decisions
+  cfg.policy = policy;
+  cfg.age_sort = age_sort;
+  cfg.clean_lo = 8;
+  cfg.clean_hi = 12;
+  cfg.segments_per_pass = 4;
+  cfg.reserve_segments = 3;
+  cfg.checkpoint_interval_bytes = 4 * 1024 * 1024;
+  const uint64_t disk_bytes = 48ull * 1024 * 1024;
+  LfsInstance inst = MakeLfs(disk_bytes, cfg);
+
+  Rng rng(99);
+  const uint64_t file_bytes = 32 * 1024;
+  uint64_t usable = disk_bytes - 4 * 1024 * 1024;  // superblock/reserve slack
+  int nfiles = static_cast<int>(utilization * usable / file_bytes);
+  std::vector<uint8_t> content(file_bytes, 0x11);
+  Check(inst.fs->Mkdir("/d"));
+  for (int i = 0; i < nfiles; i++) {
+    Check(inst.fs->WriteFile("/d/f" + std::to_string(i), content));
+  }
+  Check(inst.fs->Sync());
+  inst.fs->mutable_stats() = LfsStats{};
+
+  // Hot-and-cold churn: 90% of the rewrites hit 10% of the files.
+  int hot = std::max(1, nfiles / 10);
+  for (int step = 0; step < nfiles * 12; step++) {
+    int idx = rng.NextBool(0.9) ? static_cast<int>(rng.NextBelow(hot))
+                                : static_cast<int>(hot + rng.NextBelow(nfiles - hot));
+    std::string path = "/d/f" + std::to_string(idx);
+    Check(inst.fs->Unlink(path));
+    Check(inst.fs->WriteFile(path, content));
+  }
+  Check(inst.fs->Sync());
+  return inst.fs->stats().WriteCost();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: cleaning policy x age-sort on the real filesystem ===\n\n");
+  std::printf("(hot-and-cold whole-file churn; write cost, lower is better)\n\n");
+  std::printf("%-6s %16s %16s %16s %16s\n", "util", "greedy", "greedy+sort", "cost-benefit",
+              "cost-benefit+sort");
+  for (double util : {0.45, 0.65, 0.80}) {
+    double g = RunOne(CleaningPolicy::kGreedy, false, util);
+    double gs = RunOne(CleaningPolicy::kGreedy, true, util);
+    double cb = RunOne(CleaningPolicy::kCostBenefit, false, util);
+    double cbs = RunOne(CleaningPolicy::kCostBenefit, true, util);
+    std::printf("%-6.2f %16.2f %16.2f %16.2f %16.2f\n", util, g, gs, cb, cbs);
+  }
+  std::printf("\nExpected: cost-benefit+sort lowest at high utilization, echoing the\n");
+  std::printf("simulator's Figure 7 on the full system.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation: cleaning-episode granularity in the Section 3.5 simulator — the
+// root cause of our one deviation from Figure 4 (see EXPERIMENTS.md).
+//
+// The paper found that locality makes greedy cleaning WORSE: cold segments
+// linger just above the cleaning point and trap free space. That result
+// depends on the cleaner skimming only the least-utilized segments per
+// episode. If each episode instead harvests MANY segments (a large
+// clean-target), it sweeps up the lingering cold band wholesale and greedy
+// suddenly benefits from locality. A second knob with the same flavor:
+// giving the cleaner its own output cursor (perfect hot/cold segregation for
+// free) instead of sharing the log head.
+//
+// Expected: at small episode sizes, hot-and-cold greedy is worse than
+// uniform (the paper's Figure 4); at large episodes the ordering inverts.
+
+#include <cstdio>
+
+#include "src/sim/sim.h"
+
+using lfs::sim::AccessPattern;
+using lfs::sim::CleaningSimulator;
+using lfs::sim::Policy;
+using lfs::sim::SimConfig;
+using lfs::sim::SimResult;
+
+namespace {
+
+SimConfig Base(double util) {
+  SimConfig cfg;
+  cfg.nsegments = 100;
+  cfg.blocks_per_segment = 64;
+  cfg.disk_utilization = util;
+  cfg.policy = Policy::kGreedy;
+  cfg.warmup_overwrites_per_file = 120;
+  cfg.measure_overwrites_per_file = 60;
+  cfg.seed = 7;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: cleaning-episode size vs the Figure 4 result ===\n\n");
+  std::printf("(write cost at 75%% utilization, greedy policy)\n\n");
+  std::printf("%-14s %12s %18s %12s\n", "clean-target", "uniform", "hot-and-cold",
+              "locality hurts?");
+  for (uint32_t target : {2u, 4u, 8u, 16u, 40u}) {
+    SimConfig uni = Base(0.75);
+    uni.clean_target = target;
+    uni.clean_reserve = 1;
+    SimResult r_uni = CleaningSimulator(uni).Run();
+
+    SimConfig hc = uni;
+    hc.pattern = AccessPattern::kHotAndCold;
+    hc.age_sort = true;
+    SimResult r_hc = CleaningSimulator(hc).Run();
+
+    std::printf("%-14u %12.2f %18.2f %12s\n", target, r_uni.write_cost, r_hc.write_cost,
+                r_hc.write_cost > r_uni.write_cost ? "yes (paper)" : "no");
+  }
+
+  std::printf("\nSeparate cleaning-output cursor (perfect segregation for free):\n\n");
+  for (bool separate : {false, true}) {
+    SimConfig hc = Base(0.75);
+    hc.pattern = AccessPattern::kHotAndCold;
+    hc.age_sort = true;
+    hc.separate_cleaning_cursor = separate;
+    SimResult r = CleaningSimulator(hc).Run();
+    std::printf("  %-24s write cost %.2f, avg cleaned u %.3f\n",
+                separate ? "separate cursor" : "shared log head (paper)", r.write_cost,
+                r.avg_cleaned_utilization);
+  }
+  std::printf("\nTakeaway: the paper's 'locality makes greedy worse' result is real\n");
+  std::printf("but fragile — it hinges on the cleaner skimming a few segments at a\n");
+  std::printf("time. Cost-benefit (Figure 7) is the robust answer either way.\n");
+  return 0;
+}

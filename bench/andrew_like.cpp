@@ -1,0 +1,151 @@
+// A modified-Andrew-benchmark-like workload (Section 5's 20% observation):
+// directory creation, file copying, tree stat, file reads, and a
+// compile-like read+write phase, run on both filesystems with the modeled
+// Sun-4/260 CPU and Wren IV disk.
+//
+// Expected shape (paper): Sprite LFS only ~20% faster overall — the
+// benchmark is CPU-bound (>80% CPU utilization), so the disk-level win
+// barely shows. Most of the speedup comes from removing synchronous writes.
+// Also reported: the recovery-time comparison — LFS roll-forward after this
+// workload versus a full FFS fsck scan (Section 4's motivation).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/util/rng.h"
+
+using namespace lfs;
+using namespace lfs::bench;
+
+namespace {
+
+constexpr uint64_t kDiskBytes = 300ull * 1024 * 1024;
+
+void Check(const Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "andrew: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+}
+
+struct Totals {
+  uint64_t ops = 0;
+  uint64_t bytes = 0;
+};
+
+// The five MAB-like phases against any FileSystem; returns op/byte counts
+// for the CPU model.
+Totals RunPhases(FileSystem* fs) {
+  Totals t;
+  Rng rng(77);
+  // Phase 1: make directories.
+  std::vector<std::string> dirs;
+  for (int i = 0; i < 20; i++) {
+    std::string d = "/proj/d" + std::to_string(i);
+    if (i == 0) {
+      Check(fs->Mkdir("/proj"));
+      t.ops++;
+    }
+    Check(fs->Mkdir(d));
+    dirs.push_back(d);
+    t.ops++;
+  }
+  // Phase 2: copy ~70 source files (a few KB each).
+  std::vector<std::string> files;
+  for (int i = 0; i < 70; i++) {
+    std::string path = dirs[i % dirs.size()] + "/src" + std::to_string(i) + ".c";
+    size_t size = 2000 + rng.NextBelow(6000);
+    std::vector<uint8_t> content(size, static_cast<uint8_t>(i));
+    Check(fs->WriteFile(path, content));
+    files.push_back(path);
+    t.ops += 2;
+    t.bytes += size;
+  }
+  // Phase 3: stat every file in the tree (recursive examine).
+  for (const std::string& d : dirs) {
+    auto entries = fs->ReadDir(d);
+    Check(entries.status());
+    t.ops++;
+    for (const DirEntry& e : *entries) {
+      Check(fs->Stat(e.ino).status());
+      t.ops++;
+    }
+  }
+  // Phase 4: read every file.
+  for (const std::string& f : files) {
+    auto data = fs->ReadFile(f);
+    Check(data.status());
+    t.ops++;
+    t.bytes += data->size();
+  }
+  // Phase 5: compile-like — read all sources again, write .o files and link
+  // one binary.
+  uint64_t obj_bytes = 0;
+  for (const std::string& f : files) {
+    auto data = fs->ReadFile(f);
+    Check(data.status());
+    std::vector<uint8_t> obj(data->size() * 2, 0x90);
+    Check(fs->WriteFile(f + ".o", obj));
+    obj_bytes += data->size() + obj.size();
+    t.ops += 3;
+  }
+  std::vector<uint8_t> binary(512 * 1024, 0x7F);
+  Check(fs->WriteFile("/proj/a.out", binary));
+  t.ops++;
+  t.bytes += obj_bytes + binary.size();
+  Check(fs->Sync());
+  t.ops++;
+  // Compile-phase CPU is dominated by the "compiler", not the filesystem:
+  // charge extra CPU work to reflect the benchmark's >80% CPU utilization
+  // on the Sun-4 (the paper: "the machines are not fast enough to be
+  // disk-bound with the current workloads").
+  t.bytes += 500 * 1024 * 1024;  // stands in for compiler cycles
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  CpuModel cpu;
+
+  LfsInstance lfs_inst = MakeLfs(kDiskBytes, PaperLfsConfig());
+  Totals lfs_t = RunPhases(lfs_inst.fs.get());
+  double lfs_cpu = cpu.Time(lfs_t.ops, lfs_t.bytes);
+  double lfs_disk = lfs_inst.disk->stats().busy_sec;
+  double lfs_elapsed = LfsElapsed(lfs_cpu, lfs_disk);
+
+  FfsInstance ffs_inst = MakeFfs(kDiskBytes, 4096);
+  Totals ffs_t = RunPhases(ffs_inst.fs.get());
+  double ffs_cpu = cpu.Time(ffs_t.ops, ffs_t.bytes);
+  double ffs_disk = ffs_inst.disk->stats().busy_sec;
+  double ffs_elapsed = FfsElapsed(ffs_cpu, ffs_disk);
+
+  std::printf("=== Andrew-like benchmark: Sprite LFS vs Unix FFS ===\n\n");
+  std::printf("%-14s %10s %10s %10s %12s\n", "filesystem", "cpu (s)", "disk (s)",
+              "elapsed", "CPU util");
+  std::printf("%-14s %10.1f %10.1f %10.1f %11.0f%%\n", "Sprite LFS", lfs_cpu, lfs_disk,
+              lfs_elapsed, 100.0 * lfs_cpu / lfs_elapsed);
+  std::printf("%-14s %10.1f %10.1f %10.1f %11.0f%%\n", "Unix FFS", ffs_cpu, ffs_disk,
+              ffs_elapsed, 100.0 * ffs_cpu / ffs_elapsed);
+  std::printf("\nLFS speedup: %.0f%%  (paper: ~20%%, because the benchmark is CPU-bound)\n",
+              (ffs_elapsed / lfs_elapsed - 1.0) * 100);
+
+  // --- recovery comparison (Section 4's motivation) ----------------------------
+  DiskStats before = lfs_inst.disk->stats();
+  auto remount = LfsFileSystem::Mount(lfs_inst.disk.get(), PaperLfsConfig());
+  Check(remount.status());
+  double lfs_recovery = (lfs_inst.disk->stats() - before).busy_sec;
+
+  before = ffs_inst.disk->stats();
+  Check(ffs_inst.fs->Fsck().status());
+  double ffs_fsck = (ffs_inst.disk->stats() - before).busy_sec;
+
+  std::printf("\nCrash-recovery disk time after this workload:\n");
+  std::printf("  LFS mount (checkpoint + roll-forward): %8.2f s\n", lfs_recovery);
+  std::printf("  FFS fsck (scan all metadata):          %8.2f s\n", ffs_fsck);
+  std::printf("  ratio: %.0fx  (the paper cites 'tens of minutes' for production fsck)\n",
+              ffs_fsck / std::max(lfs_recovery, 1e-9));
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Figure 2's design alternative, quantified: threaded log versus copying.
+//
+// Section 3.2: "The first alternative is to leave the live data in place and
+// thread the log through the free extents. Unfortunately, threading will
+// cause the free space to become severely fragmented, so that large
+// contiguous writes won't be possible..." — and Sprite's answer: "Sprite LFS
+// uses a combination of threading and copying... the log is threaded on a
+// segment-by-segment basis."
+//
+// We simulate a threaded log on the Wren IV model (writes fill free extents
+// in address order; deletions punch holes; each contiguous run is one
+// seek-paying I/O) and sweep the unit of allocation/deletion from 4-KB
+// files up to segment-sized extents. The copying alternative's bandwidth is
+// 1/write-cost from the Section 3.5 simulator at the same utilization.
+//
+// Expected: at small units, steady-state threading collapses (every write
+// lands in shattered file-sized holes) and copying wins; at segment-sized
+// units, threading runs at nearly full bandwidth — which is exactly why
+// Sprite LFS threads BETWEEN segments and copies WITHIN them.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/disk/disk_model.h"
+#include "src/sim/sim.h"
+#include "src/util/rng.h"
+
+namespace {
+
+constexpr uint32_t kBlockSize = 4096;
+constexpr uint64_t kTotalBlocks = 64 * 1024;  // 256 MB
+constexpr double kUtilization = 0.75;
+
+// A minimal threaded-log allocator: blocks are free or live; the write head
+// sweeps the disk filling free blocks in address order.
+struct ThreadedLog {
+  uint32_t file_blocks;
+  std::vector<int32_t> owner;  // -1 free, else file id
+  std::vector<std::vector<uint64_t>> files;
+  uint64_t head = 0;
+  lfs::DiskModel model{lfs::DiskModelParams::WrenIV(), kTotalBlocks * kBlockSize};
+
+  explicit ThreadedLog(uint32_t fb) : file_blocks(fb), owner(kTotalBlocks, -1) {}
+
+  // Writes one file into the next free blocks; returns modeled disk seconds.
+  double WriteFile(int32_t id) {
+    files.resize(std::max<size_t>(files.size(), id + 1));
+    std::vector<uint64_t>& blocks = files[id];
+    blocks.clear();
+    double seconds = 0;
+    uint32_t need = file_blocks;
+    uint64_t scanned = 0;
+    while (need > 0 && scanned < kTotalBlocks) {
+      // Find the next free run at or after the head.
+      while (scanned < kTotalBlocks && owner[head] != -1) {
+        head = (head + 1) % kTotalBlocks;
+        scanned++;
+      }
+      uint64_t run_start = head;
+      uint32_t run = 0;
+      while (scanned < kTotalBlocks && owner[head] == -1 && run < need) {
+        owner[head] = id;
+        blocks.push_back(head);
+        head = (head + 1) % kTotalBlocks;
+        scanned++;
+        run++;
+      }
+      if (run > 0) {
+        // One I/O per contiguous free run: this is where threading pays.
+        seconds += model.Access(run_start * kBlockSize, uint64_t{run} * kBlockSize);
+        need -= run;
+      }
+    }
+    return seconds;
+  }
+
+  void DeleteFile(int32_t id) {
+    for (uint64_t b : files[id]) {
+      owner[b] = -1;
+    }
+    files[id].clear();
+  }
+
+  double AvgFreeExtentBlocks() const {
+    uint64_t extents = 0;
+    uint64_t free_blocks = 0;
+    bool in_run = false;
+    for (uint64_t b = 0; b < kTotalBlocks; b++) {
+      if (owner[b] == -1) {
+        free_blocks++;
+        if (!in_run) {
+          extents++;
+          in_run = true;
+        }
+      } else {
+        in_run = false;
+      }
+    }
+    return extents == 0 ? 0 : static_cast<double>(free_blocks) / extents;
+  }
+};
+
+}  // namespace
+
+int main() {
+  double raw_bw = lfs::DiskModelParams::WrenIV().transfer_bandwidth_bytes_per_sec;
+
+  // The copying comparator: the LFS simulator's measured write cost at this
+  // utilization gives the steady bandwidth fraction 1/wc, independent of
+  // the allocation unit (the cleaner always moves whole segments).
+  lfs::sim::SimConfig sim_cfg;
+  sim_cfg.nsegments = 100;
+  sim_cfg.blocks_per_segment = 64;
+  sim_cfg.disk_utilization = kUtilization;
+  sim_cfg.policy = lfs::sim::Policy::kCostBenefit;
+  sim_cfg.pattern = lfs::sim::AccessPattern::kHotAndCold;
+  sim_cfg.age_sort = true;
+  sim_cfg.warmup_overwrites_per_file = 80;
+  sim_cfg.measure_overwrites_per_file = 40;
+  double copying_fraction = 1.0 / lfs::sim::CleaningSimulator(sim_cfg).Run().write_cost;
+
+  std::printf("=== Figure 2 study: threaded log vs copying, 75%% utilization ===\n\n");
+  std::printf("(steady state after 6 full disk overwrites per unit size)\n\n");
+  std::printf("%-14s %18s %22s %18s\n", "write unit", "avg free extent",
+              "threaded bandwidth", "copying (LFS)");
+  for (uint32_t unit : {1u, 2u, 6u, 16u, 64u, 256u}) {
+    lfs::Rng rng(31);
+    ThreadedLog log(unit);
+    const int nfiles = static_cast<int>(kUtilization * kTotalBlocks / unit);
+    for (int f = 0; f < nfiles; f++) {
+      log.WriteFile(f);
+    }
+    // Warm to steady state, then measure one overwrite round.
+    for (int i = 0; i < 5 * nfiles; i++) {
+      int f = static_cast<int>(rng.NextBelow(nfiles));
+      log.DeleteFile(f);
+      log.WriteFile(f);
+    }
+    double seconds = 0;
+    for (int i = 0; i < nfiles; i++) {
+      int f = static_cast<int>(rng.NextBelow(nfiles));
+      log.DeleteFile(f);
+      seconds += log.WriteFile(f);
+    }
+    double bytes = static_cast<double>(nfiles) * unit * kBlockSize;
+    std::printf("%5u KB %18.1f blk %20.0f%% %17.0f%%\n", unit * kBlockSize / 1024,
+                log.AvgFreeExtentBlocks(), 100.0 * bytes / (seconds * raw_bw),
+                100.0 * copying_fraction);
+  }
+  std::printf("\nExpected: a crossover. With small write units the free space\n");
+  std::printf("shatters into tiny holes and threading pays a seek per hole — worse\n");
+  std::printf("than copying's cleaner tax. With segment-sized units (1 MB = the\n");
+  std::printf("paper's segment), threading runs at nearly full bandwidth for free.\n");
+  std::printf("Hence Sprite LFS's hybrid: thread BETWEEN segments, copy WITHIN.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 4: initial simulation results. Write cost versus overall disk
+// capacity utilization for
+//   - "No variance":       formula (1) applied to the overall utilization
+//   - "LFS uniform":       uniform access, greedy cleaner, no reorganization
+//   - "LFS hot-and-cold":  90% of writes to 10% of files, greedy cleaner,
+//                          live data sorted by age
+// The paper's surprising result: locality + "better" grouping makes the
+// greedy policy WORSE than having no locality at all.
+
+#include <cstdio>
+
+#include "src/sim/sim.h"
+
+using lfs::sim::AccessPattern;
+using lfs::sim::CleaningSimulator;
+using lfs::sim::FormulaWriteCost;
+using lfs::sim::Policy;
+using lfs::sim::SimConfig;
+using lfs::sim::SimResult;
+
+namespace {
+
+SimConfig Base(double util) {
+  SimConfig cfg;
+  cfg.nsegments = 100;
+  cfg.blocks_per_segment = 64;
+  cfg.disk_utilization = util;
+  cfg.policy = Policy::kGreedy;
+  cfg.warmup_overwrites_per_file = 120;
+  cfg.measure_overwrites_per_file = 60;
+  cfg.seed = 7;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 4: write cost vs disk capacity utilization (greedy cleaner) ===\n\n");
+  std::printf("%-6s %12s %14s %18s\n", "util", "no-variance", "LFS uniform", "LFS hot-and-cold");
+  for (double util : {0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.93}) {
+    SimConfig uni = Base(util);
+    SimResult r_uni = CleaningSimulator(uni).Run();
+
+    SimConfig hc = Base(util);
+    hc.pattern = AccessPattern::kHotAndCold;
+    hc.age_sort = true;  // the cleaner also sorts the live data by age
+    SimResult r_hc = CleaningSimulator(hc).Run();
+
+    std::printf("%-6.2f %12.2f %14.2f %18.2f\n", util, FormulaWriteCost(util),
+                r_uni.write_cost, r_hc.write_cost);
+  }
+  std::printf("\nReference: FFS today ~ cost 10-20; FFS improved ~ cost 4.\n");
+  std::printf("Expected shape (paper): both measured curves sit well below the\n");
+  std::printf("no-variance formula; hot-and-cold (with greedy cleaning) is WORSE\n");
+  std::printf("than uniform across mid/high utilizations.\n");
+  return 0;
+}

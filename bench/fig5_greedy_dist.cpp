@@ -1,0 +1,49 @@
+// Figure 5: segment utilization distributions under the greedy cleaner at
+// 75% overall disk capacity utilization, for the uniform and hot-and-cold
+// access patterns. The distributions are measured over all segments
+// available to the cleaner at the moments cleaning is initiated.
+//
+// Expected shape (paper): locality skews the distribution towards the
+// utilization at which cleaning occurs — cold segments linger just above the
+// cleaning point, so hot-and-cold shows more mass clustered there and
+// segments end up cleaned at a higher average utilization.
+
+#include <cstdio>
+
+#include "src/sim/sim.h"
+
+using lfs::sim::AccessPattern;
+using lfs::sim::CleaningSimulator;
+using lfs::sim::Policy;
+using lfs::sim::SimConfig;
+using lfs::sim::SimResult;
+
+int main() {
+  SimConfig cfg;
+  cfg.nsegments = 100;
+  cfg.blocks_per_segment = 64;
+  cfg.disk_utilization = 0.75;
+  cfg.policy = Policy::kGreedy;
+  cfg.warmup_overwrites_per_file = 150;
+  cfg.measure_overwrites_per_file = 60;
+  cfg.seed = 21;
+
+  std::printf("=== Figure 5: segment utilization distributions, greedy cleaner, 75%% util ===\n\n");
+
+  SimResult uniform = CleaningSimulator(cfg).Run();
+  std::printf("%s\n", uniform.segment_distribution.ToAscii("Uniform").c_str());
+  std::printf("  uniform: write cost %.2f, avg cleaned u %.3f\n\n", uniform.write_cost,
+              uniform.avg_cleaned_utilization);
+
+  cfg.pattern = AccessPattern::kHotAndCold;
+  cfg.age_sort = true;
+  SimResult hotcold = CleaningSimulator(cfg).Run();
+  std::printf("%s\n", hotcold.segment_distribution.ToAscii("Hot-and-cold").c_str());
+  std::printf("  hot-and-cold: write cost %.2f, avg cleaned u %.3f\n", hotcold.write_cost,
+              hotcold.avg_cleaned_utilization);
+  std::printf("\nExpected: hot-and-cold mass is more clustered near the cleaning point;\n");
+  std::printf("segments are cleaned at higher average utilization than uniform\n");
+  std::printf("(measured: %.3f vs %.3f).\n", hotcold.avg_cleaned_utilization,
+              uniform.avg_cleaned_utilization);
+  return 0;
+}

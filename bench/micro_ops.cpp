@@ -1,0 +1,151 @@
+// Implementation microbenchmarks (google-benchmark). Unlike the fig*/table*
+// harnesses, these measure the REAL host CPU time of this library's code
+// paths (in-memory disk, no timing model): filesystem operations, the log
+// append path, serialization, and CRCs. Useful for tracking implementation
+// regressions, not for reproducing paper numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/disk/mem_disk.h"
+#include "src/lfs/lfs.h"
+#include "src/util/crc32.h"
+
+namespace {
+
+using namespace lfs;
+
+LfsConfig BenchConfig() {
+  LfsConfig cfg;
+  cfg.block_size = 4096;
+  cfg.segment_blocks = 256;
+  cfg.clean_lo = 8;
+  cfg.clean_hi = 12;
+  cfg.reserve_segments = 4;
+  return cfg;
+}
+
+struct Fixture {
+  std::unique_ptr<MemDisk> disk;
+  std::unique_ptr<LfsFileSystem> fs;
+
+  explicit Fixture(uint64_t disk_mb = 256) {
+    LfsConfig cfg = BenchConfig();
+    disk = std::make_unique<MemDisk>(cfg.block_size, disk_mb * 1024 * 1024 / cfg.block_size);
+    fs = std::move(LfsFileSystem::Mkfs(disk.get(), cfg)).value();
+  }
+};
+
+void BM_CreateEmptyFile(benchmark::State& state) {
+  Fixture fx;
+  int i = 0;
+  for (auto _ : state) {
+    auto r = fx.fs->Create("/f" + std::to_string(i++));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CreateEmptyFile);
+
+void BM_Write4K(benchmark::State& state) {
+  Fixture fx;
+  InodeNum ino = std::move(fx.fs->Create("/f")).value();
+  std::vector<uint8_t> block(4096, 0xAA);
+  uint64_t off = 0;
+  for (auto _ : state) {
+    Status st = fx.fs->WriteAt(ino, off % (64ull * 1024 * 1024), block);
+    benchmark::DoNotOptimize(st);
+    off += 4096;
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Write4K);
+
+void BM_Read4K(benchmark::State& state) {
+  Fixture fx;
+  InodeNum ino = std::move(fx.fs->Create("/f")).value();
+  std::vector<uint8_t> data(1024 * 1024, 0xBB);
+  (void)fx.fs->WriteAt(ino, 0, data);
+  (void)fx.fs->Sync();
+  std::vector<uint8_t> buf(4096);
+  uint64_t off = 0;
+  for (auto _ : state) {
+    auto r = fx.fs->ReadAt(ino, off % (1024 * 1024), buf);
+    benchmark::DoNotOptimize(r);
+    off += 4096;
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Read4K);
+
+void BM_CreateWriteUnlink(benchmark::State& state) {
+  Fixture fx;
+  std::vector<uint8_t> content(1024, 0xCC);
+  int i = 0;
+  for (auto _ : state) {
+    std::string path = "/f" + std::to_string(i++ % 1000);
+    (void)fx.fs->WriteFile(path, content);
+    (void)fx.fs->Unlink(path);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CreateWriteUnlink);
+
+void BM_Lookup(benchmark::State& state) {
+  Fixture fx;
+  for (int i = 0; i < 1000; i++) {
+    (void)fx.fs->Create("/f" + std::to_string(i));
+  }
+  int i = 0;
+  for (auto _ : state) {
+    auto r = fx.fs->Lookup("/f" + std::to_string(i++ % 1000));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Lookup);
+
+void BM_Checkpoint(benchmark::State& state) {
+  Fixture fx;
+  std::vector<uint8_t> content(8192, 0xDD);
+  int i = 0;
+  for (auto _ : state) {
+    (void)fx.fs->WriteFile("/c" + std::to_string(i++), content);
+    Status st = fx.fs->Sync();
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Checkpoint);
+
+void BM_Crc32_4K(benchmark::State& state) {
+  std::vector<uint8_t> data(4096, 0x42);
+  for (auto _ : state) {
+    uint32_t crc = Crc32(data);
+    benchmark::DoNotOptimize(crc);
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Crc32_4K);
+
+void BM_InodeEncodeDecode(benchmark::State& state) {
+  Inode ino;
+  ino.ino = 42;
+  ino.type = FileType::kRegular;
+  ino.size = 123456;
+  std::vector<uint8_t> slot(kInodeSlotSize);
+  for (auto _ : state) {
+    ino.EncodeTo(slot);
+    auto r = Inode::DecodeFrom(slot);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InodeEncodeDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Table 2: segment cleaning statistics and write costs for production
+// filesystems. The paper measured five Sprite LFS partitions over four
+// months; we run scaled-down synthetic workloads whose parameters (mean
+// file size, disk utilization, whole-file write/delete behaviour, cold-file
+// populations, swap-style sparse rewrites) are taken from the table's
+// columns, then report the same statistics.
+//
+// Expected shape (paper): write costs far below the simulator's predictions
+// (1.2-1.6 versus 2.5-3) because (a) files are written and deleted whole, so
+// many cleaned segments are completely empty (paper: >50%), and (b) truly
+// cold files are never touched again. /swap2 is the outlier with high
+// cleaned utilization (0.535) because swap files are overwritten in place,
+// block by block.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/table.h"
+
+using namespace lfs;
+using namespace lfs::bench;
+
+namespace {
+
+struct PaperRow {
+  const char* fs;
+  const char* disk;
+  const char* avg_file;
+  const char* in_use;
+  const char* empty;
+  const char* avg_u;
+  const char* cost;
+};
+
+// The published Table 2 rows, for side-by-side comparison.
+constexpr PaperRow kPaper[] = {
+    {"/user6", "1280 MB", "23.5 KB", "75%", "69%", "0.133", "1.4"},
+    {"/pcs", "990 MB", "10.5 KB", "63%", "52%", "0.137", "1.6"},
+    {"/src/kernel", "1280 MB", "37.5 KB", "72%", "83%", "0.122", "1.2"},
+    {"/tmp", "264 MB", "28.9 KB", "11%", "78%", "0.130", "1.3"},
+    {"/swap2", "309 MB", "68.1 KB", "65%", "66%", "0.535", "1.6"},
+};
+
+}  // namespace
+
+int main() {
+  // Scaled disk sizes (1/8 of the production systems) keep runtime modest
+  // while preserving the utilization and file-size relationships.
+  struct Run {
+    WorkloadParams params;
+    uint64_t disk_bytes;
+  };
+  Run runs[] = {
+      {User6Workload(), 160ull * 1024 * 1024},
+      {PcsWorkload(), 124ull * 1024 * 1024},
+      {SrcKernelWorkload(), 160ull * 1024 * 1024},
+      {TmpWorkload(), 33ull * 1024 * 1024},
+      {Swap2Workload(), 39ull * 1024 * 1024},
+  };
+
+  Table table({"File system", "Disk", "Avg file", "In use", "Cleaned", "Empty",
+               "u (non-empty)", "Write cost"});
+  for (const Run& run : runs) {
+    LfsInstance inst = MakeLfs(run.disk_bytes, PaperLfsConfig());
+    // Reset accounting after setup; the workload itself is the measurement.
+    inst.fs->mutable_stats() = LfsStats{};
+    WorkloadReport report = RunWorkload(inst.fs.get(), run.disk_bytes, run.params);
+    const LfsStats& st = inst.fs->stats();
+    table.AddRow({run.params.name, HumanBytes(run.disk_bytes), HumanBytes(report.avg_file_bytes),
+                  Table::FmtPercent(inst.fs->disk_utilization()),
+                  std::to_string(st.segments_cleaned),
+                  Table::FmtPercent(st.EmptyCleanedFraction()),
+                  Table::Fmt(st.AvgCleanedUtilization(), 3), Table::Fmt(st.WriteCost(), 2)});
+  }
+
+  std::printf("=== Table 2: cleaning statistics, measured on synthetic production workloads ===\n\n");
+  std::printf("%s\n", table.ToString().c_str());
+
+  Table paper({"File system", "Disk", "Avg file", "In use", "Empty", "u (non-empty)",
+               "Write cost"});
+  for (const PaperRow& r : kPaper) {
+    paper.AddRow({r.fs, r.disk, r.avg_file, r.in_use, r.empty, r.avg_u, r.cost});
+  }
+  std::printf("Paper's published Table 2 (4 months of production use):\n\n%s\n",
+              paper.ToString().c_str());
+  std::printf("Expected shape: write costs ~1.2-1.6 (cleaning overhead limits long-term\n");
+  std::printf("write performance to ~70%% of sequential bandwidth); a large fraction of\n");
+  std::printf("cleaned segments empty; /swap2 cleaned at much higher utilization.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Table 3: recovery time for various crash configurations. A program
+// creates one, ten, or fifty megabytes of fixed-size files (1 KB, 10 KB, or
+// 100 KB) after the last checkpoint, the machine crashes, and we measure the
+// roll-forward time during remount (modeled Wren IV disk time plus a CPU
+// charge per recovered file).
+//
+// The paper used a special Sprite LFS with an infinite checkpoint interval;
+// our configuration checkpoints only on Sync(), giving the same effect.
+//
+// Expected shape (paper): recovery time is dominated by the NUMBER of files
+// recovered (1 KB x 50 MB is by far the worst cell); it grows roughly
+// linearly with the amount of data written since the checkpoint; all times
+// are seconds, not the tens of minutes an fsck-style scan needs.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/disk/crash_disk.h"
+#include "src/util/table.h"
+
+using namespace lfs;
+using namespace lfs::bench;
+
+namespace {
+
+void Check(const Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "table3: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+}
+
+// Runs one crash cell; returns modeled recovery seconds.
+double RunCell(uint64_t file_bytes, uint64_t data_bytes, uint64_t* files_out) {
+  const uint64_t disk_bytes = 300ull * 1024 * 1024;
+  LfsConfig cfg = PaperLfsConfig();
+  auto sim = std::make_unique<SimDisk>(
+      std::make_unique<MemDisk>(cfg.block_size, disk_bytes / cfg.block_size),
+      DiskModelParams::WrenIV());
+  SimDisk* sim_ptr = sim.get();
+  CrashDisk crash(std::move(sim));
+
+  auto fs_r = LfsFileSystem::Mkfs(&crash, cfg);
+  Check(fs_r.status());
+  std::unique_ptr<LfsFileSystem> fs = std::move(fs_r).value();
+  Check(fs->Mkdir("/d"));
+  Check(fs->Sync());  // the last checkpoint before the crash
+
+  uint64_t nfiles = data_bytes / file_bytes;
+  std::vector<uint8_t> content(file_bytes, 0x77);
+  for (uint64_t i = 0; i < nfiles; i++) {
+    Check(fs->WriteFile("/d/f" + std::to_string(i), content));
+  }
+  // Push any tail still buffered into the log (but take no checkpoint), then
+  // crash.
+  crash.CrashNow();
+  fs.reset();
+  crash.ClearCrash();
+
+  DiskStats before = sim_ptr->stats();
+  auto remounted = LfsFileSystem::Mount(&crash, cfg);
+  Check(remounted.status());
+  DiskStats delta = sim_ptr->stats() - before;
+
+  // Recovery cost: modeled disk time plus a per-recovered-file CPU charge
+  // (inode map update, directory entry check).
+  CpuModel cpu;
+  double cpu_sec = cpu.Time(nfiles, 0) / 10.0;  // recovery ops are cheap syscalls
+  *files_out = nfiles;
+  return delta.busy_sec + cpu_sec;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t kMB = 1024 * 1024;
+  uint64_t file_sizes[] = {1024, 10 * 1024, 100 * 1024};
+  uint64_t data_sizes[] = {1 * kMB, 10 * kMB, 50 * kMB};
+
+  std::printf("=== Table 3: recovery time (seconds) for various crash configurations ===\n\n");
+  Table table({"File size", "1 MB recovered", "10 MB recovered", "50 MB recovered"});
+  for (uint64_t fsize : file_sizes) {
+    std::vector<std::string> row = {HumanBytes(fsize)};
+    for (uint64_t dsize : data_sizes) {
+      uint64_t files = 0;
+      double sec = RunCell(fsize, dsize, &files);
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%.2f s (%llu files)", sec,
+                    static_cast<unsigned long long>(files));
+      row.push_back(cell);
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("Paper's published Table 3 (seconds):\n");
+  std::printf("  1 KB files:   1 / 21 / 132\n");
+  std::printf("  10 KB files:  <1 / 3 / 17\n");
+  std::printf("  100 KB files: <1 / 1 / 8\n\n");
+  std::printf("Expected shape: time grows with data recovered and is dominated by the\n");
+  std::printf("number of files; small-file cells are an order of magnitude slower than\n");
+  std::printf("large-file cells at equal data. Compare with an FFS fsck, which must\n");
+  std::printf("scan ALL metadata regardless of how little changed (see andrew_like's\n");
+  std::printf("recovery comparison and the paper's 'tens of minutes').\n");
+  return 0;
+}

@@ -1,0 +1,218 @@
+// lfshell: an interactive shell over a persistent LFS disk image.
+//
+//   $ ./lfshell [image-file]       (default: lfs.img, 64 MB, created on demand)
+//
+// Commands: ls [dir], mkdir <dir>, write <file> <text...>, cat <file>,
+// append <file> <text...>, rm <file>, rmdir <dir>, mv <a> <b>, ln <a> <b>,
+// stat <path>, df, segs, clean, sync, help, quit. The image persists across
+// runs — quit without `sync` and restart to watch roll-forward recover (or
+// discard) your latest commands.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/disk/file_disk.h"
+#include "src/lfs/lfs.h"
+
+using namespace lfs;
+
+namespace {
+
+void PrintStatus(const Status& st) {
+  if (!st.ok()) {
+    std::printf("error: %s\n", st.ToString().c_str());
+  }
+}
+
+std::string NormPath(const std::string& arg) {
+  return arg.empty() || arg[0] != '/' ? "/" + arg : arg;
+}
+
+void Help() {
+  std::printf(
+      "commands:\n"
+      "  ls [dir]              list a directory\n"
+      "  mkdir <dir>           create a directory\n"
+      "  write <file> <text>   create/overwrite a file with text\n"
+      "  append <file> <text>  append text to a file\n"
+      "  cat <file>            print a file\n"
+      "  rm <file> | rmdir <d> remove a file / empty directory\n"
+      "  mv <from> <to>        rename (atomic)\n"
+      "  ln <file> <link>      hard link\n"
+      "  stat <path>           inode details\n"
+      "  df                    space + log statistics\n"
+      "  segs                  segment utilization map\n"
+      "  clean                 force a cleaning pass\n"
+      "  sync                  checkpoint (make everything durable)\n"
+      "  quit                  exit WITHOUT checkpointing (try it!)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string image = argc > 1 ? argv[1] : "lfs.img";
+  LfsConfig cfg;
+  const uint64_t blocks = 64ull * 1024 * 1024 / cfg.block_size;
+  auto disk_r = FileDisk::Open(image, cfg.block_size, blocks);
+  if (!disk_r.ok()) {
+    std::fprintf(stderr, "cannot open %s: %s\n", image.c_str(),
+                 disk_r.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<FileDisk> disk = std::move(disk_r).value();
+
+  // Mount if it is already an LFS image; format otherwise.
+  std::unique_ptr<LfsFileSystem> fs;
+  auto mounted = LfsFileSystem::Mount(disk.get(), cfg);
+  if (mounted.ok()) {
+    fs = std::move(mounted).value();
+    std::printf("mounted %s (recovered %llu log writes past the checkpoint)\n", image.c_str(),
+                static_cast<unsigned long long>(fs->stats().rollforward_partials));
+  } else {
+    auto made = LfsFileSystem::Mkfs(disk.get(), cfg);
+    if (!made.ok()) {
+      std::fprintf(stderr, "mkfs failed: %s\n", made.status().ToString().c_str());
+      return 1;
+    }
+    fs = std::move(made).value();
+    std::printf("formatted fresh LFS on %s (64 MB)\n", image.c_str());
+  }
+  std::printf("type 'help' for commands\n");
+
+  std::string line;
+  while (std::printf("lfs> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd, a, b;
+    in >> cmd;
+    if (cmd.empty()) {
+      continue;
+    }
+    if (cmd == "quit" || cmd == "exit") {
+      std::printf("exiting without checkpoint — buffered writes are lost, the log tail\n");
+      std::printf("will be recovered by roll-forward on the next mount.\n");
+      break;
+    }
+    if (cmd == "help") {
+      Help();
+    } else if (cmd == "ls") {
+      in >> a;
+      auto entries = fs->ReadDir(a.empty() ? "/" : NormPath(a));
+      if (!entries.ok()) {
+        PrintStatus(entries.status());
+        continue;
+      }
+      for (const DirEntry& e : *entries) {
+        auto st = fs->Stat(e.ino);
+        std::printf("  %c %8llu  %s\n", e.type == FileType::kDirectory ? 'd' : '-',
+                    st.ok() ? static_cast<unsigned long long>(st->size) : 0ull,
+                    e.name.c_str());
+      }
+    } else if (cmd == "mkdir") {
+      in >> a;
+      PrintStatus(fs->Mkdir(NormPath(a)));
+    } else if (cmd == "write" || cmd == "append") {
+      in >> a;
+      std::string text;
+      std::getline(in, text);
+      if (!text.empty() && text[0] == ' ') {
+        text.erase(0, 1);
+      }
+      text += "\n";
+      std::span<const uint8_t> bytes(reinterpret_cast<const uint8_t*>(text.data()),
+                                     text.size());
+      std::string path = NormPath(a);
+      Result<InodeNum> ino = fs->Lookup(path);
+      if (!ino.ok()) {
+        ino = fs->Create(path);
+      }
+      if (!ino.ok()) {
+        PrintStatus(ino.status());
+        continue;
+      }
+      uint64_t off = 0;
+      if (cmd == "append") {
+        auto st = fs->Stat(*ino);
+        off = st.ok() ? st->size : 0;
+      } else {
+        PrintStatus(fs->Truncate(*ino, 0));
+      }
+      PrintStatus(fs->WriteAt(*ino, off, bytes));
+    } else if (cmd == "cat") {
+      in >> a;
+      auto data = fs->ReadFile(NormPath(a));
+      if (!data.ok()) {
+        PrintStatus(data.status());
+        continue;
+      }
+      fwrite(data->data(), 1, data->size(), stdout);
+    } else if (cmd == "rm") {
+      in >> a;
+      PrintStatus(fs->Unlink(NormPath(a)));
+    } else if (cmd == "rmdir") {
+      in >> a;
+      PrintStatus(fs->Rmdir(NormPath(a)));
+    } else if (cmd == "mv") {
+      in >> a >> b;
+      PrintStatus(fs->Rename(NormPath(a), NormPath(b)));
+    } else if (cmd == "ln") {
+      in >> a >> b;
+      PrintStatus(fs->Link(NormPath(a), NormPath(b)));
+    } else if (cmd == "stat") {
+      in >> a;
+      auto st = fs->StatPath(NormPath(a));
+      if (!st.ok()) {
+        PrintStatus(st.status());
+        continue;
+      }
+      std::printf("  inode %u  %s  %llu bytes  nlink %u  version %u  mtime %llu\n", st->ino,
+                  st->type == FileType::kDirectory ? "directory" : "regular file",
+                  static_cast<unsigned long long>(st->size), st->nlink, st->version,
+                  static_cast<unsigned long long>(st->mtime));
+    } else if (cmd == "df") {
+      const LfsStats& st = fs->stats();
+      std::printf("  disk %.0f%% utilized, %u/%u segments clean, %llu buffered dirty blocks\n",
+                  fs->disk_utilization() * 100, fs->clean_segments(),
+                  fs->superblock().nsegments,
+                  static_cast<unsigned long long>(fs->dirty_buffered_blocks()));
+      std::printf("  log written this session: %llu KB; write cost %.2f; %llu checkpoints;\n"
+                  "  %llu segments cleaned (%.0f%% empty)\n",
+                  static_cast<unsigned long long>(st.total_log_written() / 1024),
+                  st.WriteCost(), static_cast<unsigned long long>(st.checkpoints),
+                  static_cast<unsigned long long>(st.segments_cleaned),
+                  st.EmptyCleanedFraction() * 100);
+    } else if (cmd == "segs") {
+      const SegUsage& usage = fs->seg_usage();
+      std::printf("  ");
+      for (SegNo seg = 0; seg < usage.nsegments(); seg++) {
+        const SegUsageEntry& e = usage.Get(seg);
+        char c = e.state == SegState::kActive  ? '>'
+                 : e.state == SegState::kClean ? '.'
+                 : usage.Utilization(seg) >= 0.95
+                     ? '*'
+                     : static_cast<char>('0' + static_cast<int>(usage.Utilization(seg) * 10));
+        std::printf("%c", c);
+        if ((seg + 1) % 64 == 0) {
+          std::printf("\n  ");
+        }
+      }
+      std::printf("\n  ('.'=clean, 0-9=live deciles, *=full, >=active)\n");
+    } else if (cmd == "clean") {
+      auto n = fs->ForceClean();
+      if (n.ok()) {
+        std::printf("  reclaimed %u segments\n", *n);
+      } else {
+        PrintStatus(n.status());
+      }
+    } else if (cmd == "sync") {
+      PrintStatus(fs->Sync());
+      std::printf("  checkpoint written\n");
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

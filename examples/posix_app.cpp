@@ -1,0 +1,91 @@
+// posix_app: using the POSIX-flavored descriptor layer (FdTable) — the way
+// an application ported from Unix would talk to the filesystem. Implements a
+// tiny "rotating log writer": appends records to a log file, rotates it when
+// it grows past a limit, and tails the current log — all through
+// open/write/lseek/read/close.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/disk/mem_disk.h"
+#include "src/fs/fd_table.h"
+#include "src/lfs/lfs.h"
+
+using namespace lfs;
+
+namespace {
+void Check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+}  // namespace
+
+int main() {
+  LfsConfig cfg;
+  MemDisk disk(cfg.block_size, 16384);  // 64 MB
+  auto fs = std::move(LfsFileSystem::Mkfs(&disk, cfg)).value();
+  FdTable fds(fs.get());
+  Check(fs->Mkdir("/var"), "mkdir /var");
+  Check(fs->Mkdir("/var/log"), "mkdir /var/log");
+
+  const uint64_t kRotateAt = 16 * 1024;
+  int rotation = 0;
+
+  // Append records O_APPEND-style; rotate at the size limit.
+  auto log_fd = fds.Open("/var/log/app.log", kWrOnly | kCreate | kAppend);
+  Check(log_fd.status(), "open log");
+  int fd = *log_fd;
+  for (int i = 0; i < 2000; i++) {
+    char line[128];
+    int n = std::snprintf(line, sizeof(line), "%08d event=%s seq=%d\n", i,
+                          i % 3 == 0 ? "checkpoint" : "write", i * 7);
+    std::span<const uint8_t> bytes(reinterpret_cast<const uint8_t*>(line),
+                                   static_cast<size_t>(n));
+    Check(fds.Write(fd, bytes).status(), "append");
+
+    auto st = fds.Fstat(fd);
+    Check(st.status(), "fstat");
+    if (st->size >= kRotateAt) {
+      Check(fds.Close(fd), "close");
+      std::string rotated = "/var/log/app.log." + std::to_string(rotation++);
+      Check(fs->Rename("/var/log/app.log", rotated), "rotate");
+      log_fd = fds.Open("/var/log/app.log", kWrOnly | kCreate | kAppend);
+      Check(log_fd.status(), "reopen");
+      fd = *log_fd;
+      std::printf("rotated -> %s\n", rotated.c_str());
+    }
+  }
+  Check(fds.Close(fd), "close");
+
+  // Tail the last 5 lines of the live log with pread/lseek.
+  auto tail_fd = fds.Open("/var/log/app.log", kRdOnly);
+  Check(tail_fd.status(), "open for tail");
+  auto st = fds.Fstat(*tail_fd);
+  Check(st.status(), "fstat");
+  uint64_t start = st->size > 300 ? st->size - 300 : 0;
+  std::vector<uint8_t> buf(st->size - start);
+  Check(fds.Pread(*tail_fd, start, buf).status(), "pread");
+  // Print the last few whole lines.
+  std::string text(buf.begin(), buf.end());
+  size_t pos = text.size();
+  for (int lines = 0; lines < 5 && pos != std::string::npos && pos > 0; lines++) {
+    pos = text.rfind('\n', pos - 2);
+  }
+  std::printf("tail of /var/log/app.log:\n%s", text.substr(pos == std::string::npos ? 0 : pos + 1).c_str());
+  Check(fds.Close(*tail_fd), "close");
+
+  auto entries = fs->ReadDir("/var/log");
+  Check(entries.status(), "readdir");
+  std::printf("\n/var/log after %d rotations:\n", rotation);
+  for (const DirEntry& e : *entries) {
+    auto s = fs->Stat(e.ino);
+    std::printf("  %8llu  %s\n",
+                s.ok() ? static_cast<unsigned long long>(s->size) : 0ull, e.name.c_str());
+  }
+  Check(fs->Sync(), "sync");
+  std::printf("\nall descriptors closed: %zu open\n", fds.open_count());
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Quickstart: the smallest useful tour of the public API.
+//
+//   $ ./quickstart
+//
+// Formats a log-structured filesystem on an in-memory disk, creates a
+// directory tree, writes and reads files, renames, deletes, takes a
+// checkpoint, remounts, and prints the log statistics along the way.
+
+#include <cstdio>
+#include <string>
+
+#include "src/disk/mem_disk.h"
+#include "src/lfs/lfs.h"
+
+using namespace lfs;
+
+namespace {
+void Check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+}  // namespace
+
+int main() {
+  // 1. A 64-MB in-memory disk with 4-KB blocks, formatted as LFS with 1-MB
+  //    segments and the cost-benefit cleaning policy (the defaults).
+  LfsConfig cfg;
+  MemDisk disk(cfg.block_size, 64 * 1024 * 1024 / cfg.block_size);
+  auto fs_r = LfsFileSystem::Mkfs(&disk, cfg);
+  Check(fs_r.status(), "mkfs");
+  std::unique_ptr<LfsFileSystem> fs = std::move(fs_r).value();
+  std::printf("formatted: %u segments of %u KB\n", fs->superblock().nsegments,
+              fs->superblock().segment_bytes() / 1024);
+
+  // 2. Namespace operations.
+  Check(fs->Mkdir("/projects"), "mkdir");
+  Check(fs->Mkdir("/projects/lfs"), "mkdir");
+  std::string text = "All modifications are written sequentially to a log.\n";
+  Check(fs->WriteFile("/projects/lfs/README",
+                      std::span(reinterpret_cast<const uint8_t*>(text.data()), text.size())),
+        "write file");
+  Check(fs->Link("/projects/lfs/README", "/README_link"), "hard link");
+  Check(fs->Rename("/projects/lfs/README", "/projects/lfs/README.md"), "rename");
+
+  // 3. Data I/O through an inode handle.
+  auto ino_r = fs->Create("/projects/lfs/data.bin");
+  Check(ino_r.status(), "create");
+  InodeNum ino = *ino_r;
+  std::vector<uint8_t> payload(100 * 1024);
+  for (size_t i = 0; i < payload.size(); i++) {
+    payload[i] = static_cast<uint8_t>(i);
+  }
+  Check(fs->WriteAt(ino, 0, payload), "write 100 KB");
+  Check(fs->Truncate(ino, 64 * 1024), "truncate");
+
+  auto back = fs->ReadFile("/projects/lfs/README.md");
+  Check(back.status(), "read back");
+  std::printf("read back %zu bytes: %.*s", back->size(), static_cast<int>(back->size()),
+              reinterpret_cast<const char*>(back->data()));
+
+  // 4. Directory listing.
+  auto entries = fs->ReadDir("/projects/lfs");
+  Check(entries.status(), "readdir");
+  std::printf("/projects/lfs contains:\n");
+  for (const DirEntry& e : *entries) {
+    auto st = fs->Stat(e.ino);
+    Check(st.status(), "stat");
+    std::printf("  %-12s %8llu bytes  (inode %u, %s)\n", e.name.c_str(),
+                static_cast<unsigned long long>(st->size), e.ino,
+                st->type == FileType::kDirectory ? "dir" : "file");
+  }
+
+  // 5. Durability: checkpoint, drop the mount, mount again.
+  Check(fs->Unmount(), "unmount");
+  fs.reset();
+  auto again = LfsFileSystem::Mount(&disk, cfg);
+  Check(again.status(), "remount");
+  fs = std::move(again).value();
+  std::printf("remounted: %s still present: %s\n", "/projects/lfs/README.md",
+              fs->Exists("/projects/lfs/README.md") ? "yes" : "NO");
+
+  // 6. A peek at the log statistics.
+  const LfsStats& st = fs->stats();
+  std::printf("log: %llu KB written since mount, %u of %u segments clean, "
+              "disk %.0f%% utilized\n",
+              static_cast<unsigned long long>(st.total_log_written() / 1024),
+              fs->clean_segments(), fs->superblock().nsegments,
+              fs->disk_utilization() * 100);
+  return 0;
+}

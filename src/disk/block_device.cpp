@@ -1,0 +1,22 @@
+#include "src/disk/block_device.h"
+
+#include <string>
+
+namespace lfs {
+
+Status BlockDevice::CheckRange(BlockNo block, uint64_t count, size_t span_bytes) const {
+  if (count == 0) {
+    return InvalidArgumentError("zero-length I/O");
+  }
+  if (block >= block_count() || count > block_count() - block) {
+    return OutOfRangeError("I/O beyond device: block " + std::to_string(block) + " count " +
+                           std::to_string(count) + " of " + std::to_string(block_count()));
+  }
+  if (span_bytes != count * block_size()) {
+    return InvalidArgumentError("buffer size " + std::to_string(span_bytes) +
+                                " != count*block_size " + std::to_string(count * block_size()));
+  }
+  return OkStatus();
+}
+
+}  // namespace lfs

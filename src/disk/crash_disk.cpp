@@ -1,0 +1,45 @@
+#include "src/disk/crash_disk.h"
+
+#include <algorithm>
+
+namespace lfs {
+
+Status CrashDisk::Write(BlockNo block, uint64_t count, std::span<const uint8_t> data) {
+  LFS_RETURN_IF_ERROR(CheckRange(block, count, data.size()));
+  writes_seen_++;
+
+  if (crashed_) {
+    // The machine is down: the write never reaches the platter. We report
+    // success so the filesystem under test keeps issuing its normal write
+    // sequence; the test harness then abandons it and remounts.
+    writes_dropped_++;
+    return OkStatus();
+  }
+
+  if (armed_) {
+    if (writes_until_crash_ == 0) {
+      // The torn write: a prefix of whole blocks persists.
+      uint64_t keep = std::min(torn_blocks_, count);
+      crashed_ = true;
+      armed_ = false;
+      if (keep > 0) {
+        LFS_RETURN_IF_ERROR(
+            backing_->Write(block, keep, data.subspan(0, keep * block_size())));
+      }
+      writes_dropped_++;
+      return OkStatus();
+    }
+    writes_until_crash_--;
+  }
+
+  return backing_->Write(block, count, data);
+}
+
+Status CrashDisk::Flush() {
+  if (crashed_) {
+    return OkStatus();
+  }
+  return backing_->Flush();
+}
+
+}  // namespace lfs

@@ -1,0 +1,73 @@
+// CrashDisk: fault-injection wrapper that models a machine crash.
+//
+// Before the crash point, writes pass through. At the crash point the
+// in-flight write may be torn (a prefix of its blocks persist — real disks
+// complete sectors, not whole multi-block I/Os). After the crash every write
+// is silently discarded (the CPU is "dead"); reads keep working so recovery
+// code can be driven against the surviving image after ClearCrash().
+//
+// Used by recovery tests (crash-point sweeps) and the Table 3 benchmark.
+
+#ifndef LFS_DISK_CRASH_DISK_H_
+#define LFS_DISK_CRASH_DISK_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "src/disk/block_device.h"
+
+namespace lfs {
+
+class CrashDisk : public BlockDevice {
+ public:
+  explicit CrashDisk(std::unique_ptr<BlockDevice> backing) : backing_(std::move(backing)) {}
+
+  uint32_t block_size() const override { return backing_->block_size(); }
+  uint64_t block_count() const override { return backing_->block_count(); }
+
+  Status Read(BlockNo block, uint64_t count, std::span<uint8_t> out) override {
+    return backing_->Read(block, count, out);
+  }
+  Status Write(BlockNo block, uint64_t count, std::span<const uint8_t> data) override;
+  Status Flush() override;
+
+  // Crashes after `n` more write operations complete; the (n+1)-th write is
+  // the torn one (its first `torn_blocks` blocks persist, the rest do not).
+  void CrashAfterWrites(uint64_t n, uint64_t torn_blocks = 0) {
+    writes_until_crash_ = n;
+    torn_blocks_ = torn_blocks;
+    armed_ = true;
+  }
+
+  // Immediate crash: all future writes discarded.
+  void CrashNow() {
+    crashed_ = true;
+    armed_ = false;
+  }
+
+  // "Reboot": the machine is back; subsequent writes go through again.
+  void ClearCrash() {
+    crashed_ = false;
+    armed_ = false;
+  }
+
+  bool crashed() const { return crashed_; }
+  uint64_t writes_seen() const { return writes_seen_; }
+  uint64_t writes_dropped() const { return writes_dropped_; }
+
+  BlockDevice* backing() { return backing_.get(); }
+
+ private:
+  std::unique_ptr<BlockDevice> backing_;
+  bool armed_ = false;
+  bool crashed_ = false;
+  uint64_t writes_until_crash_ = 0;
+  uint64_t torn_blocks_ = 0;
+  uint64_t writes_seen_ = 0;
+  uint64_t writes_dropped_ = 0;
+};
+
+}  // namespace lfs
+
+#endif  // LFS_DISK_CRASH_DISK_H_

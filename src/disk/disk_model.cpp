@@ -1,0 +1,33 @@
+#include "src/disk/disk_model.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace lfs {
+
+double DiskModel::SeekTime(uint64_t distance) const {
+  if (distance == 0) {
+    return 0.0;
+  }
+  // Concave seek curve: t2t + c*sqrt(d/D). For uniformly random head moves,
+  // E[sqrt(|x-y|)] with x,y ~ U[0,1] is 8/15, so choosing
+  // c = (avg - t2t) * 15/8 makes the uniform-random average equal
+  // avg_seek_sec, anchoring the model to the Wren IV spec sheet.
+  double frac = static_cast<double>(distance) / static_cast<double>(total_bytes_);
+  double c = (params_.avg_seek_sec - params_.track_to_track_seek_sec) * 15.0 / 8.0;
+  return params_.track_to_track_seek_sec + c * std::sqrt(frac);
+}
+
+double DiskModel::Access(uint64_t offset, uint64_t bytes) {
+  double time = params_.per_request_overhead_sec;
+  if (offset != head_) {
+    uint64_t distance = offset > head_ ? offset - head_ : head_ - offset;
+    time += SeekTime(distance);
+    time += params_.rotational_latency_sec;
+  }
+  time += TransferTime(bytes);
+  head_ = offset + bytes;
+  return time;
+}
+
+}  // namespace lfs

@@ -1,0 +1,76 @@
+#include "src/disk/file_disk.h"
+
+#include <vector>
+
+namespace lfs {
+
+Result<std::unique_ptr<FileDisk>> FileDisk::Open(const std::string& path, uint32_t block_size,
+                                                 uint64_t block_count) {
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    file = std::fopen(path.c_str(), "w+b");  // create a fresh image
+  }
+  if (file == nullptr) {
+    return IoError("cannot open image file '" + path + "'");
+  }
+  uint64_t want = block_count * uint64_t{block_size};
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return IoError("seek failed on '" + path + "'");
+  }
+  uint64_t have = static_cast<uint64_t>(std::ftell(file));
+  if (have < want) {
+    // Extend with zeros (fresh image, or a truncated one).
+    std::vector<uint8_t> zeros(64 * 1024, 0);
+    std::fseek(file, 0, SEEK_END);
+    while (have < want) {
+      size_t chunk = static_cast<size_t>(std::min<uint64_t>(zeros.size(), want - have));
+      if (std::fwrite(zeros.data(), 1, chunk, file) != chunk) {
+        std::fclose(file);
+        return IoError("cannot extend image file '" + path + "'");
+      }
+      have += chunk;
+    }
+  }
+  // An image larger than requested is fine: callers that probe with a small
+  // bootstrap geometry (lfsck, lfsdump) reopen with the real size later, and
+  // reads/writes are bounds-checked against the requested size regardless.
+  return std::unique_ptr<FileDisk>(new FileDisk(file, block_size, block_count));
+}
+
+FileDisk::~FileDisk() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Status FileDisk::Read(BlockNo block, uint64_t count, std::span<uint8_t> out) {
+  LFS_RETURN_IF_ERROR(CheckRange(block, count, out.size()));
+  if (std::fseek(file_, static_cast<long>(block * block_size_), SEEK_SET) != 0) {
+    return IoError("seek failed");
+  }
+  if (std::fread(out.data(), 1, out.size(), file_) != out.size()) {
+    return IoError("short read from image file");
+  }
+  return OkStatus();
+}
+
+Status FileDisk::Write(BlockNo block, uint64_t count, std::span<const uint8_t> data) {
+  LFS_RETURN_IF_ERROR(CheckRange(block, count, data.size()));
+  if (std::fseek(file_, static_cast<long>(block * block_size_), SEEK_SET) != 0) {
+    return IoError("seek failed");
+  }
+  if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+    return IoError("short write to image file");
+  }
+  return OkStatus();
+}
+
+Status FileDisk::Flush() {
+  if (std::fflush(file_) != 0) {
+    return IoError("fflush failed");
+  }
+  return OkStatus();
+}
+
+}  // namespace lfs

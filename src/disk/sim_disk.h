@@ -1,0 +1,61 @@
+// SimDisk: wraps a backing BlockDevice with a DiskModel and accumulates I/O
+// statistics. All of the paper's performance claims are ratios of disk-time
+// quantities (write cost, fraction of bandwidth used for new data, disk %
+// busy), which these counters reproduce directly.
+
+#ifndef LFS_DISK_SIM_DISK_H_
+#define LFS_DISK_SIM_DISK_H_
+
+#include <memory>
+
+#include "src/disk/block_device.h"
+#include "src/disk/disk_model.h"
+
+namespace lfs {
+
+struct DiskStats {
+  uint64_t reads = 0;           // read operations
+  uint64_t writes = 0;          // write operations
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t seeks = 0;           // I/Os that required head movement
+  double busy_sec = 0.0;        // total modeled service time
+  double seek_sec = 0.0;        // time spent seeking + in rotational latency
+
+  DiskStats operator-(const DiskStats& other) const;
+  uint64_t total_bytes() const { return bytes_read + bytes_written; }
+};
+
+class SimDisk : public BlockDevice {
+ public:
+  SimDisk(std::unique_ptr<BlockDevice> backing, DiskModelParams params)
+      : backing_(std::move(backing)),
+        model_(params, backing_->size_bytes()) {}
+
+  uint32_t block_size() const override { return backing_->block_size(); }
+  uint64_t block_count() const override { return backing_->block_count(); }
+
+  Status Read(BlockNo block, uint64_t count, std::span<uint8_t> out) override;
+  Status Write(BlockNo block, uint64_t count, std::span<const uint8_t> data) override;
+  Status Flush() override { return backing_->Flush(); }
+
+  const DiskStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DiskStats{}; }
+
+  // Full-stream sequential bandwidth of the modeled device (bytes/sec); the
+  // denominator in "fraction of raw bandwidth" metrics.
+  double raw_bandwidth() const { return model_.params().transfer_bandwidth_bytes_per_sec; }
+
+  BlockDevice* backing() { return backing_.get(); }
+
+ private:
+  void Charge(BlockNo block, uint64_t count, bool is_write);
+
+  std::unique_ptr<BlockDevice> backing_;
+  DiskModel model_;
+  DiskStats stats_;
+};
+
+}  // namespace lfs
+
+#endif  // LFS_DISK_SIM_DISK_H_

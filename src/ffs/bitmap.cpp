@@ -1,0 +1,40 @@
+#include "src/ffs/bitmap.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace lfs::ffs {
+
+uint32_t Bitmap::FindFree(uint32_t from) const {
+  if (nbits_ == 0) {
+    return UINT32_MAX;
+  }
+  from %= nbits_;
+  for (uint32_t n = 0; n < nbits_; n++) {
+    uint32_t i = (from + n) % nbits_;
+    if (!Get(i)) {
+      return i;
+    }
+  }
+  return UINT32_MAX;
+}
+
+uint32_t Bitmap::CountSet() const {
+  uint32_t count = 0;
+  for (uint32_t i = 0; i < nbits_; i++) {
+    count += Get(i) ? 1 : 0;
+  }
+  return count;
+}
+
+void Bitmap::CopyTo(std::span<uint8_t> out) const {
+  std::memset(out.data(), 0, out.size());
+  std::memcpy(out.data(), bits_.data(), std::min(out.size(), bits_.size()));
+}
+
+void Bitmap::CopyFrom(std::span<const uint8_t> in) {
+  std::memcpy(bits_.data(), in.data(), std::min(in.size(), bits_.size()));
+}
+
+}  // namespace lfs::ffs

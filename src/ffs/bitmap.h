@@ -1,0 +1,39 @@
+// In-memory bitmap backed by one disk block per block group. FFS keeps
+// bitmaps cached and writes them back on sync; fsck rebuilds them after a
+// crash (which is exactly why fsck has to scan everything — Section 4).
+
+#ifndef LFS_FFS_BITMAP_H_
+#define LFS_FFS_BITMAP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lfs::ffs {
+
+class Bitmap {
+ public:
+  explicit Bitmap(uint32_t nbits) : bits_((nbits + 7) / 8, 0), nbits_(nbits) {}
+
+  bool Get(uint32_t i) const { return (bits_[i / 8] >> (i % 8)) & 1; }
+  void Set(uint32_t i) { bits_[i / 8] |= uint8_t{1} << (i % 8); }
+  void Clear(uint32_t i) { bits_[i / 8] &= static_cast<uint8_t>(~(uint8_t{1} << (i % 8))); }
+
+  // First clear bit at or after `from` (wrapping), or UINT32_MAX if full.
+  uint32_t FindFree(uint32_t from = 0) const;
+
+  uint32_t CountSet() const;
+  uint32_t size() const { return nbits_; }
+
+  // Raw (de)serialization into a block-sized buffer.
+  void CopyTo(std::span<uint8_t> out) const;
+  void CopyFrom(std::span<const uint8_t> in);
+
+ private:
+  std::vector<uint8_t> bits_;
+  uint32_t nbits_;
+};
+
+}  // namespace lfs::ffs
+
+#endif  // LFS_FFS_BITMAP_H_

@@ -1,0 +1,899 @@
+#include "src/ffs/ffs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "src/util/codec.h"
+
+namespace lfs::ffs {
+
+FfsFileSystem::FfsFileSystem(BlockDevice* device, const FfsSuperblock& sb)
+    : device_(device), sb_(sb) {
+  for (uint32_t g = 0; g < sb_.ngroups; g++) {
+    inode_bitmaps_.emplace_back(sb_.inodes_per_group);
+    block_bitmaps_.emplace_back(sb_.data_blocks_per_group());
+  }
+  free_data_blocks_ = uint64_t{sb_.ngroups} * sb_.data_blocks_per_group();
+}
+
+Result<std::unique_ptr<FfsFileSystem>> FfsFileSystem::Mkfs(BlockDevice* device,
+                                                           uint32_t block_size) {
+  if (device->block_size() != block_size) {
+    return InvalidArgumentError("device block size mismatch");
+  }
+  LFS_ASSIGN_OR_RETURN(FfsSuperblock sb,
+                       FfsSuperblock::Compute(block_size, device->block_count()));
+  std::vector<uint8_t> block(block_size, 0);
+  sb.EncodeTo(block);
+  LFS_RETURN_IF_ERROR(device->WriteBlock(0, block));
+
+  // newfs: zero the bitmaps and inode tables of every group.
+  std::vector<uint8_t> zero(block_size, 0);
+  for (uint32_t g = 0; g < sb.ngroups; g++) {
+    LFS_RETURN_IF_ERROR(device->WriteBlock(sb.InodeBitmapBlock(g), zero));
+    LFS_RETURN_IF_ERROR(device->WriteBlock(sb.BlockBitmapBlock(g), zero));
+    for (uint32_t b = 0; b < sb.inode_table_blocks; b++) {
+      LFS_RETURN_IF_ERROR(device->WriteBlock(sb.InodeTableBlock(g) + b, zero));
+    }
+  }
+
+  auto fs = std::unique_ptr<FfsFileSystem>(new FfsFileSystem(device, sb));
+  LFS_ASSIGN_OR_RETURN(InodeNum root, fs->AllocInode(0));
+  if (root != kRootInode) {
+    return InternalError("ffs mkfs: root inode is not 1");
+  }
+  FfsInode inode;
+  inode.ino = root;
+  inode.type = FileType::kDirectory;
+  inode.nlink = 1;
+  inode.mtime = fs->clock_.Tick();
+  LFS_RETURN_IF_ERROR(fs->WriteInodeSync(inode));
+  fs->dirs_[root] = DirCache{};
+  LFS_RETURN_IF_ERROR(fs->WriteBitmapsSync());
+  return fs;
+}
+
+Result<std::unique_ptr<FfsFileSystem>> FfsFileSystem::Mount(BlockDevice* device) {
+  std::vector<uint8_t> block(device->block_size());
+  LFS_RETURN_IF_ERROR(device->ReadBlock(0, block));
+  LFS_ASSIGN_OR_RETURN(FfsSuperblock sb, FfsSuperblock::DecodeFrom(block));
+  auto fs = std::unique_ptr<FfsFileSystem>(new FfsFileSystem(device, sb));
+  fs->free_data_blocks_ = 0;
+  for (uint32_t g = 0; g < sb.ngroups; g++) {
+    LFS_RETURN_IF_ERROR(device->ReadBlock(sb.InodeBitmapBlock(g), block));
+    fs->inode_bitmaps_[g].CopyFrom(block);
+    LFS_RETURN_IF_ERROR(device->ReadBlock(sb.BlockBitmapBlock(g), block));
+    fs->block_bitmaps_[g].CopyFrom(block);
+    fs->free_data_blocks_ +=
+        sb.data_blocks_per_group() - fs->block_bitmaps_[g].CountSet();
+  }
+  return fs;
+}
+
+// --- allocation -----------------------------------------------------------------
+
+Result<InodeNum> FfsFileSystem::AllocInode(uint32_t group_hint) {
+  for (uint32_t n = 0; n < sb_.ngroups; n++) {
+    uint32_t g = (group_hint + n) % sb_.ngroups;
+    uint32_t idx = inode_bitmaps_[g].FindFree();
+    if (idx == UINT32_MAX) {
+      continue;
+    }
+    inode_bitmaps_[g].Set(idx);
+    return static_cast<InodeNum>(g * sb_.inodes_per_group + idx + 1);
+  }
+  return NoInodesError("ffs: all inodes in use");
+}
+
+void FfsFileSystem::FreeInode(InodeNum ino) {
+  uint32_t g = GroupOfInode(ino);
+  inode_bitmaps_[g].Clear((ino - 1) % sb_.inodes_per_group);
+}
+
+Result<BlockNo> FfsFileSystem::AllocBlock(uint32_t group_hint, BlockNo prev) {
+  uint64_t reserve = static_cast<uint64_t>(
+      kFfsReserveFraction * sb_.ngroups * sb_.data_blocks_per_group());
+  if (free_data_blocks_ <= reserve) {
+    return NoSpaceError("ffs: file system is above the 90% capacity limit");
+  }
+  // Prefer the block right after the file's previous block (contiguity,
+  // FFS's rotational layout idealized), then anywhere in the hinted group,
+  // then other groups.
+  if (prev != kNilBlock) {
+    uint32_t g = GroupOfBlock(prev);
+    uint64_t within = prev - sb_.DataBase(g);
+    if (within + 1 < sb_.data_blocks_per_group() &&
+        !block_bitmaps_[g].Get(static_cast<uint32_t>(within + 1))) {
+      block_bitmaps_[g].Set(static_cast<uint32_t>(within + 1));
+      free_data_blocks_--;
+      return prev + 1;
+    }
+    group_hint = g;
+  }
+  for (uint32_t n = 0; n < sb_.ngroups; n++) {
+    uint32_t g = (group_hint + n) % sb_.ngroups;
+    uint32_t idx = block_bitmaps_[g].FindFree();
+    if (idx == UINT32_MAX) {
+      continue;
+    }
+    block_bitmaps_[g].Set(idx);
+    free_data_blocks_--;
+    return sb_.DataBase(g) + idx;
+  }
+  return NoSpaceError("ffs: no free blocks");
+}
+
+void FfsFileSystem::FreeBlock(BlockNo block) {
+  uint32_t g = GroupOfBlock(block);
+  uint64_t within = block - sb_.DataBase(g);
+  if (within < sb_.data_blocks_per_group() &&
+      block_bitmaps_[g].Get(static_cast<uint32_t>(within))) {
+    block_bitmaps_[g].Clear(static_cast<uint32_t>(within));
+    free_data_blocks_++;
+  }
+}
+
+Status FfsFileSystem::WriteBitmapsSync() {
+  std::vector<uint8_t> block(sb_.block_size);
+  for (uint32_t g = 0; g < sb_.ngroups; g++) {
+    inode_bitmaps_[g].CopyTo(block);
+    LFS_RETURN_IF_ERROR(device_->WriteBlock(sb_.InodeBitmapBlock(g), block));
+    block_bitmaps_[g].CopyTo(block);
+    LFS_RETURN_IF_ERROR(device_->WriteBlock(sb_.BlockBitmapBlock(g), block));
+    stats_.metadata_writes += 2;
+  }
+  return OkStatus();
+}
+
+// --- inode I/O ---------------------------------------------------------------------
+
+Result<std::vector<uint8_t>*> FfsFileSystem::InodeTableBlockCached(uint64_t block) {
+  auto it = itable_cache_.find(block);
+  if (it != itable_cache_.end()) {
+    return &it->second;
+  }
+  std::vector<uint8_t> data(sb_.block_size);
+  LFS_RETURN_IF_ERROR(device_->ReadBlock(block, data));
+  auto [pos, inserted] = itable_cache_.emplace(block, std::move(data));
+  (void)inserted;
+  return &pos->second;
+}
+
+Status FfsFileSystem::WriteInodeSync(const FfsInode& inode, int times) {
+  uint64_t block = sb_.InodeBlockOf(inode.ino);
+  uint32_t slot = sb_.InodeSlotOf(inode.ino);
+  LFS_ASSIGN_OR_RETURN(std::vector<uint8_t>* cached, InodeTableBlockCached(block));
+  inode.EncodeTo(std::span<uint8_t>(*cached).subspan(size_t{slot} * kFfsInodeSize,
+                                                     kFfsInodeSize));
+  // Synchronous, possibly repeated (new-file inodes are written twice).
+  for (int i = 0; i < times; i++) {
+    LFS_RETURN_IF_ERROR(device_->WriteBlock(block, *cached));
+    stats_.metadata_writes++;
+  }
+  return OkStatus();
+}
+
+Result<FfsInode> FfsFileSystem::ReadInode(InodeNum ino) {
+  if (ino == kNilInode || ino > sb_.max_inodes()) {
+    return NotFoundError("ffs: inode number out of range");
+  }
+  uint32_t g = GroupOfInode(ino);
+  if (!inode_bitmaps_[g].Get((ino - 1) % sb_.inodes_per_group)) {
+    return NotFoundError("ffs: inode " + std::to_string(ino) + " not allocated");
+  }
+  uint64_t block = sb_.InodeBlockOf(ino);
+  uint32_t slot = sb_.InodeSlotOf(ino);
+  LFS_ASSIGN_OR_RETURN(std::vector<uint8_t>* cached, InodeTableBlockCached(block));
+  return FfsInode::DecodeFrom(std::span<const uint8_t>(*cached).subspan(
+      size_t{slot} * kFfsInodeSize, kFfsInodeSize));
+}
+
+// --- file maps -----------------------------------------------------------------------
+
+Result<FfsFileSystem::FileMap*> FfsFileSystem::GetFileMap(InodeNum ino) {
+  auto it = files_.find(ino);
+  if (it != files_.end()) {
+    return &it->second;
+  }
+  LFS_ASSIGN_OR_RETURN(FfsInode inode, ReadInode(ino));
+  FileMap fm;
+  fm.inode = inode;
+  const uint32_t bs = sb_.block_size;
+  uint64_t nblocks = (inode.size + bs - 1) / bs;
+  fm.blocks.assign(nblocks, kNilBlock);
+  for (uint64_t i = 0; i < std::min<uint64_t>(kFfsNumDirect, nblocks); i++) {
+    fm.blocks[i] = inode.direct[i];
+  }
+  if (nblocks > kFfsNumDirect) {
+    const uint32_t ppb = sb_.pointers_per_block();
+    uint64_t ind_count = (nblocks - kFfsNumDirect + ppb - 1) / ppb;
+    fm.ind_addrs.assign(ind_count, kNilBlock);
+    fm.ind_addrs[0] = inode.single_indirect;
+    std::vector<uint8_t> block(bs);
+    if (ind_count > 1) {
+      fm.dind_addr = inode.double_indirect;
+      if (fm.dind_addr != kNilBlock) {
+        LFS_RETURN_IF_ERROR(device_->ReadBlock(fm.dind_addr, block));
+        Decoder dec(block);
+        for (uint64_t j = 1; j < ind_count; j++) {
+          fm.ind_addrs[j] = dec.GetU64();
+        }
+      }
+    }
+    for (uint64_t i = 0; i < ind_count; i++) {
+      if (fm.ind_addrs[i] == kNilBlock) {
+        continue;
+      }
+      LFS_RETURN_IF_ERROR(device_->ReadBlock(fm.ind_addrs[i], block));
+      Decoder dec(block);
+      for (uint32_t j = 0; j < ppb; j++) {
+        uint64_t fbn = kFfsNumDirect + i * ppb + j;
+        BlockNo addr = dec.GetU64();
+        if (fbn < nblocks) {
+          fm.blocks[fbn] = addr;
+        }
+      }
+    }
+  }
+  auto [pos, inserted] = files_.emplace(ino, std::move(fm));
+  (void)inserted;
+  return &pos->second;
+}
+
+void FfsFileSystem::MarkPointersDirty(FileMap* fm, uint64_t fbn) {
+  fm->pointers_dirty = true;
+  if (fbn >= kFfsNumDirect) {
+    fm->dirty_ind.insert(
+        static_cast<uint32_t>((fbn - kFfsNumDirect) / sb_.pointers_per_block()));
+  }
+}
+
+Status FfsFileSystem::FlushAllPointers() {
+  for (auto& [ino, fm] : files_) {
+    if (fm.pointers_dirty) {
+      LFS_RETURN_IF_ERROR(FlushPointers(&fm));
+    }
+  }
+  data_blocks_since_pointer_flush_ = 0;
+  return OkStatus();
+}
+
+Status FfsFileSystem::FlushPointers(FileMap* fm) {
+  const uint32_t bs = sb_.block_size;
+  const uint32_t ppb = sb_.pointers_per_block();
+  uint64_t nblocks = fm->blocks.size();
+  uint32_t group = GroupOfInode(fm->inode.ino);
+
+  // Write back the indirect blocks whose pointers changed; allocate on
+  // demand. Indirect blocks live at stable addresses, so these are in-place
+  // updates — exactly the metadata traffic FFS pays.
+  if (nblocks > kFfsNumDirect) {
+    uint64_t ind_count = (nblocks - kFfsNumDirect + ppb - 1) / ppb;
+    if (fm->ind_addrs.size() < ind_count) {
+      fm->ind_addrs.resize(ind_count, kNilBlock);
+    }
+    for (uint32_t i : fm->dirty_ind) {
+      if (i >= ind_count) {
+        continue;
+      }
+      if (fm->ind_addrs[i] == kNilBlock) {
+        LFS_ASSIGN_OR_RETURN(fm->ind_addrs[i], AllocBlock(group, kNilBlock));
+      }
+      std::vector<uint8_t> block;
+      block.reserve(bs);
+      Encoder enc(&block);
+      for (uint32_t j = 0; j < ppb; j++) {
+        uint64_t fbn = kFfsNumDirect + uint64_t{i} * ppb + j;
+        enc.PutU64(fbn < nblocks ? fm->blocks[fbn] : kNilBlock);
+      }
+      LFS_RETURN_IF_ERROR(device_->WriteBlock(fm->ind_addrs[i], block));
+      stats_.metadata_writes++;
+    }
+    if (ind_count > 1) {
+      if (fm->dind_addr == kNilBlock) {
+        LFS_ASSIGN_OR_RETURN(fm->dind_addr, AllocBlock(group, kNilBlock));
+      }
+      std::vector<uint8_t> block;
+      block.reserve(bs);
+      Encoder enc(&block);
+      for (uint32_t j = 0; j < ppb; j++) {
+        uint64_t idx = uint64_t{j} + 1;
+        enc.PutU64(idx < fm->ind_addrs.size() ? fm->ind_addrs[idx] : kNilBlock);
+      }
+      LFS_RETURN_IF_ERROR(device_->WriteBlock(fm->dind_addr, block));
+      stats_.metadata_writes++;
+    }
+  }
+  for (uint32_t i = 0; i < kFfsNumDirect; i++) {
+    fm->inode.direct[i] = i < fm->blocks.size() ? fm->blocks[i] : kNilBlock;
+  }
+  fm->inode.single_indirect = fm->ind_addrs.empty() ? kNilBlock : fm->ind_addrs[0];
+  fm->inode.double_indirect = fm->dind_addr;
+  fm->dirty_ind.clear();
+  fm->pointers_dirty = false;
+  return WriteInodeSync(fm->inode);
+}
+
+Status FfsFileSystem::GrowFile(FileMap* fm, uint64_t new_block_count) {
+  if (new_block_count > fm->blocks.size()) {
+    fm->blocks.resize(new_block_count, kNilBlock);
+  }
+  return OkStatus();
+}
+
+Status FfsFileSystem::ShrinkFile(FileMap* fm, uint64_t new_block_count) {
+  for (uint64_t fbn = new_block_count; fbn < fm->blocks.size(); fbn++) {
+    if (fm->blocks[fbn] != kNilBlock) {
+      FreeBlock(fm->blocks[fbn]);
+    }
+  }
+  fm->blocks.resize(new_block_count);
+  const uint32_t ppb = sb_.pointers_per_block();
+  uint64_t new_ind =
+      new_block_count > kFfsNumDirect ? (new_block_count - kFfsNumDirect + ppb - 1) / ppb : 0;
+  for (uint64_t i = new_ind; i < fm->ind_addrs.size(); i++) {
+    if (fm->ind_addrs[i] != kNilBlock) {
+      FreeBlock(fm->ind_addrs[i]);
+    }
+  }
+  fm->ind_addrs.resize(new_ind, kNilBlock);
+  if (new_ind <= 1 && fm->dind_addr != kNilBlock) {
+    FreeBlock(fm->dind_addr);
+    fm->dind_addr = kNilBlock;
+  }
+  if (new_ind > 0) {
+    fm->dirty_ind.insert(static_cast<uint32_t>(new_ind - 1));  // boundary rewrite
+  }
+  fm->pointers_dirty = true;
+  return OkStatus();
+}
+
+// --- data I/O ----------------------------------------------------------------------
+
+Status FfsFileSystem::WriteAt(InodeNum ino, uint64_t offset, std::span<const uint8_t> data) {
+  if (data.empty()) {
+    return OkStatus();
+  }
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  if (fm->inode.type == FileType::kDirectory) {
+    return IsADirectoryError("cannot write directly to a directory");
+  }
+  const uint32_t bs = sb_.block_size;
+  uint64_t end = offset + data.size();
+  LFS_RETURN_IF_ERROR(GrowFile(fm, std::max<uint64_t>(fm->blocks.size(),
+                                                      (end + bs - 1) / bs)));
+  uint32_t group = GroupOfInode(ino);
+  uint64_t pos = offset;
+  size_t src = 0;
+  BlockNo prev = kNilBlock;
+  while (pos < end) {
+    uint64_t fbn = pos / bs;
+    uint32_t in_block = static_cast<uint32_t>(pos % bs);
+    uint32_t chunk = static_cast<uint32_t>(std::min<uint64_t>(bs - in_block, end - pos));
+    std::vector<uint8_t> block(bs, 0);
+    if (chunk != bs && fbn < fm->blocks.size() && fm->blocks[fbn] != kNilBlock) {
+      LFS_RETURN_IF_ERROR(device_->ReadBlock(fm->blocks[fbn], block));
+    }
+    std::memcpy(block.data() + in_block, data.data() + src, chunk);
+    if (fm->blocks[fbn] == kNilBlock) {
+      BlockNo hint = prev != kNilBlock ? prev
+                     : fbn > 0 && fm->blocks[fbn - 1] != kNilBlock ? fm->blocks[fbn - 1]
+                                                                   : kNilBlock;
+      LFS_ASSIGN_OR_RETURN(fm->blocks[fbn], AllocBlock(group, hint));
+      MarkPointersDirty(fm, fbn);
+    }
+    // One individual disk operation per block (pre-4.1.1 SunOS behaviour the
+    // paper measured; Figure 9's caption).
+    LFS_RETURN_IF_ERROR(device_->WriteBlock(fm->blocks[fbn], block));
+    stats_.data_writes++;
+    stats_.data_bytes_written += bs;
+    prev = fm->blocks[fbn];
+    data_blocks_since_pointer_flush_++;
+    pos += chunk;
+    src += chunk;
+  }
+  if (fm->inode.size < end) {
+    fm->inode.size = end;
+    fm->pointers_dirty = true;
+  }
+  fm->inode.mtime = clock_.Tick();
+  fm->pointers_dirty = true;
+  // Inode and indirect updates for the DATA path are asynchronous in SunOS
+  // (the update daemon writes them back periodically); only namespace
+  // operations write metadata synchronously.
+  if (data_blocks_since_pointer_flush_ >= 128) {
+    return FlushAllPointers();
+  }
+  return OkStatus();
+}
+
+Result<uint64_t> FfsFileSystem::ReadAt(InodeNum ino, uint64_t offset, std::span<uint8_t> out) {
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  if (offset >= fm->inode.size || out.empty()) {
+    return uint64_t{0};
+  }
+  const uint32_t bs = sb_.block_size;
+  uint64_t want = std::min<uint64_t>(out.size(), fm->inode.size - offset);
+  uint64_t done = 0;
+  while (done < want) {
+    uint64_t pos = offset + done;
+    uint64_t fbn = pos / bs;
+    uint32_t in_block = static_cast<uint32_t>(pos % bs);
+    uint32_t chunk = static_cast<uint32_t>(std::min<uint64_t>(bs - in_block, want - done));
+    if (in_block == 0 && chunk == bs && fm->blocks[fbn] != kNilBlock) {
+      // Coalesce contiguous allocations into one sequential read.
+      uint64_t run = 1;
+      while (done + run * bs + bs <= want && fbn + run < fm->blocks.size() &&
+             fm->blocks[fbn + run] == fm->blocks[fbn] + run) {
+        run++;
+      }
+      LFS_RETURN_IF_ERROR(device_->Read(fm->blocks[fbn], run, out.subspan(done, run * bs)));
+      done += run * bs;
+      continue;
+    }
+    std::vector<uint8_t> block(bs, 0);
+    if (fbn < fm->blocks.size() && fm->blocks[fbn] != kNilBlock) {
+      LFS_RETURN_IF_ERROR(device_->ReadBlock(fm->blocks[fbn], block));
+    }
+    std::memcpy(out.data() + done, block.data() + in_block, chunk);
+    done += chunk;
+  }
+  return want;
+}
+
+Status FfsFileSystem::Truncate(InodeNum ino, uint64_t new_size) {
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  if (fm->inode.type == FileType::kDirectory) {
+    return IsADirectoryError("cannot truncate a directory");
+  }
+  const uint32_t bs = sb_.block_size;
+  if (new_size < fm->inode.size) {
+    LFS_RETURN_IF_ERROR(ShrinkFile(fm, (new_size + bs - 1) / bs));
+    if (new_size % bs != 0 && fm->blocks[new_size / bs] != kNilBlock) {
+      std::vector<uint8_t> block(bs);
+      LFS_RETURN_IF_ERROR(device_->ReadBlock(fm->blocks[new_size / bs], block));
+      std::memset(block.data() + new_size % bs, 0, bs - new_size % bs);
+      LFS_RETURN_IF_ERROR(device_->WriteBlock(fm->blocks[new_size / bs], block));
+      stats_.data_writes++;
+    }
+  } else {
+    LFS_RETURN_IF_ERROR(GrowFile(fm, (new_size + bs - 1) / bs));
+  }
+  fm->inode.size = new_size;
+  fm->inode.mtime = clock_.Tick();
+  return FlushPointers(fm);
+}
+
+Status FfsFileSystem::Sync() {
+  LFS_RETURN_IF_ERROR(FlushAllPointers());
+  return WriteBitmapsSync();
+}
+
+Status FfsFileSystem::Unmount() {
+  LFS_RETURN_IF_ERROR(FlushAllPointers());
+  LFS_RETURN_IF_ERROR(WriteBitmapsSync());
+  files_.clear();
+  dirs_.clear();
+  itable_cache_.clear();
+  return OkStatus();
+}
+
+Result<FileStat> FfsFileSystem::Stat(InodeNum ino) {
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  FileStat st;
+  st.ino = ino;
+  st.type = fm->inode.type;
+  st.size = fm->inode.size;
+  st.nlink = fm->inode.nlink;
+  st.mtime = fm->inode.mtime;
+  return st;
+}
+
+// --- directories ----------------------------------------------------------------------
+
+Result<FfsFileSystem::DirCache*> FfsFileSystem::GetDirCache(InodeNum dir_ino) {
+  auto it = dirs_.find(dir_ino);
+  if (it != dirs_.end()) {
+    return &it->second;
+  }
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(dir_ino));
+  if (fm->inode.type != FileType::kDirectory) {
+    return NotADirectoryError("ffs: inode " + std::to_string(dir_ino) +
+                              " is not a directory");
+  }
+  DirCache cache;
+  const uint32_t bs = sb_.block_size;
+  std::vector<uint8_t> block(bs);
+  for (uint64_t b = 0; b < fm->blocks.size(); b++) {
+    if (fm->blocks[b] == kNilBlock) {
+      cache.blocks.emplace_back();
+      cache.used_bytes.push_back(0);
+      continue;
+    }
+    LFS_RETURN_IF_ERROR(device_->ReadBlock(fm->blocks[b], block));
+    LFS_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, FfsDecodeDirBlock(block));
+    size_t used = 0;
+    for (const DirEntry& e : entries) {
+      used += FfsDirEntrySize(e);
+    }
+    cache.blocks.push_back(std::move(entries));
+    cache.used_bytes.push_back(used);
+  }
+  auto [pos, inserted] = dirs_.emplace(dir_ino, std::move(cache));
+  (void)inserted;
+  return &pos->second;
+}
+
+Result<InodeNum> FfsFileSystem::LookupInDir(InodeNum dir_ino, std::string_view name) {
+  LFS_ASSIGN_OR_RETURN(DirCache * cache, GetDirCache(dir_ino));
+  for (const auto& entries : cache->blocks) {
+    for (const DirEntry& e : entries) {
+      if (e.name == name) {
+        return e.ino;
+      }
+    }
+  }
+  return NotFoundError("ffs: no entry '" + std::string(name) + "'");
+}
+
+Status FfsFileSystem::WriteDirBlockSync(InodeNum dir_ino, uint64_t fbn) {
+  DirCache& cache = dirs_.at(dir_ino);
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(dir_ino));
+  LFS_RETURN_IF_ERROR(GrowFile(fm, cache.blocks.size()));
+  if (fm->blocks[fbn] == kNilBlock) {
+    LFS_ASSIGN_OR_RETURN(fm->blocks[fbn], AllocBlock(GroupOfInode(dir_ino), kNilBlock));
+  }
+  std::vector<uint8_t> block = FfsEncodeDirBlock(cache.blocks[fbn], sb_.block_size);
+  // Directory data is metadata for crash purposes: synchronous write.
+  LFS_RETURN_IF_ERROR(device_->WriteBlock(fm->blocks[fbn], block));
+  stats_.metadata_writes++;
+  fm->inode.size = std::max<uint64_t>(fm->inode.size,
+                                      uint64_t{cache.blocks.size()} * sb_.block_size);
+  fm->inode.mtime = clock_.Tick();
+  // ... followed by the directory's inode, also synchronous.
+  return FlushPointers(fm);
+}
+
+Status FfsFileSystem::AddDirEntry(InodeNum dir_ino, const DirEntry& entry) {
+  LFS_ASSIGN_OR_RETURN(DirCache * cache, GetDirCache(dir_ino));
+  size_t need = FfsDirEntrySize(entry);
+  size_t capacity = sb_.block_size - 4;
+  for (size_t b = 0; b < cache->blocks.size(); b++) {
+    if (cache->used_bytes[b] + need <= capacity) {
+      cache->blocks[b].push_back(entry);
+      cache->used_bytes[b] += need;
+      return WriteDirBlockSync(dir_ino, b);
+    }
+  }
+  cache->blocks.push_back({entry});
+  cache->used_bytes.push_back(need);
+  return WriteDirBlockSync(dir_ino, cache->blocks.size() - 1);
+}
+
+Status FfsFileSystem::RemoveDirEntry(InodeNum dir_ino, std::string_view name) {
+  LFS_ASSIGN_OR_RETURN(DirCache * cache, GetDirCache(dir_ino));
+  for (size_t b = 0; b < cache->blocks.size(); b++) {
+    auto& entries = cache->blocks[b];
+    for (auto it = entries.begin(); it != entries.end(); ++it) {
+      if (it->name == name) {
+        cache->used_bytes[b] -= FfsDirEntrySize(*it);
+        entries.erase(it);
+        return WriteDirBlockSync(dir_ino, b);
+      }
+    }
+  }
+  return NotFoundError("ffs: no entry '" + std::string(name) + "' to remove");
+}
+
+Result<InodeNum> FfsFileSystem::ResolveDir(std::string_view path) {
+  LFS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  InodeNum ino = kRootInode;
+  for (const std::string& comp : parts) {
+    LFS_ASSIGN_OR_RETURN(ino, LookupInDir(ino, comp));
+  }
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  if (fm->inode.type != FileType::kDirectory) {
+    return NotADirectoryError(std::string(path));
+  }
+  return ino;
+}
+
+Result<std::pair<InodeNum, std::string>> FfsFileSystem::ResolveParent(std::string_view path) {
+  LFS_ASSIGN_OR_RETURN(auto split, SplitParent(path));
+  LFS_ASSIGN_OR_RETURN(InodeNum parent, ResolveDir(split.first));
+  return std::make_pair(parent, split.second);
+}
+
+Result<InodeNum> FfsFileSystem::Lookup(std::string_view path) {
+  LFS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  InodeNum ino = kRootInode;
+  for (const std::string& comp : parts) {
+    LFS_ASSIGN_OR_RETURN(ino, LookupInDir(ino, comp));
+  }
+  return ino;
+}
+
+Result<InodeNum> FfsFileSystem::Create(std::string_view path) {
+  LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+  auto [dir_ino, name] = parent;
+  if (LookupInDir(dir_ino, name).ok()) {
+    return AlreadyExistsError(std::string(path));
+  }
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, AllocInode(GroupOfInode(dir_ino)));
+  FileMap fm;
+  fm.inode.ino = ino;
+  fm.inode.type = FileType::kRegular;
+  fm.inode.nlink = 1;
+  fm.inode.mtime = clock_.Tick();
+  // The new inode is written twice (crash-recovery hardening the paper
+  // counts among FFS's five small I/Os per create).
+  LFS_RETURN_IF_ERROR(WriteInodeSync(fm.inode, /*times=*/2));
+  files_[ino] = std::move(fm);
+  LFS_RETURN_IF_ERROR(AddDirEntry(dir_ino, DirEntry{name, ino, FileType::kRegular}));
+  return ino;
+}
+
+Status FfsFileSystem::Mkdir(std::string_view path) {
+  LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+  auto [dir_ino, name] = parent;
+  if (LookupInDir(dir_ino, name).ok()) {
+    return AlreadyExistsError(std::string(path));
+  }
+  // Directories rotate across block groups to spread load (the FFS policy
+  // that physically separates files in different directories).
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, AllocInode(next_dir_group_));
+  next_dir_group_ = (next_dir_group_ + 1) % sb_.ngroups;
+  FileMap fm;
+  fm.inode.ino = ino;
+  fm.inode.type = FileType::kDirectory;
+  fm.inode.nlink = 1;
+  fm.inode.mtime = clock_.Tick();
+  LFS_RETURN_IF_ERROR(WriteInodeSync(fm.inode, /*times=*/2));
+  files_[ino] = std::move(fm);
+  dirs_[ino] = DirCache{};
+  return AddDirEntry(dir_ino, DirEntry{name, ino, FileType::kDirectory});
+}
+
+Status FfsFileSystem::DeleteFileContents(InodeNum ino) {
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  LFS_RETURN_IF_ERROR(ShrinkFile(fm, 0));
+  FfsInode dead;
+  dead.ino = ino;  // type kNone marks the slot free for fsck
+  LFS_RETURN_IF_ERROR(WriteInodeSync(dead));
+  FreeInode(ino);
+  files_.erase(ino);
+  dirs_.erase(ino);
+  return OkStatus();
+}
+
+Status FfsFileSystem::Unlink(std::string_view path) {
+  LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+  auto [dir_ino, name] = parent;
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, LookupInDir(dir_ino, name));
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  if (fm->inode.type == FileType::kDirectory) {
+    return IsADirectoryError(std::string(path) + " (use Rmdir)");
+  }
+  LFS_RETURN_IF_ERROR(RemoveDirEntry(dir_ino, name));
+  fm->inode.nlink--;
+  if (fm->inode.nlink == 0) {
+    return DeleteFileContents(ino);
+  }
+  fm->inode.mtime = clock_.Tick();
+  return WriteInodeSync(fm->inode);
+}
+
+Status FfsFileSystem::Rmdir(std::string_view path) {
+  LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+  auto [dir_ino, name] = parent;
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, LookupInDir(dir_ino, name));
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  if (fm->inode.type != FileType::kDirectory) {
+    return NotADirectoryError(std::string(path));
+  }
+  LFS_ASSIGN_OR_RETURN(DirCache * cache, GetDirCache(ino));
+  for (const auto& entries : cache->blocks) {
+    if (!entries.empty()) {
+      return NotEmptyError(std::string(path));
+    }
+  }
+  LFS_RETURN_IF_ERROR(RemoveDirEntry(dir_ino, name));
+  // Free the directory's blocks and inode.
+  LFS_ASSIGN_OR_RETURN(FileMap * dfm, GetFileMap(ino));
+  LFS_RETURN_IF_ERROR(ShrinkFile(dfm, 0));
+  FfsInode dead;
+  dead.ino = ino;
+  LFS_RETURN_IF_ERROR(WriteInodeSync(dead));
+  FreeInode(ino);
+  files_.erase(ino);
+  dirs_.erase(ino);
+  return OkStatus();
+}
+
+Status FfsFileSystem::Link(std::string_view existing, std::string_view link_path) {
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, Lookup(existing));
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  if (fm->inode.type == FileType::kDirectory) {
+    return IsADirectoryError("hard links to directories are not allowed");
+  }
+  LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(link_path));
+  auto [dir_ino, name] = parent;
+  if (LookupInDir(dir_ino, name).ok()) {
+    return AlreadyExistsError(std::string(link_path));
+  }
+  LFS_RETURN_IF_ERROR(AddDirEntry(dir_ino, DirEntry{name, ino, FileType::kRegular}));
+  fm->inode.nlink++;
+  fm->inode.mtime = clock_.Tick();
+  return WriteInodeSync(fm->inode);
+}
+
+Status FfsFileSystem::Rename(std::string_view from, std::string_view to) {
+  if (from == to) {
+    return OkStatus();
+  }
+  if (to.size() > from.size() && to.substr(0, from.size()) == from &&
+      to[from.size()] == '/') {
+    return InvalidArgumentError("cannot move a directory into itself");
+  }
+  LFS_ASSIGN_OR_RETURN(auto src, ResolveParent(from));
+  auto [from_dir, from_name] = src;
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, LookupInDir(from_dir, from_name));
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  FileType type = fm->inode.type;
+  LFS_ASSIGN_OR_RETURN(auto dst, ResolveParent(to));
+  auto [to_dir, to_name] = dst;
+
+  Result<InodeNum> existing = LookupInDir(to_dir, to_name);
+  if (existing.ok()) {
+    LFS_ASSIGN_OR_RETURN(FileMap * rfm, GetFileMap(existing.value()));
+    if (rfm->inode.type == FileType::kDirectory) {
+      return IsADirectoryError("rename target is a directory");
+    }
+    LFS_RETURN_IF_ERROR(RemoveDirEntry(to_dir, to_name));
+    rfm->inode.nlink--;
+    if (rfm->inode.nlink == 0) {
+      LFS_RETURN_IF_ERROR(DeleteFileContents(existing.value()));
+    } else {
+      LFS_RETURN_IF_ERROR(WriteInodeSync(rfm->inode));
+    }
+  }
+  LFS_RETURN_IF_ERROR(RemoveDirEntry(from_dir, from_name));
+  LFS_RETURN_IF_ERROR(AddDirEntry(to_dir, DirEntry{to_name, ino, type}));
+  return OkStatus();
+}
+
+Result<std::vector<DirEntry>> FfsFileSystem::ReadDir(std::string_view path) {
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, ResolveDir(path));
+  LFS_ASSIGN_OR_RETURN(DirCache * cache, GetDirCache(ino));
+  std::vector<DirEntry> out;
+  for (const auto& entries : cache->blocks) {
+    out.insert(out.end(), entries.begin(), entries.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DirEntry& a, const DirEntry& b) { return a.name < b.name; });
+  return out;
+}
+
+// --- fsck ---------------------------------------------------------------------------
+
+Result<FsckReport> FfsFileSystem::Fsck() {
+  FsckReport report;
+  const uint32_t bs = sb_.block_size;
+  files_.clear();
+  dirs_.clear();
+  itable_cache_.clear();
+
+  // Phase 1: scan EVERY inode table block on the disk (this is the cost the
+  // paper contrasts with LFS recovery: the filesystem cannot know where the
+  // last changes were).
+  std::vector<Bitmap> inode_seen;
+  std::vector<Bitmap> blocks_seen;
+  for (uint32_t g = 0; g < sb_.ngroups; g++) {
+    inode_seen.emplace_back(sb_.inodes_per_group);
+    blocks_seen.emplace_back(sb_.data_blocks_per_group());
+  }
+  std::map<InodeNum, FfsInode> alive;
+  std::vector<uint8_t> block(bs);
+  for (uint32_t g = 0; g < sb_.ngroups; g++) {
+    for (uint32_t b = 0; b < sb_.inode_table_blocks; b++) {
+      LFS_RETURN_IF_ERROR(device_->ReadBlock(sb_.InodeTableBlock(g) + b, block));
+      for (uint32_t s = 0; s < sb_.inodes_per_block(); s++) {
+        report.inodes_scanned++;
+        Result<FfsInode> ino = FfsInode::DecodeFrom(std::span<const uint8_t>(block).subspan(
+            size_t{s} * kFfsInodeSize, kFfsInodeSize));
+        if (!ino.ok() || ino->type == FileType::kNone) {
+          continue;
+        }
+        InodeNum num = static_cast<InodeNum>(
+            g * sb_.inodes_per_group + b * sb_.inodes_per_block() + s + 1);
+        inode_seen[g].Set((num - 1) % sb_.inodes_per_group);
+        alive[num] = std::move(ino).value();
+      }
+    }
+  }
+
+  // Phase 2: mark all referenced blocks by walking every live file's block
+  // tree, and recount directory references by walking every directory.
+  std::map<InodeNum, uint32_t> nlink_count;
+  for (auto& [num, inode] : alive) {
+    uint32_t bit = (num - 1) % sb_.inodes_per_group;
+    if (!inode_bitmaps_[GroupOfInode(num)].Get(bit)) {
+      report.fixes++;  // allocated inode missing from the on-disk bitmap
+    }
+    inode_bitmaps_[GroupOfInode(num)].Set(bit);
+    Result<FileMap*> fm = GetFileMap(num);
+    if (!fm.ok()) {
+      continue;
+    }
+    auto mark = [&](BlockNo addr) {
+      if (addr == kNilBlock) {
+        return;
+      }
+      uint32_t g = GroupOfBlock(addr);
+      uint64_t within = addr - sb_.DataBase(g);
+      if (g < sb_.ngroups && within < sb_.data_blocks_per_group()) {
+        blocks_seen[g].Set(static_cast<uint32_t>(within));
+        report.blocks_referenced++;
+      }
+    };
+    for (BlockNo a : (*fm)->blocks) {
+      mark(a);
+    }
+    for (BlockNo a : (*fm)->ind_addrs) {
+      mark(a);
+    }
+    mark((*fm)->dind_addr);
+    if (inode.type == FileType::kDirectory) {
+      report.directories_walked++;
+      Result<DirCache*> cache = GetDirCache(num);
+      if (cache.ok()) {
+        for (const auto& entries : (*cache)->blocks) {
+          for (const DirEntry& e : entries) {
+            nlink_count[e.ino]++;
+          }
+        }
+      }
+    }
+  }
+  nlink_count[kRootInode]++;  // the root is its own reference
+
+  // Phase 3: repair — fix link counts, free orphans, rebuild bitmaps.
+  for (auto& [num, inode] : alive) {
+    uint32_t expected = nlink_count.count(num) ? nlink_count[num] : 0;
+    if (expected == 0) {
+      FfsInode dead;
+      dead.ino = num;
+      LFS_RETURN_IF_ERROR(WriteInodeSync(dead));
+      inode_bitmaps_[GroupOfInode(num)].Clear((num - 1) % sb_.inodes_per_group);
+      report.fixes++;
+      continue;
+    }
+    if (inode.nlink != expected) {
+      inode.nlink = static_cast<uint16_t>(expected);
+      LFS_RETURN_IF_ERROR(WriteInodeSync(inode));
+      report.fixes++;
+    }
+  }
+  free_data_blocks_ = 0;
+  for (uint32_t g = 0; g < sb_.ngroups; g++) {
+    for (uint32_t i = 0; i < sb_.data_blocks_per_group(); i++) {
+      bool want = blocks_seen[g].Get(i);
+      if (block_bitmaps_[g].Get(i) != want) {
+        report.fixes++;
+      }
+      if (want) {
+        block_bitmaps_[g].Set(i);
+      } else {
+        block_bitmaps_[g].Clear(i);
+      }
+    }
+    free_data_blocks_ += sb_.data_blocks_per_group() - block_bitmaps_[g].CountSet();
+  }
+  LFS_RETURN_IF_ERROR(WriteBitmapsSync());
+  files_.clear();
+  dirs_.clear();
+  return report;
+}
+
+}  // namespace lfs::ffs

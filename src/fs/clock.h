@@ -1,0 +1,33 @@
+// LogicalClock: monotone time source for file mtimes and segment ages.
+//
+// The paper's cost-benefit policy depends only on the *ordering* of
+// modification times, so a logical tick counter is sufficient and keeps
+// every experiment deterministic. Benchmarks that model elapsed wall time
+// (e.g. Table 2's MB/hour traffic rates) advance the clock explicitly.
+
+#ifndef LFS_FS_CLOCK_H_
+#define LFS_FS_CLOCK_H_
+
+#include <cstdint>
+
+namespace lfs {
+
+class LogicalClock {
+ public:
+  // Returns the current time and advances it by one tick.
+  uint64_t Tick() { return now_++; }
+
+  uint64_t Now() const { return now_; }
+  void AdvanceTo(uint64_t t) {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
+ private:
+  uint64_t now_ = 1;  // 0 is reserved as "never"
+};
+
+}  // namespace lfs
+
+#endif  // LFS_FS_CLOCK_H_

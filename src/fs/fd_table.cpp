@@ -1,0 +1,144 @@
+#include "src/fs/fd_table.h"
+
+#include <string>
+
+namespace lfs {
+
+Result<int> FdTable::Open(std::string_view path, uint32_t flags) {
+  Result<InodeNum> ino = fs_->Lookup(path);
+  if (!ino.ok()) {
+    if (ino.status().code() != StatusCode::kNotFound || (flags & kCreate) == 0) {
+      return ino.status();
+    }
+    ino = fs_->Create(path);
+    if (!ino.ok()) {
+      return ino.status();
+    }
+  } else if ((flags & kCreate) != 0 && (flags & kExclusive) != 0) {
+    return AlreadyExistsError(std::string(path));
+  }
+
+  LFS_ASSIGN_OR_RETURN(FileStat st, fs_->Stat(*ino));
+  if (st.type == FileType::kDirectory && ((flags & 0x3) != kRdOnly)) {
+    return IsADirectoryError(std::string(path));
+  }
+  if ((flags & kTruncate) != 0 && st.type == FileType::kRegular && st.size > 0) {
+    LFS_RETURN_IF_ERROR(fs_->Truncate(*ino, 0));
+  }
+
+  // Lowest free descriptor, POSIX style.
+  int fd = -1;
+  for (size_t i = 0; i < table_.size(); i++) {
+    if (!table_[i].in_use) {
+      fd = static_cast<int>(i);
+      break;
+    }
+  }
+  if (fd < 0) {
+    fd = static_cast<int>(table_.size());
+    table_.emplace_back();
+  }
+  table_[fd] = OpenFile{true, *ino, 0, flags};
+  return fd;
+}
+
+Result<FdTable::OpenFile*> FdTable::Get(int fd) {
+  if (fd < 0 || static_cast<size_t>(fd) >= table_.size() || !table_[fd].in_use) {
+    return InvalidArgumentError("bad file descriptor " + std::to_string(fd));
+  }
+  return &table_[fd];
+}
+
+Status FdTable::Close(int fd) {
+  LFS_ASSIGN_OR_RETURN(OpenFile * f, Get(fd));
+  f->in_use = false;
+  return OkStatus();
+}
+
+Result<uint64_t> FdTable::Read(int fd, std::span<uint8_t> out) {
+  LFS_ASSIGN_OR_RETURN(OpenFile * f, Get(fd));
+  if (!Readable(*f)) {
+    return InvalidArgumentError("descriptor is write-only");
+  }
+  LFS_ASSIGN_OR_RETURN(uint64_t n, fs_->ReadAt(f->ino, f->offset, out));
+  f->offset += n;
+  return n;
+}
+
+Result<uint64_t> FdTable::Write(int fd, std::span<const uint8_t> data) {
+  LFS_ASSIGN_OR_RETURN(OpenFile * f, Get(fd));
+  if (!Writable(*f)) {
+    return InvalidArgumentError("descriptor is read-only");
+  }
+  if ((f->flags & kAppend) != 0) {
+    LFS_ASSIGN_OR_RETURN(FileStat st, fs_->Stat(f->ino));
+    f->offset = st.size;
+  }
+  LFS_RETURN_IF_ERROR(fs_->WriteAt(f->ino, f->offset, data));
+  f->offset += data.size();
+  return static_cast<uint64_t>(data.size());
+}
+
+Result<uint64_t> FdTable::Pread(int fd, uint64_t offset, std::span<uint8_t> out) {
+  LFS_ASSIGN_OR_RETURN(OpenFile * f, Get(fd));
+  if (!Readable(*f)) {
+    return InvalidArgumentError("descriptor is write-only");
+  }
+  return fs_->ReadAt(f->ino, offset, out);
+}
+
+Result<uint64_t> FdTable::Pwrite(int fd, uint64_t offset, std::span<const uint8_t> data) {
+  LFS_ASSIGN_OR_RETURN(OpenFile * f, Get(fd));
+  if (!Writable(*f)) {
+    return InvalidArgumentError("descriptor is read-only");
+  }
+  LFS_RETURN_IF_ERROR(fs_->WriteAt(f->ino, offset, data));
+  return static_cast<uint64_t>(data.size());
+}
+
+Result<uint64_t> FdTable::Seek(int fd, int64_t offset, Whence whence) {
+  LFS_ASSIGN_OR_RETURN(OpenFile * f, Get(fd));
+  int64_t base = 0;
+  switch (whence) {
+    case Whence::kSet:
+      base = 0;
+      break;
+    case Whence::kCur:
+      base = static_cast<int64_t>(f->offset);
+      break;
+    case Whence::kEnd: {
+      LFS_ASSIGN_OR_RETURN(FileStat st, fs_->Stat(f->ino));
+      base = static_cast<int64_t>(st.size);
+      break;
+    }
+  }
+  int64_t target = base + offset;
+  if (target < 0) {
+    return InvalidArgumentError("seek before start of file");
+  }
+  f->offset = static_cast<uint64_t>(target);  // seeking past EOF is allowed
+  return f->offset;
+}
+
+Result<FileStat> FdTable::Fstat(int fd) {
+  LFS_ASSIGN_OR_RETURN(OpenFile * f, Get(fd));
+  return fs_->Stat(f->ino);
+}
+
+Status FdTable::Ftruncate(int fd, uint64_t size) {
+  LFS_ASSIGN_OR_RETURN(OpenFile * f, Get(fd));
+  if (!Writable(*f)) {
+    return InvalidArgumentError("descriptor is read-only");
+  }
+  return fs_->Truncate(f->ino, size);
+}
+
+size_t FdTable::open_count() const {
+  size_t n = 0;
+  for (const OpenFile& f : table_) {
+    n += f.in_use ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace lfs

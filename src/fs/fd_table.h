@@ -1,0 +1,74 @@
+// FdTable: a POSIX-flavored open-file layer over any FileSystem.
+//
+// Gives adopting applications the familiar open/read/write/lseek/close
+// surface (with O_CREAT / O_TRUNC / O_APPEND / O_EXCL semantics and
+// per-descriptor offsets) without the FileSystem interface having to know
+// about descriptors. Descriptors are small integers, lowest-free-first, as
+// POSIX requires.
+
+#ifndef LFS_FS_FD_TABLE_H_
+#define LFS_FS_FD_TABLE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/fs/file_system.h"
+
+namespace lfs {
+
+// Open flags (combine with |).
+enum OpenFlags : uint32_t {
+  kRdOnly = 0x0,
+  kWrOnly = 0x1,
+  kRdWr = 0x2,
+  kCreate = 0x40,    // O_CREAT
+  kExclusive = 0x80, // O_EXCL (with kCreate: fail if the file exists)
+  kTruncate = 0x200, // O_TRUNC
+  kAppend = 0x400,   // O_APPEND: every write goes to end-of-file
+};
+
+enum class Whence { kSet, kCur, kEnd };
+
+class FdTable {
+ public:
+  explicit FdTable(FileSystem* fs) : fs_(fs) {}
+
+  // POSIX-style calls; errors map to the library's Status codes.
+  Result<int> Open(std::string_view path, uint32_t flags);
+  Status Close(int fd);
+  // Reads from the descriptor's offset, advancing it; short reads at EOF.
+  Result<uint64_t> Read(int fd, std::span<uint8_t> out);
+  // Writes at the descriptor's offset (or EOF with kAppend), advancing it.
+  Result<uint64_t> Write(int fd, std::span<const uint8_t> data);
+  // Positional forms; do not move the descriptor offset.
+  Result<uint64_t> Pread(int fd, uint64_t offset, std::span<uint8_t> out);
+  Result<uint64_t> Pwrite(int fd, uint64_t offset, std::span<const uint8_t> data);
+  Result<uint64_t> Seek(int fd, int64_t offset, Whence whence);
+  Result<FileStat> Fstat(int fd);
+  Status Ftruncate(int fd, uint64_t size);
+
+  // Open descriptor count (for tests and leak checks).
+  size_t open_count() const;
+
+ private:
+  struct OpenFile {
+    bool in_use = false;
+    InodeNum ino = kNilInode;
+    uint64_t offset = 0;
+    uint32_t flags = 0;
+  };
+
+  Result<OpenFile*> Get(int fd);
+  bool Writable(const OpenFile& f) const {
+    return (f.flags & 0x3) == kWrOnly || (f.flags & 0x3) == kRdWr;
+  }
+  bool Readable(const OpenFile& f) const { return (f.flags & 0x3) != kWrOnly; }
+
+  FileSystem* fs_;
+  std::vector<OpenFile> table_;
+};
+
+}  // namespace lfs
+
+#endif  // LFS_FS_FD_TABLE_H_

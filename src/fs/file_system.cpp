@@ -1,0 +1,75 @@
+#include "src/fs/file_system.h"
+
+namespace lfs {
+
+Status FileSystem::WriteFile(std::string_view path, std::span<const uint8_t> data) {
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, Create(path));
+  return WriteAt(ino, 0, data);
+}
+
+Result<std::vector<uint8_t>> FileSystem::ReadFile(std::string_view path) {
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, Lookup(path));
+  LFS_ASSIGN_OR_RETURN(FileStat st, Stat(ino));
+  std::vector<uint8_t> data(st.size);
+  if (st.size > 0) {
+    LFS_ASSIGN_OR_RETURN(uint64_t n, ReadAt(ino, 0, data));
+    data.resize(n);
+  }
+  return data;
+}
+
+Result<FileStat> FileSystem::StatPath(std::string_view path) {
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, Lookup(path));
+  return Stat(ino);
+}
+
+bool FileSystem::Exists(std::string_view path) {
+  Result<InodeNum> r = Lookup(path);
+  return r.ok();
+}
+
+Result<std::vector<std::string>> SplitPath(std::string_view path) {
+  if (path.empty() || path[0] != '/') {
+    return InvalidArgumentError("path must be absolute: '" + std::string(path) + "'");
+  }
+  std::vector<std::string> parts;
+  size_t i = 1;
+  while (i < path.size()) {
+    size_t j = path.find('/', i);
+    if (j == std::string_view::npos) {
+      j = path.size();
+    }
+    if (j == i) {
+      return InvalidArgumentError("empty path component in '" + std::string(path) + "'");
+    }
+    std::string_view comp = path.substr(i, j - i);
+    if (comp.size() > kMaxNameLen) {
+      return NameTooLongError(std::string(comp));
+    }
+    if (comp == "." || comp == "..") {
+      return InvalidArgumentError("'.'/'..' components are not supported in paths");
+    }
+    parts.emplace_back(comp);
+    i = j + 1;
+  }
+  return parts;
+}
+
+Result<std::pair<std::string, std::string>> SplitParent(std::string_view path) {
+  LFS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) {
+    return InvalidArgumentError("the root directory has no parent entry");
+  }
+  std::string leaf = parts.back();
+  parts.pop_back();
+  std::string parent = "/";
+  for (size_t i = 0; i < parts.size(); i++) {
+    if (i > 0) {
+      parent += "/";
+    }
+    parent += parts[i];
+  }
+  return std::make_pair(parent, leaf);
+}
+
+}  // namespace lfs

@@ -1,0 +1,105 @@
+// FileSystem: the filesystem-neutral public API. Both the log-structured
+// filesystem (src/lfs) and the Unix-FFS-style baseline (src/ffs) implement
+// this interface, so benchmarks, examples, and differential tests can drive
+// either system through identical code.
+//
+// Paths are '/'-separated, absolute ("/a/b/c"); "/" names the root
+// directory. Namespace operations take paths; data I/O takes the inode
+// number returned by Create/Lookup (there is no open-file-descriptor table —
+// callers that want one can layer it trivially).
+
+#ifndef LFS_FS_FILE_SYSTEM_H_
+#define LFS_FS_FILE_SYSTEM_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace lfs {
+
+using InodeNum = uint32_t;
+inline constexpr InodeNum kNilInode = 0;   // never a valid file
+inline constexpr InodeNum kRootInode = 1;  // the root directory
+
+enum class FileType : uint8_t {
+  kNone = 0,
+  kRegular = 1,
+  kDirectory = 2,
+};
+
+struct FileStat {
+  InodeNum ino = kNilInode;
+  FileType type = FileType::kNone;
+  uint64_t size = 0;      // bytes
+  uint32_t nlink = 0;     // directory entries referring to this inode
+  uint64_t mtime = 0;     // logical-clock time of last modification
+  uint32_t version = 0;   // LFS inode-map version (0 for FFS)
+};
+
+struct DirEntry {
+  std::string name;
+  InodeNum ino = kNilInode;
+  FileType type = FileType::kNone;
+};
+
+inline constexpr size_t kMaxNameLen = 255;
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  // --- namespace operations -------------------------------------------------
+
+  // Creates a regular file; fails with AlreadyExists if the name is taken.
+  virtual Result<InodeNum> Create(std::string_view path) = 0;
+  virtual Status Mkdir(std::string_view path) = 0;
+  // Removes a name; deletes the file when its link count reaches zero.
+  virtual Status Unlink(std::string_view path) = 0;
+  virtual Status Rmdir(std::string_view path) = 0;
+  // Adds a hard link to an existing regular file.
+  virtual Status Link(std::string_view existing, std::string_view link_path) = 0;
+  // Atomic rename; replaces an existing regular-file target.
+  virtual Status Rename(std::string_view from, std::string_view to) = 0;
+  virtual Result<InodeNum> Lookup(std::string_view path) = 0;
+  virtual Result<FileStat> Stat(InodeNum ino) = 0;
+  virtual Result<std::vector<DirEntry>> ReadDir(std::string_view path) = 0;
+
+  // --- data operations -------------------------------------------------------
+
+  // Writes data at the byte offset, extending the file as needed.
+  virtual Status WriteAt(InodeNum ino, uint64_t offset, std::span<const uint8_t> data) = 0;
+  // Reads up to out.size() bytes; returns the byte count actually read
+  // (short at EOF; holes read as zeros).
+  virtual Result<uint64_t> ReadAt(InodeNum ino, uint64_t offset, std::span<uint8_t> out) = 0;
+  virtual Status Truncate(InodeNum ino, uint64_t new_size) = 0;
+
+  // Forces all buffered modifications to disk (LFS: writes the dirty block
+  // queue and takes a checkpoint; FFS: flushes the block cache).
+  virtual Status Sync() = 0;
+
+  // --- convenience helpers (implemented on the virtuals) ---------------------
+
+  // Create + write entire contents.
+  Status WriteFile(std::string_view path, std::span<const uint8_t> data);
+  // Lookup + read entire contents.
+  Result<std::vector<uint8_t>> ReadFile(std::string_view path);
+  Result<FileStat> StatPath(std::string_view path);
+  bool Exists(std::string_view path);
+};
+
+// Splits "/a/b/c" into {"a","b","c"}. Rejects empty components, relative
+// paths, and components longer than kMaxNameLen.
+Result<std::vector<std::string>> SplitPath(std::string_view path);
+
+// Splits a path into (parent path, final component): "/a/b/c" -> ("/a/b", "c").
+// Fails for "/" (the root has no parent entry).
+Result<std::pair<std::string, std::string>> SplitParent(std::string_view path);
+
+}  // namespace lfs
+
+#endif  // LFS_FS_FILE_SYSTEM_H_

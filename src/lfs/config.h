@@ -1,0 +1,68 @@
+// Tunable parameters of the log-structured filesystem.
+//
+// Defaults follow the paper's Sprite LFS configuration: 4-KB blocks and
+// 1-MB segments (Sprite used 512 KB or 1 MB), cost-benefit cleaning with
+// age-sorted rewrites, cleaning triggered when clean segments fall below a
+// few tens and continuing until 50-100 are clean (Section 3.4).
+
+#ifndef LFS_LFS_CONFIG_H_
+#define LFS_LFS_CONFIG_H_
+
+#include <cstdint>
+
+namespace lfs {
+
+enum class CleaningPolicy {
+  kGreedy,       // clean the least-utilized segments (Section 3.5, Figure 4)
+  kCostBenefit,  // maximize (1-u)*age/(1+u)          (Section 3.5, Figure 6-7)
+};
+
+struct LfsConfig {
+  uint32_t block_size = 4096;
+  uint32_t segment_blocks = 256;  // 1-MB segments at 4-KB blocks
+  uint32_t max_inodes = 65536;
+
+  // Cleaning policy (Section 3.4 issues 3 and 4).
+  CleaningPolicy policy = CleaningPolicy::kCostBenefit;
+  bool age_sort = true;  // group live blocks by age when rewriting them
+
+  // Cleaning thresholds (Section 3.4 issues 1 and 2). Cleaning starts when
+  // the number of clean segments drops below `clean_lo` and continues until
+  // it reaches `clean_hi`; at most `segments_per_pass` segments are read per
+  // cleaning pass.
+  uint32_t clean_lo = 16;
+  uint32_t clean_hi = 24;
+  uint32_t segments_per_pass = 16;
+
+  // Read strategy for cleaning. The paper assumed whole-segment reads
+  // ("conservative assumption that a segment must be read in its entirety to
+  // recover the live blocks") but noted "in practice it may be faster to
+  // read just the live blocks, particularly if the utilization is very low
+  // (we haven't tried this in Sprite LFS)". true enables that untried
+  // variant: the cleaner reads the summary chain, liveness-checks from the
+  // in-memory tables, and then reads only the live block runs.
+  bool cleaner_read_live_blocks_only = false;
+
+  // Segments the ordinary write path may never consume, so the cleaner
+  // always has space to compact into.
+  uint32_t reserve_segments = 4;
+
+  // Dirty file data is buffered in memory and written in segment-sized
+  // batches (Section 2.1's write buffering). A flush is forced once this
+  // many dirty blocks accumulate.
+  uint32_t write_buffer_blocks = 256;
+
+  // Automatic checkpoint after this many bytes of new log data (Section 4.1
+  // suggests data-driven checkpointing); 0 disables automatic checkpoints,
+  // leaving only Sync()/unmount checkpoints.
+  uint64_t checkpoint_interval_bytes = 0;
+
+  // Clean-block read cache (block count; 0 disables). Sprite kept inodes
+  // and hot file blocks in its file cache; recovery in particular depends on
+  // cached inode blocks (each holds ~25 inodes that roll-forward revisits).
+  uint32_t read_cache_blocks = 2048;
+};
+
+}  // namespace lfs
+
+#endif  // LFS_LFS_CONFIG_H_

@@ -1,0 +1,109 @@
+#include "src/lfs/inode_map.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lfs {
+
+void InodeMap::EnsureSize(InodeNum ino) {
+  if (entries_.size() <= ino) {
+    entries_.resize(ino + 1);
+  }
+}
+
+Result<InodeNum> InodeMap::Allocate() {
+  InodeNum ino;
+  if (!free_list_.empty()) {
+    ino = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    // High-water growth. Inode 0 is the nil sentinel and never allocated.
+    InodeNum next = std::max<InodeNum>(1, static_cast<InodeNum>(entries_.size()));
+    if (next >= max_inodes_) {
+      return NoInodesError("inode numbers exhausted (max " + std::to_string(max_inodes_) + ")");
+    }
+    ino = next;
+  }
+  EnsureSize(ino);
+  entries_[ino].version++;
+  // Location is set by the first inode flush; mark allocated immediately so
+  // concurrent allocations do not reuse the number. A placeholder non-nil
+  // block would lie, so allocation state is tracked via the free list and
+  // high-water mark; allocated() remains false until SetLocation.
+  allocated_count_++;
+  MarkDirty(ino);
+  return ino;
+}
+
+void InodeMap::Free(InodeNum ino) {
+  EnsureSize(ino);
+  entries_[ino].inode_block = kNilBlock;
+  entries_[ino].slot = 0;
+  entries_[ino].version++;  // uid changes; old log blocks are now dead on sight
+  free_list_.push_back(ino);
+  if (allocated_count_ > 0) {
+    allocated_count_--;
+  }
+  MarkDirty(ino);
+}
+
+void InodeMap::SetLocation(InodeNum ino, BlockNo inode_block, uint16_t slot) {
+  EnsureSize(ino);
+  entries_[ino].inode_block = inode_block;
+  entries_[ino].slot = slot;
+  MarkDirty(ino);
+}
+
+void InodeMap::SetAtime(InodeNum ino, uint64_t atime) {
+  EnsureSize(ino);
+  entries_[ino].atime = atime;
+  MarkDirty(ino);
+}
+
+void InodeMap::Restore(InodeNum ino, const ImapEntry& entry) {
+  EnsureSize(ino);
+  entries_[ino] = entry;
+  MarkDirty(ino);
+}
+
+void InodeMap::EncodeChunk(uint32_t chunk, std::span<uint8_t> block) const {
+  std::memset(block.data(), 0, block.size());
+  InodeNum base = chunk * entries_per_chunk_;
+  for (uint32_t i = 0; i < entries_per_chunk_; i++) {
+    InodeNum ino = base + i;
+    if (ino >= entries_.size()) {
+      break;
+    }
+    entries_[ino].EncodeTo(block.subspan(size_t{i} * kImapEntrySize, kImapEntrySize));
+  }
+}
+
+void InodeMap::LoadChunk(uint32_t chunk, std::span<const uint8_t> block,
+                         uint32_t ninodes_limit) {
+  InodeNum base = chunk * entries_per_chunk_;
+  for (uint32_t i = 0; i < entries_per_chunk_; i++) {
+    InodeNum ino = base + i;
+    if (ino >= ninodes_limit) {
+      break;
+    }
+    EnsureSize(ino);
+    entries_[ino] = ImapEntry::DecodeFrom(block.subspan(size_t{i} * kImapEntrySize,
+                                                        kImapEntrySize));
+  }
+}
+
+void InodeMap::RebuildFreeList() {
+  free_list_.clear();
+  allocated_count_ = 0;
+  for (InodeNum ino = 1; ino < entries_.size(); ino++) {
+    if (entries_[ino].allocated()) {
+      allocated_count_++;
+    } else {
+      free_list_.push_back(ino);
+    }
+  }
+  // Allocate low numbers first for deterministic behaviour.
+  std::sort(free_list_.rbegin(), free_list_.rend());
+}
+
+}  // namespace lfs

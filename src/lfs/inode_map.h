@@ -1,0 +1,99 @@
+// InodeMap: maps inode numbers to the current log location of each inode
+// (Table 1 "Inode map", Section 3.1).
+//
+// The map is an array of ImapEntry indexed by inode number, divided into
+// fixed-size chunks. The active portion is kept entirely in memory (the
+// paper: "inode maps are compact enough to keep the active portions cached
+// in main memory"); dirty chunks are written to the log at checkpoint time
+// and the checkpoint region records every chunk's disk address.
+//
+// Entry versions implement the paper's file uid: the version is incremented
+// whenever the file is deleted or truncated to length zero, so (ino,
+// version) uniquely identifies file contents and lets the cleaner discard
+// dead blocks without reading the inode (Section 3.3).
+
+#ifndef LFS_LFS_INODE_MAP_H_
+#define LFS_LFS_INODE_MAP_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/lfs/layout.h"
+#include "src/util/result.h"
+
+namespace lfs {
+
+class InodeMap {
+ public:
+  InodeMap(uint32_t max_inodes, uint32_t entries_per_chunk)
+      : max_inodes_(max_inodes),
+        entries_per_chunk_(entries_per_chunk),
+        chunk_addrs_((max_inodes + entries_per_chunk - 1) / entries_per_chunk, kNilBlock) {}
+
+  // --- lookups ---------------------------------------------------------------
+
+  bool IsAllocated(InodeNum ino) const {
+    return ino < entries_.size() && entries_[ino].allocated();
+  }
+  // Entry for an inode (zero entry for never-allocated numbers).
+  ImapEntry Get(InodeNum ino) const {
+    return ino < entries_.size() ? entries_[ino] : ImapEntry{};
+  }
+  uint32_t ninodes() const { return static_cast<uint32_t>(entries_.size()); }
+  uint32_t max_inodes() const { return max_inodes_; }
+  uint64_t allocated_count() const { return allocated_count_; }
+
+  // --- mutation ----------------------------------------------------------------
+
+  // Allocates a fresh inode number (reusing freed numbers first) and bumps
+  // its version. Fails with NoInodes when the number space is exhausted.
+  Result<InodeNum> Allocate();
+
+  // Frees an inode number and bumps the version so stale log blocks carrying
+  // the old (ino, version) uid are recognizably dead.
+  void Free(InodeNum ino);
+
+  // Records the new log location of an inode.
+  void SetLocation(InodeNum ino, BlockNo inode_block, uint16_t slot);
+
+  void SetAtime(InodeNum ino, uint64_t atime);
+
+  // Used by roll-forward: force an entry to a recovered state.
+  void Restore(InodeNum ino, const ImapEntry& entry);
+
+  // --- chunk persistence ---------------------------------------------------------
+
+  uint32_t chunk_count() const { return static_cast<uint32_t>(chunk_addrs_.size()); }
+  uint32_t chunk_of(InodeNum ino) const { return ino / entries_per_chunk_; }
+  BlockNo chunk_addr(uint32_t chunk) const { return chunk_addrs_[chunk]; }
+  void set_chunk_addr(uint32_t chunk, BlockNo addr) { chunk_addrs_[chunk] = addr; }
+
+  const std::set<uint32_t>& dirty_chunks() const { return dirty_chunks_; }
+  void ClearDirty() { dirty_chunks_.clear(); }
+  void ClearDirtyChunk(uint32_t chunk) { dirty_chunks_.erase(chunk); }
+
+  // Serializes one chunk into a block-sized buffer.
+  void EncodeChunk(uint32_t chunk, std::span<uint8_t> block) const;
+  // Loads one chunk from disk contents; extends the in-memory array.
+  void LoadChunk(uint32_t chunk, std::span<const uint8_t> block, uint32_t ninodes_limit);
+
+  // Rebuilds the free list after loading chunks (mount / recovery).
+  void RebuildFreeList();
+
+ private:
+  void EnsureSize(InodeNum ino);
+  void MarkDirty(InodeNum ino) { dirty_chunks_.insert(chunk_of(ino)); }
+
+  uint32_t max_inodes_;
+  uint32_t entries_per_chunk_;
+  std::vector<ImapEntry> entries_;      // grows to the high-water mark
+  std::vector<InodeNum> free_list_;     // freed numbers below the high-water mark
+  std::vector<BlockNo> chunk_addrs_;    // current log address of each chunk
+  std::set<uint32_t> dirty_chunks_;
+  uint64_t allocated_count_ = 0;
+};
+
+}  // namespace lfs
+
+#endif  // LFS_LFS_INODE_MAP_H_

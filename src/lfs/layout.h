@@ -1,0 +1,268 @@
+// On-disk format of the log-structured filesystem.
+//
+// Disk layout (block addresses):
+//
+//   block 0                superblock (fixed; Table 1 "Superblock")
+//   blocks 1 .. cr         checkpoint region 0 (fixed; Table 1, Section 4.1)
+//   blocks 1+cr .. 1+2cr   checkpoint region 1
+//   seg_start ...          segments 0..nsegments-1, each segment_blocks long
+//
+// Everything else — file data, indirect blocks, inode blocks, inode-map
+// chunks, segment-usage chunks, and directory-operation-log blocks — lives
+// in the log, i.e. inside segments. There is no free-block bitmap or free
+// list anywhere (Section 3.3).
+//
+// A segment is filled by one or more *partial-segment writes*. Each partial
+// write is a single sequential device I/O laid out as
+//
+//   [ segment summary block | payload block 0 | ... | payload block n-1 ]
+//
+// The summary identifies every payload block (kind + inode + file block
+// number + version) and carries a sequence number and CRCs, which makes a
+// partial write the atomic unit of logging: a torn partial write fails its
+// payload CRC and is ignored by roll-forward.
+//
+// All structures are serialized explicitly in little-endian form via
+// Encoder/Decoder; no host struct is ever memcpy'd to disk.
+
+#ifndef LFS_LFS_LAYOUT_H_
+#define LFS_LFS_LAYOUT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/disk/block_device.h"
+#include "src/fs/file_system.h"
+#include "src/util/result.h"
+
+namespace lfs {
+
+using SegNo = uint32_t;
+inline constexpr SegNo kNilSeg = 0xFFFFFFFFu;
+
+inline constexpr uint32_t kSuperMagic = 0x4C465331;       // "LFS1"
+inline constexpr uint32_t kSummaryMagic = 0x53554D31;     // "SUM1"
+inline constexpr uint32_t kCheckpointMagic = 0x434B5031;  // "CKP1"
+inline constexpr uint32_t kDirLogMagic = 0x444C4F31;      // "DLO1"
+
+// Serialized sizes.
+inline constexpr uint32_t kInodeSlotSize = 160;       // bytes per inode in an inode block
+inline constexpr uint32_t kImapEntrySize = 24;        // per-inode entry in an imap chunk
+inline constexpr uint32_t kUsageEntrySize = 16;       // per-segment entry in a usage chunk
+inline constexpr uint32_t kSummaryHeaderSize = 40;
+inline constexpr uint32_t kSummaryEntrySize = 25;
+inline constexpr uint32_t kNumDirect = 12;            // direct block pointers per inode
+
+// What a payload block in the log contains; recorded in the summary entry
+// for the block and used for liveness checks (cleaning) and roll-forward.
+enum class BlockKind : uint8_t {
+  kData = 1,            // file data; fbn = file block number
+  kIndirect = 2,        // single-indirect pointer block; fbn = indirect index
+  kDoubleIndirect = 3,  // double-indirect root; fbn = 0
+  kInodeBlock = 4,      // packed inodes (self-describing slots)
+  kImapChunk = 5,       // inode-map chunk; fbn = chunk index
+  kUsageChunk = 6,      // segment-usage-table chunk; fbn = chunk index
+  kDirLog = 7,          // directory-operation-log records (Section 4.2)
+};
+
+// --- superblock --------------------------------------------------------------
+
+struct Superblock {
+  uint32_t block_size = 0;
+  uint32_t segment_blocks = 0;
+  uint32_t nsegments = 0;
+  uint64_t seg_start = 0;      // first block of segment 0
+  uint32_t cr_blocks = 0;      // blocks per checkpoint region
+  uint64_t cr_base0 = 0;       // first block of checkpoint region 0
+  uint64_t cr_base1 = 0;
+  uint32_t max_inodes = 0;
+  uint32_t imap_chunks = 0;    // chunks covering max_inodes
+  uint32_t usage_chunks = 0;   // chunks covering nsegments
+  uint64_t total_blocks = 0;
+
+  // Derived geometry helpers.
+  BlockNo SegmentBase(SegNo seg) const { return seg_start + uint64_t{seg} * segment_blocks; }
+  // Segment containing a block, or kNilSeg for the fixed area.
+  SegNo SegOf(BlockNo block) const {
+    if (block < seg_start) {
+      return kNilSeg;
+    }
+    uint64_t seg = (block - seg_start) / segment_blocks;
+    return seg < nsegments ? static_cast<SegNo>(seg) : kNilSeg;
+  }
+  uint32_t segment_bytes() const { return segment_blocks * block_size; }
+  uint32_t inodes_per_block() const { return block_size / kInodeSlotSize; }
+  uint32_t imap_entries_per_chunk() const { return block_size / kImapEntrySize; }
+  uint32_t usage_entries_per_chunk() const { return block_size / kUsageEntrySize; }
+  uint32_t pointers_per_block() const { return block_size / 8; }
+  // Maximum payload blocks a single partial-segment write can describe.
+  uint32_t max_summary_entries() const {
+    return (block_size - kSummaryHeaderSize) / kSummaryEntrySize;
+  }
+
+  void EncodeTo(std::span<uint8_t> block) const;  // block.size() == block_size
+  static Result<Superblock> DecodeFrom(std::span<const uint8_t> block);
+
+  // Computes the full geometry for a device. Fails if the device is too
+  // small to hold the fixed area plus at least `reserve+4` segments.
+  static Result<Superblock> Compute(uint32_t block_size, uint64_t total_blocks,
+                                    uint32_t segment_blocks, uint32_t max_inodes);
+};
+
+// --- inode -------------------------------------------------------------------
+
+// File index structure (Table 1 "Inode"): attributes plus the disk addresses
+// of the first kNumDirect blocks; larger files use a single- and a
+// double-indirect block (Section 3.1). Inodes are written to the log packed
+// into inode blocks; each slot is self-describing (carries its own inode
+// number) so the cleaner and roll-forward can interpret inode blocks without
+// outside context.
+struct Inode {
+  InodeNum ino = kNilInode;
+  FileType type = FileType::kNone;
+  uint16_t nlink = 0;
+  uint32_t version = 0;  // matches the imap entry; bumped on delete/truncate-to-0
+  uint64_t size = 0;
+  uint64_t mtime = 0;
+  BlockNo direct[kNumDirect] = {};
+  BlockNo single_indirect = kNilBlock;
+  BlockNo double_indirect = kNilBlock;
+
+  void EncodeTo(std::span<uint8_t> slot) const;  // slot.size() == kInodeSlotSize
+  static Result<Inode> DecodeFrom(std::span<const uint8_t> slot);
+};
+
+// --- segment summary ---------------------------------------------------------
+
+struct SummaryEntry {
+  BlockKind kind = BlockKind::kData;
+  InodeNum ino = kNilInode;  // owning file (kData/kIndirect/kDoubleIndirect)
+  uint64_t fbn = 0;          // file block number / indirect index / chunk index
+  uint32_t version = 0;      // file uid = (ino, version); Section 3.3
+  // Per-block modification time. The paper's Sprite LFS kept only one mtime
+  // per file and called the per-block version out as planned work ("We plan
+  // to modify the segment summary information to include modified times for
+  // each block"); this implementation carries it, so age-sorting during
+  // cleaning uses exact block ages even for partially rewritten files.
+  uint64_t mtime = 0;
+};
+
+// Summary block for one partial-segment write (Table 1 "Segment summary").
+struct SegmentSummary {
+  uint64_t seq = 0;        // monotone log sequence number; orders roll-forward
+  uint64_t timestamp = 0;  // logical clock at write time
+  uint64_t youngest_mtime = 0;  // age of youngest block written (Section 3.6)
+  uint32_t payload_crc = 0;     // CRC over all payload blocks; detects torn writes
+  std::vector<SummaryEntry> entries;  // one per payload block, in order
+
+  void EncodeTo(std::span<uint8_t> block) const;
+  // Fails with Corruption for bad magic or a corrupted header.
+  static Result<SegmentSummary> DecodeFrom(std::span<const uint8_t> block);
+};
+
+// --- inode map / segment usage table entries ---------------------------------
+
+// In-memory and on-chunk entry of the inode map (Table 1 "Inode map").
+struct ImapEntry {
+  BlockNo inode_block = kNilBlock;  // block holding the inode; kNilBlock = free
+  uint16_t slot = 0;                // inode slot within that block
+  uint32_t version = 0;             // survives free/reuse so uids stay unique
+  uint64_t atime = 0;               // time of last access (paper keeps it here)
+
+  bool allocated() const { return inode_block != kNilBlock; }
+  void EncodeTo(std::span<uint8_t> out) const;  // kImapEntrySize bytes
+  static ImapEntry DecodeFrom(std::span<const uint8_t> in);
+};
+
+enum class SegState : uint8_t {
+  kClean = 0,   // fully reusable; the writer may claim it
+  kDirty = 1,   // contains log data (possibly all dead, awaiting checkpoint)
+  kActive = 2,  // the segment currently being filled by the writer
+};
+
+// Per-segment entry of the segment usage table (Table 1, Section 3.6).
+struct SegUsageEntry {
+  uint32_t live_bytes = 0;
+  uint64_t last_write = 0;  // most recent mtime of data written to the segment
+  SegState state = SegState::kClean;
+
+  void EncodeTo(std::span<uint8_t> out) const;  // kUsageEntrySize bytes
+  static SegUsageEntry DecodeFrom(std::span<const uint8_t> in);
+};
+
+// --- checkpoint region --------------------------------------------------------
+
+// Contents of a checkpoint region (Section 4.1): the addresses of all inode
+// map and segment usage table chunks, the log tail position, and allocation
+// high-water marks. Two regions alternate; the one with the newest valid
+// (CRC-checked) trailer wins at mount.
+struct Checkpoint {
+  uint64_t ckpt_seq = 0;         // monotone checkpoint counter
+  uint64_t timestamp = 0;        // logical clock at checkpoint
+  uint64_t next_summary_seq = 1; // next partial-write sequence number
+  SegNo cur_segment = 0;         // segment the log tail is in
+  uint32_t cur_offset = 0;       // next free block index within cur_segment
+  uint32_t ninodes = 0;          // imap high-water mark (chunks beyond are empty)
+  uint64_t clock = 1;            // logical clock restore value
+  std::vector<BlockNo> imap_chunk_addr;   // imap_chunks entries (kNilBlock = none)
+  std::vector<BlockNo> usage_chunk_addr;  // usage_chunks entries
+
+  // Encodes into a whole checkpoint region (cr_blocks * block_size bytes).
+  void EncodeTo(std::span<uint8_t> region) const;
+  static Result<Checkpoint> DecodeFrom(std::span<const uint8_t> region);
+
+  // Region size needed for the given chunk counts.
+  static uint32_t RegionBlocks(uint32_t block_size, uint32_t imap_chunks, uint32_t usage_chunks);
+};
+
+// --- directory file format ----------------------------------------------------
+
+// Directories are regular files in the log whose data blocks each hold an
+// independent packed list of entries. Keeping blocks self-contained means an
+// entry add/remove dirties one directory block, not the whole file.
+std::vector<uint8_t> EncodeDirBlock(const std::vector<DirEntry>& entries, uint32_t block_size);
+Result<std::vector<DirEntry>> DecodeDirBlock(std::span<const uint8_t> block);
+// Bytes an entry occupies inside a directory block.
+size_t DirEntryEncodedSize(const DirEntry& entry);
+// Payload bytes available for entries in one directory block.
+size_t DirBlockCapacity(uint32_t block_size);
+
+// --- directory operation log ---------------------------------------------------
+
+enum class DirOp : uint8_t {
+  kCreate = 1,  // create file or directory: add entry, target nlink set
+  kLink = 2,    // add entry for existing inode
+  kUnlink = 3,  // remove entry (also rmdir)
+  kRename = 4,  // atomically move an entry, possibly replacing the target
+};
+
+// One record of the directory operation log (Section 4.2). For kRename,
+// (dir_ino, name) is the source entry and (dir2_ino, name2) the destination;
+// replaced_ino is the inode displaced at the destination (kNilInode if none).
+struct DirLogRecord {
+  DirOp op = DirOp::kCreate;
+  InodeNum dir_ino = kNilInode;
+  std::string name;
+  InodeNum target_ino = kNilInode;
+  uint32_t target_version = 0;
+  uint16_t new_nlink = 0;       // target's reference count after the operation
+  FileType target_type = FileType::kNone;
+  InodeNum dir2_ino = kNilInode;   // rename only
+  std::string name2;               // rename only
+  InodeNum replaced_ino = kNilInode;  // rename only
+  uint16_t replaced_nlink = 0;        // replaced target's count after rename
+};
+
+// Packs records into one dirlog block / parses a dirlog block.
+std::vector<uint8_t> EncodeDirLogBlock(const std::vector<DirLogRecord>& records,
+                                       uint32_t block_size);
+Result<std::vector<DirLogRecord>> DecodeDirLogBlock(std::span<const uint8_t> block);
+// Upper bound on records that fit given total name bytes; callers split
+// batches conservatively.
+size_t DirLogRecordEncodedSize(const DirLogRecord& rec);
+
+}  // namespace lfs
+
+#endif  // LFS_LFS_LAYOUT_H_

@@ -1,0 +1,550 @@
+// Construction, mkfs/mount, and checkpointing (Section 4.1).
+
+#include "src/lfs/lfs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace lfs {
+
+LfsFileSystem::LfsFileSystem(BlockDevice* device, const LfsConfig& cfg, const Superblock& sb)
+    : device_(device),
+      cfg_(cfg),
+      sb_(sb),
+      imap_(sb.max_inodes, sb.imap_entries_per_chunk()),
+      usage_(sb.nsegments, sb.segment_bytes(), sb.usage_entries_per_chunk()),
+      writer_(device, &sb_, &usage_, &stats_, cfg.reserve_segments) {}
+
+Result<std::unique_ptr<LfsFileSystem>> LfsFileSystem::Mkfs(BlockDevice* device,
+                                                           const LfsConfig& cfg) {
+  LFS_ASSIGN_OR_RETURN(
+      Superblock sb,
+      Superblock::Compute(cfg.block_size, device->block_count(), cfg.segment_blocks,
+                          cfg.max_inodes));
+  if (device->block_size() != cfg.block_size) {
+    return InvalidArgumentError("device block size does not match config block size");
+  }
+  if (sb.nsegments <= cfg.reserve_segments + 2) {
+    return InvalidArgumentError("device too small for the configured segment reserve");
+  }
+
+  std::vector<uint8_t> block(sb.block_size);
+  sb.EncodeTo(block);
+  LFS_RETURN_IF_ERROR(device->WriteBlock(0, block));
+
+  auto fs = std::unique_ptr<LfsFileSystem>(new LfsFileSystem(device, cfg, sb));
+  // Open the log at segment 0.
+  fs->usage_.SetState(0, SegState::kActive);
+  fs->writer_.Init(0, 0, /*next_seq=*/1);
+  fs->writer_.set_timestamp(fs->clock_.Now());
+
+  // Root directory: empty, no data blocks yet.
+  LFS_ASSIGN_OR_RETURN(InodeNum root, fs->imap_.Allocate());
+  if (root != kRootInode) {
+    return InternalError("mkfs: root inode did not get number 1");
+  }
+  FileMap root_fm;
+  root_fm.inode.ino = kRootInode;
+  root_fm.inode.type = FileType::kDirectory;
+  root_fm.inode.nlink = 1;
+  root_fm.inode.version = fs->imap_.Get(kRootInode).version;
+  root_fm.inode.mtime = fs->clock_.Tick();
+  root_fm.inode_dirty = true;
+  fs->files_[kRootInode] = std::move(root_fm);
+  fs->dirs_[kRootInode] = DirCache{};
+  fs->dirty_inodes_.insert(kRootInode);
+
+  // Every usage chunk must exist on disk so the checkpoint region is fully
+  // populated from the start.
+  for (uint32_t c = 0; c < fs->usage_.chunk_count(); c++) {
+    fs->usage_.MarkChunkDirty(c);
+  }
+  LFS_RETURN_IF_ERROR(fs->WriteCheckpoint());
+  return fs;
+}
+
+Result<std::unique_ptr<LfsFileSystem>> LfsFileSystem::Mount(BlockDevice* device,
+                                                            const LfsConfig& cfg,
+                                                            const MountOptions& opts) {
+  std::vector<uint8_t> block(device->block_size());
+  LFS_RETURN_IF_ERROR(device->ReadBlock(0, block));
+  LFS_ASSIGN_OR_RETURN(Superblock sb, Superblock::DecodeFrom(block));
+  if (sb.block_size != device->block_size() || sb.total_blocks > device->block_count()) {
+    return CorruptionError("superblock geometry does not match device");
+  }
+
+  // Read both checkpoint regions; the newest valid one wins (Section 4.1).
+  std::vector<uint8_t> region(size_t{sb.cr_blocks} * sb.block_size);
+  bool have_ck = false;
+  Checkpoint ck;
+  int ck_region = 0;
+  std::set<SegNo> regions_hosts[2];
+  for (int i = 0; i < 2; i++) {
+    BlockNo base = i == 0 ? sb.cr_base0 : sb.cr_base1;
+    if (!device->Read(base, sb.cr_blocks, region).ok()) {
+      continue;
+    }
+    Result<Checkpoint> r = Checkpoint::DecodeFrom(region);
+    if (r.ok() && (!have_ck || r->ckpt_seq > ck.ckpt_seq)) {
+      ck = std::move(r).value();
+      ck_region = i;
+      have_ck = true;
+    }
+    if (r.ok()) {
+      for (BlockNo b : r->imap_chunk_addr) {
+        SegNo s = sb.SegOf(b);
+        if (s != kNilSeg) {
+          regions_hosts[i].insert(s);
+        }
+      }
+      for (BlockNo b : r->usage_chunk_addr) {
+        SegNo s = sb.SegOf(b);
+        if (s != kNilSeg) {
+          regions_hosts[i].insert(s);
+        }
+      }
+    }
+  }
+  if (!have_ck) {
+    return CorruptionError("no valid checkpoint region; not an LFS filesystem?");
+  }
+
+  auto fs = std::unique_ptr<LfsFileSystem>(new LfsFileSystem(device, cfg, sb));
+  fs->cr_next_ = 1 - ck_region;  // alternate away from the surviving region
+  fs->cr_hosts_[0] = std::move(regions_hosts[0]);
+  fs->cr_hosts_[1] = std::move(regions_hosts[1]);
+  LFS_RETURN_IF_ERROR(fs->LoadFromCheckpoint(ck));
+
+  fs->read_only_ = opts.read_only;
+  if (opts.roll_forward) {
+    LFS_RETURN_IF_ERROR(fs->RollForward(ck));
+  }
+
+  // The persisted usage count for the active segment can be slightly stale:
+  // the usage chunks were serialized while the checkpoint itself was still
+  // appending to it. Recompute it exactly by scanning. (Older chunk-host
+  // segments can at worst UNDERcount their own chunk blocks, which is safe:
+  // they are in ProtectedSegments, so neither the zero-live sweep nor
+  // segment reuse can touch them, and the cleaner verifies liveness block by
+  // block anyway.)
+  LFS_RETURN_IF_ERROR(fs->RecomputeSegmentUsage(fs->writer_.current_segment(),
+                                                fs->writer_.current_offset()));
+  return fs;
+}
+
+Status LfsFileSystem::LoadFromCheckpoint(const Checkpoint& ck) {
+  clock_.AdvanceTo(ck.clock);
+  ckpt_seq_ = ck.ckpt_seq;
+  ckpt_boundary_seq_ = ck.next_summary_seq;
+
+  std::vector<uint8_t> block(sb_.block_size);
+  // Segment usage table first (needed before any liveness reasoning).
+  if (ck.usage_chunk_addr.size() != usage_.chunk_count()) {
+    return CorruptionError("checkpoint: wrong usage chunk count");
+  }
+  for (uint32_t c = 0; c < usage_.chunk_count(); c++) {
+    BlockNo addr = ck.usage_chunk_addr[c];
+    if (addr == kNilBlock) {
+      return CorruptionError("checkpoint: missing usage chunk " + std::to_string(c));
+    }
+    LFS_RETURN_IF_ERROR(device_->ReadBlock(addr, block));
+    usage_.LoadChunk(c, block);
+    usage_.set_chunk_addr(c, addr);
+  }
+  usage_.RecountClean();
+  usage_.ClearDirty();
+
+  // Inode map chunks covering the allocated range.
+  if (ck.imap_chunk_addr.size() != imap_.chunk_count()) {
+    return CorruptionError("checkpoint: wrong imap chunk count");
+  }
+  uint32_t epc = sb_.imap_entries_per_chunk();
+  for (uint32_t c = 0; c < imap_.chunk_count(); c++) {
+    BlockNo addr = ck.imap_chunk_addr[c];
+    if (uint64_t{c} * epc >= ck.ninodes) {
+      break;  // beyond the high-water mark; chunks do not exist yet
+    }
+    if (addr == kNilBlock) {
+      return CorruptionError("checkpoint: missing imap chunk " + std::to_string(c));
+    }
+    LFS_RETURN_IF_ERROR(device_->ReadBlock(addr, block));
+    imap_.LoadChunk(c, block, ck.ninodes);
+    imap_.set_chunk_addr(c, addr);
+  }
+  imap_.RebuildFreeList();
+  imap_.ClearDirty();
+
+  if (ck.cur_segment >= sb_.nsegments || ck.cur_offset > sb_.segment_blocks) {
+    return CorruptionError("checkpoint: log tail out of range");
+  }
+  writer_.Init(ck.cur_segment, ck.cur_offset, ck.next_summary_seq);
+  writer_.set_timestamp(clock_.Now());
+  if (usage_.Get(ck.cur_segment).state != SegState::kActive) {
+    usage_.SetState(ck.cur_segment, SegState::kActive);
+  }
+  return OkStatus();
+}
+
+std::set<SegNo> LfsFileSystem::ChunkHostSegments() const {
+  std::set<SegNo> segs;
+  for (uint32_t c = 0; c < imap_.chunk_count(); c++) {
+    SegNo s = sb_.SegOf(imap_.chunk_addr(c));
+    if (s != kNilSeg) {
+      segs.insert(s);
+    }
+  }
+  for (uint32_t c = 0; c < usage_.chunk_count(); c++) {
+    SegNo s = sb_.SegOf(usage_.chunk_addr(c));
+    if (s != kNilSeg) {
+      segs.insert(s);
+    }
+  }
+  return segs;
+}
+
+Status LfsFileSystem::FlushMetadataChunks() {
+  std::vector<uint8_t> block(sb_.block_size);
+
+  // Inode map chunks (Table 1 "Inode map"; Table 4 shows these dominate
+  // metadata log bandwidth).
+  std::vector<uint32_t> imap_dirty(imap_.dirty_chunks().begin(), imap_.dirty_chunks().end());
+  for (uint32_t c : imap_dirty) {
+    BlockNo old = imap_.chunk_addr(c);
+    imap_.EncodeChunk(c, block);
+    SummaryEntry entry{BlockKind::kImapChunk, kNilInode, c, 0};
+    LFS_ASSIGN_OR_RETURN(BlockNo addr,
+                         writer_.Append(entry, std::vector<uint8_t>(block), clock_.Now(),
+                                        sb_.block_size));
+    SegNo old_seg = sb_.SegOf(old);
+    if (old != kNilBlock && old_seg != kNilSeg) {
+      usage_.SubLive(old_seg, sb_.block_size);
+    }
+    imap_.set_chunk_addr(c, addr);
+    imap_.ClearDirtyChunk(c);
+  }
+
+  // Segment usage chunks. Writing a chunk changes usage (the old chunk's
+  // segment loses live bytes, the active segment gains them), so first
+  // settle all old-address decrements to a fixpoint, then serialize. The
+  // residual imprecision (the active segment's own count growing while its
+  // chunk is serialized) is repaired at mount by RecomputeSegmentUsage.
+  usage_.MarkChunkDirty(usage_.chunk_of(writer_.current_segment()));
+  std::set<uint32_t> subbed;
+  for (;;) {
+    bool progress = false;
+    std::vector<uint32_t> dirty(usage_.dirty_chunks().begin(), usage_.dirty_chunks().end());
+    for (uint32_t c : dirty) {
+      if (subbed.count(c) != 0) {
+        continue;
+      }
+      subbed.insert(c);
+      progress = true;
+      BlockNo old = usage_.chunk_addr(c);
+      SegNo old_seg = sb_.SegOf(old);
+      if (old != kNilBlock && old_seg != kNilSeg) {
+        usage_.SubLive(old_seg, sb_.block_size);
+      }
+    }
+    if (!progress) {
+      break;
+    }
+  }
+  // Serialize the chunk covering the active segment last so its contents are
+  // as fresh as possible.
+  std::vector<uint32_t> order(usage_.dirty_chunks().begin(), usage_.dirty_chunks().end());
+  uint32_t active_chunk = usage_.chunk_of(writer_.current_segment());
+  std::stable_partition(order.begin(), order.end(),
+                        [active_chunk](uint32_t c) { return c != active_chunk; });
+  for (uint32_t c : order) {
+    // Pre-account the chunk block itself at its (reserved) destination, so
+    // the serialized contents already include it — without this, the chunk
+    // covering the active segment would always under-report by its own
+    // pending append and the on-disk count could never converge.
+    LFS_RETURN_IF_ERROR(writer_.PrepareAppend());
+    usage_.AddLive(writer_.current_segment(), sb_.block_size, clock_.Now());
+    // Clear the flag before serializing: dirtiness created after this point
+    // (by later chunks' appends) must survive into the next checkpoint.
+    usage_.ClearDirtyChunk(c);
+    usage_.EncodeChunk(c, block);
+    SummaryEntry entry{BlockKind::kUsageChunk, kNilInode, c, 0};
+    LFS_ASSIGN_OR_RETURN(BlockNo addr,
+                         writer_.Append(entry, std::vector<uint8_t>(block), clock_.Now(),
+                                        /*live_bytes=*/0));
+    usage_.set_chunk_addr(c, addr);
+  }
+  return OkStatus();
+}
+
+Status LfsFileSystem::WriteCheckpointRegion() {
+  Checkpoint ck;
+  ck.ckpt_seq = ++ckpt_seq_;
+  ck.timestamp = clock_.Tick();
+  ck.next_summary_seq = writer_.next_seq();
+  ck.cur_segment = writer_.current_segment();
+  ck.cur_offset = writer_.current_offset();
+  ck.ninodes = imap_.ninodes();
+  ck.clock = clock_.Now();
+  ck.imap_chunk_addr.resize(imap_.chunk_count());
+  for (uint32_t c = 0; c < imap_.chunk_count(); c++) {
+    ck.imap_chunk_addr[c] = imap_.chunk_addr(c);
+  }
+  ck.usage_chunk_addr.resize(usage_.chunk_count());
+  for (uint32_t c = 0; c < usage_.chunk_count(); c++) {
+    ck.usage_chunk_addr[c] = usage_.chunk_addr(c);
+  }
+
+  std::vector<uint8_t> region(size_t{sb_.cr_blocks} * sb_.block_size);
+  ck.EncodeTo(region);
+  BlockNo base = cr_next_ == 0 ? sb_.cr_base0 : sb_.cr_base1;
+  LFS_RETURN_IF_ERROR(device_->Write(base, sb_.cr_blocks, region));
+  LFS_RETURN_IF_ERROR(device_->Flush());
+  stats_.checkpoint_bytes += region.size();
+  cr_hosts_[cr_next_] = ChunkHostSegments();
+  cr_next_ = 1 - cr_next_;
+  ckpt_boundary_seq_ = ck.next_summary_seq;
+  return OkStatus();
+}
+
+std::set<SegNo> LfsFileSystem::ProtectedSegments() const {
+  std::set<SegNo> keep = ChunkHostSegments();
+  keep.insert(cr_hosts_[0].begin(), cr_hosts_[0].end());
+  keep.insert(cr_hosts_[1].begin(), cr_hosts_[1].end());
+  keep.insert(writer_.current_segment());
+  return keep;
+}
+
+void LfsFileSystem::SweepZeroLiveSegments() {
+  // A dirty segment with no live bytes can be reused without cleaning
+  // (Section 3.6). The sweep runs as part of a checkpoint, BEFORE the usage
+  // chunks are serialized, so the checkpoint region itself records the
+  // segments as clean — which is what lets the recovery scan skip
+  // everything the checkpoint calls dirty. Sweeping segments written since
+  // the previous checkpoint is safe: their data is dead, and if this
+  // checkpoint's region write tears, the fallback to the older region can
+  // at worst lose part of the (already-dead-dominated) post-crash replay
+  // tail via a sequence gap — a bounded truncation, never corruption.
+  // Segments referenced by the on-disk checkpoint regions stay protected.
+  std::set<SegNo> keep = ProtectedSegments();
+  for (SegNo seg = 0; seg < sb_.nsegments; seg++) {
+    if (keep.count(seg) != 0) {
+      continue;
+    }
+    const SegUsageEntry& e = usage_.Get(seg);
+    if (e.state == SegState::kDirty && e.live_bytes == 0) {
+      usage_.SetState(seg, SegState::kClean);
+      // This is the cleaner's u=0 fast path (Section 3.4: an empty segment
+      // need not be read at all); count it in the Table 2 statistics.
+      stats_.segments_cleaned++;
+      stats_.segments_cleaned_empty++;
+    }
+  }
+}
+
+Status LfsFileSystem::WriteCheckpoint() {
+  // Checkpoints run privileged: they may consume reserve segments, because
+  // completing a checkpoint is what returns dead segments to the clean pool.
+  in_checkpoint_ = true;
+  writer_.set_privileged(true);
+  auto done = [this](Status st) {
+    writer_.set_privileged(false);
+    in_checkpoint_ = false;
+    return st;
+  };
+  // Phase 1: write out all modified information to the log (Section 4.1).
+  Status st = FlushDirtyData();
+  if (!st.ok()) {
+    return done(st);
+  }
+  // Sweep dead segments before the usage chunks are serialized, so the
+  // checkpoint region records them as clean. Recovery scans only segments
+  // the checkpoint says are clean (plus the active one), so reusable
+  // segments must be declared in the region itself. If the region write
+  // tears, mount falls back to the older region, where they are still
+  // dirty — the sweep only ever takes effect together with its checkpoint.
+  SweepZeroLiveSegments();
+  st = FlushMetadataChunks();
+  if (!st.ok()) {
+    return done(st);
+  }
+  st = writer_.Flush();
+  if (!st.ok()) {
+    return done(st);
+  }
+  // Phase 2: write the checkpoint region at a fixed position.
+  st = WriteCheckpointRegion();
+  if (!st.ok()) {
+    return done(st);
+  }
+  stats_.checkpoints++;
+  bytes_since_checkpoint_ = 0;
+  return done(OkStatus());
+}
+
+Status LfsFileSystem::LightCheckpoint() {
+  in_checkpoint_ = true;
+  writer_.set_privileged(true);
+  auto done = [this](Status st) {
+    writer_.set_privileged(false);
+    in_checkpoint_ = false;
+    return st;
+  };
+  Status st = writer_.Flush();
+  if (!st.ok()) {
+    return done(st);
+  }
+  SweepZeroLiveSegments();  // before chunk serialization; see WriteCheckpoint
+  st = FlushMetadataChunks();
+  if (!st.ok()) {
+    return done(st);
+  }
+  st = writer_.Flush();
+  if (!st.ok()) {
+    return done(st);
+  }
+  st = WriteCheckpointRegion();
+  if (!st.ok()) {
+    return done(st);
+  }
+  stats_.checkpoints++;
+  return done(OkStatus());
+}
+
+Status LfsFileSystem::RecomputeSegmentUsage(SegNo seg, uint32_t stop_offset) {
+  if (usage_.Get(seg).state == SegState::kClean) {
+    return OkStatus();
+  }
+  LFS_ASSIGN_OR_RETURN(std::vector<ParsedPartial> chain,
+                       ParseSegmentChain(seg, 0, stop_offset, /*min_seq=*/0));
+  uint32_t live = 0;
+  uint64_t last_write = 0;
+  for (const ParsedPartial& p : chain) {
+    for (size_t i = 0; i < p.summary.entries.size(); i++) {
+      const SummaryEntry& e = p.summary.entries[i];
+      BlockNo addr = sb_.SegmentBase(seg) + p.offset + 1 + i;
+      std::span<const uint8_t> content(p.payload.data() + i * sb_.block_size, sb_.block_size);
+      if (e.kind == BlockKind::kInodeBlock) {
+        // Count live inode slots individually.
+        for (uint32_t s = 0; s < sb_.inodes_per_block(); s++) {
+          Result<Inode> ino = Inode::DecodeFrom(content.subspan(size_t{s} * kInodeSlotSize,
+                                                                kInodeSlotSize));
+          if (!ino.ok() || ino->ino == kNilInode) {
+            continue;
+          }
+          ImapEntry ie = imap_.Get(ino->ino);
+          if (ie.allocated() && ie.inode_block == addr && ie.slot == s) {
+            live += kInodeSlotSize;
+            last_write = std::max(last_write, ino->mtime);
+          }
+        }
+        continue;
+      }
+      LFS_ASSIGN_OR_RETURN(bool is_live, IsLiveBlock(e, addr, content));
+      if (is_live) {
+        live += sb_.block_size;
+        last_write = std::max(last_write, p.summary.youngest_mtime);
+      }
+    }
+  }
+  // Overwrite the persisted estimate with the exact scan result, preserving
+  // a non-zero last-write time if the scan found nothing newer.
+  SegUsageEntry fixed = usage_.Get(seg);
+  uint32_t old_live = fixed.live_bytes;
+  if (live > old_live) {
+    usage_.AddLive(seg, live - old_live, last_write);
+  } else if (live < old_live) {
+    usage_.SubLive(seg, old_live - live);
+  }
+  return OkStatus();
+}
+
+Status LfsFileSystem::Sync() {
+  if (read_only_) {
+    return OkStatus();  // nothing can be dirty
+  }
+  return WriteCheckpoint();
+}
+
+Status LfsFileSystem::Unmount() {
+  if (read_only_) {
+    files_.clear();
+    dirs_.clear();
+    return OkStatus();
+  }
+  LFS_RETURN_IF_ERROR(WriteCheckpoint());
+  files_.clear();
+  dirs_.clear();
+  return OkStatus();
+}
+
+Result<FileStat> LfsFileSystem::Stat(InodeNum ino) {
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  FileStat st;
+  st.ino = ino;
+  st.type = fm->inode.type;
+  st.size = fm->inode.size;
+  st.nlink = fm->inode.nlink;
+  st.mtime = fm->inode.mtime;
+  st.version = fm->inode.version;
+  return st;
+}
+
+Result<uint32_t> LfsFileSystem::ForceClean() {
+  LFS_RETURN_IF_ERROR(writer_.Flush());
+  LFS_ASSIGN_OR_RETURN(uint32_t reclaimed, CleanerPass());
+  // Checkpoint after reclaiming so the recovery scan filter (which probes
+  // only checkpoint-clean segments) covers any reuse of the sources.
+  if (reclaimed > 0 && !in_checkpoint_ && !in_recovery_) {
+    LFS_RETURN_IF_ERROR(LightCheckpoint());
+  }
+  return reclaimed;
+}
+
+Result<std::vector<BlockNo>> LfsFileSystem::FileBlockAddresses(InodeNum ino) {
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  return fm->blocks;
+}
+
+Result<std::array<uint64_t, 8>> LfsFileSystem::LiveBytesByKind() {
+  LFS_RETURN_IF_ERROR(FlushDirtyData());
+  LFS_RETURN_IF_ERROR(writer_.Flush());
+  std::array<uint64_t, 8> live{};
+  for (SegNo seg = 0; seg < sb_.nsegments; seg++) {
+    if (usage_.Get(seg).state == SegState::kClean) {
+      continue;
+    }
+    uint32_t stop = seg == writer_.current_segment() ? writer_.current_offset()
+                                                     : sb_.segment_blocks;
+    LFS_ASSIGN_OR_RETURN(std::vector<ParsedPartial> chain,
+                         ParseSegmentChain(seg, 0, stop, /*min_seq=*/0));
+    for (const ParsedPartial& p : chain) {
+      for (size_t i = 0; i < p.summary.entries.size(); i++) {
+        const SummaryEntry& e = p.summary.entries[i];
+        BlockNo addr = sb_.SegmentBase(seg) + p.offset + 1 + i;
+        std::span<const uint8_t> content(p.payload.data() + i * sb_.block_size,
+                                         sb_.block_size);
+        if (e.kind == BlockKind::kInodeBlock) {
+          for (uint32_t slot = 0; slot < sb_.inodes_per_block(); slot++) {
+            Result<Inode> ino = Inode::DecodeFrom(
+                content.subspan(size_t{slot} * kInodeSlotSize, kInodeSlotSize));
+            if (!ino.ok() || ino->ino == kNilInode) {
+              continue;
+            }
+            ImapEntry ie = imap_.Get(ino->ino);
+            if (ie.allocated() && ie.inode_block == addr && ie.slot == slot) {
+              live[static_cast<size_t>(BlockKind::kInodeBlock)] += kInodeSlotSize;
+            }
+          }
+          continue;
+        }
+        LFS_ASSIGN_OR_RETURN(bool is_live, IsLiveBlock(e, addr, content));
+        if (is_live) {
+          live[static_cast<size_t>(e.kind)] += sb_.block_size;
+        }
+      }
+    }
+  }
+  return live;
+}
+
+}  // namespace lfs

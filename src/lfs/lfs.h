@@ -1,0 +1,298 @@
+// LfsFileSystem: the log-structured filesystem (the paper's contribution).
+//
+// All modifications — file data, indirect blocks, inodes, directory data,
+// inode-map and segment-usage chunks, and directory-operation-log records —
+// are appended to a segmented log through SegmentWriter. Reading uses the
+// inode map to locate inodes and ordinary FFS-style inode/indirect indexing
+// from there (Section 3.1), so read cost matches a conventional filesystem.
+//
+// Dirty data is buffered in memory and written in large batches (Section 2);
+// the segment cleaner (Sections 3.3-3.6) regenerates clean segments using a
+// pluggable policy (greedy or cost-benefit with age-sorting); crash recovery
+// (Section 4) uses alternating checkpoint regions plus roll-forward over the
+// log tail, with a directory operation log restoring directory/inode
+// consistency.
+//
+// Implementation is split across:
+//   lfs.cpp            construction, mkfs/mount/unmount, checkpointing
+//   lfs_io.cpp         file maps, read/write/truncate, flush machinery
+//   lfs_namespace.cpp  directories: lookup/create/unlink/rename/readdir
+//   lfs_cleaner.cpp    segment cleaning mechanism and policies
+//   lfs_recovery.cpp   roll-forward and log-tail scanning
+
+#ifndef LFS_LFS_LFS_H_
+#define LFS_LFS_LFS_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/disk/block_device.h"
+#include "src/fs/clock.h"
+#include "src/fs/file_system.h"
+#include "src/lfs/config.h"
+#include "src/lfs/inode_map.h"
+#include "src/lfs/layout.h"
+#include "src/lfs/seg_usage.h"
+#include "src/lfs/segment_writer.h"
+#include "src/lfs/stats.h"
+
+namespace lfs {
+
+struct MountOptions {
+  // Scan the log tail after the last checkpoint and recover recently written
+  // data (Section 4.2). With false, data after the last checkpoint is
+  // discarded, as on the paper's production systems.
+  bool roll_forward = true;
+
+  // Refuse every mutation (forensics / inspection mounts). Roll-forward is
+  // still performed in memory so reads see the recovered state, but nothing
+  // is written back until a read-write mount.
+  bool read_only = false;
+};
+
+class LfsFileSystem : public FileSystem {
+ public:
+  // Formats the device and returns a mounted filesystem with an empty root
+  // directory.
+  static Result<std::unique_ptr<LfsFileSystem>> Mkfs(BlockDevice* device, const LfsConfig& cfg);
+
+  // Mounts an existing filesystem; runs crash recovery if the log tail
+  // extends past the newest checkpoint.
+  static Result<std::unique_ptr<LfsFileSystem>> Mount(BlockDevice* device, const LfsConfig& cfg,
+                                                      const MountOptions& opts = MountOptions{});
+
+  ~LfsFileSystem() override = default;
+  LfsFileSystem(const LfsFileSystem&) = delete;
+  LfsFileSystem& operator=(const LfsFileSystem&) = delete;
+
+  // --- FileSystem interface ----------------------------------------------------
+
+  Result<InodeNum> Create(std::string_view path) override;
+  Status Mkdir(std::string_view path) override;
+  Status Unlink(std::string_view path) override;
+  Status Rmdir(std::string_view path) override;
+  Status Link(std::string_view existing, std::string_view link_path) override;
+  Status Rename(std::string_view from, std::string_view to) override;
+  Result<InodeNum> Lookup(std::string_view path) override;
+  Result<FileStat> Stat(InodeNum ino) override;
+  Result<std::vector<DirEntry>> ReadDir(std::string_view path) override;
+  Status WriteAt(InodeNum ino, uint64_t offset, std::span<const uint8_t> data) override;
+  Result<uint64_t> ReadAt(InodeNum ino, uint64_t offset, std::span<uint8_t> out) override;
+  Status Truncate(InodeNum ino, uint64_t new_size) override;
+  Status Sync() override;
+
+  // --- LFS-specific operations ---------------------------------------------------
+
+  // Flushes everything and writes a checkpoint region (Section 4.1).
+  Status WriteCheckpoint();
+
+  // Writes a checkpoint region covering only what is already in the log
+  // (no data/dirlog flush). Used by the cleaner to advance the roll-forward
+  // boundary so post-checkpoint segments become cleanable; buffered state
+  // stays buffered and its dirlog records stay pending, so a crash after
+  // this checkpoint still recovers consistently.
+  Status LightCheckpoint();
+
+  // Clean unmount: checkpoint, after which remount needs no roll-forward.
+  Status Unmount();
+
+  // Runs one cleaning pass regardless of thresholds (reads up to
+  // config.segments_per_pass segments). Returns segments reclaimed.
+  Result<uint32_t> ForceClean();
+
+  // Introspection for tests and consistency checks: the current disk
+  // addresses of a file's data blocks (kNilBlock for holes).
+  Result<std::vector<BlockNo>> FileBlockAddresses(InodeNum ino);
+
+  // Scans the log and returns live bytes attributable to each BlockKind
+  // (index = kind value) — Table 4's "Live data" column. Expensive: reads
+  // every dirty segment's summaries and payloads.
+  Result<std::array<uint64_t, 8>> LiveBytesByKind();
+
+  // --- introspection (tests, benchmarks, examples) --------------------------------
+
+  const Superblock& superblock() const { return sb_; }
+  const LfsConfig& config() const { return cfg_; }
+  const SegUsage& seg_usage() const { return usage_; }
+  const InodeMap& inode_map() const { return imap_; }
+  const LfsStats& stats() const { return stats_; }
+  LfsStats& mutable_stats() { return stats_; }
+  LogicalClock& clock() { return clock_; }
+  uint32_t clean_segments() const { return usage_.clean_count(); }
+  double disk_utilization() const { return usage_.DiskUtilization(); }
+  uint64_t dirty_buffered_blocks() const { return dirty_data_.size(); }
+
+ private:
+  LfsFileSystem(BlockDevice* device, const LfsConfig& cfg, const Superblock& sb);
+
+  // In-memory index state of one file: the inode plus a flat fbn->address
+  // array materialized from the direct/indirect pointers. Indirect block
+  // addresses are tracked so the cleaner can liveness-check them; dirty
+  // indices are re-serialized to the log when the inode is flushed.
+  struct FileMap {
+    Inode inode;
+    std::vector<BlockNo> blocks;     // fbn -> disk address (kNilBlock = hole)
+    std::vector<BlockNo> ind_addrs;  // [i] = indirect block covering fbns
+                                     // [kNumDirect + i*ppb, +ppb); [0] is the
+                                     // inode's single-indirect pointer
+    BlockNo dind_addr = kNilBlock;   // double-indirect root
+    std::set<uint32_t> dirty_ind;
+    bool dind_dirty = false;
+    bool inode_dirty = false;
+  };
+
+  // Parsed contents of a directory, one entry list per directory block,
+  // plus a name index for O(1) lookups.
+  struct DirCache {
+    std::vector<std::vector<DirEntry>> blocks;
+    std::vector<size_t> used_bytes;  // payload bytes used per block
+    std::unordered_map<std::string, InodeNum> index;
+  };
+
+  // One partial-segment write parsed back from the log.
+  struct ParsedPartial {
+    SegNo seg = 0;
+    uint32_t offset = 0;  // block index of the summary within the segment
+    SegmentSummary summary;
+    std::vector<uint8_t> payload;  // entries.size() blocks
+  };
+
+  // --- shared helpers (lfs.cpp) ---
+
+  Status LoadFromCheckpoint(const Checkpoint& ck);
+  Status WriteCheckpointRegion();
+  Status FlushMetadataChunks();      // dirty imap + usage chunks to the log
+  void SweepZeroLiveSegments();      // dirty && live==0 -> clean (post-checkpoint)
+  Status RecomputeSegmentUsage(SegNo seg, uint32_t stop_offset);
+  std::set<SegNo> ChunkHostSegments() const;
+  // Segments that must never be recycled right now: the active segment, the
+  // hosts of current in-memory metadata chunks, and the hosts of chunks
+  // referenced by either on-disk checkpoint region (a torn checkpoint write
+  // falls back to the older region, so both must stay readable).
+  std::set<SegNo> ProtectedSegments() const;
+
+  // --- I/O core (lfs_io.cpp) ---
+
+  Result<FileMap*> GetFileMap(InodeNum ino);
+  Result<FileMap> LoadFileMap(const Inode& inode) const;  // materialize pointers
+  Result<Inode> ReadInodeFromDisk(InodeNum ino) const;
+  // Optional clean-block read cache. Entries are validated against the
+  // segment's write sequence number, which changes whenever a segment is
+  // recycled, so no explicit invalidation hooks are needed.
+  bool ReadCacheGet(BlockNo addr, std::span<uint8_t> out) const;
+  void ReadCachePut(BlockNo addr, std::span<const uint8_t> data) const;
+  Status ReadLogBlock(BlockNo addr, std::span<uint8_t> out) const;
+  void StoreDirtyBlock(InodeNum ino, uint64_t fbn, std::vector<uint8_t> data);
+  Status ReadFileBlock(FileMap* fm, InodeNum ino, uint64_t fbn, std::span<uint8_t> out);
+  void MarkIndirectDirty(FileMap* fm, uint64_t fbn);
+  Status GrowFileMap(FileMap* fm, uint64_t new_block_count);
+  Status ShrinkFileMap(InodeNum ino, FileMap* fm, uint64_t new_block_count);
+  Status FlushDirtyData();           // MaybeClean + FlushDirtyDataInner
+  // The flush body: dirlog records, data blocks, indirect blocks, inodes —
+  // in that order, with no cleaning trigger. The cleaner calls this directly
+  // before writing inodes so an inode never reaches the log ahead of data it
+  // points to (a crash would otherwise recover the file as silent zeros).
+  Status FlushDirtyDataInner();
+  Status FlushDirLog();
+  Status FlushFileMetadata();        // dirty indirect blocks + inode blocks
+  Status MaybeFlush();               // flush when the write buffer fills
+  Status CheckWritable() const;      // kReadOnly on read-only mounts
+  Status MaybeAutoCheckpoint();
+  Status EnsureSpaceForWrite(uint64_t new_blocks);
+  Result<FileStat> StatLocked(InodeNum ino);
+  uint64_t BlockCountFor(uint64_t size) const {
+    return (size + sb_.block_size - 1) / sb_.block_size;
+  }
+
+  // --- namespace (lfs_namespace.cpp) ---
+
+  Result<DirCache*> GetDirCache(InodeNum dir_ino);
+  Result<InodeNum> LookupInDir(InodeNum dir_ino, std::string_view name);
+  Status AddDirEntry(InodeNum dir_ino, const DirEntry& entry);
+  Status RemoveDirEntry(InodeNum dir_ino, std::string_view name);
+  Status WriteDirBlock(InodeNum dir_ino, uint64_t fbn);
+  Result<InodeNum> ResolveDir(std::string_view path);  // path must be a directory
+  Result<std::pair<InodeNum, std::string>> ResolveParent(std::string_view path);
+  Status DeleteFileContents(InodeNum ino);  // frees all blocks + the inode
+  void LogDirOp(DirLogRecord record);
+
+  // --- cleaner (lfs_cleaner.cpp) ---
+
+  Status MaybeClean();               // run passes while below clean_lo
+  // Thresholds clamped so small filesystems do not demand an impossible
+  // fraction of clean segments (Sprite's "few tens" presumes >1000 segments).
+  uint32_t EffectiveCleanLo() const;
+  uint32_t EffectiveCleanHi() const;
+  Result<uint32_t> CleanerPass();    // returns source segments reclaimed
+  std::vector<SegNo> SelectSegmentsToClean(uint32_t max_segments);
+  Result<bool> IsLiveBlock(const SummaryEntry& entry, BlockNo addr,
+                           std::span<const uint8_t> content);
+  Status MigrateLiveBlock(const SummaryEntry& entry, BlockNo addr,
+                          std::vector<uint8_t> content);
+  // One live block queued for rewriting at the log head.
+  struct LiveBlock {
+    SummaryEntry entry;
+    BlockNo addr = kNilBlock;
+    std::vector<uint8_t> content;
+  };
+  // Collects a segment's live blocks, either by reading the whole segment
+  // (the paper's conservative default) or by reading summaries first and
+  // then only the live block runs (cleaner_read_live_blocks_only).
+  Status CollectLiveBlocksWhole(SegNo seg, std::vector<LiveBlock>* out);
+  Status CollectLiveBlocksSparse(SegNo seg, std::vector<LiveBlock>* out);
+
+  // --- recovery (lfs_recovery.cpp) ---
+
+  // Parses the partial-write chain of one segment starting at start_offset.
+  // Stops at an invalid summary, a non-increasing sequence number, a payload
+  // CRC mismatch, or stop_offset.
+  Result<std::vector<ParsedPartial>> ParseSegmentChain(SegNo seg, uint32_t start_offset,
+                                                       uint32_t stop_offset,
+                                                       uint64_t min_seq);
+  Status RollForward(const Checkpoint& ck);
+  Status ApplyDirLogFix(const DirLogRecord& rec);
+
+  // --- state ---
+
+  BlockDevice* device_;
+  LfsConfig cfg_;
+  Superblock sb_;
+  LogicalClock clock_;
+  LfsStats stats_;
+  InodeMap imap_;
+  SegUsage usage_;
+  SegmentWriter writer_;
+
+  std::map<InodeNum, FileMap> files_;          // loaded file maps
+  std::map<InodeNum, DirCache> dirs_;          // parsed directories
+  std::map<std::pair<InodeNum, uint64_t>, std::vector<uint8_t>> dirty_data_;
+  std::set<InodeNum> dirty_inodes_;
+  std::vector<DirLogRecord> pending_dirlog_;
+
+  struct ReadCacheEntry {
+    std::vector<uint8_t> data;
+    uint64_t gen = 0;  // usage_.write_seq of the segment at insert time
+    std::list<BlockNo>::iterator lru_it;
+  };
+  mutable std::unordered_map<BlockNo, ReadCacheEntry> read_cache_;
+  mutable std::list<BlockNo> read_cache_lru_;  // front = most recent
+
+  uint32_t cr_next_ = 0;            // which checkpoint region to write next
+  std::set<SegNo> cr_hosts_[2];     // chunk-host segments referenced by each CR
+  uint64_t ckpt_seq_ = 0;           // last checkpoint's sequence number
+  uint64_t ckpt_boundary_seq_ = 1;  // summaries >= this were written post-checkpoint
+  uint64_t bytes_since_checkpoint_ = 0;
+  bool in_cleaner_ = false;
+  bool in_recovery_ = false;
+  bool in_checkpoint_ = false;
+  bool read_only_ = false;
+};
+
+}  // namespace lfs
+
+#endif  // LFS_LFS_LFS_H_

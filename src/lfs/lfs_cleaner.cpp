@@ -1,0 +1,502 @@
+// The segment cleaner: mechanism (Section 3.3) and policies (Sections
+// 3.4-3.6).
+//
+// Mechanism: read segments, identify live blocks via the segment summary +
+// inode map version (the uid fast path) + inode pointers, and rewrite the
+// live data to the head of the log. Policy: segments are chosen either
+// greedily (least utilized first) or by cost-benefit
+//
+//     benefit/cost = (1-u) * age / (1+u)
+//
+// and live blocks are optionally sorted by age before rewriting, which
+// segregates cold data into its own segments and produces the bimodal
+// utilization distribution of Figure 6.
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/lfs/lfs.h"
+
+namespace lfs {
+
+std::vector<SegNo> LfsFileSystem::SelectSegmentsToClean(uint32_t max_segments) {
+  std::set<SegNo> off_limits = ProtectedSegments();
+  struct Scored {
+    SegNo seg;
+    double score;
+  };
+  std::vector<Scored> scored;
+  uint64_t now = clock_.Now();
+  for (SegNo seg = 0; seg < sb_.nsegments; seg++) {
+    const SegUsageEntry& e = usage_.Get(seg);
+    if (e.state != SegState::kDirty || off_limits.count(seg) != 0) {
+      continue;
+    }
+    // Never touch segments written after the last checkpoint: they are the
+    // roll-forward log tail and must survive until the next checkpoint.
+    if (usage_.write_seq(seg) >= ckpt_boundary_seq_) {
+      continue;
+    }
+    double u = usage_.Utilization(seg);
+    if (u >= 1.0) {
+      continue;  // nothing to reclaim
+    }
+    double score;
+    if (cfg_.policy == CleaningPolicy::kGreedy) {
+      score = 1.0 - u;  // least utilized first
+    } else {
+      double age = static_cast<double>(now - std::min(now, e.last_write));
+      score = (1.0 - u) * age / (1.0 + u);
+    }
+    scored.push_back({seg, score});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) {
+      return a.score > b.score;
+    }
+    return a.seg < b.seg;
+  });
+
+  // Bound the pass so the rewritten live data — plus the buffered user data
+  // the pass's final flush will push out — is guaranteed to fit in the clean
+  // segments we currently have (the cleaner must never wedge itself).
+  uint64_t buffered = dirty_data_.size() * uint64_t{sb_.block_size};
+  uint64_t budget = usage_.clean_count() > 1
+                        ? (uint64_t{usage_.clean_count()} - 1) * sb_.segment_bytes()
+                        : 0;
+  budget = budget > buffered ? budget - buffered : 0;
+  std::vector<SegNo> chosen;
+  uint64_t planned_live = 0;
+  for (const Scored& s : scored) {
+    if (chosen.size() >= max_segments) {
+      break;
+    }
+    uint64_t live = usage_.Get(s.seg).live_bytes;
+    if (planned_live + live > budget) {
+      continue;  // try a smaller (likely emptier) candidate
+    }
+    planned_live += live;
+    chosen.push_back(s.seg);
+  }
+  return chosen;
+}
+
+Result<bool> LfsFileSystem::IsLiveBlock(const SummaryEntry& entry, BlockNo addr,
+                                        std::span<const uint8_t> content) {
+  switch (entry.kind) {
+    case BlockKind::kData:
+    case BlockKind::kIndirect:
+    case BlockKind::kDoubleIndirect: {
+      ImapEntry e = imap_.Get(entry.ino);
+      // The uid fast path (Section 3.3): a version mismatch means the file
+      // was deleted or truncated; the block is dead without reading inodes.
+      if (!e.allocated() || e.version != entry.version) {
+        return false;
+      }
+      LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(entry.ino));
+      if (entry.kind == BlockKind::kData) {
+        return entry.fbn < fm->blocks.size() && fm->blocks[entry.fbn] == addr;
+      }
+      if (entry.kind == BlockKind::kIndirect) {
+        return entry.fbn < fm->ind_addrs.size() && fm->ind_addrs[entry.fbn] == addr;
+      }
+      return fm->dind_addr == addr;
+    }
+    case BlockKind::kInodeBlock: {
+      for (uint32_t s = 0; s < sb_.inodes_per_block(); s++) {
+        Result<Inode> ino = Inode::DecodeFrom(content.subspan(size_t{s} * kInodeSlotSize,
+                                                              kInodeSlotSize));
+        if (!ino.ok() || ino->ino == kNilInode) {
+          continue;
+        }
+        ImapEntry e = imap_.Get(ino->ino);
+        if (e.allocated() && e.inode_block == addr && e.slot == s) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case BlockKind::kImapChunk:
+      return entry.fbn < imap_.chunk_count() && imap_.chunk_addr(entry.fbn) == addr;
+    case BlockKind::kUsageChunk:
+      return entry.fbn < usage_.chunk_count() && usage_.chunk_addr(entry.fbn) == addr;
+    case BlockKind::kDirLog:
+      return false;  // only meaningful during roll-forward over the log tail
+  }
+  return false;
+}
+
+Status LfsFileSystem::MigrateLiveBlock(const SummaryEntry& entry, BlockNo addr,
+                                       std::vector<uint8_t> content) {
+  const uint32_t bs = sb_.block_size;
+  switch (entry.kind) {
+    case BlockKind::kData: {
+      LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(entry.ino));
+      // The block keeps its original age so the age-sort and the segment's
+      // last-write time continue to reflect the data's coldness.
+      LFS_ASSIGN_OR_RETURN(BlockNo new_addr,
+                           writer_.Append(entry, std::move(content), entry.mtime, bs));
+      fm->blocks[entry.fbn] = new_addr;
+      MarkIndirectDirty(fm, entry.fbn);
+      dirty_inodes_.insert(entry.ino);
+      return OkStatus();
+    }
+    case BlockKind::kIndirect: {
+      LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(entry.ino));
+      fm->dirty_ind.insert(static_cast<uint32_t>(entry.fbn));
+      if (entry.fbn >= 1) {
+        fm->dind_dirty = true;
+      }
+      fm->inode_dirty = true;
+      dirty_inodes_.insert(entry.ino);
+      return OkStatus();
+    }
+    case BlockKind::kDoubleIndirect: {
+      LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(entry.ino));
+      fm->dind_dirty = true;
+      fm->inode_dirty = true;
+      dirty_inodes_.insert(entry.ino);
+      return OkStatus();
+    }
+    case BlockKind::kInodeBlock: {
+      for (uint32_t s = 0; s < sb_.inodes_per_block(); s++) {
+        Result<Inode> ino =
+            Inode::DecodeFrom(std::span<const uint8_t>(content).subspan(
+                size_t{s} * kInodeSlotSize, kInodeSlotSize));
+        if (!ino.ok() || ino->ino == kNilInode) {
+          continue;
+        }
+        ImapEntry e = imap_.Get(ino->ino);
+        if (e.allocated() && e.inode_block == addr && e.slot == s) {
+          LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino->ino));
+          fm->inode_dirty = true;
+          dirty_inodes_.insert(ino->ino);
+        }
+      }
+      return OkStatus();
+    }
+    case BlockKind::kImapChunk: {
+      uint32_t chunk = static_cast<uint32_t>(entry.fbn);
+      std::vector<uint8_t> fresh(bs);
+      imap_.EncodeChunk(chunk, fresh);
+      SummaryEntry e{BlockKind::kImapChunk, kNilInode, chunk, 0};
+      LFS_ASSIGN_OR_RETURN(BlockNo new_addr,
+                           writer_.Append(e, std::move(fresh), clock_.Now(), bs));
+      imap_.set_chunk_addr(chunk, new_addr);
+      return OkStatus();
+    }
+    case BlockKind::kUsageChunk: {
+      uint32_t chunk = static_cast<uint32_t>(entry.fbn);
+      // Pre-account the new copy so the serialized contents include it (see
+      // FlushMetadataChunks).
+      LFS_RETURN_IF_ERROR(writer_.PrepareAppend());
+      usage_.AddLive(writer_.current_segment(), bs, clock_.Now());
+      std::vector<uint8_t> fresh(bs);
+      usage_.EncodeChunk(chunk, fresh);
+      SummaryEntry e{BlockKind::kUsageChunk, kNilInode, chunk, 0};
+      LFS_ASSIGN_OR_RETURN(BlockNo new_addr,
+                           writer_.Append(e, std::move(fresh), clock_.Now(), /*live_bytes=*/0));
+      usage_.set_chunk_addr(chunk, new_addr);
+      usage_.MarkChunkDirty(chunk);
+      return OkStatus();
+    }
+    case BlockKind::kDirLog:
+      return OkStatus();
+  }
+  return OkStatus();
+}
+
+Status LfsFileSystem::CollectLiveBlocksWhole(SegNo seg, std::vector<LiveBlock>* out) {
+  // The paper's conservative mechanism: read the segment in its entirety
+  // (the chain of partial writes covers everything ever written to it).
+  LFS_ASSIGN_OR_RETURN(std::vector<ParsedPartial> chain,
+                       ParseSegmentChain(seg, 0, sb_.segment_blocks, /*min_seq=*/0));
+  for (ParsedPartial& p : chain) {
+    stats_.clean_read_bytes += (1 + p.summary.entries.size()) * uint64_t{sb_.block_size};
+    for (size_t i = 0; i < p.summary.entries.size(); i++) {
+      const SummaryEntry& entry = p.summary.entries[i];
+      BlockNo addr = sb_.SegmentBase(seg) + p.offset + 1 + i;
+      std::span<const uint8_t> content(p.payload.data() + i * sb_.block_size, sb_.block_size);
+      if (entry.kind == BlockKind::kDirLog) {
+        continue;
+      }
+      LFS_ASSIGN_OR_RETURN(bool live, IsLiveBlock(entry, addr, content));
+      if (live) {
+        out->push_back(
+            LiveBlock{entry, addr, std::vector<uint8_t>(content.begin(), content.end())});
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status LfsFileSystem::CollectLiveBlocksSparse(SegNo seg, std::vector<LiveBlock>* out) {
+  // The paper's untried variant: read only the summary blocks, decide
+  // liveness from the in-memory tables, then fetch just the live block runs.
+  // Pays off when utilization is low; no payload-CRC validation is possible,
+  // which is fine here because the cleaner only touches segments fully
+  // written before the last checkpoint.
+  const uint32_t bs = sb_.block_size;
+  const BlockNo base = sb_.SegmentBase(seg);
+  std::vector<uint8_t> sum_block(bs);
+  std::vector<LiveBlock> candidates;  // content filled after the batched reads
+  std::vector<size_t> inode_block_idx;  // candidates needing a content check
+
+  uint32_t offset = 0;
+  uint64_t prev_seq = 0;
+  while (offset + 1 < sb_.segment_blocks) {
+    LFS_RETURN_IF_ERROR(device_->ReadBlock(base + offset, sum_block));
+    stats_.clean_read_bytes += bs;
+    Result<SegmentSummary> sum = SegmentSummary::DecodeFrom(sum_block);
+    if (!sum.ok() || (prev_seq != 0 && sum->seq <= prev_seq) || sum->entries.empty() ||
+        offset + 1 + sum->entries.size() > sb_.segment_blocks) {
+      break;
+    }
+    prev_seq = sum->seq;
+    for (size_t i = 0; i < sum->entries.size(); i++) {
+      const SummaryEntry& entry = sum->entries[i];
+      BlockNo addr = base + offset + 1 + i;
+      if (entry.kind == BlockKind::kDirLog) {
+        continue;
+      }
+      if (entry.kind == BlockKind::kInodeBlock) {
+        // Liveness of an inode block is per-slot and needs the contents;
+        // read it optimistically and re-check below.
+        inode_block_idx.push_back(candidates.size());
+        candidates.push_back(LiveBlock{entry, addr, {}});
+        continue;
+      }
+      LFS_ASSIGN_OR_RETURN(bool live, IsLiveBlock(entry, addr, {}));
+      if (live) {
+        candidates.push_back(LiveBlock{entry, addr, {}});
+      }
+    }
+    offset += 1 + static_cast<uint32_t>(sum->entries.size());
+  }
+
+  // Fetch the candidates in coalesced address runs (candidates are already
+  // in ascending address order).
+  for (size_t i = 0; i < candidates.size();) {
+    size_t j = i + 1;
+    while (j < candidates.size() && candidates[j].addr == candidates[j - 1].addr + 1) {
+      j++;
+    }
+    uint64_t run = j - i;
+    std::vector<uint8_t> buf(run * bs);
+    LFS_RETURN_IF_ERROR(device_->Read(candidates[i].addr, run, buf));
+    stats_.clean_read_bytes += run * bs;
+    for (size_t k = i; k < j; k++) {
+      candidates[k].content.assign(buf.begin() + static_cast<long>((k - i) * bs),
+                                   buf.begin() + static_cast<long>((k - i + 1) * bs));
+    }
+    i = j;
+  }
+
+  // Resolve the deferred inode-block liveness checks now that we have data.
+  std::set<size_t> drop;
+  for (size_t idx : inode_block_idx) {
+    LFS_ASSIGN_OR_RETURN(
+        bool live, IsLiveBlock(candidates[idx].entry, candidates[idx].addr,
+                               candidates[idx].content));
+    if (!live) {
+      drop.insert(idx);
+    }
+  }
+  for (size_t i = 0; i < candidates.size(); i++) {
+    if (drop.count(i) == 0) {
+      out->push_back(std::move(candidates[i]));
+    }
+  }
+  return OkStatus();
+}
+
+Result<uint32_t> LfsFileSystem::CleanerPass() {
+  if (in_cleaner_) {
+    return uint32_t{0};
+  }
+  in_cleaner_ = true;
+  auto cleanup = [this](auto status_or) {
+    in_cleaner_ = false;
+    writer_.set_cleaning(false);
+    writer_.set_privileged(false);
+    return status_or;
+  };
+  // The whole pass may dip into the reserve: it has to write out both the
+  // migrated live data and the buffered user data that its inode flush
+  // forces out (see below) before the sources are reclaimed.
+  writer_.set_privileged(true);
+
+  Status st = writer_.Flush();
+  if (!st.ok()) {
+    return cleanup(Result<uint32_t>(st));
+  }
+  std::vector<SegNo> chosen = SelectSegmentsToClean(cfg_.segments_per_pass);
+  if (chosen.empty()) {
+    return cleanup(Result<uint32_t>(uint32_t{0}));
+  }
+  stats_.cleaner_passes++;
+  writer_.set_cleaning(true);
+  // Everything the cleaner (or anyone) writes from here on carries a
+  // sequence number >= pass_start_seq; used below to detect source segments
+  // that were recycled as cleaning output mid-pass.
+  const uint64_t pass_start_seq = writer_.next_seq();
+
+  std::vector<LiveBlock> live_blocks;
+  for (SegNo seg : chosen) {
+    uint32_t live_before = usage_.Get(seg).live_bytes;
+    stats_.segments_cleaned++;
+    if (live_before == 0) {
+      // An empty segment need not be read at all (Section 3.4: u=0 gives
+      // write cost 1.0). Table 2 found more than half of cleaned segments
+      // empty in production.
+      stats_.segments_cleaned_empty++;
+      usage_.SetState(seg, SegState::kClean);
+      continue;
+    }
+    stats_.sum_cleaned_utilization += usage_.Utilization(seg);
+    Status collect = cfg_.cleaner_read_live_blocks_only
+                         ? CollectLiveBlocksSparse(seg, &live_blocks)
+                         : CollectLiveBlocksWhole(seg, &live_blocks);
+    if (!collect.ok()) {
+      return cleanup(Result<uint32_t>(collect));
+    }
+  }
+
+  // Migrate metadata blocks first (their order is irrelevant), then the data
+  // blocks grouped by age (Section 3.4 policy question 4: "age sort") — this
+  // is what segregates cold from hot data.
+  std::stable_partition(live_blocks.begin(), live_blocks.end(), [](const LiveBlock& b) {
+    return b.entry.kind != BlockKind::kData;
+  });
+  if (cfg_.age_sort) {
+    std::stable_sort(live_blocks.begin(), live_blocks.end(),
+                     [](const LiveBlock& a, const LiveBlock& b) {
+                       bool a_data = a.entry.kind == BlockKind::kData;
+                       bool b_data = b.entry.kind == BlockKind::kData;
+                       if (a_data != b_data) {
+                         return !a_data;  // keep metadata first
+                       }
+                       if (!a_data) {
+                         return false;
+                       }
+                       return a.entry.mtime < b.entry.mtime;
+                     });
+  }
+  for (LiveBlock& lb : live_blocks) {
+    Status mig = MigrateLiveBlock(lb.entry, lb.addr, std::move(lb.content));
+    if (!mig.ok()) {
+      return cleanup(Result<uint32_t>(mig));
+    }
+  }
+
+  // Rewrite the inodes and indirect blocks whose pointers moved (this also
+  // covers migrated inode blocks) — via the FULL flush body, so any user
+  // data still buffered for those files reaches the log BEFORE the inodes
+  // that point at it. Writing just the inodes here would let a crash recover
+  // files with their new size but nil block pointers (silent zeros). The
+  // flush itself is ordinary traffic, not cleaning, for the write-cost
+  // accounting.
+  writer_.set_cleaning(false);
+  st = FlushDirtyDataInner();
+  if (!st.ok()) {
+    return cleanup(Result<uint32_t>(st));
+  }
+
+  for (SegNo seg : chosen) {
+    // Mark a source segment clean only if nothing was written into it during
+    // this pass: a source emptied early in the pass may already have been
+    // recycled as the cleaner's own output segment, and marking it clean
+    // again would discard the freshly migrated live data.
+    if (usage_.Get(seg).state == SegState::kDirty &&
+        usage_.write_seq(seg) < pass_start_seq) {
+      usage_.SetState(seg, SegState::kClean);
+    }
+  }
+  return cleanup(Result<uint32_t>(static_cast<uint32_t>(chosen.size())));
+}
+
+uint32_t LfsFileSystem::EffectiveCleanLo() const {
+  uint32_t cap = std::max<uint32_t>(2, sb_.nsegments / 16);
+  return std::min(cfg_.clean_lo, cap);
+}
+
+uint32_t LfsFileSystem::EffectiveCleanHi() const {
+  uint32_t cap = std::max<uint32_t>(EffectiveCleanLo() + 2, sb_.nsegments / 8);
+  return std::min(cfg_.clean_hi, cap);
+}
+
+Status LfsFileSystem::MaybeClean() {
+  if (getenv("LFS_DEBUG_CLEANER") != nullptr) {
+    uint32_t zero = 0;
+    for (SegNo seg = 0; seg < sb_.nsegments; seg++) {
+      const SegUsageEntry& e = usage_.Get(seg);
+      if (e.state == SegState::kDirty && e.live_bytes == 0) zero++;
+    }
+    fprintf(stderr, "[MaybeClean] in_cleaner=%d usable=%u lo=%u clean=%u zero_dirty=%u\n",
+            (int)in_cleaner_, writer_.usable_clean_segments(), EffectiveCleanLo(),
+            usage_.clean_count(), zero);
+  }
+  if (in_cleaner_ || writer_.usable_clean_segments() >= EffectiveCleanLo()) {
+    return OkStatus();
+  }
+  // Harvest first: segments whose data has entirely died since the last
+  // checkpoint can be reclaimed for free (no copying) once a checkpoint
+  // advances the roll-forward boundary. A checkpoint costs a few blocks;
+  // cleaning a half-live segment costs megabytes of copying — so when dead
+  // segments exist, checkpoint before reaching for the expensive ones.
+  bool checkpointed = false;
+  if (!in_checkpoint_ && !in_recovery_) {
+    for (SegNo seg = 0; seg < sb_.nsegments; seg++) {
+      const SegUsageEntry& e = usage_.Get(seg);
+      if (e.state == SegState::kDirty && e.live_bytes == 0 &&
+          seg != writer_.current_segment()) {
+        checkpointed = true;
+        LFS_RETURN_IF_ERROR(LightCheckpoint());
+        break;
+      }
+    }
+    if (writer_.usable_clean_segments() >= EffectiveCleanLo()) {
+      return OkStatus();
+    }
+  }
+  // Clean until the high-water mark of clean segments is restored
+  // (Section 3.4: start at a few tens, stop at 50-100).
+  bool reclaimed_any = false;
+  while (writer_.usable_clean_segments() < EffectiveCleanHi()) {
+    LFS_ASSIGN_OR_RETURN(uint32_t reclaimed, CleanerPass());
+    reclaimed_any = reclaimed_any || reclaimed > 0;
+    if (reclaimed == 0) {
+      if (getenv("LFS_DEBUG_CLEANER") != nullptr) {
+        uint32_t dirty_pre = 0, dirty_post = 0, zero = 0;
+        for (SegNo seg = 0; seg < sb_.nsegments; seg++) {
+          const SegUsageEntry& e = usage_.Get(seg);
+          if (e.state != SegState::kDirty) continue;
+          if (e.live_bytes == 0) zero++;
+          if (usage_.write_seq(seg) >= ckpt_boundary_seq_) dirty_post++; else dirty_pre++;
+        }
+        fprintf(stderr, "[cleaner stuck] clean=%u usable=%u dirty_pre=%u dirty_post=%u zero=%u util=%.3f ckpted=%d\n",
+                usage_.clean_count(), writer_.usable_clean_segments(), dirty_pre, dirty_post,
+                zero, usage_.DiskUtilization(), (int)checkpointed);
+      }
+      // Segments written since the last checkpoint are off-limits to the
+      // cleaner (they are the roll-forward tail). If that is all that is
+      // left, take a checkpoint to advance the boundary and retry once.
+      if (!checkpointed && !in_checkpoint_ && !in_recovery_) {
+        checkpointed = true;
+        LFS_RETURN_IF_ERROR(LightCheckpoint());
+        continue;
+      }
+      break;  // nothing cleanable right now; let the writer use what exists
+    }
+  }
+  // Checkpoint after a cleaning burst: it makes the reclaimed segments
+  // durable as clean and keeps the recovery scan filter sound (post-
+  // checkpoint writes only ever land in checkpoint-clean segments or the
+  // active segment).
+  if (reclaimed_any && !in_checkpoint_ && !in_recovery_) {
+    LFS_RETURN_IF_ERROR(LightCheckpoint());
+  }
+  return OkStatus();
+}
+
+}  // namespace lfs

@@ -1,0 +1,612 @@
+// File maps, data read/write paths, and the write-behind flush machinery.
+//
+// Dirty file blocks accumulate in memory (the paper's file-cache write
+// buffering, Section 2.1) and are written in large sequential batches:
+// dirlog records first, then data blocks, then the indirect blocks and
+// inodes that point at them. That ordering is what makes roll-forward sound:
+// an inode found in the log always describes data already in the log.
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <string>
+
+#include "src/lfs/lfs.h"
+#include "src/util/codec.h"
+
+namespace lfs {
+
+namespace {
+// FileMap/DirCache entries kept before MaybeFlush starts evicting clean ones.
+constexpr size_t kFileCacheCap = 16384;
+}  // namespace
+
+bool LfsFileSystem::ReadCacheGet(BlockNo addr, std::span<uint8_t> out) const {
+  auto it = read_cache_.find(addr);
+  if (it == read_cache_.end()) {
+    return false;
+  }
+  SegNo seg = sb_.SegOf(addr);
+  if (seg == kNilSeg || usage_.write_seq(seg) != it->second.gen) {
+    // The segment was recycled (or appended to) since caching: drop.
+    read_cache_lru_.erase(it->second.lru_it);
+    read_cache_.erase(it);
+    return false;
+  }
+  std::memcpy(out.data(), it->second.data.data(), out.size());
+  read_cache_lru_.splice(read_cache_lru_.begin(), read_cache_lru_, it->second.lru_it);
+  return true;
+}
+
+void LfsFileSystem::ReadCachePut(BlockNo addr, std::span<const uint8_t> data) const {
+  if (cfg_.read_cache_blocks == 0) {
+    return;
+  }
+  SegNo seg = sb_.SegOf(addr);
+  if (seg == kNilSeg) {
+    return;  // fixed-area blocks are not cached
+  }
+  if (read_cache_.count(addr) != 0) {
+    return;
+  }
+  while (read_cache_.size() >= cfg_.read_cache_blocks && !read_cache_lru_.empty()) {
+    BlockNo victim = read_cache_lru_.back();
+    read_cache_lru_.pop_back();
+    read_cache_.erase(victim);
+  }
+  read_cache_lru_.push_front(addr);
+  ReadCacheEntry entry;
+  entry.data.assign(data.begin(), data.end());
+  entry.gen = usage_.write_seq(seg);
+  entry.lru_it = read_cache_lru_.begin();
+  read_cache_.emplace(addr, std::move(entry));
+}
+
+Status LfsFileSystem::ReadLogBlock(BlockNo addr, std::span<uint8_t> out) const {
+  if (writer_.ReadBuffered(addr, out)) {
+    return OkStatus();
+  }
+  if (ReadCacheGet(addr, out)) {
+    return OkStatus();
+  }
+  LFS_RETURN_IF_ERROR(device_->Read(addr, 1, out));
+  ReadCachePut(addr, out);
+  return OkStatus();
+}
+
+Result<Inode> LfsFileSystem::ReadInodeFromDisk(InodeNum ino) const {
+  ImapEntry e = imap_.Get(ino);
+  if (!e.allocated()) {
+    return NotFoundError("inode " + std::to_string(ino) + " not allocated");
+  }
+  std::vector<uint8_t> block(sb_.block_size);
+  LFS_RETURN_IF_ERROR(ReadLogBlock(e.inode_block, block));
+  if ((e.slot + 1u) * kInodeSlotSize > sb_.block_size) {
+    return CorruptionError("imap slot out of range for inode " + std::to_string(ino));
+  }
+  LFS_ASSIGN_OR_RETURN(
+      Inode inode,
+      Inode::DecodeFrom(std::span<const uint8_t>(block).subspan(
+          size_t{e.slot} * kInodeSlotSize, kInodeSlotSize)));
+  if (inode.ino != ino) {
+    return CorruptionError("inode block slot holds inode " + std::to_string(inode.ino) +
+                           ", expected " + std::to_string(ino));
+  }
+  return inode;
+}
+
+Result<LfsFileSystem::FileMap*> LfsFileSystem::GetFileMap(InodeNum ino) {
+  auto it = files_.find(ino);
+  if (it != files_.end()) {
+    return &it->second;
+  }
+  LFS_ASSIGN_OR_RETURN(Inode inode, ReadInodeFromDisk(ino));
+  LFS_ASSIGN_OR_RETURN(FileMap fm, LoadFileMap(inode));
+  auto [pos, inserted] = files_.emplace(ino, std::move(fm));
+  (void)inserted;
+  return &pos->second;
+}
+
+Result<LfsFileSystem::FileMap> LfsFileSystem::LoadFileMap(const Inode& inode) const {
+  FileMap fm;
+  fm.inode = inode;
+  uint64_t nblocks = BlockCountFor(inode.size);
+  fm.blocks.assign(nblocks, kNilBlock);
+  for (uint64_t i = 0; i < std::min<uint64_t>(kNumDirect, nblocks); i++) {
+    fm.blocks[i] = inode.direct[i];
+  }
+  if (nblocks > kNumDirect) {
+    const uint32_t ppb = sb_.pointers_per_block();
+    uint64_t ind_count = (nblocks - kNumDirect + ppb - 1) / ppb;
+    fm.ind_addrs.assign(ind_count, kNilBlock);
+    fm.ind_addrs[0] = inode.single_indirect;
+    std::vector<uint8_t> block(sb_.block_size);
+    if (ind_count > 1) {
+      fm.dind_addr = inode.double_indirect;
+      if (fm.dind_addr != kNilBlock) {
+        LFS_RETURN_IF_ERROR(ReadLogBlock(fm.dind_addr, block));
+        Decoder dec(block);
+        for (uint64_t j = 1; j < ind_count; j++) {
+          fm.ind_addrs[j] = dec.GetU64();
+        }
+      }
+    }
+    for (uint64_t i = 0; i < ind_count; i++) {
+      if (fm.ind_addrs[i] == kNilBlock) {
+        continue;  // a hole spanning a whole indirect range
+      }
+      LFS_RETURN_IF_ERROR(ReadLogBlock(fm.ind_addrs[i], block));
+      Decoder dec(block);
+      for (uint32_t j = 0; j < ppb; j++) {
+        uint64_t fbn = kNumDirect + i * ppb + j;
+        BlockNo addr = dec.GetU64();
+        if (fbn < nblocks) {
+          fm.blocks[fbn] = addr;
+        }
+      }
+    }
+  }
+  return fm;
+}
+
+void LfsFileSystem::MarkIndirectDirty(FileMap* fm, uint64_t fbn) {
+  if (fbn < kNumDirect) {
+    fm->inode_dirty = true;  // direct pointers live in the inode itself
+    return;
+  }
+  uint32_t ind = static_cast<uint32_t>((fbn - kNumDirect) / sb_.pointers_per_block());
+  fm->dirty_ind.insert(ind);
+  if (ind >= 1) {
+    fm->dind_dirty = true;  // the double-indirect root must name the new copy
+  }
+  fm->inode_dirty = true;
+}
+
+Status LfsFileSystem::GrowFileMap(FileMap* fm, uint64_t new_block_count) {
+  if (new_block_count <= fm->blocks.size()) {
+    return OkStatus();
+  }
+  fm->blocks.resize(new_block_count, kNilBlock);
+  if (new_block_count > kNumDirect) {
+    const uint32_t ppb = sb_.pointers_per_block();
+    uint64_t ind_count = (new_block_count - kNumDirect + ppb - 1) / ppb;
+    if (ind_count > fm->ind_addrs.size()) {
+      fm->ind_addrs.resize(ind_count, kNilBlock);
+    }
+  }
+  return OkStatus();
+}
+
+Status LfsFileSystem::ShrinkFileMap(InodeNum ino, FileMap* fm, uint64_t new_block_count) {
+  const uint32_t bs = sb_.block_size;
+  for (uint64_t fbn = new_block_count; fbn < fm->blocks.size(); fbn++) {
+    BlockNo addr = fm->blocks[fbn];
+    SegNo seg = sb_.SegOf(addr);
+    if (addr != kNilBlock && seg != kNilSeg) {
+      usage_.SubLive(seg, bs);
+    }
+    dirty_data_.erase({ino, fbn});
+  }
+  fm->blocks.resize(new_block_count);
+
+  const uint32_t ppb = sb_.pointers_per_block();
+  uint64_t new_ind =
+      new_block_count > kNumDirect ? (new_block_count - kNumDirect + ppb - 1) / ppb : 0;
+  for (uint64_t i = new_ind; i < fm->ind_addrs.size(); i++) {
+    BlockNo addr = fm->ind_addrs[i];
+    SegNo seg = sb_.SegOf(addr);
+    if (addr != kNilBlock && seg != kNilSeg) {
+      usage_.SubLive(seg, bs);
+    }
+    fm->dirty_ind.erase(static_cast<uint32_t>(i));
+  }
+  fm->ind_addrs.resize(new_ind, kNilBlock);
+  if (new_ind <= 1 && fm->dind_addr != kNilBlock) {
+    SegNo seg = sb_.SegOf(fm->dind_addr);
+    if (seg != kNilSeg) {
+      usage_.SubLive(seg, bs);
+    }
+    fm->dind_addr = kNilBlock;
+    fm->dind_dirty = false;
+  } else if (new_ind > 1) {
+    fm->dind_dirty = true;
+  }
+  if (new_ind > 0) {
+    fm->dirty_ind.insert(static_cast<uint32_t>(new_ind - 1));  // boundary re-serialize
+  }
+  fm->inode_dirty = true;
+  return OkStatus();
+}
+
+void LfsFileSystem::StoreDirtyBlock(InodeNum ino, uint64_t fbn, std::vector<uint8_t> data) {
+  assert(data.size() == sb_.block_size);
+  dirty_data_[{ino, fbn}] = std::move(data);
+}
+
+Status LfsFileSystem::ReadFileBlock(FileMap* fm, InodeNum ino, uint64_t fbn,
+                                    std::span<uint8_t> out) {
+  auto dirty = dirty_data_.find({ino, fbn});
+  if (dirty != dirty_data_.end()) {
+    std::memcpy(out.data(), dirty->second.data(), out.size());
+    return OkStatus();
+  }
+  if (fbn >= fm->blocks.size() || fm->blocks[fbn] == kNilBlock) {
+    std::memset(out.data(), 0, out.size());  // hole
+    return OkStatus();
+  }
+  return ReadLogBlock(fm->blocks[fbn], out);
+}
+
+Status LfsFileSystem::EnsureSpaceForWrite(uint64_t new_blocks) {
+  // The log needs clean segments to make progress; refuse growth that would
+  // leave the cleaner unable to regenerate them. This is the LFS analogue of
+  // FFS's 90%-capacity limit (Section 3.5's cost/performance tradeoff): past
+  // ~80% utilization with little variance, a cleaning pass's fixed overhead
+  // (summaries, rewritten inodes and indirect blocks, the interleaved write
+  // buffer) can exceed what it reclaims, so allocation stops before the
+  // cleaner's profitable regime ends. The paper's production systems ran at
+  // 11-75% utilization.
+  uint64_t usable_segments = sb_.nsegments > cfg_.reserve_segments + 2
+                                 ? sb_.nsegments - cfg_.reserve_segments - 2
+                                 : 0;
+  usable_segments = std::min<uint64_t>(usable_segments, sb_.nsegments * 4 / 5);
+  uint64_t usable_bytes = usable_segments * uint64_t{sb_.segment_bytes()};
+  uint64_t committed = usage_.TotalLiveBytes() +
+                       (dirty_data_.size() + new_blocks) * uint64_t{sb_.block_size};
+  if (committed > usable_bytes) {
+    return NoSpaceError("filesystem full: " + std::to_string(committed) + " of " +
+                        std::to_string(usable_bytes) + " usable bytes committed");
+  }
+  return OkStatus();
+}
+
+Status LfsFileSystem::CheckWritable() const {
+  if (read_only_) {
+    return ReadOnlyError("filesystem is mounted read-only");
+  }
+  return OkStatus();
+}
+
+Status LfsFileSystem::WriteAt(InodeNum ino, uint64_t offset, std::span<const uint8_t> data) {
+  LFS_RETURN_IF_ERROR(CheckWritable());
+  if (data.empty()) {
+    return OkStatus();
+  }
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  if (fm->inode.type == FileType::kDirectory) {
+    return IsADirectoryError("cannot write directly to a directory");
+  }
+  const uint32_t bs = sb_.block_size;
+  uint64_t end = offset + data.size();
+  uint64_t old_blocks = fm->blocks.size();
+  uint64_t new_blocks_total = std::max(old_blocks, BlockCountFor(end));
+  LFS_RETURN_IF_ERROR(EnsureSpaceForWrite(new_blocks_total - old_blocks));
+  LFS_RETURN_IF_ERROR(GrowFileMap(fm, new_blocks_total));
+
+  // Mark the inode dirty up front: the incremental flushes below must never
+  // consider this file clean (and thus evictable) mid-write.
+  fm->inode.mtime = clock_.Tick();
+  fm->inode_dirty = true;
+  dirty_inodes_.insert(ino);
+
+  uint64_t pos = offset;
+  size_t src = 0;
+  while (pos < end) {
+    uint64_t fbn = pos / bs;
+    uint32_t in_block = static_cast<uint32_t>(pos % bs);
+    uint32_t chunk = static_cast<uint32_t>(std::min<uint64_t>(bs - in_block, end - pos));
+    std::vector<uint8_t> block(bs);
+    if (chunk != bs) {
+      // Partial-block write: read-modify-write against cache or disk.
+      LFS_RETURN_IF_ERROR(ReadFileBlock(fm, ino, fbn, block));
+    }
+    std::memcpy(block.data() + in_block, data.data() + src, chunk);
+    StoreDirtyBlock(ino, fbn, std::move(block));
+    pos += chunk;
+    src += chunk;
+    fm->inode.size = std::max(fm->inode.size, pos);
+    // Flush as the write buffer fills, so a single large write streams
+    // through segment-sized batches (and the cleaner can keep pace) instead
+    // of accumulating the whole request in memory.
+    LFS_RETURN_IF_ERROR(MaybeFlush());
+  }
+  return OkStatus();
+}
+
+Result<uint64_t> LfsFileSystem::ReadAt(InodeNum ino, uint64_t offset, std::span<uint8_t> out) {
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  if (offset >= fm->inode.size || out.empty()) {
+    return uint64_t{0};
+  }
+  const uint32_t bs = sb_.block_size;
+  uint64_t want = std::min<uint64_t>(out.size(), fm->inode.size - offset);
+
+  // Fast path for block-aligned bulk reads: coalesce runs of consecutively
+  // placed blocks into single sequential device I/Os. Files written
+  // sequentially sit contiguously in the log, so this is where LFS gets its
+  // FFS-matching sequential read bandwidth (Figure 9).
+  uint64_t done = 0;
+  while (done < want) {
+    uint64_t pos = offset + done;
+    uint64_t fbn = pos / bs;
+    uint32_t in_block = static_cast<uint32_t>(pos % bs);
+    uint32_t chunk = static_cast<uint32_t>(std::min<uint64_t>(bs - in_block, want - done));
+    bool plain_disk_block = in_block == 0 && chunk == bs &&
+                            dirty_data_.find({ino, fbn}) == dirty_data_.end() &&
+                            fbn < fm->blocks.size() && fm->blocks[fbn] != kNilBlock;
+    if (plain_disk_block) {
+      // Extend the run of contiguous disk blocks.
+      uint64_t run = 1;
+      while (done + run * bs + bs <= want) {
+        uint64_t next_fbn = fbn + run;
+        if (next_fbn >= fm->blocks.size() || fm->blocks[next_fbn] != fm->blocks[fbn] + run ||
+            dirty_data_.find({ino, next_fbn}) != dirty_data_.end()) {
+          break;
+        }
+        run++;
+      }
+      std::span<uint8_t> dst = out.subspan(done, run * bs);
+      if (!writer_.ReadBuffered(fm->blocks[fbn], dst.subspan(0, bs))) {
+        LFS_RETURN_IF_ERROR(device_->Read(fm->blocks[fbn], run, dst));
+        done += run * bs;
+        continue;
+      }
+      // Buffered in the writer: fall through to slow per-block path.
+    }
+    std::vector<uint8_t> block(bs);
+    LFS_RETURN_IF_ERROR(ReadFileBlock(fm, ino, fbn, block));
+    std::memcpy(out.data() + done, block.data() + in_block, chunk);
+    done += chunk;
+  }
+  imap_.SetAtime(ino, clock_.Tick());
+  return want;
+}
+
+Status LfsFileSystem::Truncate(InodeNum ino, uint64_t new_size) {
+  LFS_RETURN_IF_ERROR(CheckWritable());
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  if (fm->inode.type == FileType::kDirectory) {
+    return IsADirectoryError("cannot truncate a directory");
+  }
+  if (new_size == fm->inode.size) {
+    return OkStatus();
+  }
+  const uint32_t bs = sb_.block_size;
+  if (new_size < fm->inode.size) {
+    LFS_RETURN_IF_ERROR(ShrinkFileMap(ino, fm, BlockCountFor(new_size)));
+    if (new_size % bs != 0) {
+      // Zero the tail of the boundary block so later extensions read zeros.
+      uint64_t fbn = new_size / bs;
+      std::vector<uint8_t> block(bs);
+      LFS_RETURN_IF_ERROR(ReadFileBlock(fm, ino, fbn, block));
+      std::memset(block.data() + new_size % bs, 0, bs - new_size % bs);
+      StoreDirtyBlock(ino, fbn, std::move(block));
+    }
+    if (new_size == 0) {
+      // Truncation to zero bumps the file version (Section 3.3): all old log
+      // blocks of this file become recognizably dead to the cleaner.
+      imap_.Restore(ino, [&] {
+        ImapEntry e = imap_.Get(ino);
+        e.version++;
+        return e;
+      }());
+      fm->inode.version = imap_.Get(ino).version;
+    }
+  } else {
+    LFS_RETURN_IF_ERROR(EnsureSpaceForWrite(0));
+    LFS_RETURN_IF_ERROR(GrowFileMap(fm, BlockCountFor(new_size)));  // a hole
+  }
+  fm->inode.size = new_size;
+  fm->inode.mtime = clock_.Tick();
+  fm->inode_dirty = true;
+  dirty_inodes_.insert(ino);
+  return MaybeFlush();
+}
+
+// --- flush machinery -----------------------------------------------------------
+
+Status LfsFileSystem::FlushDirLog() {
+  if (pending_dirlog_.empty()) {
+    return OkStatus();
+  }
+  const uint32_t bs = sb_.block_size;
+  const size_t header = 6;  // magic + count
+  std::vector<DirLogRecord> batch;
+  size_t batch_bytes = header;
+  auto emit = [&]() -> Status {
+    if (batch.empty()) {
+      return OkStatus();
+    }
+    std::vector<uint8_t> block = EncodeDirLogBlock(batch, bs);
+    SummaryEntry entry{BlockKind::kDirLog, kNilInode, 0, 0};
+    // Dirlog blocks are never live for the cleaner: they only matter during
+    // roll-forward over the post-checkpoint log tail.
+    LFS_RETURN_IF_ERROR(writer_.Append(entry, std::move(block), clock_.Now(),
+                                       /*live_bytes=*/0).status());
+    batch.clear();
+    batch_bytes = header;
+    return OkStatus();
+  };
+  for (DirLogRecord& rec : pending_dirlog_) {
+    size_t rs = DirLogRecordEncodedSize(rec);
+    if (batch_bytes + rs > bs) {
+      LFS_RETURN_IF_ERROR(emit());
+    }
+    batch_bytes += rs;
+    batch.push_back(std::move(rec));
+  }
+  LFS_RETURN_IF_ERROR(emit());
+  pending_dirlog_.clear();
+  return OkStatus();
+}
+
+Status LfsFileSystem::FlushFileMetadata() {
+  const uint32_t bs = sb_.block_size;
+  const uint32_t ppb = sb_.pointers_per_block();
+
+  // Pass 1: indirect blocks (and double-indirect roots), so the inodes
+  // written in pass 2 carry final pointers.
+  for (InodeNum ino : dirty_inodes_) {
+    auto it = files_.find(ino);
+    if (it == files_.end()) {
+      continue;  // deleted before the flush
+    }
+    FileMap& fm = it->second;
+    for (uint32_t ind : fm.dirty_ind) {
+      std::vector<uint8_t> block;
+      block.reserve(bs);
+      Encoder enc(&block);
+      for (uint32_t j = 0; j < ppb; j++) {
+        uint64_t fbn = kNumDirect + uint64_t{ind} * ppb + j;
+        enc.PutU64(fbn < fm.blocks.size() ? fm.blocks[fbn] : kNilBlock);
+      }
+      SummaryEntry entry{BlockKind::kIndirect, ino, ind, fm.inode.version};
+      LFS_ASSIGN_OR_RETURN(BlockNo addr,
+                           writer_.Append(entry, std::move(block), fm.inode.mtime, bs));
+      BlockNo old = fm.ind_addrs[ind];
+      SegNo old_seg = sb_.SegOf(old);
+      if (old != kNilBlock && old_seg != kNilSeg) {
+        usage_.SubLive(old_seg, bs);
+      }
+      fm.ind_addrs[ind] = addr;
+    }
+    fm.dirty_ind.clear();
+    if (fm.dind_dirty && fm.ind_addrs.size() > 1) {
+      std::vector<uint8_t> block;
+      block.reserve(bs);
+      Encoder enc(&block);
+      for (uint32_t j = 0; j < ppb; j++) {
+        uint64_t idx = uint64_t{j} + 1;
+        enc.PutU64(idx < fm.ind_addrs.size() ? fm.ind_addrs[idx] : kNilBlock);
+      }
+      SummaryEntry entry{BlockKind::kDoubleIndirect, ino, 0, fm.inode.version};
+      LFS_ASSIGN_OR_RETURN(BlockNo addr,
+                           writer_.Append(entry, std::move(block), fm.inode.mtime, bs));
+      BlockNo old = fm.dind_addr;
+      SegNo old_seg = sb_.SegOf(old);
+      if (old != kNilBlock && old_seg != kNilSeg) {
+        usage_.SubLive(old_seg, bs);
+      }
+      fm.dind_addr = addr;
+    }
+    fm.dind_dirty = false;
+    // Final pointers into the inode.
+    for (uint32_t i = 0; i < kNumDirect; i++) {
+      fm.inode.direct[i] = i < fm.blocks.size() ? fm.blocks[i] : kNilBlock;
+    }
+    fm.inode.single_indirect = fm.ind_addrs.empty() ? kNilBlock : fm.ind_addrs[0];
+    fm.inode.double_indirect = fm.dind_addr;
+  }
+
+  // Pass 2: pack dirty inodes into inode blocks (several per block; Figure 1
+  // shows inodes written adjacent to the data they describe).
+  std::vector<InodeNum> todo;
+  todo.reserve(dirty_inodes_.size());
+  for (InodeNum ino : dirty_inodes_) {
+    if (files_.find(ino) != files_.end()) {
+      todo.push_back(ino);
+    }
+  }
+  const uint32_t per_block = sb_.inodes_per_block();
+  for (size_t i = 0; i < todo.size(); i += per_block) {
+    size_t group = std::min<size_t>(per_block, todo.size() - i);
+    std::vector<uint8_t> block(bs, 0);
+    uint64_t mtime = 0;
+    for (size_t s = 0; s < group; s++) {
+      FileMap& fm = files_.at(todo[i + s]);
+      fm.inode.EncodeTo(std::span<uint8_t>(block).subspan(s * kInodeSlotSize, kInodeSlotSize));
+      mtime = std::max(mtime, fm.inode.mtime);
+    }
+    SummaryEntry entry{BlockKind::kInodeBlock, todo[i], 0, 0};
+    LFS_ASSIGN_OR_RETURN(
+        BlockNo addr,
+        writer_.Append(entry, std::move(block), mtime,
+                       static_cast<uint32_t>(group * kInodeSlotSize)));
+    for (size_t s = 0; s < group; s++) {
+      InodeNum ino = todo[i + s];
+      ImapEntry old = imap_.Get(ino);
+      SegNo old_seg = sb_.SegOf(old.inode_block);
+      if (old.allocated() && old_seg != kNilSeg) {
+        usage_.SubLive(old_seg, kInodeSlotSize);
+      }
+      imap_.SetLocation(ino, addr, static_cast<uint16_t>(s));
+      files_.at(ino).inode_dirty = false;
+    }
+  }
+  dirty_inodes_.clear();
+  return OkStatus();
+}
+
+Status LfsFileSystem::FlushDirtyData() {
+  LFS_RETURN_IF_ERROR(MaybeClean());
+  return FlushDirtyDataInner();
+}
+
+Status LfsFileSystem::FlushDirtyDataInner() {
+  // Directory-operation-log records must reach the log before the directory
+  // blocks and inodes they describe (Section 4.2).
+  LFS_RETURN_IF_ERROR(FlushDirLog());
+
+  const uint32_t bs = sb_.block_size;
+  uint64_t flushed = 0;
+  // Snapshot the batch so nothing that re-enters (checkpoints, cleaning) can
+  // invalidate the iteration.
+  auto batch = std::move(dirty_data_);
+  dirty_data_.clear();
+  // std::map ordering gives (ino, fbn) order: blocks of a file, and files
+  // created together, land adjacently in the log — the paper's temporal
+  // locality.
+  for (auto& [key, data] : batch) {
+    auto [ino, fbn] = key;
+    LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+    SummaryEntry entry{BlockKind::kData, ino, fbn, fm->inode.version};
+    LFS_ASSIGN_OR_RETURN(BlockNo addr,
+                         writer_.Append(entry, std::move(data), fm->inode.mtime, bs));
+    BlockNo old = fbn < fm->blocks.size() ? fm->blocks[fbn] : kNilBlock;
+    SegNo old_seg = sb_.SegOf(old);
+    if (old != kNilBlock && old_seg != kNilSeg) {
+      usage_.SubLive(old_seg, bs);
+    }
+    fm->blocks[fbn] = addr;
+    MarkIndirectDirty(fm, fbn);
+    dirty_inodes_.insert(ino);
+    flushed++;
+  }
+  LFS_RETURN_IF_ERROR(FlushFileMetadata());
+  LFS_RETURN_IF_ERROR(writer_.Flush());
+  bytes_since_checkpoint_ += flushed * bs;
+  return OkStatus();
+}
+
+Status LfsFileSystem::MaybeFlush() {
+  if (dirty_data_.size() < cfg_.write_buffer_blocks) {
+    return OkStatus();
+  }
+  LFS_RETURN_IF_ERROR(FlushDirtyData());
+  LFS_RETURN_IF_ERROR(MaybeAutoCheckpoint());
+
+  // Trim clean cached file maps and directories; dirty state always stays.
+  if (files_.size() > kFileCacheCap) {
+    for (auto it = files_.begin(); it != files_.end();) {
+      const FileMap& fm = it->second;
+      bool clean = !fm.inode_dirty && fm.dirty_ind.empty() && !fm.dind_dirty &&
+                   dirty_inodes_.count(it->first) == 0 && it->first != kRootInode &&
+                   dirs_.find(it->first) == dirs_.end();
+      it = clean ? files_.erase(it) : ++it;
+      if (files_.size() <= kFileCacheCap / 2) {
+        break;
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status LfsFileSystem::MaybeAutoCheckpoint() {
+  if (cfg_.checkpoint_interval_bytes == 0 ||
+      bytes_since_checkpoint_ < cfg_.checkpoint_interval_bytes) {
+    return OkStatus();
+  }
+  return WriteCheckpoint();
+}
+
+}  // namespace lfs

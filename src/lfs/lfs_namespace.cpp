@@ -1,0 +1,396 @@
+// Directories and the namespace operations.
+//
+// Directories are ordinary files in the log whose blocks each hold an
+// independent packed entry list; a parsed DirCache (with a name index) backs
+// lookups. Every namespace mutation appends a directory-operation-log record
+// (Section 4.2) before the affected directory block and inodes reach the
+// log, which is what lets roll-forward restore entry/refcount consistency.
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "src/lfs/lfs.h"
+
+namespace lfs {
+
+Result<LfsFileSystem::DirCache*> LfsFileSystem::GetDirCache(InodeNum dir_ino) {
+  auto it = dirs_.find(dir_ino);
+  if (it != dirs_.end()) {
+    return &it->second;
+  }
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(dir_ino));
+  if (fm->inode.type != FileType::kDirectory) {
+    return NotADirectoryError("inode " + std::to_string(dir_ino) + " is not a directory");
+  }
+  DirCache cache;
+  uint64_t nblocks = BlockCountFor(fm->inode.size);
+  std::vector<uint8_t> block(sb_.block_size);
+  for (uint64_t b = 0; b < nblocks; b++) {
+    LFS_RETURN_IF_ERROR(ReadFileBlock(fm, dir_ino, b, block));
+    LFS_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, DecodeDirBlock(block));
+    size_t used = 0;
+    for (const DirEntry& e : entries) {
+      used += DirEntryEncodedSize(e);
+      cache.index.emplace(e.name, e.ino);
+    }
+    cache.blocks.push_back(std::move(entries));
+    cache.used_bytes.push_back(used);
+  }
+  auto [pos, inserted] = dirs_.emplace(dir_ino, std::move(cache));
+  (void)inserted;
+  return &pos->second;
+}
+
+Result<InodeNum> LfsFileSystem::LookupInDir(InodeNum dir_ino, std::string_view name) {
+  LFS_ASSIGN_OR_RETURN(DirCache * cache, GetDirCache(dir_ino));
+  auto it = cache->index.find(std::string(name));
+  if (it != cache->index.end()) {
+    return it->second;
+  }
+  return NotFoundError("no entry '" + std::string(name) + "' in directory " +
+                       std::to_string(dir_ino));
+}
+
+Status LfsFileSystem::WriteDirBlock(InodeNum dir_ino, uint64_t fbn) {
+  DirCache& cache = dirs_.at(dir_ino);
+  StoreDirtyBlock(dir_ino, fbn, EncodeDirBlock(cache.blocks[fbn], sb_.block_size));
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(dir_ino));
+  uint64_t new_size = uint64_t{cache.blocks.size()} * sb_.block_size;
+  LFS_RETURN_IF_ERROR(GrowFileMap(fm, cache.blocks.size()));
+  fm->inode.size = std::max(fm->inode.size, new_size);
+  fm->inode.mtime = clock_.Tick();
+  fm->inode_dirty = true;
+  dirty_inodes_.insert(dir_ino);
+  return OkStatus();
+}
+
+Status LfsFileSystem::AddDirEntry(InodeNum dir_ino, const DirEntry& entry) {
+  LFS_ASSIGN_OR_RETURN(DirCache * cache, GetDirCache(dir_ino));
+  size_t need = DirEntryEncodedSize(entry);
+  size_t capacity = DirBlockCapacity(sb_.block_size);
+  for (size_t b = 0; b < cache->blocks.size(); b++) {
+    if (cache->used_bytes[b] + need <= capacity) {
+      cache->blocks[b].push_back(entry);
+      cache->used_bytes[b] += need;
+      cache->index.emplace(entry.name, entry.ino);
+      return WriteDirBlock(dir_ino, b);
+    }
+  }
+  LFS_RETURN_IF_ERROR(EnsureSpaceForWrite(1));
+  cache->blocks.push_back({entry});
+  cache->used_bytes.push_back(need);
+  cache->index.emplace(entry.name, entry.ino);
+  return WriteDirBlock(dir_ino, cache->blocks.size() - 1);
+}
+
+Status LfsFileSystem::RemoveDirEntry(InodeNum dir_ino, std::string_view name) {
+  LFS_ASSIGN_OR_RETURN(DirCache * cache, GetDirCache(dir_ino));
+  for (size_t b = 0; b < cache->blocks.size(); b++) {
+    auto& entries = cache->blocks[b];
+    for (auto it = entries.begin(); it != entries.end(); ++it) {
+      if (it->name == name) {
+        cache->used_bytes[b] -= DirEntryEncodedSize(*it);
+        cache->index.erase(it->name);
+        entries.erase(it);
+        return WriteDirBlock(dir_ino, b);
+      }
+    }
+  }
+  return NotFoundError("no entry '" + std::string(name) + "' to remove");
+}
+
+Result<InodeNum> LfsFileSystem::ResolveDir(std::string_view path) {
+  LFS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  InodeNum ino = kRootInode;
+  for (const std::string& comp : parts) {
+    LFS_ASSIGN_OR_RETURN(ino, LookupInDir(ino, comp));
+  }
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  if (fm->inode.type != FileType::kDirectory) {
+    return NotADirectoryError(std::string(path));
+  }
+  return ino;
+}
+
+Result<std::pair<InodeNum, std::string>> LfsFileSystem::ResolveParent(std::string_view path) {
+  LFS_ASSIGN_OR_RETURN(auto split, SplitParent(path));
+  LFS_ASSIGN_OR_RETURN(InodeNum parent, ResolveDir(split.first));
+  return std::make_pair(parent, split.second);
+}
+
+Result<InodeNum> LfsFileSystem::Lookup(std::string_view path) {
+  LFS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  InodeNum ino = kRootInode;
+  for (const std::string& comp : parts) {
+    LFS_ASSIGN_OR_RETURN(ino, LookupInDir(ino, comp));
+  }
+  return ino;
+}
+
+void LfsFileSystem::LogDirOp(DirLogRecord record) {
+  if (in_recovery_) {
+    return;  // recovery repairs are themselves checkpointed, not re-logged
+  }
+  pending_dirlog_.push_back(std::move(record));
+}
+
+Result<InodeNum> LfsFileSystem::Create(std::string_view path) {
+  LFS_RETURN_IF_ERROR(CheckWritable());
+  LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+  auto [dir_ino, name] = parent;
+  if (LookupInDir(dir_ino, name).ok()) {
+    return AlreadyExistsError(std::string(path));
+  }
+  LFS_RETURN_IF_ERROR(EnsureSpaceForWrite(1));
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, imap_.Allocate());
+
+  FileMap fm;
+  fm.inode.ino = ino;
+  fm.inode.type = FileType::kRegular;
+  fm.inode.nlink = 1;
+  fm.inode.version = imap_.Get(ino).version;
+  fm.inode.mtime = clock_.Tick();
+  fm.inode_dirty = true;
+  files_[ino] = std::move(fm);
+  dirty_inodes_.insert(ino);
+
+  DirLogRecord rec;
+  rec.op = DirOp::kCreate;
+  rec.dir_ino = dir_ino;
+  rec.name = name;
+  rec.target_ino = ino;
+  rec.target_version = imap_.Get(ino).version;
+  rec.new_nlink = 1;
+  rec.target_type = FileType::kRegular;
+  LogDirOp(std::move(rec));
+
+  LFS_RETURN_IF_ERROR(AddDirEntry(dir_ino, DirEntry{name, ino, FileType::kRegular}));
+  LFS_RETURN_IF_ERROR(MaybeFlush());
+  return ino;
+}
+
+Status LfsFileSystem::Mkdir(std::string_view path) {
+  LFS_RETURN_IF_ERROR(CheckWritable());
+  LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+  auto [dir_ino, name] = parent;
+  if (LookupInDir(dir_ino, name).ok()) {
+    return AlreadyExistsError(std::string(path));
+  }
+  LFS_RETURN_IF_ERROR(EnsureSpaceForWrite(1));
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, imap_.Allocate());
+
+  FileMap fm;
+  fm.inode.ino = ino;
+  fm.inode.type = FileType::kDirectory;
+  fm.inode.nlink = 1;
+  fm.inode.version = imap_.Get(ino).version;
+  fm.inode.mtime = clock_.Tick();
+  fm.inode_dirty = true;
+  files_[ino] = std::move(fm);
+  dirs_[ino] = DirCache{};
+  dirty_inodes_.insert(ino);
+
+  DirLogRecord rec;
+  rec.op = DirOp::kCreate;
+  rec.dir_ino = dir_ino;
+  rec.name = name;
+  rec.target_ino = ino;
+  rec.target_version = imap_.Get(ino).version;
+  rec.new_nlink = 1;
+  rec.target_type = FileType::kDirectory;
+  LogDirOp(std::move(rec));
+
+  LFS_RETURN_IF_ERROR(AddDirEntry(dir_ino, DirEntry{name, ino, FileType::kDirectory}));
+  return MaybeFlush();
+}
+
+Status LfsFileSystem::DeleteFileContents(InodeNum ino) {
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  LFS_RETURN_IF_ERROR(ShrinkFileMap(ino, fm, 0));  // frees data + indirect blocks
+  ImapEntry old = imap_.Get(ino);
+  SegNo old_seg = sb_.SegOf(old.inode_block);
+  if (old.allocated() && old_seg != kNilSeg) {
+    usage_.SubLive(old_seg, kInodeSlotSize);
+  }
+  imap_.Free(ino);
+  dirty_inodes_.erase(ino);
+  files_.erase(ino);
+  dirs_.erase(ino);
+  return OkStatus();
+}
+
+Status LfsFileSystem::Unlink(std::string_view path) {
+  LFS_RETURN_IF_ERROR(CheckWritable());
+  LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+  auto [dir_ino, name] = parent;
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, LookupInDir(dir_ino, name));
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  if (fm->inode.type == FileType::kDirectory) {
+    return IsADirectoryError(std::string(path) + " (use Rmdir)");
+  }
+
+  DirLogRecord rec;
+  rec.op = DirOp::kUnlink;
+  rec.dir_ino = dir_ino;
+  rec.name = name;
+  rec.target_ino = ino;
+  rec.target_version = fm->inode.version;
+  rec.new_nlink = static_cast<uint16_t>(fm->inode.nlink - 1);
+  rec.target_type = FileType::kRegular;
+  LogDirOp(std::move(rec));
+
+  LFS_RETURN_IF_ERROR(RemoveDirEntry(dir_ino, name));
+  fm->inode.nlink--;
+  if (fm->inode.nlink == 0) {
+    LFS_RETURN_IF_ERROR(DeleteFileContents(ino));
+  } else {
+    fm->inode.mtime = clock_.Tick();
+    fm->inode_dirty = true;
+    dirty_inodes_.insert(ino);
+  }
+  return MaybeFlush();
+}
+
+Status LfsFileSystem::Rmdir(std::string_view path) {
+  LFS_RETURN_IF_ERROR(CheckWritable());
+  LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+  auto [dir_ino, name] = parent;
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, LookupInDir(dir_ino, name));
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  if (fm->inode.type != FileType::kDirectory) {
+    return NotADirectoryError(std::string(path));
+  }
+  LFS_ASSIGN_OR_RETURN(DirCache * cache, GetDirCache(ino));
+  for (const auto& entries : cache->blocks) {
+    if (!entries.empty()) {
+      return NotEmptyError(std::string(path));
+    }
+  }
+
+  DirLogRecord rec;
+  rec.op = DirOp::kUnlink;
+  rec.dir_ino = dir_ino;
+  rec.name = name;
+  rec.target_ino = ino;
+  rec.target_version = fm->inode.version;
+  rec.new_nlink = 0;
+  rec.target_type = FileType::kDirectory;
+  LogDirOp(std::move(rec));
+
+  LFS_RETURN_IF_ERROR(RemoveDirEntry(dir_ino, name));
+  LFS_RETURN_IF_ERROR(DeleteFileContents(ino));
+  return MaybeFlush();
+}
+
+Status LfsFileSystem::Link(std::string_view existing, std::string_view link_path) {
+  LFS_RETURN_IF_ERROR(CheckWritable());
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, Lookup(existing));
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  if (fm->inode.type == FileType::kDirectory) {
+    return IsADirectoryError("hard links to directories are not allowed");
+  }
+  LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(link_path));
+  auto [dir_ino, name] = parent;
+  if (LookupInDir(dir_ino, name).ok()) {
+    return AlreadyExistsError(std::string(link_path));
+  }
+
+  DirLogRecord rec;
+  rec.op = DirOp::kLink;
+  rec.dir_ino = dir_ino;
+  rec.name = name;
+  rec.target_ino = ino;
+  rec.target_version = fm->inode.version;
+  rec.new_nlink = static_cast<uint16_t>(fm->inode.nlink + 1);
+  rec.target_type = FileType::kRegular;
+  LogDirOp(std::move(rec));
+
+  LFS_RETURN_IF_ERROR(AddDirEntry(dir_ino, DirEntry{name, ino, FileType::kRegular}));
+  fm->inode.nlink++;
+  fm->inode.mtime = clock_.Tick();
+  fm->inode_dirty = true;
+  dirty_inodes_.insert(ino);
+  return MaybeFlush();
+}
+
+Status LfsFileSystem::Rename(std::string_view from, std::string_view to) {
+  LFS_RETURN_IF_ERROR(CheckWritable());
+  if (from == to) {
+    return OkStatus();
+  }
+  // Reject moving a directory into its own subtree.
+  if (to.size() > from.size() && to.substr(0, from.size()) == from &&
+      to[from.size()] == '/') {
+    return InvalidArgumentError("cannot move a directory into itself");
+  }
+  LFS_ASSIGN_OR_RETURN(auto src, ResolveParent(from));
+  auto [from_dir, from_name] = src;
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, LookupInDir(from_dir, from_name));
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  FileType type = fm->inode.type;
+
+  LFS_ASSIGN_OR_RETURN(auto dst, ResolveParent(to));
+  auto [to_dir, to_name] = dst;
+
+  InodeNum replaced = kNilInode;
+  uint16_t replaced_nlink = 0;
+  Result<InodeNum> existing = LookupInDir(to_dir, to_name);
+  if (existing.ok()) {
+    replaced = existing.value();
+    LFS_ASSIGN_OR_RETURN(FileMap * rfm, GetFileMap(replaced));
+    if (rfm->inode.type == FileType::kDirectory) {
+      return IsADirectoryError("rename target '" + std::string(to) + "' is a directory");
+    }
+    replaced_nlink = static_cast<uint16_t>(rfm->inode.nlink - 1);
+  }
+
+  DirLogRecord rec;
+  rec.op = DirOp::kRename;
+  rec.dir_ino = from_dir;
+  rec.name = from_name;
+  rec.target_ino = ino;
+  rec.target_version = fm->inode.version;
+  rec.new_nlink = fm->inode.nlink;
+  rec.target_type = type;
+  rec.dir2_ino = to_dir;
+  rec.name2 = to_name;
+  rec.replaced_ino = replaced;
+  rec.replaced_nlink = replaced_nlink;
+  LogDirOp(std::move(rec));
+
+  if (replaced != kNilInode) {
+    LFS_RETURN_IF_ERROR(RemoveDirEntry(to_dir, to_name));
+    FileMap* rfm = files_.count(replaced) ? &files_.at(replaced) : nullptr;
+    if (rfm != nullptr) {
+      rfm->inode.nlink--;
+      if (rfm->inode.nlink == 0) {
+        LFS_RETURN_IF_ERROR(DeleteFileContents(replaced));
+      } else {
+        rfm->inode_dirty = true;
+        dirty_inodes_.insert(replaced);
+      }
+    }
+  }
+  LFS_RETURN_IF_ERROR(RemoveDirEntry(from_dir, from_name));
+  LFS_RETURN_IF_ERROR(AddDirEntry(to_dir, DirEntry{to_name, ino, type}));
+  fm = &files_.at(ino);  // re-fetch: DeleteFileContents may have touched maps
+  fm->inode.mtime = clock_.Tick();
+  fm->inode_dirty = true;
+  dirty_inodes_.insert(ino);
+  return MaybeFlush();
+}
+
+Result<std::vector<DirEntry>> LfsFileSystem::ReadDir(std::string_view path) {
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, ResolveDir(path));
+  LFS_ASSIGN_OR_RETURN(DirCache * cache, GetDirCache(ino));
+  std::vector<DirEntry> out;
+  for (const auto& entries : cache->blocks) {
+    out.insert(out.end(), entries.begin(), entries.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DirEntry& a, const DirEntry& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace lfs

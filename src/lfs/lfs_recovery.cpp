@@ -1,0 +1,395 @@
+// Crash recovery: roll-forward over the post-checkpoint log tail (Section 4.2).
+//
+// The checkpoint gives a consistent base state. Roll-forward then:
+//   1. collects every valid partial-segment write with a sequence number at
+//      or after the checkpoint boundary (summary + payload CRCs make a
+//      partial write the atomic logging unit: torn writes are ignored);
+//   2. replays inode blocks in sequence order, updating the inode map — an
+//      inode in the log always post-dates its file's data and indirect
+//      blocks, so accepting an inode automatically incorporates its data
+//      ("data blocks without a new copy of the inode are ignored");
+//   3. adjusts the segment usage table: post-checkpoint segments gain the
+//      blocks that are live in the recovered state, and segments holding
+//      superseded pre-checkpoint copies are decremented;
+//   4. replays the directory operation log to restore consistency between
+//      directory entries and inode reference counts, completing or undoing
+//      half-finished create/link/unlink/rename operations.
+//
+// The changed directories, inodes, and table chunks are then written back to
+// the log by the checkpoint the caller takes after mount.
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "src/lfs/lfs.h"
+#include "src/util/crc32.h"
+
+namespace lfs {
+
+Result<std::vector<LfsFileSystem::ParsedPartial>> LfsFileSystem::ParseSegmentChain(
+    SegNo seg, uint32_t start_offset, uint32_t stop_offset, uint64_t min_seq) {
+  std::vector<ParsedPartial> out;
+  const uint32_t bs = sb_.block_size;
+  const BlockNo base = sb_.SegmentBase(seg);
+  uint32_t offset = start_offset;
+  uint64_t prev_seq = 0;
+  std::vector<uint8_t> sum_block(bs);
+
+  while (offset + 1 < stop_offset) {
+    if (!device_->ReadBlock(base + offset, sum_block).ok()) {
+      break;
+    }
+    Result<SegmentSummary> sum = SegmentSummary::DecodeFrom(sum_block);
+    if (!sum.ok()) {
+      break;  // end of the written chain (or garbage from a prior generation)
+    }
+    // Sequence numbers increase strictly along a segment's chain; a drop
+    // means we have walked into a previous generation's leftovers.
+    if (prev_seq != 0 && sum->seq <= prev_seq) {
+      break;
+    }
+    uint32_t n = static_cast<uint32_t>(sum->entries.size());
+    if (n == 0 || offset + 1 + n > stop_offset) {
+      break;
+    }
+    ParsedPartial p;
+    p.seg = seg;
+    p.offset = offset;
+    p.payload.resize(size_t{n} * bs);
+    if (!device_->Read(base + offset + 1, n, p.payload).ok()) {
+      break;
+    }
+    if (Crc32(p.payload) != sum->payload_crc) {
+      break;  // torn partial write: ignore it and everything after
+    }
+    prev_seq = sum->seq;
+    uint32_t next = offset + 1 + n;
+    p.summary = std::move(sum).value();
+    if (p.summary.seq >= min_seq) {
+      out.push_back(std::move(p));
+    }
+    offset = next;
+  }
+  return out;
+}
+
+Status LfsFileSystem::RollForward(const Checkpoint& ck) {
+  in_recovery_ = true;
+  const uint64_t start_seq = ck.next_summary_seq;
+  const uint32_t bs = sb_.block_size;
+
+  // --- 1. collect the post-checkpoint log tail --------------------------------
+  // The writer only appends to the checkpoint's active segment or to
+  // segments the checkpoint recorded as clean (cleaning bursts and dead-
+  // segment sweeps are immediately covered by a checkpoint). Clean segments
+  // are furthermore consumed in ascending index order (PickClean), so the
+  // scan probes them in that order and stops at the first one never used —
+  // recovery cost is proportional to the data written since the checkpoint,
+  // not to the disk size (the property behind Table 3).
+  std::vector<ParsedPartial> replay;
+  std::vector<uint8_t> sum_block(bs);
+  {
+    LFS_ASSIGN_OR_RETURN(
+        std::vector<ParsedPartial> chain,
+        ParseSegmentChain(ck.cur_segment, ck.cur_offset, sb_.segment_blocks, start_seq));
+    for (ParsedPartial& p : chain) {
+      replay.push_back(std::move(p));
+    }
+  }
+  for (SegNo seg = 0; seg < sb_.nsegments; seg++) {
+    if (seg == ck.cur_segment || usage_.Get(seg).state != SegState::kClean) {
+      continue;
+    }
+    if (!device_->ReadBlock(sb_.SegmentBase(seg), sum_block).ok()) {
+      break;
+    }
+    Result<SegmentSummary> first = SegmentSummary::DecodeFrom(sum_block);
+    if (!first.ok() || first->seq < start_seq) {
+      break;  // first clean segment never reused; later ones cannot be either
+    }
+    LFS_ASSIGN_OR_RETURN(std::vector<ParsedPartial> chain,
+                         ParseSegmentChain(seg, 0, sb_.segment_blocks, start_seq));
+    for (ParsedPartial& p : chain) {
+      replay.push_back(std::move(p));
+    }
+  }
+  std::sort(replay.begin(), replay.end(), [](const ParsedPartial& a, const ParsedPartial& b) {
+    return a.summary.seq < b.summary.seq;
+  });
+  // Keep only the contiguous run starting at the checkpoint boundary.
+  uint64_t expected = start_seq;
+  size_t keep = 0;
+  while (keep < replay.size() && replay[keep].summary.seq == expected) {
+    keep++;
+    expected++;
+  }
+  replay.resize(keep);
+  if (replay.empty()) {
+    in_recovery_ = false;
+    return OkStatus();
+  }
+  stats_.rollforward_partials += replay.size();
+
+  // Advance the log tail past everything we are about to accept, so new
+  // writes append after the recovered data instead of overwriting it.
+  const ParsedPartial& last = replay.back();
+  uint32_t tail_offset =
+      last.offset + 1 + static_cast<uint32_t>(last.summary.entries.size());
+  if (last.seg != writer_.current_segment()) {
+    usage_.SetState(writer_.current_segment(), SegState::kDirty);
+    if (usage_.Get(last.seg).state != SegState::kActive) {
+      usage_.SetState(last.seg, SegState::kActive);
+    }
+  }
+  writer_.Init(last.seg, tail_offset, last.summary.seq + 1);
+
+  // --- 2. structural replay: newest inode copies win ---------------------------
+  files_.clear();
+  dirs_.clear();
+  std::map<InodeNum, ImapEntry> first_touch;  // pre-replay imap state per inode
+  std::vector<DirLogRecord> dirops;
+  for (const ParsedPartial& p : replay) {
+    if (usage_.Get(p.seg).state == SegState::kClean) {
+      usage_.SetState(p.seg, SegState::kDirty);
+    }
+    usage_.SetWriteSeq(p.seg, p.summary.seq);
+    for (size_t i = 0; i < p.summary.entries.size(); i++) {
+      const SummaryEntry& entry = p.summary.entries[i];
+      BlockNo addr = sb_.SegmentBase(p.seg) + p.offset + 1 + i;
+      std::span<const uint8_t> content(p.payload.data() + i * bs, bs);
+      switch (entry.kind) {
+        case BlockKind::kInodeBlock: {
+          for (uint32_t s = 0; s < sb_.inodes_per_block(); s++) {
+            Result<Inode> ino = Inode::DecodeFrom(content.subspan(size_t{s} * kInodeSlotSize,
+                                                                  kInodeSlotSize));
+            if (!ino.ok() || ino->ino == kNilInode) {
+              continue;
+            }
+            first_touch.emplace(ino->ino, imap_.Get(ino->ino));
+            ImapEntry e = imap_.Get(ino->ino);
+            e.inode_block = addr;
+            e.slot = static_cast<uint16_t>(s);
+            e.version = ino->version;
+            imap_.Restore(ino->ino, e);
+            files_.erase(ino->ino);
+            dirs_.erase(ino->ino);
+          }
+          break;
+        }
+        case BlockKind::kDirLog: {
+          LFS_ASSIGN_OR_RETURN(std::vector<DirLogRecord> records, DecodeDirLogBlock(content));
+          for (DirLogRecord& r : records) {
+            dirops.push_back(std::move(r));
+          }
+          break;
+        }
+        default:
+          break;  // data/indirect blocks are incorporated via their inode;
+                  // imap/usage chunks in the tail are superseded by recovery
+      }
+    }
+  }
+  imap_.RebuildFreeList();
+
+  // --- 3a. usage: credit post-checkpoint segments with their live blocks -------
+  for (const ParsedPartial& p : replay) {
+    for (size_t i = 0; i < p.summary.entries.size(); i++) {
+      const SummaryEntry& entry = p.summary.entries[i];
+      BlockNo addr = sb_.SegmentBase(p.seg) + p.offset + 1 + i;
+      std::span<const uint8_t> content(p.payload.data() + i * bs, bs);
+      if (entry.kind == BlockKind::kInodeBlock) {
+        uint32_t live_slots = 0;
+        for (uint32_t s = 0; s < sb_.inodes_per_block(); s++) {
+          Result<Inode> ino = Inode::DecodeFrom(content.subspan(size_t{s} * kInodeSlotSize,
+                                                                kInodeSlotSize));
+          if (!ino.ok() || ino->ino == kNilInode) {
+            continue;
+          }
+          ImapEntry e = imap_.Get(ino->ino);
+          if (e.allocated() && e.inode_block == addr && e.slot == s) {
+            live_slots++;
+          }
+        }
+        if (live_slots > 0) {
+          usage_.AddLive(p.seg, live_slots * kInodeSlotSize, p.summary.youngest_mtime);
+        }
+        continue;
+      }
+      LFS_ASSIGN_OR_RETURN(bool live, IsLiveBlock(entry, addr, content));
+      if (live) {
+        usage_.AddLive(p.seg, bs, p.summary.youngest_mtime);
+      }
+    }
+  }
+
+  // --- 3b. usage: debit pre-checkpoint copies superseded by the replay ---------
+  for (const auto& [ino, old] : first_touch) {
+    if (!old.allocated()) {
+      continue;  // inode was new; nothing pre-checkpoint to supersede
+    }
+    SegNo old_seg = sb_.SegOf(old.inode_block);
+    if (old_seg != kNilSeg) {
+      usage_.SubLive(old_seg, kInodeSlotSize);  // the old inode slot is dead
+    }
+    // Compare the old file image against the recovered one and free blocks
+    // that moved or disappeared ("utilizations of older segments must be
+    // adjusted to reflect deletions and overwrites").
+    std::vector<uint8_t> block(bs);
+    if (!device_->ReadBlock(old.inode_block, block).ok()) {
+      continue;
+    }
+    Result<Inode> old_inode_r = Inode::DecodeFrom(std::span<const uint8_t>(block).subspan(
+        size_t{old.slot} * kInodeSlotSize, kInodeSlotSize));
+    if (!old_inode_r.ok() || old_inode_r->ino != ino) {
+      continue;
+    }
+    LFS_ASSIGN_OR_RETURN(FileMap old_fm, LoadFileMap(*old_inode_r));
+
+    ImapEntry now = imap_.Get(ino);
+    const FileMap* new_fm = nullptr;
+    if (now.allocated() && now.version == old.version) {
+      LFS_ASSIGN_OR_RETURN(FileMap * fmp, GetFileMap(ino));
+      new_fm = fmp;
+    }
+    auto sub_if_gone = [&](BlockNo old_addr, bool still_there) {
+      SegNo s = sb_.SegOf(old_addr);
+      if (old_addr != kNilBlock && s != kNilSeg && !still_there) {
+        usage_.SubLive(s, bs);
+      }
+    };
+    for (uint64_t fbn = 0; fbn < old_fm.blocks.size(); fbn++) {
+      bool kept = new_fm != nullptr && fbn < new_fm->blocks.size() &&
+                  new_fm->blocks[fbn] == old_fm.blocks[fbn];
+      sub_if_gone(old_fm.blocks[fbn], kept);
+    }
+    for (uint64_t i = 0; i < old_fm.ind_addrs.size(); i++) {
+      bool kept = new_fm != nullptr && i < new_fm->ind_addrs.size() &&
+                  new_fm->ind_addrs[i] == old_fm.ind_addrs[i];
+      sub_if_gone(old_fm.ind_addrs[i], kept);
+    }
+    sub_if_gone(old_fm.dind_addr, new_fm != nullptr && new_fm->dind_addr == old_fm.dind_addr);
+  }
+
+  // --- 4. directory operation log: restore entry/refcount consistency ----------
+  for (const DirLogRecord& rec : dirops) {
+    LFS_RETURN_IF_ERROR(ApplyDirLogFix(rec));
+  }
+
+  in_recovery_ = false;
+  // "The recovery program appends the changed directories, inodes, inode
+  // map, and segment usage table blocks to the log and writes a new
+  // checkpoint region to include them." Without this, the repairs (applied
+  // without directory-log records) would sit as ordinary dirty state, and a
+  // SECOND crash after a partial flush could leave inconsistencies that
+  // nothing can replay. Read-only mounts keep the repairs in memory only.
+  if (!read_only_) {
+    LFS_RETURN_IF_ERROR(WriteCheckpoint());
+  }
+  return OkStatus();
+}
+
+Status LfsFileSystem::ApplyDirLogFix(const DirLogRecord& rec) {
+  // All fixes are defensive: they assert the operation's final state on
+  // whatever survived, and skip when the containing directory itself did not
+  // survive.
+  auto dir_ok = [&](InodeNum dir_ino) {
+    if (!imap_.IsAllocated(dir_ino)) {
+      return false;
+    }
+    Result<FileMap*> fm = GetFileMap(dir_ino);
+    return fm.ok() && (*fm)->inode.type == FileType::kDirectory;
+  };
+  auto ensure_absent = [&](InodeNum dir_ino, const std::string& name) -> Status {
+    Result<InodeNum> hit = LookupInDir(dir_ino, name);
+    if (hit.ok()) {
+      return RemoveDirEntry(dir_ino, name);
+    }
+    return OkStatus();
+  };
+  auto ensure_present = [&](InodeNum dir_ino, const std::string& name, InodeNum ino,
+                            FileType type) -> Status {
+    Result<InodeNum> hit = LookupInDir(dir_ino, name);
+    if (hit.ok() && hit.value() == ino) {
+      return OkStatus();
+    }
+    if (hit.ok()) {
+      LFS_RETURN_IF_ERROR(RemoveDirEntry(dir_ino, name));
+    }
+    return AddDirEntry(dir_ino, DirEntry{name, ino, type});
+  };
+  auto set_nlink = [&](InodeNum ino, uint16_t nlink) -> Status {
+    LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+    if (fm->inode.nlink != nlink) {
+      fm->inode.nlink = nlink;
+      fm->inode_dirty = true;
+      dirty_inodes_.insert(ino);
+    }
+    return OkStatus();
+  };
+
+  // "Alive" is a plain allocation check, NOT a version match. Records are
+  // replayed in log order over a flushed PREFIX of operations, so any
+  // version skew (a truncate-to-zero bumped the version before or after the
+  // record, but its inode write was or wasn't flushed) still refers to the
+  // same file; and an inode number freed and reused within the window is
+  // always preceded by its unlink record in the prefix, which frees it
+  // before the stale record could touch the successor. Version equality
+  // here would instead orphan files whose create/rename raced a truncate.
+  bool target_alive = imap_.IsAllocated(rec.target_ino);
+
+  switch (rec.op) {
+    case DirOp::kCreate:
+    case DirOp::kLink: {
+      if (!dir_ok(rec.dir_ino)) {
+        return OkStatus();
+      }
+      if (target_alive) {
+        // Complete the operation (Section 4.2).
+        LFS_RETURN_IF_ERROR(ensure_present(rec.dir_ino, rec.name, rec.target_ino,
+                                           rec.target_type));
+        LFS_RETURN_IF_ERROR(set_nlink(rec.target_ino, rec.new_nlink));
+      } else {
+        // "The only operation that can't be completed is the creation of a
+        // new file for which the inode is never written; the directory entry
+        // will be removed."
+        LFS_RETURN_IF_ERROR(ensure_absent(rec.dir_ino, rec.name));
+      }
+      return OkStatus();
+    }
+    case DirOp::kUnlink: {
+      if (dir_ok(rec.dir_ino)) {
+        LFS_RETURN_IF_ERROR(ensure_absent(rec.dir_ino, rec.name));
+      }
+      if (target_alive) {
+        if (rec.new_nlink == 0) {
+          return DeleteFileContents(rec.target_ino);
+        }
+        return set_nlink(rec.target_ino, rec.new_nlink);
+      }
+      return OkStatus();
+    }
+    case DirOp::kRename: {
+      if (dir_ok(rec.dir_ino)) {
+        LFS_RETURN_IF_ERROR(ensure_absent(rec.dir_ino, rec.name));
+      }
+      if (rec.replaced_ino != kNilInode && imap_.IsAllocated(rec.replaced_ino) &&
+          rec.replaced_ino != rec.target_ino) {
+        if (rec.replaced_nlink == 0) {
+          LFS_RETURN_IF_ERROR(DeleteFileContents(rec.replaced_ino));
+        } else {
+          LFS_RETURN_IF_ERROR(set_nlink(rec.replaced_ino, rec.replaced_nlink));
+        }
+      }
+      if (target_alive && dir_ok(rec.dir2_ino)) {
+        LFS_RETURN_IF_ERROR(ensure_present(rec.dir2_ino, rec.name2, rec.target_ino,
+                                           rec.target_type));
+        LFS_RETURN_IF_ERROR(set_nlink(rec.target_ino, rec.new_nlink));
+      }
+      return OkStatus();
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace lfs

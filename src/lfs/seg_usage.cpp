@@ -1,0 +1,95 @@
+#include "src/lfs/seg_usage.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace lfs {
+
+void SegUsage::AddLive(SegNo seg, uint32_t bytes, uint64_t mtime) {
+  assert(seg < entries_.size());
+  SegUsageEntry& e = entries_[seg];
+  e.live_bytes += bytes;
+  total_live_ += bytes;
+  assert(e.live_bytes <= segment_bytes_);
+  e.last_write = std::max(e.last_write, mtime);
+  MarkDirty(seg);
+}
+
+void SegUsage::SubLive(SegNo seg, uint32_t bytes) {
+  assert(seg < entries_.size());
+  SegUsageEntry& e = entries_[seg];
+  // Clamp rather than assert: after crash recovery the counts for pre-crash
+  // segments are best-effort (Section 4.2's adjustments), so a decrement can
+  // race a conservative recomputation.
+  uint32_t sub = e.live_bytes >= bytes ? bytes : e.live_bytes;
+  e.live_bytes -= sub;
+  total_live_ -= sub;
+  MarkDirty(seg);
+}
+
+void SegUsage::SetState(SegNo seg, SegState state) {
+  assert(seg < entries_.size());
+  SegUsageEntry& e = entries_[seg];
+  if (e.state == SegState::kClean && state != SegState::kClean) {
+    clean_count_--;
+  } else if (e.state != SegState::kClean && state == SegState::kClean) {
+    clean_count_++;
+    total_live_ -= e.live_bytes;
+    e.live_bytes = 0;
+    e.last_write = 0;
+  }
+  e.state = state;
+  MarkDirty(seg);
+}
+
+SegNo SegUsage::PickClean() const {
+  for (SegNo seg = 0; seg < entries_.size(); seg++) {
+    if (entries_[seg].state == SegState::kClean) {
+      return seg;
+    }
+  }
+  return kNilSeg;
+}
+
+double SegUsage::DiskUtilization() const {
+  return static_cast<double>(total_live_) /
+         (static_cast<double>(entries_.size()) * segment_bytes_);
+}
+
+void SegUsage::EncodeChunk(uint32_t chunk, std::span<uint8_t> block) const {
+  std::memset(block.data(), 0, block.size());
+  SegNo base = chunk * entries_per_chunk_;
+  for (uint32_t i = 0; i < entries_per_chunk_; i++) {
+    SegNo seg = base + i;
+    if (seg >= entries_.size()) {
+      break;
+    }
+    entries_[seg].EncodeTo(block.subspan(size_t{i} * kUsageEntrySize, kUsageEntrySize));
+  }
+}
+
+void SegUsage::LoadChunk(uint32_t chunk, std::span<const uint8_t> block) {
+  SegNo base = chunk * entries_per_chunk_;
+  for (uint32_t i = 0; i < entries_per_chunk_; i++) {
+    SegNo seg = base + i;
+    if (seg >= entries_.size()) {
+      break;
+    }
+    total_live_ -= entries_[seg].live_bytes;
+    entries_[seg] = SegUsageEntry::DecodeFrom(block.subspan(size_t{i} * kUsageEntrySize,
+                                                            kUsageEntrySize));
+    total_live_ += entries_[seg].live_bytes;
+  }
+}
+
+void SegUsage::RecountClean() {
+  clean_count_ = 0;
+  for (const SegUsageEntry& e : entries_) {
+    if (e.state == SegState::kClean) {
+      clean_count_++;
+    }
+  }
+}
+
+}  // namespace lfs

@@ -1,0 +1,102 @@
+// SegUsage: the segment usage table (Table 1, Section 3.6).
+//
+// For each segment it records the number of live bytes and the most recent
+// modified time of any block in the segment — exactly the two inputs of the
+// cost-benefit cleaning policy. Values are maintained incrementally: the
+// segment writer adds live bytes as blocks are appended, and the filesystem
+// subtracts them as blocks are overwritten, deleted, or migrated by the
+// cleaner. If a segment's count falls to zero it can be reused without
+// cleaning (after the next checkpoint covers the fact).
+//
+// Like the inode map, the table lives in memory, is chunked, and dirty
+// chunks are logged at checkpoint time with their addresses recorded in the
+// checkpoint region.
+
+#ifndef LFS_LFS_SEG_USAGE_H_
+#define LFS_LFS_SEG_USAGE_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/lfs/layout.h"
+
+namespace lfs {
+
+class SegUsage {
+ public:
+  SegUsage(uint32_t nsegments, uint32_t segment_bytes, uint32_t entries_per_chunk)
+      : segment_bytes_(segment_bytes),
+        entries_per_chunk_(entries_per_chunk),
+        entries_(nsegments),
+        write_seq_(nsegments, 0),
+        chunk_addrs_((nsegments + entries_per_chunk - 1) / entries_per_chunk, kNilBlock) {
+    clean_count_ = nsegments;
+  }
+
+  uint32_t nsegments() const { return static_cast<uint32_t>(entries_.size()); }
+  const SegUsageEntry& Get(SegNo seg) const { return entries_[seg]; }
+  double Utilization(SegNo seg) const {
+    return static_cast<double>(entries_[seg].live_bytes) / segment_bytes_;
+  }
+  uint32_t clean_count() const { return clean_count_; }
+  uint32_t segment_bytes() const { return segment_bytes_; }
+
+  // Live-byte accounting. AddLive also refreshes the segment's last-write
+  // time when `mtime` is newer.
+  void AddLive(SegNo seg, uint32_t bytes, uint64_t mtime);
+  void SubLive(SegNo seg, uint32_t bytes);
+
+  void SetState(SegNo seg, SegState state);
+
+  // In-memory only: the newest log sequence number written to the segment.
+  // The cleaner refuses to touch segments written after the last checkpoint
+  // so that roll-forward's log tail can never be recycled underneath it.
+  void SetWriteSeq(SegNo seg, uint64_t seq) { write_seq_[seg] = seq; }
+  uint64_t write_seq(SegNo seg) const { return write_seq_[seg]; }
+
+  // Next clean segment to fill (lowest-numbered), or kNilSeg if none.
+  SegNo PickClean() const;
+
+  // Overall disk capacity utilization: live bytes / total segment bytes.
+  double DiskUtilization() const;
+  uint64_t TotalLiveBytes() const { return total_live_; }
+
+  // --- chunk persistence -------------------------------------------------------
+
+  uint32_t chunk_count() const { return static_cast<uint32_t>(chunk_addrs_.size()); }
+  uint32_t chunk_of(SegNo seg) const { return seg / entries_per_chunk_; }
+  BlockNo chunk_addr(uint32_t chunk) const { return chunk_addrs_[chunk]; }
+  void set_chunk_addr(uint32_t chunk, BlockNo addr) { chunk_addrs_[chunk] = addr; }
+
+  const std::set<uint32_t>& dirty_chunks() const { return dirty_chunks_; }
+  void MarkChunkDirty(uint32_t chunk) { dirty_chunks_.insert(chunk); }
+  void ClearDirty() { dirty_chunks_.clear(); }
+  // Clears one chunk's dirty flag. Checkpointing must use this (not
+  // ClearDirty): serializing chunks itself dirties entries, and wiping the
+  // whole set would lose that dirtiness and leave stale values on disk
+  // forever.
+  void ClearDirtyChunk(uint32_t chunk) { dirty_chunks_.erase(chunk); }
+
+  void EncodeChunk(uint32_t chunk, std::span<uint8_t> block) const;
+  void LoadChunk(uint32_t chunk, std::span<const uint8_t> block);
+
+  // Recomputes clean_count_ after loading chunks.
+  void RecountClean();
+
+ private:
+  void MarkDirty(SegNo seg) { dirty_chunks_.insert(chunk_of(seg)); }
+
+  uint32_t segment_bytes_;
+  uint32_t entries_per_chunk_;
+  std::vector<SegUsageEntry> entries_;
+  std::vector<uint64_t> write_seq_;
+  std::vector<BlockNo> chunk_addrs_;
+  std::set<uint32_t> dirty_chunks_;
+  uint32_t clean_count_ = 0;
+  uint64_t total_live_ = 0;  // sum of live_bytes, maintained incrementally
+};
+
+}  // namespace lfs
+
+#endif  // LFS_LFS_SEG_USAGE_H_

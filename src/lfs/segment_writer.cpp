@@ -1,0 +1,140 @@
+#include "src/lfs/segment_writer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "src/util/crc32.h"
+
+namespace lfs {
+
+void SegmentWriter::Init(SegNo segment, uint32_t offset, uint64_t next_seq) {
+  cur_seg_ = segment;
+  cur_offset_ = offset;
+  next_seq_ = next_seq;
+  pending_.clear();
+  partial_youngest_ = 0;
+}
+
+Status SegmentWriter::AdvanceSegment() {
+  if (cur_seg_ != kNilSeg) {
+    usage_->SetState(cur_seg_, SegState::kDirty);
+  }
+  if (!cleaning_ && !privileged_ && usable_clean_segments() == 0) {
+    return NoSpaceError("no clean segments available to the write path (clean=" +
+                        std::to_string(usage_->clean_count()) + " reserve=" +
+                        std::to_string(reserve_segments_) + ")");
+  }
+  SegNo next = usage_->PickClean();
+  if (next == kNilSeg) {
+    return NoSpaceError("no clean segments at all; log is full");
+  }
+  usage_->SetState(next, SegState::kActive);
+  cur_seg_ = next;
+  cur_offset_ = 0;
+  return OkStatus();
+}
+
+Status SegmentWriter::EnsureRoom() {
+  const uint32_t bs = sb_->block_size;
+  (void)bs;
+  if (!pending_.empty()) {
+    // Room inside the open partial: segment space and summary entry space.
+    uint32_t used = cur_offset_ + 1 + static_cast<uint32_t>(pending_.size());
+    bool segment_full = used >= sb_->segment_blocks;
+    bool summary_full = pending_.size() >= sb_->max_summary_entries();
+    if (!segment_full && !summary_full) {
+      return OkStatus();
+    }
+    LFS_RETURN_IF_ERROR(Flush());
+  }
+  // Open a new partial: need space for a summary block plus one payload
+  // block in the current segment.
+  if (cur_seg_ == kNilSeg || cur_offset_ + 2 > sb_->segment_blocks) {
+    LFS_RETURN_IF_ERROR(AdvanceSegment());
+  }
+  return OkStatus();
+}
+
+Result<BlockNo> SegmentWriter::Append(const SummaryEntry& entry, std::vector<uint8_t> data,
+                                      uint64_t mtime, uint32_t live_bytes) {
+  if (data.size() != sb_->block_size) {
+    return InvalidArgumentError("Append: payload must be exactly one block");
+  }
+  LFS_RETURN_IF_ERROR(EnsureRoom());
+  BlockNo summary_addr = sb_->SegmentBase(cur_seg_) + cur_offset_;
+  BlockNo addr = summary_addr + 1 + pending_.size();
+  if (pending_.empty()) {
+    partial_youngest_ = 0;
+  }
+  partial_youngest_ = std::max(partial_youngest_, mtime);
+  Pending pending{entry, std::move(data)};
+  pending.entry.mtime = mtime;  // per-block age travels in the summary
+  pending_.push_back(std::move(pending));
+  usage_->AddLive(cur_seg_, live_bytes, mtime);
+  usage_->SetWriteSeq(cur_seg_, next_seq_);
+
+  // Traffic accounting (Table 4 composition; write-cost numerator).
+  const uint32_t bs = sb_->block_size;
+  stats_->log_bytes_by_kind[static_cast<size_t>(entry.kind)] += bs;
+  if (cleaning_) {
+    stats_->clean_write_bytes += bs;
+  } else {
+    stats_->new_payload_bytes += bs;
+    if (entry.kind == BlockKind::kData) {
+      stats_->new_data_bytes += bs;
+    }
+  }
+  return addr;
+}
+
+Status SegmentWriter::Flush() {
+  if (pending_.empty()) {
+    return OkStatus();
+  }
+  const uint32_t bs = sb_->block_size;
+  const uint32_t n = static_cast<uint32_t>(pending_.size());
+
+  // Assemble [summary | payload...] and issue as one sequential write.
+  std::vector<uint8_t> io(size_t{1 + n} * bs);
+  uint32_t crc = Crc32Init();
+  for (uint32_t i = 0; i < n; i++) {
+    std::memcpy(io.data() + size_t{1 + i} * bs, pending_[i].data.data(), bs);
+    crc = Crc32Update(crc, pending_[i].data);
+  }
+  SegmentSummary summary;
+  summary.seq = next_seq_++;
+  summary.timestamp = timestamp_;
+  summary.youngest_mtime = partial_youngest_;
+  summary.payload_crc = Crc32Finish(crc);
+  summary.entries.reserve(n);
+  for (const Pending& p : pending_) {
+    summary.entries.push_back(p.entry);
+  }
+  summary.EncodeTo(std::span<uint8_t>(io.data(), bs));
+
+  BlockNo start = sb_->SegmentBase(cur_seg_) + cur_offset_;
+  LFS_RETURN_IF_ERROR(device_->Write(start, 1 + n, io));
+  stats_->summary_bytes += bs;
+  usage_->SetWriteSeq(cur_seg_, summary.seq);
+
+  cur_offset_ += 1 + n;
+  pending_.clear();
+  partial_youngest_ = 0;
+  return OkStatus();
+}
+
+bool SegmentWriter::ReadBuffered(BlockNo addr, std::span<uint8_t> out) const {
+  if (pending_.empty() || cur_seg_ == kNilSeg) {
+    return false;
+  }
+  BlockNo first = sb_->SegmentBase(cur_seg_) + cur_offset_ + 1;
+  if (addr < first || addr >= first + pending_.size()) {
+    return false;
+  }
+  const std::vector<uint8_t>& data = pending_[addr - first].data;
+  std::memcpy(out.data(), data.data(), out.size());
+  return true;
+}
+
+}  // namespace lfs

@@ -1,0 +1,124 @@
+// SegmentWriter: the log append path (Sections 3.2-3.3).
+//
+// Callers Append() blocks; the writer assigns each a disk address inside the
+// active segment, buffers it, and emits *partial-segment writes* — one
+// summary block followed by the payload blocks, issued as a single
+// sequential device I/O. A partial write is emitted when the buffered batch
+// reaches the segment end, when the summary block's entry capacity is
+// reached, or when the caller flushes.
+//
+// The writer never overwrites anything: when a segment fills it advances to
+// the next clean segment (taken from the segment usage table). The ordinary
+// write path may not consume the last `reserve` clean segments; only the
+// cleaner (set_cleaning(true)) may, which guarantees the cleaner always has
+// room to compact into.
+
+#ifndef LFS_LFS_SEGMENT_WRITER_H_
+#define LFS_LFS_SEGMENT_WRITER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/disk/block_device.h"
+#include "src/lfs/layout.h"
+#include "src/lfs/seg_usage.h"
+#include "src/lfs/stats.h"
+
+namespace lfs {
+
+class SegmentWriter {
+ public:
+  SegmentWriter(BlockDevice* device, const Superblock* sb, SegUsage* usage, LfsStats* stats,
+                uint32_t reserve_segments)
+      : device_(device),
+        sb_(sb),
+        usage_(usage),
+        stats_(stats),
+        reserve_segments_(reserve_segments) {}
+
+  // Positions the log tail (mkfs / mount / recovery). The segment must
+  // already be marked kActive in the usage table.
+  void Init(SegNo segment, uint32_t offset, uint64_t next_seq);
+
+  // Appends one block to the log. `entry` identifies the block for the
+  // summary; `mtime` is the modification time used for segment age tracking
+  // (the cleaner passes the block's original age through so cold data keeps
+  // looking cold); `live_bytes` is the amount this block adds to its
+  // segment's live count (block size for most kinds, the used slot bytes for
+  // inode blocks, 0 for dirlog blocks which are dead once checkpointed).
+  // Returns the assigned disk address. The data is buffered; it is durable
+  // only after the enclosing partial write is emitted.
+  Result<BlockNo> Append(const SummaryEntry& entry, std::vector<uint8_t> data, uint64_t mtime,
+                         uint32_t live_bytes);
+
+  // Emits the buffered partial write, if any.
+  Status Flush();
+
+  // Ensures the next Append has a destination (flushing/advancing segments
+  // as needed) WITHOUT appending anything. Afterwards current_segment() is
+  // where that append will land — callers that must account a block's
+  // effects in the block's own serialized contents (the segment-usage chunk
+  // covering the active segment) use this to pre-account before serializing.
+  Status PrepareAppend() { return EnsureRoom(); }
+
+  // Reads a not-yet-flushed block back by address (the read path must see
+  // buffered log blocks). Returns false if the address is not buffered.
+  bool ReadBuffered(BlockNo addr, std::span<uint8_t> out) const;
+
+  // Cleaning mode: appended bytes count as cleaning traffic and the reserve
+  // segments become usable.
+  void set_cleaning(bool cleaning) { cleaning_ = cleaning; }
+  bool cleaning() const { return cleaning_; }
+
+  // Privileged mode (checkpointing): may dip into the reserve so a
+  // checkpoint can always complete — checkpoints are what turn dead
+  // segments back into clean ones, so refusing them would deadlock the log.
+  void set_privileged(bool privileged) { privileged_ = privileged; }
+
+  SegNo current_segment() const { return cur_seg_; }
+  uint32_t current_offset() const { return cur_offset_ + PendingBlocks(); }
+  uint64_t next_seq() const { return next_seq_; }
+  uint64_t timestamp() const { return timestamp_; }
+  void set_timestamp(uint64_t t) { timestamp_ = t; }
+
+  // Clean segments still usable by the ordinary (non-cleaning) write path.
+  uint32_t usable_clean_segments() const {
+    uint32_t n = usage_->clean_count();
+    return n > reserve_segments_ ? n - reserve_segments_ : 0;
+  }
+
+ private:
+  struct Pending {
+    SummaryEntry entry;
+    std::vector<uint8_t> data;
+  };
+
+  uint32_t PendingBlocks() const {
+    return pending_.empty() ? 0 : static_cast<uint32_t>(pending_.size()) + 1;
+  }
+
+  // Ensures an open partial with room for one more block; may flush and/or
+  // advance to a new segment.
+  Status EnsureRoom();
+  Status AdvanceSegment();
+
+  BlockDevice* device_;
+  const Superblock* sb_;
+  SegUsage* usage_;
+  LfsStats* stats_;
+  uint32_t reserve_segments_;
+
+  SegNo cur_seg_ = kNilSeg;
+  uint32_t cur_offset_ = 0;  // next free block index within cur_seg_
+  uint64_t next_seq_ = 1;
+  uint64_t timestamp_ = 0;   // logical time stamped into summaries
+  bool cleaning_ = false;
+  bool privileged_ = false;
+
+  std::vector<Pending> pending_;  // payload of the open partial (may be empty)
+  uint64_t partial_youngest_ = 0;
+};
+
+}  // namespace lfs
+
+#endif  // LFS_LFS_SEGMENT_WRITER_H_

@@ -1,0 +1,72 @@
+// Statistics the filesystem keeps about its own log traffic and cleaning
+// activity. These counters are the direct source of the paper's evaluation
+// numbers: write cost (formula (1) measured, Table 2), the fraction of
+// cleaned segments that were empty, the average utilization of cleaned
+// segments, and the log-bandwidth composition by block type (Table 4).
+
+#ifndef LFS_LFS_STATS_H_
+#define LFS_LFS_STATS_H_
+
+#include <array>
+#include <cstdint>
+
+namespace lfs {
+
+struct LfsStats {
+  // Payload bytes appended to the log, by BlockKind (index = kind value).
+  std::array<uint64_t, 8> log_bytes_by_kind{};
+  uint64_t summary_bytes = 0;        // segment summary blocks written
+  uint64_t checkpoint_bytes = 0;     // checkpoint region writes (fixed area)
+
+  // New data vs cleaning traffic. "New" is everything appended outside a
+  // cleaning pass (file data, indirect blocks, inodes, imap/usage chunks,
+  // dirlog); "clean" is live data rewritten by the cleaner.
+  uint64_t new_payload_bytes = 0;
+  uint64_t new_data_bytes = 0;       // kData subset of new_payload_bytes
+  uint64_t clean_write_bytes = 0;
+  uint64_t clean_read_bytes = 0;     // whole segments read by the cleaner
+
+  // Cleaning pass statistics (Table 2 columns).
+  uint64_t cleaner_passes = 0;
+  uint64_t segments_cleaned = 0;
+  uint64_t segments_cleaned_empty = 0;     // reclaimed with zero live bytes
+  double sum_cleaned_utilization = 0.0;    // over non-empty cleaned segments
+  uint64_t checkpoints = 0;
+  uint64_t rollforward_partials = 0;       // partial writes replayed at recovery
+
+  uint64_t total_log_written() const {
+    uint64_t payload = 0;
+    for (uint64_t b : log_bytes_by_kind) {
+      payload += b;
+    }
+    return payload + summary_bytes;
+  }
+
+  // The paper's write cost: total bytes moved to and from the disk divided
+  // by the bytes of new data written (Section 3.4). 0 when nothing written.
+  double WriteCost() const {
+    uint64_t new_bytes = new_payload_bytes;
+    if (new_bytes == 0) {
+      return 0.0;
+    }
+    uint64_t moved = total_log_written() + clean_read_bytes;
+    return static_cast<double>(moved) / static_cast<double>(new_bytes);
+  }
+
+  // Average utilization of non-empty cleaned segments (Table 2 "u Avg").
+  double AvgCleanedUtilization() const {
+    uint64_t nonempty = segments_cleaned - segments_cleaned_empty;
+    return nonempty == 0 ? 0.0 : sum_cleaned_utilization / static_cast<double>(nonempty);
+  }
+
+  double EmptyCleanedFraction() const {
+    return segments_cleaned == 0
+               ? 0.0
+               : static_cast<double>(segments_cleaned_empty) /
+                     static_cast<double>(segments_cleaned);
+  }
+};
+
+}  // namespace lfs
+
+#endif  // LFS_LFS_STATS_H_

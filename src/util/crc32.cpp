@@ -1,0 +1,45 @@
+#include "src/util/crc32.h"
+
+#include <array>
+
+namespace lfs {
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;  // reflected IEEE 802.3
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; i++) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; bit++) {
+      c = (c & 1) ? (kPolynomial ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+
+uint32_t Crc32Update(uint32_t state, std::span<const uint8_t> data) {
+  const auto& table = Table();
+  for (uint8_t byte : data) {
+    state = table[(state ^ byte) & 0xFF] ^ (state >> 8);
+  }
+  return state;
+}
+
+uint32_t Crc32Finish(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  return Crc32Finish(Crc32Update(Crc32Init(), data));
+}
+
+}  // namespace lfs

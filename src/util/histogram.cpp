@@ -1,0 +1,66 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+namespace lfs {
+
+void Histogram::Add(double value) {
+  value = std::clamp(value, 0.0, 1.0);
+  size_t bucket = static_cast<size_t>(value * static_cast<double>(counts_.size()));
+  if (bucket == counts_.size()) {
+    bucket--;  // value == 1.0 lands in the last bucket
+  }
+  counts_[bucket]++;
+  total_++;
+  sum_ += value;
+}
+
+double Histogram::Fraction(size_t bucket) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(counts_[bucket]) / static_cast<double>(total_);
+}
+
+double Histogram::BucketMid(size_t bucket) const {
+  double w = 1.0 / static_cast<double>(counts_.size());
+  return (static_cast<double>(bucket) + 0.5) * w;
+}
+
+double Histogram::Mean() const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return sum_ / static_cast<double>(total_);
+}
+
+std::string Histogram::ToAscii(const std::string& label, int width) const {
+  std::string out = label + " (n=" + std::to_string(total_) + ")\n";
+  double max_frac = 0;
+  for (size_t i = 0; i < counts_.size(); i++) {
+    max_frac = std::max(max_frac, Fraction(i));
+  }
+  char line[256];
+  for (size_t i = 0; i < counts_.size(); i++) {
+    double frac = Fraction(i);
+    int bar = max_frac > 0 ? static_cast<int>(frac / max_frac * width) : 0;
+    std::snprintf(line, sizeof(line), "  %4.2f |%-*s| %6.4f\n", BucketMid(i), width,
+                  std::string(static_cast<size_t>(bar), '#').c_str(), frac);
+    out += line;
+  }
+  return out;
+}
+
+std::string Histogram::ToCsv() const {
+  std::string out = "utilization,fraction\n";
+  char line[64];
+  for (size_t i = 0; i < counts_.size(); i++) {
+    std::snprintf(line, sizeof(line), "%.3f,%.6f\n", BucketMid(i), Fraction(i));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace lfs

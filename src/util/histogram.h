@@ -1,0 +1,48 @@
+// Fixed-bucket histogram over [0, 1], used for the paper's segment-
+// utilization distributions (Figures 5, 6, and 10).
+
+#ifndef LFS_UTIL_HISTOGRAM_H_
+#define LFS_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lfs {
+
+class Histogram {
+ public:
+  explicit Histogram(size_t buckets) : counts_(buckets, 0) {}
+
+  // Records a sample in [0, 1]; values outside are clamped.
+  void Add(double value);
+
+  size_t bucket_count() const { return counts_.size(); }
+  uint64_t count(size_t bucket) const { return counts_[bucket]; }
+  uint64_t total() const { return total_; }
+
+  // Fraction of all samples in this bucket (0 if empty histogram).
+  double Fraction(size_t bucket) const;
+
+  // Midpoint of the bucket's value range.
+  double BucketMid(size_t bucket) const;
+
+  // Mean of the recorded samples.
+  double Mean() const;
+
+  // Renders an ASCII plot: one line per bucket, bar length proportional to
+  // the bucket fraction. `label` names the series.
+  std::string ToAscii(const std::string& label, int width = 60) const;
+
+  // Two-column "x fraction" rows suitable for replotting.
+  std::string ToCsv() const;
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace lfs
+
+#endif  // LFS_UTIL_HISTOGRAM_H_

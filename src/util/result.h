@@ -1,0 +1,70 @@
+// Result<T>: value-or-Status, the return type of fallible operations that
+// produce a value. Modeled on absl::StatusOr but self-contained.
+
+#ifndef LFS_UTIL_RESULT_H_
+#define LFS_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace lfs {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit conversion from a value and from a non-OK Status keeps call
+  // sites terse: `return value;` / `return NotFoundError(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;  // kOk iff value_ holds a value
+  std::optional<T> value_;
+};
+
+}  // namespace lfs
+
+// Evaluate `expr` (a Result<T>); on error propagate its Status, otherwise
+// bind the value to `lhs`. `lhs` may include a declaration:
+//   LFS_ASSIGN_OR_RETURN(auto ino, AllocInode());
+#define LFS_ASSIGN_OR_RETURN(lhs, expr)       \
+  LFS_ASSIGN_OR_RETURN_IMPL_(                 \
+      LFS_RESULT_CONCAT_(_lfs_result_, __LINE__), lhs, expr)
+
+#define LFS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).value()
+
+#define LFS_RESULT_CONCAT_(a, b) LFS_RESULT_CONCAT_2_(a, b)
+#define LFS_RESULT_CONCAT_2_(a, b) a##b
+
+#endif  // LFS_UTIL_RESULT_H_

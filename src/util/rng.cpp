@@ -1,0 +1,23 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lfs {
+
+double Rng::NextExponential(double mean) {
+  // Inverse-CDF; clamp u away from 0 to avoid log(0).
+  double u = NextDouble();
+  u = std::max(u, 1e-12);
+  return -mean * std::log(u);
+}
+
+uint64_t Rng::NextFileSize(uint64_t mean_bytes, uint64_t max_bytes) {
+  // Exponential body gives the small-file-dominated distribution the paper's
+  // workload studies describe (mean of a few KB, occasional large files).
+  double v = NextExponential(static_cast<double>(mean_bytes));
+  uint64_t size = static_cast<uint64_t>(v) + 1;
+  return std::min(size, max_bytes);
+}
+
+}  // namespace lfs

@@ -1,0 +1,85 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// Everything in this repository that needs randomness takes an explicit Rng
+// so experiments are reproducible bit-for-bit across runs and machines.
+// The generator is xoshiro256**, seeded via splitmix64.
+
+#ifndef LFS_UTIL_RNG_H_
+#define LFS_UTIL_RNG_H_
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+
+namespace lfs {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = -bound % bound;
+    for (;;) {
+      uint64_t r = NextU64();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool NextBool(double probability_true) { return NextDouble() < probability_true; }
+
+  // Exponentially distributed with the given mean (for file-size and
+  // inter-arrival modeling).
+  double NextExponential(double mean);
+
+  // A value from a bounded, discretized log-normal-ish distribution useful
+  // for file sizes: most values small, a long tail. Returns a byte count in
+  // [1, max_bytes] with the requested mean (approximately).
+  uint64_t NextFileSize(uint64_t mean_bytes, uint64_t max_bytes);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<uint64_t, 4> state_;
+};
+
+}  // namespace lfs
+
+#endif  // LFS_UTIL_RNG_H_

@@ -1,0 +1,82 @@
+#include "src/util/status.h"
+
+namespace lfs {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kNotADirectory:
+      return "NotADirectory";
+    case StatusCode::kIsADirectory:
+      return "IsADirectory";
+    case StatusCode::kNotEmpty:
+      return "NotEmpty";
+    case StatusCode::kNoSpace:
+      return "NoSpace";
+    case StatusCode::kNoInodes:
+      return "NoInodes";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kCrashed:
+      return "Crashed";
+    case StatusCode::kNameTooLong:
+      return "NameTooLong";
+    case StatusCode::kCrossDevice:
+      return "CrossDevice";
+    case StatusCode::kReadOnly:
+      return "ReadOnly";
+    case StatusCode::kBusy:
+      return "Busy";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status OkStatus() { return Status(); }
+
+namespace {
+Status Make(StatusCode code, std::string_view msg) { return Status(code, std::string(msg)); }
+}  // namespace
+
+Status NotFoundError(std::string_view msg) { return Make(StatusCode::kNotFound, msg); }
+Status AlreadyExistsError(std::string_view msg) { return Make(StatusCode::kAlreadyExists, msg); }
+Status NotADirectoryError(std::string_view msg) { return Make(StatusCode::kNotADirectory, msg); }
+Status IsADirectoryError(std::string_view msg) { return Make(StatusCode::kIsADirectory, msg); }
+Status NotEmptyError(std::string_view msg) { return Make(StatusCode::kNotEmpty, msg); }
+Status NoSpaceError(std::string_view msg) { return Make(StatusCode::kNoSpace, msg); }
+Status NoInodesError(std::string_view msg) { return Make(StatusCode::kNoInodes, msg); }
+Status InvalidArgumentError(std::string_view msg) { return Make(StatusCode::kInvalidArgument, msg); }
+Status OutOfRangeError(std::string_view msg) { return Make(StatusCode::kOutOfRange, msg); }
+Status CorruptionError(std::string_view msg) { return Make(StatusCode::kCorruption, msg); }
+Status IoError(std::string_view msg) { return Make(StatusCode::kIoError, msg); }
+Status CrashedError(std::string_view msg) { return Make(StatusCode::kCrashed, msg); }
+Status NameTooLongError(std::string_view msg) { return Make(StatusCode::kNameTooLong, msg); }
+Status ReadOnlyError(std::string_view msg) { return Make(StatusCode::kReadOnly, msg); }
+Status BusyError(std::string_view msg) { return Make(StatusCode::kBusy, msg); }
+Status InternalError(std::string_view msg) { return Make(StatusCode::kInternal, msg); }
+
+}  // namespace lfs

@@ -1,0 +1,93 @@
+// Lightweight error-handling vocabulary used throughout the library.
+//
+// The library does not throw exceptions on I/O or filesystem paths; fallible
+// operations return a Status (or Result<T>, see result.h). Codes intentionally
+// mirror the POSIX errors a filesystem surfaces to callers.
+
+#ifndef LFS_UTIL_STATUS_H_
+#define LFS_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+
+namespace lfs {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,          // ENOENT: file or directory does not exist
+  kAlreadyExists,     // EEXIST: create of an existing name
+  kNotADirectory,     // ENOTDIR: path component is not a directory
+  kIsADirectory,      // EISDIR: file operation on a directory
+  kNotEmpty,          // ENOTEMPTY: rmdir of a non-empty directory
+  kNoSpace,           // ENOSPC: log full and cleaner cannot make progress
+  kNoInodes,          // inode-number space exhausted
+  kInvalidArgument,   // EINVAL: malformed request
+  kOutOfRange,        // read/write beyond representable file size
+  kCorruption,        // on-disk structure failed validation (bad magic/CRC)
+  kIoError,           // the underlying device failed the request
+  kCrashed,           // fault-injection device has "crashed"; writes discarded
+  kNameTooLong,       // ENAMETOOLONG
+  kCrossDevice,       // EXDEV (rename across filesystems)
+  kReadOnly,          // filesystem mounted or forced read-only
+  kBusy,              // EBUSY: object in use (e.g. unlink of open dir)
+  kInternal,          // invariant violation; indicates a bug
+};
+
+// Human-readable name for a code ("NotFound", "NoSpace", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A Status is a code plus an optional context message. The OK status carries
+// no message and is cheap to copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+  explicit Status(StatusCode code) : code_(code) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "NotFound: no such file 'a/b'" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Constructors for the common codes; each accepts a context message.
+Status OkStatus();
+Status NotFoundError(std::string_view msg);
+Status AlreadyExistsError(std::string_view msg);
+Status NotADirectoryError(std::string_view msg);
+Status IsADirectoryError(std::string_view msg);
+Status NotEmptyError(std::string_view msg);
+Status NoSpaceError(std::string_view msg);
+Status NoInodesError(std::string_view msg);
+Status InvalidArgumentError(std::string_view msg);
+Status OutOfRangeError(std::string_view msg);
+Status CorruptionError(std::string_view msg);
+Status IoError(std::string_view msg);
+Status CrashedError(std::string_view msg);
+Status NameTooLongError(std::string_view msg);
+Status ReadOnlyError(std::string_view msg);
+Status BusyError(std::string_view msg);
+Status InternalError(std::string_view msg);
+
+}  // namespace lfs
+
+// Propagate a non-OK Status to the caller.
+#define LFS_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::lfs::Status _st = (expr);                     \
+    if (!_st.ok()) {                                \
+      return _st;                                   \
+    }                                               \
+  } while (0)
+
+#endif  // LFS_UTIL_STATUS_H_

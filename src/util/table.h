@@ -1,0 +1,31 @@
+// Minimal fixed-width ASCII table renderer used by the benchmark harnesses to
+// print paper-style tables (Table 2, Table 3, Table 4).
+
+#ifndef LFS_UTIL_TABLE_H_
+#define LFS_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace lfs {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  std::string ToString() const;
+
+  // Formatting helpers for cells.
+  static std::string Fmt(double v, int decimals);
+  static std::string FmtPercent(double fraction, int decimals = 0);  // 0.65 -> "65%"
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lfs
+
+#endif  // LFS_UTIL_TABLE_H_

@@ -1,0 +1,173 @@
+// Tests for the POSIX-flavored descriptor layer, run against BOTH
+// filesystems (the layer is backend-agnostic, so the suite is parameterized
+// over the backend).
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/ffs/ffs.h"
+#include "src/fs/fd_table.h"
+#include "tests/test_util.h"
+
+namespace lfs {
+namespace {
+
+using ::lfs::testing::SmallConfig;
+using ::lfs::testing::TestContent;
+
+enum class Backend { kLfs, kFfs };
+
+class FdTableTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  void SetUp() override {
+    LfsConfig cfg = SmallConfig();
+    disk_ = std::make_unique<MemDisk>(cfg.block_size, 8192);
+    if (GetParam() == Backend::kLfs) {
+      fs_ = std::move(LfsFileSystem::Mkfs(disk_.get(), cfg)).value();
+    } else {
+      fs_ = std::move(ffs::FfsFileSystem::Mkfs(disk_.get(), cfg.block_size)).value();
+    }
+    fds_ = std::make_unique<FdTable>(fs_.get());
+  }
+
+  std::unique_ptr<MemDisk> disk_;
+  std::unique_ptr<FileSystem> fs_;
+  std::unique_ptr<FdTable> fds_;
+};
+
+TEST_P(FdTableTest, OpenMissingFileFails) {
+  auto fd = fds_->Open("/nope", kRdOnly);
+  EXPECT_EQ(fd.status().code(), StatusCode::kNotFound);
+}
+
+TEST_P(FdTableTest, CreateWriteReadRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(int fd, fds_->Open("/f", kRdWr | kCreate));
+  std::vector<uint8_t> data = TestContent(1, 5000);
+  ASSERT_OK_AND_ASSIGN(uint64_t w, fds_->Write(fd, data));
+  EXPECT_EQ(w, 5000u);
+  ASSERT_OK_AND_ASSIGN(uint64_t pos, fds_->Seek(fd, 0, Whence::kSet));
+  EXPECT_EQ(pos, 0u);
+  std::vector<uint8_t> back(5000);
+  ASSERT_OK_AND_ASSIGN(uint64_t r, fds_->Read(fd, back));
+  EXPECT_EQ(r, 5000u);
+  EXPECT_EQ(back, data);
+  ASSERT_OK(fds_->Close(fd));
+}
+
+TEST_P(FdTableTest, OffsetsAdvanceIndependently) {
+  ASSERT_OK_AND_ASSIGN(int a, fds_->Open("/f", kRdWr | kCreate));
+  ASSERT_OK_AND_ASSIGN(int b, fds_->Open("/f", kRdOnly));
+  std::vector<uint8_t> data = {1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_OK(fds_->Write(a, data).status());
+  std::vector<uint8_t> half(4);
+  ASSERT_OK(fds_->Read(b, half).status());
+  EXPECT_EQ(half, (std::vector<uint8_t>{1, 2, 3, 4}));
+  ASSERT_OK(fds_->Read(b, half).status());
+  EXPECT_EQ(half, (std::vector<uint8_t>{5, 6, 7, 8}));
+  // a's offset is at 8 (after its write), independent of b's reads.
+  ASSERT_OK_AND_ASSIGN(uint64_t apos, fds_->Seek(a, 0, Whence::kCur));
+  EXPECT_EQ(apos, 8u);
+}
+
+TEST_P(FdTableTest, ExclusiveCreateFailsOnExisting) {
+  ASSERT_OK(fds_->Open("/f", kWrOnly | kCreate).status());
+  auto again = fds_->Open("/f", kWrOnly | kCreate | kExclusive);
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_P(FdTableTest, TruncateOnOpen) {
+  ASSERT_OK(fs_->WriteFile("/f", TestContent(2, 1000)));
+  ASSERT_OK_AND_ASSIGN(int fd, fds_->Open("/f", kWrOnly | kTruncate));
+  ASSERT_OK_AND_ASSIGN(FileStat st, fds_->Fstat(fd));
+  EXPECT_EQ(st.size, 0u);
+}
+
+TEST_P(FdTableTest, AppendAlwaysWritesAtEof) {
+  ASSERT_OK(fs_->WriteFile("/log", TestContent(3, 10)));
+  ASSERT_OK_AND_ASSIGN(int fd, fds_->Open("/log", kWrOnly | kAppend));
+  std::vector<uint8_t> line1 = {'a', 'b'};
+  std::vector<uint8_t> line2 = {'c', 'd'};
+  ASSERT_OK(fds_->Write(fd, line1).status());
+  // Seek backwards; kAppend must still direct the next write to EOF.
+  ASSERT_OK(fds_->Seek(fd, 0, Whence::kSet).status());
+  ASSERT_OK(fds_->Write(fd, line2).status());
+  ASSERT_OK_AND_ASSIGN(auto all, fs_->ReadFile("/log"));
+  ASSERT_EQ(all.size(), 14u);
+  EXPECT_EQ(all[10], 'a');
+  EXPECT_EQ(all[12], 'c');
+}
+
+TEST_P(FdTableTest, ReadOnWriteOnlyFails) {
+  ASSERT_OK_AND_ASSIGN(int fd, fds_->Open("/f", kWrOnly | kCreate));
+  std::vector<uint8_t> buf(10);
+  EXPECT_FALSE(fds_->Read(fd, buf).ok());
+  EXPECT_FALSE(fds_->Pread(fd, 0, buf).ok());
+}
+
+TEST_P(FdTableTest, WriteOnReadOnlyFails) {
+  ASSERT_OK(fs_->WriteFile("/f", TestContent(4, 10)));
+  ASSERT_OK_AND_ASSIGN(int fd, fds_->Open("/f", kRdOnly));
+  std::vector<uint8_t> buf(10);
+  EXPECT_FALSE(fds_->Write(fd, buf).ok());
+  EXPECT_FALSE(fds_->Ftruncate(fd, 0).ok());
+}
+
+TEST_P(FdTableTest, PreadPwriteDoNotMoveOffset) {
+  ASSERT_OK_AND_ASSIGN(int fd, fds_->Open("/f", kRdWr | kCreate));
+  std::vector<uint8_t> data = TestContent(5, 100);
+  ASSERT_OK(fds_->Pwrite(fd, 50, data).status());
+  ASSERT_OK_AND_ASSIGN(uint64_t pos, fds_->Seek(fd, 0, Whence::kCur));
+  EXPECT_EQ(pos, 0u);
+  std::vector<uint8_t> back(100);
+  ASSERT_OK_AND_ASSIGN(uint64_t n, fds_->Pread(fd, 50, back));
+  EXPECT_EQ(n, 100u);
+  EXPECT_EQ(back, data);
+}
+
+TEST_P(FdTableTest, SeekPastEofThenWriteMakesHole) {
+  ASSERT_OK_AND_ASSIGN(int fd, fds_->Open("/f", kRdWr | kCreate));
+  ASSERT_OK(fds_->Seek(fd, 10000, Whence::kSet).status());
+  std::vector<uint8_t> tail = {9, 9};
+  ASSERT_OK(fds_->Write(fd, tail).status());
+  ASSERT_OK_AND_ASSIGN(FileStat st, fds_->Fstat(fd));
+  EXPECT_EQ(st.size, 10002u);
+  std::vector<uint8_t> hole(100);
+  ASSERT_OK(fds_->Pread(fd, 100, hole).status());
+  EXPECT_TRUE(std::all_of(hole.begin(), hole.end(), [](uint8_t b) { return b == 0; }));
+}
+
+TEST_P(FdTableTest, DescriptorsAreReusedLowestFirst) {
+  ASSERT_OK_AND_ASSIGN(int a, fds_->Open("/a", kWrOnly | kCreate));
+  ASSERT_OK_AND_ASSIGN(int b, fds_->Open("/b", kWrOnly | kCreate));
+  EXPECT_EQ(b, a + 1);
+  ASSERT_OK(fds_->Close(a));
+  ASSERT_OK_AND_ASSIGN(int c, fds_->Open("/c", kWrOnly | kCreate));
+  EXPECT_EQ(c, a);  // the lowest free slot comes back first
+  EXPECT_EQ(fds_->open_count(), 2u);
+}
+
+TEST_P(FdTableTest, OperationsOnClosedFdFail) {
+  ASSERT_OK_AND_ASSIGN(int fd, fds_->Open("/f", kRdWr | kCreate));
+  ASSERT_OK(fds_->Close(fd));
+  std::vector<uint8_t> buf(4);
+  EXPECT_FALSE(fds_->Read(fd, buf).ok());
+  EXPECT_FALSE(fds_->Close(fd).ok());
+  EXPECT_FALSE(fds_->Seek(fd, 0, Whence::kSet).ok());
+}
+
+TEST_P(FdTableTest, OpenDirectoryForWriteFails) {
+  ASSERT_OK(fs_->Mkdir("/d"));
+  EXPECT_FALSE(fds_->Open("/d", kRdWr).ok());
+  EXPECT_TRUE(fds_->Open("/d", kRdOnly).ok());  // stat-style opens allowed
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, FdTableTest,
+                         ::testing::Values(Backend::kLfs, Backend::kFfs),
+                         [](const auto& param_info) {
+                           return param_info.param == Backend::kLfs ? "Lfs" : "Ffs";
+                         });
+
+}  // namespace
+}  // namespace lfs

@@ -1,0 +1,196 @@
+// Property tests on the full filesystem's internal invariants:
+//
+//   - the segment usage table's live-byte accounting agrees with a ground-
+//     truth liveness scan of the whole log, after arbitrary op sequences,
+//     cleaning, and remounts;
+//   - file contents survive any interleaving of ops + cleaning + remount;
+//   - the read cache never changes observable behaviour;
+//   - geometry sweep: everything holds across block and segment sizes.
+
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace lfs {
+namespace {
+
+using ::lfs::testing::SmallConfig;
+using ::lfs::testing::TestContent;
+
+// Applies a deterministic random op soup to the filesystem and the model
+// (cumulative: pre-existing model files are overwritten, not re-created).
+void Churn(LfsFileSystem* fs, uint64_t seed, int steps,
+           std::map<std::string, std::vector<uint8_t>>* model_ptr) {
+  Rng rng(seed);
+  auto& model = *model_ptr;
+  for (int i = 0; i < steps; i++) {
+    uint64_t op = rng.NextBelow(10);
+    std::string path = "/p" + std::to_string(rng.NextBelow(30));
+    if (op < 5) {
+      size_t size = rng.NextBelow(16000);
+      std::vector<uint8_t> content = TestContent(seed * 1000 + i, size);
+      if (model.count(path)) {
+        auto ino = fs->Lookup(path);
+        EXPECT_TRUE(ino.ok()) << path;
+        if (!ino.ok()) {
+          continue;
+        }
+        (void)fs->Truncate(*ino, 0);
+        EXPECT_TRUE(fs->WriteAt(*ino, 0, content).ok());
+      } else {
+        EXPECT_TRUE(fs->WriteFile(path, content).ok());
+      }
+      model[path] = std::move(content);
+    } else if (op < 7) {
+      if (model.count(path)) {
+        EXPECT_TRUE(fs->Unlink(path).ok());
+        model.erase(path);
+      }
+    } else if (op < 8) {
+      if (model.count(path)) {
+        auto ino = fs->Lookup(path);
+        EXPECT_TRUE(ino.ok());
+        if (!ino.ok()) {
+          continue;
+        }
+        uint64_t newsize = rng.NextBelow(model[path].size() + 1);
+        EXPECT_TRUE(fs->Truncate(*ino, newsize).ok());
+        model[path].resize(newsize);
+      }
+    } else if (op < 9) {
+      (void)fs->Sync();
+    } else {
+      (void)fs->ForceClean().status();
+    }
+  }
+}
+
+void VerifyModel(LfsFileSystem* fs,
+                 const std::map<std::string, std::vector<uint8_t>>& model) {
+  for (const auto& [path, content] : model) {
+    auto data = fs->ReadFile(path);
+    ASSERT_TRUE(data.ok()) << path << ": " << data.status().ToString();
+    EXPECT_EQ(*data, content) << path;
+  }
+  auto entries = fs->ReadDir("/");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), model.size());
+}
+
+// Ground truth: the usage table's total live bytes must equal what a full
+// liveness scan of the log finds (inode slots counted at slot granularity).
+void VerifyUsageAgainstScan(LfsFileSystem* fs) {
+  auto by_kind = fs->LiveBytesByKind();
+  ASSERT_TRUE(by_kind.ok()) << by_kind.status().ToString();
+  uint64_t scanned = 0;
+  for (uint64_t b : *by_kind) {
+    scanned += b;
+  }
+  EXPECT_EQ(fs->seg_usage().TotalLiveBytes(), scanned);
+}
+
+class InvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InvariantTest, UsageTableMatchesGroundTruthScan) {
+  LfsConfig cfg = SmallConfig();
+  MemDisk disk(cfg.block_size, 8192);
+  auto fs = std::move(LfsFileSystem::Mkfs(&disk, cfg)).value();
+  std::map<std::string, std::vector<uint8_t>> model;
+  Churn(fs.get(), GetParam(), 250, &model);
+  ASSERT_TRUE(fs->Sync().ok());
+  VerifyUsageAgainstScan(fs.get());
+  VerifyModel(fs.get(), model);
+}
+
+TEST_P(InvariantTest, SurvivesCleanAndRemountCycles) {
+  LfsConfig cfg = SmallConfig();
+  MemDisk disk(cfg.block_size, 8192);
+  auto fs = std::move(LfsFileSystem::Mkfs(&disk, cfg)).value();
+  std::map<std::string, std::vector<uint8_t>> model;
+  for (int round = 0; round < 3; round++) {
+    Churn(fs.get(), GetParam() * 17 + round, 120, &model);
+    for (int pass = 0; pass < 4; pass++) {
+      auto n = fs->ForceClean();
+      ASSERT_TRUE(n.ok());
+      if (*n == 0) {
+        break;
+      }
+    }
+    ASSERT_TRUE(fs->Unmount().ok());
+    fs.reset();
+    fs = std::move(LfsFileSystem::Mount(&disk, cfg)).value();
+    VerifyModel(fs.get(), model);
+    VerifyUsageAgainstScan(fs.get());
+  }
+}
+
+TEST_P(InvariantTest, ReadCacheIsTransparent) {
+  LfsConfig with_cache = SmallConfig();
+  with_cache.read_cache_blocks = 64;
+  LfsConfig no_cache = SmallConfig();
+  no_cache.read_cache_blocks = 0;
+
+  MemDisk d1(with_cache.block_size, 8192);
+  MemDisk d2(no_cache.block_size, 8192);
+  auto fs1 = std::move(LfsFileSystem::Mkfs(&d1, with_cache)).value();
+  auto fs2 = std::move(LfsFileSystem::Mkfs(&d2, no_cache)).value();
+
+  std::map<std::string, std::vector<uint8_t>> m1;
+  std::map<std::string, std::vector<uint8_t>> m2;
+  Churn(fs1.get(), GetParam(), 200, &m1);
+  Churn(fs2.get(), GetParam(), 200, &m2);
+  ASSERT_EQ(m1.size(), m2.size());
+  for (const auto& [path, content] : m1) {
+    auto a = fs1->ReadFile(path);
+    auto b = fs2->ReadFile(path);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b) << path;
+    EXPECT_EQ(*a, content) << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvariantTest, ::testing::Values(11, 22, 33, 44));
+
+// Geometry sweep: the same workload must hold for every block/segment size.
+struct Geometry {
+  uint32_t block_size;
+  uint32_t segment_blocks;
+};
+
+class GeometrySweep : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(GeometrySweep, BasicWorkloadHolds) {
+  LfsConfig cfg;
+  cfg.block_size = GetParam().block_size;
+  cfg.segment_blocks = GetParam().segment_blocks;
+  cfg.max_inodes = 2048;
+  cfg.clean_lo = 3;
+  cfg.clean_hi = 5;
+  cfg.segments_per_pass = 4;
+  cfg.reserve_segments = 2;
+  cfg.write_buffer_blocks = GetParam().segment_blocks;
+  MemDisk disk(cfg.block_size, (8u << 20) / cfg.block_size);  // 8 MB
+  auto fs_r = LfsFileSystem::Mkfs(&disk, cfg);
+  ASSERT_TRUE(fs_r.ok()) << fs_r.status().ToString();
+  auto fs = std::move(fs_r).value();
+
+  std::map<std::string, std::vector<uint8_t>> model;
+  Churn(fs.get(), 99, 150, &model);
+  ASSERT_TRUE(fs->Unmount().ok());
+  fs.reset();
+  fs = std::move(LfsFileSystem::Mount(&disk, cfg)).value();
+  VerifyModel(fs.get(), model);
+  VerifyUsageAgainstScan(fs.get());
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, GeometrySweep,
+                         ::testing::Values(Geometry{512, 32}, Geometry{1024, 16},
+                                           Geometry{1024, 64}, Geometry{4096, 16},
+                                           Geometry{4096, 64}, Geometry{8192, 32}));
+
+}  // namespace
+}  // namespace lfs

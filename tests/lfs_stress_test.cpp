@@ -1,0 +1,205 @@
+// Marathon stress: thousands of randomized operations interleaved with
+// forced cleaning, checkpoints, crashes at random moments, and remounts —
+// finishing with the offline checker as an independent oracle.
+//
+// Durability contract asserted after every crash:
+//   - checkpoint-durable files must exist;
+//   - any file that exists must read back as an exact copy OR a prefix of
+//     SOME version written since the last checkpoint (recovery may surface
+//     any flushed intermediate state, but never a byte of garbage or a mix
+//     of two versions).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/disk/crash_disk.h"
+#include "src/lfs/check.h"
+#include "tests/test_util.h"
+
+namespace lfs {
+namespace {
+
+using ::lfs::testing::SmallConfig;
+using ::lfs::testing::TestContent;
+
+struct Version {
+  uint64_t seed = 0;
+  size_t size = 0;
+};
+
+// History of a path since the last checkpoint. `versions` lists every
+// content state the file has had (oldest first); `existed_at_sync` says
+// whether the path was present in the last checkpoint.
+struct PathState {
+  std::vector<Version> versions;  // content versions written since sync
+  bool exists_now = false;
+  bool existed_at_sync = false;
+  Version sync_version;
+};
+
+class StressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StressTest, MarathonWithCrashes) {
+  LfsConfig cfg = SmallConfig();
+  CrashDisk disk(std::make_unique<MemDisk>(cfg.block_size, 12288));  // 12 MB
+  auto fs = std::move(LfsFileSystem::Mkfs(&disk, cfg)).value();
+  Rng rng(GetParam());
+
+  std::map<std::string, PathState> model;
+
+  auto is_acceptable = [&](const PathState& st, const std::vector<uint8_t>& data) {
+    auto matches = [&](const Version& v) {
+      std::vector<uint8_t> full = TestContent(v.seed, v.size);
+      return data.size() <= full.size() &&
+             std::equal(data.begin(), data.end(), full.begin());
+    };
+    if (st.existed_at_sync && data == TestContent(st.sync_version.seed,
+                                                  st.sync_version.size)) {
+      return true;
+    }
+    for (const Version& v : st.versions) {
+      if (matches(v)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  auto crash_and_recover = [&]() {
+    disk.CrashNow();
+    fs.reset();
+    disk.ClearCrash();
+    fs = std::move(LfsFileSystem::Mount(&disk, cfg)).value();
+    for (auto it = model.begin(); it != model.end();) {
+      PathState& st = it->second;
+      const std::string& path = it->first;
+      bool exists = fs->Exists(path);
+      if (st.existed_at_sync && st.exists_now && st.versions.empty()) {
+        // Untouched since the checkpoint: must exist, exactly.
+        ASSERT_TRUE(exists) << path << " was durable and untouched but vanished";
+      }
+      if (!exists) {
+        it = model.erase(it);
+        continue;
+      }
+      auto data = fs->ReadFile(path);
+      ASSERT_TRUE(data.ok()) << path;
+      ASSERT_TRUE(is_acceptable(st, *data))
+          << path << ": recovered " << data->size()
+          << " bytes matching no version written since the checkpoint";
+      // Canonicalize: rewrite with a fresh deterministic version so the
+      // in-memory model is exact again.
+      Version v{GetParam() * 7919 + st.versions.size() + it->first.size() * 131, 2048};
+      auto ino = fs->Lookup(path);
+      ASSERT_TRUE(ino.ok());
+      ASSERT_TRUE(fs->Truncate(*ino, 0).ok());
+      std::vector<uint8_t> fresh = TestContent(v.seed, v.size);
+      ASSERT_TRUE(fs->WriteAt(*ino, 0, fresh).ok());
+      st.versions = {v};
+      st.exists_now = true;
+      st.existed_at_sync = false;
+      ++it;
+    }
+    // Untracked survivors (creations the model dropped): remove them.
+    auto entries = fs->ReadDir("/");
+    ASSERT_TRUE(entries.ok());
+    for (const DirEntry& e : *entries) {
+      std::string path = "/" + e.name;
+      if (model.count(path) == 0) {
+        ASSERT_TRUE(fs->Unlink(path).ok()) << path;
+      }
+    }
+    // Make the canonicalized state durable: without this, a second crash
+    // could legitimately resurface pre-canonicalization versions that the
+    // model no longer tracks.
+    ASSERT_TRUE(fs->Sync().ok());
+    for (auto& [p, ps] : model) {
+      ps.existed_at_sync = ps.exists_now;
+      if (ps.exists_now && !ps.versions.empty()) {
+        ps.sync_version = ps.versions.back();
+      }
+    }
+  };
+
+  const int kSteps = 1200;
+  for (int i = 0; i < kSteps; i++) {
+    uint64_t op = rng.NextBelow(100);
+    std::string path = "/s" + std::to_string(rng.NextBelow(25));
+    PathState& st = model[path];
+    if (op < 45) {
+      Version v{GetParam() * 100000 + static_cast<uint64_t>(i), 1 + rng.NextBelow(20000)};
+      std::vector<uint8_t> content = TestContent(v.seed, v.size);
+      if (st.exists_now) {
+        auto ino = fs->Lookup(path);
+        ASSERT_TRUE(ino.ok()) << path;
+        ASSERT_TRUE(fs->Truncate(*ino, 0).ok());
+        ASSERT_TRUE(fs->WriteAt(*ino, 0, content).ok());
+      } else {
+        ASSERT_TRUE(fs->WriteFile(path, content).ok());
+      }
+      st.versions.push_back(v);
+      st.exists_now = true;
+    } else if (op < 60) {
+      if (st.exists_now) {
+        ASSERT_TRUE(fs->Unlink(path).ok());
+        st.exists_now = false;
+        // The last version may still be recovered after a crash; keep the
+        // history so recovery of the pre-unlink state stays acceptable.
+      }
+    } else if (op < 72) {
+      ASSERT_TRUE(fs->Sync().ok());
+      for (auto& [p, ps] : model) {
+        ps.existed_at_sync = ps.exists_now;
+        if (ps.exists_now && !ps.versions.empty()) {
+          ps.sync_version = ps.versions.back();
+        }
+        ps.versions.clear();
+        if (ps.exists_now) {
+          ps.versions.push_back(ps.sync_version);
+        }
+      }
+    } else if (op < 82) {
+      ASSERT_TRUE(fs->ForceClean().ok());
+    } else if (op < 94) {
+      // Live verification of a random existing file.
+      if (st.exists_now && !st.versions.empty()) {
+        auto data = fs->ReadFile(path);
+        ASSERT_TRUE(data.ok()) << path;
+        const Version& v = st.versions.back();
+        EXPECT_EQ(*data, TestContent(v.seed, v.size)) << path;
+      }
+    } else {
+      crash_and_recover();
+    }
+  }
+
+  // Final: checkpoint, verify the tracked universe, offline-check the image.
+  ASSERT_TRUE(fs->Sync().ok());
+  for (const auto& [path, st] : model) {
+    if (!st.exists_now) {
+      EXPECT_FALSE(fs->Exists(path)) << path;
+      continue;
+    }
+    ASSERT_FALSE(st.versions.empty()) << path;
+    auto data = fs->ReadFile(path);
+    ASSERT_TRUE(data.ok()) << path;
+    const Version& v = st.versions.back();
+    EXPECT_EQ(*data, TestContent(v.seed, v.size)) << path;
+  }
+  ASSERT_TRUE(fs->Unmount().ok());
+  fs.reset();
+  auto report = CheckLfsImage(&disk);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->errors, 0u) << report->Summary();
+  for (const auto& m : report->messages) {
+    ADD_FAILURE() << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressTest, ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace lfs

@@ -1,0 +1,175 @@
+// Tests for the Section 3.5 cleaning-policy simulator. Beyond mechanical
+// invariants, these check the paper's three qualitative findings:
+//   (1) variance in segment utilization makes measured write cost beat the
+//       no-variance formula (Figure 4 vs Figure 3);
+//   (2) under greedy cleaning, locality makes things WORSE, not better
+//       (Figure 4's surprising result);
+//   (3) cost-benefit + age sort beats greedy under locality and produces a
+//       bimodal segment distribution (Figures 6, 7).
+
+#include <gtest/gtest.h>
+
+#include "src/sim/sim.h"
+
+namespace lfs::sim {
+namespace {
+
+SimConfig BaseConfig() {
+  SimConfig cfg;
+  cfg.nsegments = 100;
+  cfg.blocks_per_segment = 64;
+  cfg.warmup_overwrites_per_file = 60;
+  cfg.measure_overwrites_per_file = 40;
+  cfg.seed = 12345;
+  return cfg;
+}
+
+TEST(FormulaTest, MatchesPaperEquation1) {
+  EXPECT_DOUBLE_EQ(FormulaWriteCost(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(FormulaWriteCost(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(FormulaWriteCost(0.8), 10.0);
+  EXPECT_NEAR(FormulaWriteCost(0.9), 20.0, 1e-9);
+}
+
+TEST(SimTest, ConservationOfFiles) {
+  SimConfig cfg = BaseConfig();
+  cfg.disk_utilization = 0.5;
+  CleaningSimulator sim(cfg);
+  for (int i = 0; i < 10000; i++) {
+    sim.Step();
+  }
+  // Live blocks on "disk" always equals the number of files.
+  EXPECT_NEAR(sim.ActualDiskUtilization(),
+              static_cast<double>(sim.nfiles()) / (100.0 * 64.0), 1e-9);
+}
+
+TEST(SimTest, WriteCostAtLeastOne) {
+  for (double util : {0.2, 0.5, 0.8}) {
+    SimConfig cfg = BaseConfig();
+    cfg.disk_utilization = util;
+    SimResult r = CleaningSimulator(cfg).Run();
+    EXPECT_GE(r.write_cost, 1.0) << util;
+  }
+}
+
+TEST(SimTest, WriteCostGrowsWithUtilization) {
+  SimConfig cfg = BaseConfig();
+  cfg.disk_utilization = 0.3;
+  double low = CleaningSimulator(cfg).Run().write_cost;
+  cfg.disk_utilization = 0.85;
+  double high = CleaningSimulator(cfg).Run().write_cost;
+  EXPECT_GT(high, low);
+}
+
+TEST(SimTest, VarianceBeatsNoVarianceFormula) {
+  // Paper: "Even with uniform random access patterns, the variance in
+  // segment utilization allows a substantially lower write cost than would
+  // be predicted from the overall disk capacity utilization and formula (1).
+  // For example, at 75% overall disk capacity utilization, the segments
+  // cleaned have an average utilization of only 55%."
+  SimConfig cfg = BaseConfig();
+  cfg.disk_utilization = 0.75;
+  SimResult r = CleaningSimulator(cfg).Run();
+  EXPECT_LT(r.write_cost, FormulaWriteCost(0.75));
+  EXPECT_LT(r.avg_cleaned_utilization, 0.70);
+  EXPECT_GT(r.avg_cleaned_utilization, 0.35);
+}
+
+TEST(SimTest, LowUtilizationWriteCostNearOne) {
+  // Paper: "At overall disk capacity utilizations under 20% the write cost
+  // drops below 2.0."
+  SimConfig cfg = BaseConfig();
+  cfg.disk_utilization = 0.15;
+  SimResult r = CleaningSimulator(cfg).Run();
+  EXPECT_LT(r.write_cost, 2.0);
+}
+
+TEST(SimTest, GreedyLocalityMakesThingsWorse) {
+  // Figure 4's surprising result: hot-and-cold with greedy cleaning (and age
+  // sorting) performs WORSE than uniform.
+  SimConfig cfg = BaseConfig();
+  cfg.disk_utilization = 0.75;
+  cfg.policy = Policy::kGreedy;
+  SimResult uniform = CleaningSimulator(cfg).Run();
+
+  cfg.pattern = AccessPattern::kHotAndCold;
+  cfg.age_sort = true;  // the paper's "LFS hot-and-cold" curve sorts by age
+  cfg.warmup_overwrites_per_file = 60;  // cold data needs longer to settle
+  SimResult hotcold = CleaningSimulator(cfg).Run();
+
+  EXPECT_GT(hotcold.write_cost, uniform.write_cost);
+}
+
+TEST(SimTest, CostBenefitBeatsGreedyUnderLocality) {
+  // Figure 7: the cost-benefit policy reduces write cost substantially
+  // (up to ~50%) versus greedy for the hot-and-cold pattern.
+  SimConfig cfg = BaseConfig();
+  cfg.disk_utilization = 0.75;
+  cfg.pattern = AccessPattern::kHotAndCold;
+  cfg.age_sort = true;
+  cfg.warmup_overwrites_per_file = 60;
+
+  cfg.policy = Policy::kGreedy;
+  SimResult greedy = CleaningSimulator(cfg).Run();
+  cfg.policy = Policy::kCostBenefit;
+  SimResult cb = CleaningSimulator(cfg).Run();
+
+  EXPECT_LT(cb.write_cost, greedy.write_cost);
+}
+
+TEST(SimTest, CostBenefitProducesBimodalDistribution) {
+  // Figure 6: cost-benefit cleans cold segments at high utilization and hot
+  // segments at low utilization, producing a bimodal segment distribution —
+  // in particular substantial mass at both ends.
+  SimConfig cfg = BaseConfig();
+  cfg.disk_utilization = 0.75;
+  cfg.pattern = AccessPattern::kHotAndCold;
+  cfg.policy = Policy::kCostBenefit;
+  cfg.age_sort = true;
+  cfg.warmup_overwrites_per_file = 80;
+  SimResult r = CleaningSimulator(cfg).Run();
+
+  const Histogram& h = r.segment_distribution;
+  double low_mass = 0;
+  double high_mass = 0;
+  double mid_mass = 0;
+  for (size_t b = 0; b < h.bucket_count(); b++) {
+    double mid = h.BucketMid(b);
+    if (mid < 0.35) {
+      low_mass += h.Fraction(b);
+    } else if (mid > 0.75) {
+      high_mass += h.Fraction(b);
+    } else {
+      mid_mass += h.Fraction(b);
+    }
+  }
+  // Bimodal: both tails hold real mass; the middle is not dominant.
+  EXPECT_GT(high_mass, 0.25);
+  EXPECT_GT(low_mass, 0.03);
+  EXPECT_LT(mid_mass, 0.6);
+}
+
+TEST(SimTest, GreedyCleansAtTheCleaningPoint) {
+  // Figure 5: under greedy every segment's utilization drops to the cleaning
+  // threshold before being cleaned, so the cleaned-segment distribution is
+  // tight around that point (low spread).
+  SimConfig cfg = BaseConfig();
+  cfg.disk_utilization = 0.75;
+  cfg.policy = Policy::kGreedy;
+  SimResult r = CleaningSimulator(cfg).Run();
+  // The mean cleaned u is strictly between 0 and the overall utilization.
+  EXPECT_GT(r.cleaned_distribution.Mean(), 0.2);
+  EXPECT_LT(r.cleaned_distribution.Mean(), 0.75);
+}
+
+TEST(SimTest, DeterministicAcrossRuns) {
+  SimConfig cfg = BaseConfig();
+  cfg.disk_utilization = 0.6;
+  SimResult a = CleaningSimulator(cfg).Run();
+  SimResult b = CleaningSimulator(cfg).Run();
+  EXPECT_DOUBLE_EQ(a.write_cost, b.write_cost);
+  EXPECT_EQ(a.segments_cleaned, b.segments_cleaned);
+}
+
+}  // namespace
+}  // namespace lfs::sim

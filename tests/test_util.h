@@ -1,0 +1,66 @@
+// Shared helpers for the test suite: tiny-geometry filesystems and
+// deterministic content generation/verification.
+
+#ifndef LFS_TESTS_TEST_UTIL_H_
+#define LFS_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/disk/mem_disk.h"
+#include "src/lfs/lfs.h"
+#include "src/util/rng.h"
+
+namespace lfs::testing {
+
+// A small LFS configuration that keeps tests fast: 1-KB blocks, 16-block
+// (16-KB) segments, eager cleaning thresholds.
+inline LfsConfig SmallConfig() {
+  LfsConfig cfg;
+  cfg.block_size = 1024;
+  cfg.segment_blocks = 16;
+  cfg.max_inodes = 2048;
+  cfg.clean_lo = 4;
+  cfg.clean_hi = 6;
+  cfg.segments_per_pass = 4;
+  cfg.reserve_segments = 3;
+  cfg.write_buffer_blocks = 16;
+  return cfg;
+}
+
+// Deterministic file contents derived from a seed; distinct per (seed, size).
+inline std::vector<uint8_t> TestContent(uint64_t seed, size_t size) {
+  std::vector<uint8_t> data(size);
+  Rng rng(seed * 1000003 + size);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.NextU64());
+  }
+  return data;
+}
+
+#define ASSERT_OK(expr)                                           \
+  do {                                                            \
+    ::lfs::Status _st = (expr);                                   \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                      \
+  } while (0)
+
+#define EXPECT_OK(expr)                                           \
+  do {                                                            \
+    ::lfs::Status _st = (expr);                                   \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                      \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                           \
+  ASSERT_OK_AND_ASSIGN_IMPL_(LFS_RESULT_CONCAT_(_t_, __LINE__), lhs, expr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL_(tmp, lhs, expr)                \
+  auto tmp = (expr);                                              \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace lfs::testing
+
+#endif  // LFS_TESTS_TEST_UTIL_H_

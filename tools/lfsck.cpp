@@ -1,0 +1,79 @@
+// lfsck: offline consistency check of an LFS disk image.
+//
+//   usage: lfsck <image> [--fast]
+//
+// Exit code 0 if the image is consistent (warnings allowed), 1 on
+// corruption, 2 if the image cannot be understood at all. --fast skips
+// payload CRC verification (reads only metadata instead of the whole log).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/disk/file_disk.h"
+#include "src/lfs/check.h"
+#include "src/lfs/layout.h"
+
+using namespace lfs;
+
+namespace {
+
+// Opens an image file of unknown size: reads the superblock first to learn
+// the geometry, then reopens with the right block count.
+Result<std::unique_ptr<FileDisk>> OpenImage(const std::string& path) {
+  // Bootstrap with a minimal device big enough for a superblock probe.
+  LFS_ASSIGN_OR_RETURN(std::unique_ptr<FileDisk> probe, FileDisk::Open(path, 512, 8));
+  std::vector<uint8_t> sector(512);
+  LFS_RETURN_IF_ERROR(probe->Read(0, 1, sector));
+  probe.reset();
+  // The superblock's block_size field is at a fixed offset; decode leniently.
+  // (A full decode needs a whole block, whose size we do not know yet.)
+  uint32_t magic = sector[0] | sector[1] << 8 | sector[2] << 16 | uint32_t{sector[3]} << 24;
+  if (magic != kSuperMagic) {
+    return CorruptionError("'" + path + "' does not start with an LFS superblock");
+  }
+  uint32_t bs = sector[4] | sector[5] << 8 | sector[6] << 16 | uint32_t{sector[7]} << 24;
+  if (bs < 512 || bs > (1u << 20) || (bs & (bs - 1)) != 0) {
+    return CorruptionError("implausible block size in superblock");
+  }
+  LFS_ASSIGN_OR_RETURN(std::unique_ptr<FileDisk> full, FileDisk::Open(path, bs, 1));
+  std::vector<uint8_t> block(bs);
+  LFS_RETURN_IF_ERROR(full->Read(0, 1, block));
+  LFS_ASSIGN_OR_RETURN(Superblock sb, Superblock::DecodeFrom(block));
+  full.reset();
+  return FileDisk::Open(path, bs, sb.total_blocks);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <image> [--fast]\n", argv[0]);
+    return 2;
+  }
+  CheckOptions options;
+  for (int i = 2; i < argc; i++) {
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      options.verify_payload_crcs = false;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  auto disk = OpenImage(argv[1]);
+  if (!disk.ok()) {
+    std::fprintf(stderr, "lfsck: %s\n", disk.status().ToString().c_str());
+    return 2;
+  }
+  auto report = CheckLfsImage(disk->get(), options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "lfsck: %s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  for (const std::string& msg : report->messages) {
+    std::printf("%s\n", msg.c_str());
+  }
+  std::printf("%s\n", report->Summary().c_str());
+  return report->ok() ? 0 : 1;
+}

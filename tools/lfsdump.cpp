@@ -1,0 +1,299 @@
+// lfsdump: inspect the on-disk structures of an LFS image.
+//
+//   usage: lfsdump <image> <command>
+//     super              the superblock / geometry
+//     checkpoints        both checkpoint regions
+//     segments           one line per segment (state, live bytes, age)
+//     segment <N>        the partial-write chain of segment N
+//     imap               allocated inode-map entries
+//     inode <INO>        one inode in full detail
+//
+// Read-only; works on live, crashed, and corrupt images (it prints whatever
+// can be decoded and says so where it cannot).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/disk/file_disk.h"
+#include "src/lfs/layout.h"
+
+using namespace lfs;
+
+namespace {
+
+struct Image {
+  std::unique_ptr<FileDisk> disk;
+  Superblock sb;
+  bool have_ck = false;
+  Checkpoint ck;
+};
+
+Result<Image> OpenImage(const std::string& path) {
+  LFS_ASSIGN_OR_RETURN(std::unique_ptr<FileDisk> probe, FileDisk::Open(path, 512, 8));
+  std::vector<uint8_t> sector(512);
+  LFS_RETURN_IF_ERROR(probe->Read(0, 1, sector));
+  probe.reset();
+  uint32_t bs = sector[4] | sector[5] << 8 | sector[6] << 16 | uint32_t{sector[7]} << 24;
+  if (bs < 512 || bs > (1u << 20) || (bs & (bs - 1)) != 0) {
+    return CorruptionError("no plausible superblock in '" + path + "'");
+  }
+  LFS_ASSIGN_OR_RETURN(std::unique_ptr<FileDisk> one, FileDisk::Open(path, bs, 1));
+  std::vector<uint8_t> block(bs);
+  LFS_RETURN_IF_ERROR(one->Read(0, 1, block));
+  LFS_ASSIGN_OR_RETURN(Superblock sb, Superblock::DecodeFrom(block));
+  one.reset();
+  Image img;
+  img.sb = sb;
+  LFS_ASSIGN_OR_RETURN(img.disk, FileDisk::Open(path, bs, sb.total_blocks));
+  std::vector<uint8_t> region(size_t{sb.cr_blocks} * bs);
+  for (int i = 0; i < 2; i++) {
+    if (!img.disk->Read(i == 0 ? sb.cr_base0 : sb.cr_base1, sb.cr_blocks, region).ok()) {
+      continue;
+    }
+    Result<Checkpoint> r = Checkpoint::DecodeFrom(region);
+    if (r.ok() && (!img.have_ck || r->ckpt_seq > img.ck.ckpt_seq)) {
+      img.ck = std::move(r).value();
+      img.have_ck = true;
+    }
+  }
+  return img;
+}
+
+const char* KindName(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::kData:
+      return "data";
+    case BlockKind::kIndirect:
+      return "indirect";
+    case BlockKind::kDoubleIndirect:
+      return "dindirect";
+    case BlockKind::kInodeBlock:
+      return "inodes";
+    case BlockKind::kImapChunk:
+      return "imap";
+    case BlockKind::kUsageChunk:
+      return "usage";
+    case BlockKind::kDirLog:
+      return "dirlog";
+  }
+  return "?";
+}
+
+void DumpSuper(const Image& img) {
+  const Superblock& sb = img.sb;
+  std::printf("block size        %u\n", sb.block_size);
+  std::printf("segment size      %u blocks (%u KB)\n", sb.segment_blocks,
+              sb.segment_bytes() / 1024);
+  std::printf("segments          %u (first at block %llu)\n", sb.nsegments,
+              static_cast<unsigned long long>(sb.seg_start));
+  std::printf("total blocks      %llu (%.1f MB)\n",
+              static_cast<unsigned long long>(sb.total_blocks),
+              static_cast<double>(sb.total_blocks) * sb.block_size / (1024.0 * 1024));
+  std::printf("checkpoint blocks %u at %llu / %llu\n", sb.cr_blocks,
+              static_cast<unsigned long long>(sb.cr_base0),
+              static_cast<unsigned long long>(sb.cr_base1));
+  std::printf("max inodes        %u (%u imap chunks, %u usage chunks)\n", sb.max_inodes,
+              sb.imap_chunks, sb.usage_chunks);
+}
+
+void DumpCheckpoints(const Image& img) {
+  std::vector<uint8_t> region(size_t{img.sb.cr_blocks} * img.sb.block_size);
+  for (int i = 0; i < 2; i++) {
+    BlockNo base = i == 0 ? img.sb.cr_base0 : img.sb.cr_base1;
+    std::printf("region %d (block %llu): ", i, static_cast<unsigned long long>(base));
+    if (!img.disk->Read(base, img.sb.cr_blocks, region).ok()) {
+      std::printf("unreadable\n");
+      continue;
+    }
+    Result<Checkpoint> r = Checkpoint::DecodeFrom(region);
+    if (!r.ok()) {
+      std::printf("invalid (%s)\n", r.status().ToString().c_str());
+      continue;
+    }
+    std::printf("seq %llu, clock %llu, tail seg %u offset %u, %u inodes\n",
+                static_cast<unsigned long long>(r->ckpt_seq),
+                static_cast<unsigned long long>(r->clock), r->cur_segment, r->cur_offset,
+                r->ninodes);
+  }
+}
+
+void DumpSegments(const Image& img) {
+  if (!img.have_ck) {
+    std::printf("no valid checkpoint; cannot locate the usage table\n");
+    return;
+  }
+  std::vector<uint8_t> block(img.sb.block_size);
+  std::printf("%-6s %-7s %12s %12s\n", "seg", "state", "live bytes", "last write");
+  for (uint32_t c = 0; c < img.ck.usage_chunk_addr.size(); c++) {
+    if (!img.disk->Read(img.ck.usage_chunk_addr[c], 1, block).ok()) {
+      continue;
+    }
+    for (uint32_t i = 0; i < img.sb.usage_entries_per_chunk(); i++) {
+      SegNo seg = c * img.sb.usage_entries_per_chunk() + i;
+      if (seg >= img.sb.nsegments) {
+        break;
+      }
+      SegUsageEntry e = SegUsageEntry::DecodeFrom(std::span<const uint8_t>(block).subspan(
+          size_t{i} * kUsageEntrySize, kUsageEntrySize));
+      const char* state = e.state == SegState::kClean    ? "clean"
+                          : e.state == SegState::kActive ? "ACTIVE"
+                                                         : "dirty";
+      std::printf("%-6u %-7s %12u %12llu\n", seg, state, e.live_bytes,
+                  static_cast<unsigned long long>(e.last_write));
+    }
+  }
+}
+
+void DumpSegmentChain(const Image& img, SegNo seg) {
+  const uint32_t bs = img.sb.block_size;
+  std::vector<uint8_t> block(bs);
+  uint32_t offset = 0;
+  uint64_t prev_seq = 0;
+  while (offset + 1 < img.sb.segment_blocks) {
+    if (!img.disk->Read(img.sb.SegmentBase(seg) + offset, 1, block).ok()) {
+      break;
+    }
+    Result<SegmentSummary> sum = SegmentSummary::DecodeFrom(block);
+    if (!sum.ok()) {
+      std::printf("offset %4u: no valid summary (%s) — end of chain\n", offset,
+                  sum.status().ToString().c_str());
+      break;
+    }
+    if (prev_seq != 0 && sum->seq <= prev_seq) {
+      std::printf("offset %4u: seq %llu <= previous — stale generation, end of chain\n",
+                  offset, static_cast<unsigned long long>(sum->seq));
+      break;
+    }
+    prev_seq = sum->seq;
+    std::printf("offset %4u: partial write seq %llu, %zu blocks, time %llu\n", offset,
+                static_cast<unsigned long long>(sum->seq), sum->entries.size(),
+                static_cast<unsigned long long>(sum->timestamp));
+    for (size_t i = 0; i < sum->entries.size(); i++) {
+      const SummaryEntry& e = sum->entries[i];
+      std::printf("    +%-4zu %-9s ino %-6u fbn %-8llu ver %-4u mtime %llu\n", i + 1,
+                  KindName(e.kind), e.ino, static_cast<unsigned long long>(e.fbn), e.version,
+                  static_cast<unsigned long long>(e.mtime));
+    }
+    offset += 1 + static_cast<uint32_t>(sum->entries.size());
+  }
+}
+
+void DumpImap(const Image& img) {
+  if (!img.have_ck) {
+    std::printf("no valid checkpoint\n");
+    return;
+  }
+  std::vector<uint8_t> block(img.sb.block_size);
+  std::printf("%-8s %-12s %-5s %-8s\n", "inode", "block", "slot", "version");
+  uint32_t epc = img.sb.imap_entries_per_chunk();
+  for (uint32_t c = 0; c < img.ck.imap_chunk_addr.size(); c++) {
+    if (uint64_t{c} * epc >= img.ck.ninodes || img.ck.imap_chunk_addr[c] == kNilBlock) {
+      break;
+    }
+    if (!img.disk->Read(img.ck.imap_chunk_addr[c], 1, block).ok()) {
+      continue;
+    }
+    for (uint32_t i = 0; i < epc; i++) {
+      InodeNum ino = c * epc + i;
+      if (ino >= img.ck.ninodes) {
+        break;
+      }
+      ImapEntry e = ImapEntry::DecodeFrom(std::span<const uint8_t>(block).subspan(
+          size_t{i} * kImapEntrySize, kImapEntrySize));
+      if (e.allocated()) {
+        std::printf("%-8u %-12llu %-5u %-8u\n", ino,
+                    static_cast<unsigned long long>(e.inode_block), e.slot, e.version);
+      }
+    }
+  }
+}
+
+void DumpInode(const Image& img, InodeNum ino) {
+  if (!img.have_ck) {
+    std::printf("no valid checkpoint\n");
+    return;
+  }
+  uint32_t epc = img.sb.imap_entries_per_chunk();
+  uint32_t chunk = ino / epc;
+  if (ino >= img.ck.ninodes || chunk >= img.ck.imap_chunk_addr.size()) {
+    std::printf("inode %u is beyond the allocated range\n", ino);
+    return;
+  }
+  std::vector<uint8_t> block(img.sb.block_size);
+  if (!img.disk->Read(img.ck.imap_chunk_addr[chunk], 1, block).ok()) {
+    std::printf("cannot read imap chunk %u\n", chunk);
+    return;
+  }
+  ImapEntry e = ImapEntry::DecodeFrom(std::span<const uint8_t>(block).subspan(
+      size_t{ino % epc} * kImapEntrySize, kImapEntrySize));
+  if (!e.allocated()) {
+    std::printf("inode %u is not allocated\n", ino);
+    return;
+  }
+  if (!img.disk->Read(e.inode_block, 1, block).ok()) {
+    std::printf("cannot read inode block %llu\n",
+                static_cast<unsigned long long>(e.inode_block));
+    return;
+  }
+  Result<Inode> inode = Inode::DecodeFrom(std::span<const uint8_t>(block).subspan(
+      size_t{e.slot} * kInodeSlotSize, kInodeSlotSize));
+  if (!inode.ok()) {
+    std::printf("inode slot undecodable: %s\n", inode.status().ToString().c_str());
+    return;
+  }
+  std::printf("inode %u at block %llu slot %u\n", ino,
+              static_cast<unsigned long long>(e.inode_block), e.slot);
+  std::printf("  type    %s\n", inode->type == FileType::kDirectory ? "directory" : "file");
+  std::printf("  size    %llu bytes\n", static_cast<unsigned long long>(inode->size));
+  std::printf("  nlink   %u   version %u   mtime %llu\n", inode->nlink, inode->version,
+              static_cast<unsigned long long>(inode->mtime));
+  std::printf("  direct ");
+  for (BlockNo b : inode->direct) {
+    std::printf(" %llu", static_cast<unsigned long long>(b));
+  }
+  std::printf("\n  indirect %llu   double %llu\n",
+              static_cast<unsigned long long>(inode->single_indirect),
+              static_cast<unsigned long long>(inode->double_indirect));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <image> super|checkpoints|segments|segment <N>|imap|inode <INO>\n",
+                 argv[0]);
+    return 2;
+  }
+  auto img = OpenImage(argv[1]);
+  if (!img.ok()) {
+    std::fprintf(stderr, "lfsdump: %s\n", img.status().ToString().c_str());
+    return 2;
+  }
+  std::string cmd = argv[2];
+  if (cmd == "super") {
+    DumpSuper(*img);
+  } else if (cmd == "checkpoints") {
+    DumpCheckpoints(*img);
+  } else if (cmd == "segments") {
+    DumpSegments(*img);
+  } else if (cmd == "segment" && argc >= 4) {
+    SegNo seg = static_cast<SegNo>(std::atoi(argv[3]));
+    if (seg >= img->sb.nsegments) {
+      std::fprintf(stderr, "segment %u out of range (0..%u)\n", seg, img->sb.nsegments - 1);
+      return 2;
+    }
+    DumpSegmentChain(*img, seg);
+  } else if (cmd == "imap") {
+    DumpImap(*img);
+  } else if (cmd == "inode" && argc >= 4) {
+    DumpInode(*img, static_cast<InodeNum>(std::atoi(argv[3])));
+  } else {
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// mkfs.lfs: format a disk image as a log-structured filesystem.
+//
+//   usage: mkfs_lfs <image> <size-MB> [--block-size N] [--segment-kb N]
+//                   [--policy greedy|cost-benefit]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/disk/file_disk.h"
+#include "src/lfs/lfs.h"
+
+using namespace lfs;
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <image> <size-MB> [--block-size N] [--segment-kb N]\n"
+                 "       [--policy greedy|cost-benefit]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string path = argv[1];
+  uint64_t size_mb = std::strtoull(argv[2], nullptr, 10);
+  LfsConfig cfg;
+  for (int i = 3; i < argc - 1; i++) {
+    if (std::strcmp(argv[i], "--block-size") == 0) {
+      cfg.block_size = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--segment-kb") == 0) {
+      cfg.segment_blocks = static_cast<uint32_t>(std::atoi(argv[++i])) * 1024 / cfg.block_size;
+    } else if (std::strcmp(argv[i], "--policy") == 0) {
+      std::string p = argv[++i];
+      if (p == "greedy") {
+        cfg.policy = CleaningPolicy::kGreedy;
+      } else if (p == "cost-benefit") {
+        cfg.policy = CleaningPolicy::kCostBenefit;
+      } else {
+        std::fprintf(stderr, "unknown policy '%s'\n", p.c_str());
+        return 2;
+      }
+    }
+  }
+  if (size_mb < 1) {
+    std::fprintf(stderr, "size must be at least 1 MB\n");
+    return 2;
+  }
+
+  uint64_t blocks = size_mb * 1024 * 1024 / cfg.block_size;
+  auto disk = FileDisk::Open(path, cfg.block_size, blocks);
+  if (!disk.ok()) {
+    std::fprintf(stderr, "mkfs.lfs: %s\n", disk.status().ToString().c_str());
+    return 2;
+  }
+  auto fs = LfsFileSystem::Mkfs(disk->get(), cfg);
+  if (!fs.ok()) {
+    std::fprintf(stderr, "mkfs.lfs: %s\n", fs.status().ToString().c_str());
+    return 1;
+  }
+  Status st = (*fs)->Unmount();
+  if (!st.ok()) {
+    std::fprintf(stderr, "mkfs.lfs: unmount: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const Superblock& sb = (*fs)->superblock();
+  std::printf("%s: %llu MB, %u-byte blocks, %u segments of %u KB\n", path.c_str(),
+              static_cast<unsigned long long>(size_mb), sb.block_size, sb.nsegments,
+              sb.segment_bytes() / 1024);
+  return 0;
+}
