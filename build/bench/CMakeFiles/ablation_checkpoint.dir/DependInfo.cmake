@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_checkpoint.cpp" "bench/CMakeFiles/ablation_checkpoint.dir/ablation_checkpoint.cpp.o" "gcc" "bench/CMakeFiles/ablation_checkpoint.dir/ablation_checkpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfs/CMakeFiles/lfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ffs/CMakeFiles/lfs_ffs.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/lfs_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/lfs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

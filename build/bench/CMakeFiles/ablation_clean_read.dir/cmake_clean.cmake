@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_clean_read.dir/ablation_clean_read.cpp.o"
+  "CMakeFiles/ablation_clean_read.dir/ablation_clean_read.cpp.o.d"
+  "ablation_clean_read"
+  "ablation_clean_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_clean_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sim_episodes.dir/ablation_sim_episodes.cpp.o"
+  "CMakeFiles/ablation_sim_episodes.dir/ablation_sim_episodes.cpp.o.d"
+  "ablation_sim_episodes"
+  "ablation_sim_episodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sim_episodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/andrew_like.dir/andrew_like.cpp.o"
+  "CMakeFiles/andrew_like.dir/andrew_like.cpp.o.d"
+  "andrew_like"
+  "andrew_like.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/andrew_like.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

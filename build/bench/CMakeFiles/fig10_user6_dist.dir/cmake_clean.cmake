@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_user6_dist.dir/fig10_user6_dist.cpp.o"
+  "CMakeFiles/fig10_user6_dist.dir/fig10_user6_dist.cpp.o.d"
+  "fig10_user6_dist"
+  "fig10_user6_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_user6_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_threading.dir/fig2_threading.cpp.o"
+  "CMakeFiles/fig2_threading.dir/fig2_threading.cpp.o.d"
+  "fig2_threading"
+  "fig2_threading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_write_cost.dir/fig3_write_cost.cpp.o"
+  "CMakeFiles/fig3_write_cost.dir/fig3_write_cost.cpp.o.d"
+  "fig3_write_cost"
+  "fig3_write_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_write_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_greedy_sim.dir/fig4_greedy_sim.cpp.o"
+  "CMakeFiles/fig4_greedy_sim.dir/fig4_greedy_sim.cpp.o.d"
+  "fig4_greedy_sim"
+  "fig4_greedy_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_greedy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

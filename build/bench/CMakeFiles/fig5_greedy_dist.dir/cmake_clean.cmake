@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_greedy_dist.dir/fig5_greedy_dist.cpp.o"
+  "CMakeFiles/fig5_greedy_dist.dir/fig5_greedy_dist.cpp.o.d"
+  "fig5_greedy_dist"
+  "fig5_greedy_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_greedy_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_costbenefit_dist.dir/fig6_costbenefit_dist.cpp.o"
+  "CMakeFiles/fig6_costbenefit_dist.dir/fig6_costbenefit_dist.cpp.o.d"
+  "fig6_costbenefit_dist"
+  "fig6_costbenefit_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_costbenefit_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

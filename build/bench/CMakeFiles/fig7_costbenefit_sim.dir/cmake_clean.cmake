@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_costbenefit_sim.dir/fig7_costbenefit_sim.cpp.o"
+  "CMakeFiles/fig7_costbenefit_sim.dir/fig7_costbenefit_sim.cpp.o.d"
+  "fig7_costbenefit_sim"
+  "fig7_costbenefit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_costbenefit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

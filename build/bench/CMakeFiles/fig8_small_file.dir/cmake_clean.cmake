@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_small_file.dir/fig8_small_file.cpp.o"
+  "CMakeFiles/fig8_small_file.dir/fig8_small_file.cpp.o.d"
+  "fig8_small_file"
+  "fig8_small_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_small_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

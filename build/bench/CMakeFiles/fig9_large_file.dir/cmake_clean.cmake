@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_large_file.dir/fig9_large_file.cpp.o"
+  "CMakeFiles/fig9_large_file.dir/fig9_large_file.cpp.o.d"
+  "fig9_large_file"
+  "fig9_large_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_large_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

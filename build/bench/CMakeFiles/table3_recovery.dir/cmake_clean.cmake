@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_recovery.dir/table3_recovery.cpp.o"
+  "CMakeFiles/table3_recovery.dir/table3_recovery.cpp.o.d"
+  "table3_recovery"
+  "table3_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_composition.dir/table4_composition.cpp.o"
+  "CMakeFiles/table4_composition.dir/table4_composition.cpp.o.d"
+  "table4_composition"
+  "table4_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

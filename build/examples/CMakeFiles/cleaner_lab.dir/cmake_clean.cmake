@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaner_lab.dir/cleaner_lab.cpp.o"
+  "CMakeFiles/cleaner_lab.dir/cleaner_lab.cpp.o.d"
+  "cleaner_lab"
+  "cleaner_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaner_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

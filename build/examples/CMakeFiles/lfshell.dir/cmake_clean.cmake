@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfshell.dir/lfshell.cpp.o"
+  "CMakeFiles/lfshell.dir/lfshell.cpp.o.d"
+  "lfshell"
+  "lfshell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfshell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

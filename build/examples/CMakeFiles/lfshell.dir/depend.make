@@ -1,0 +1,2 @@
+# Empty dependencies file for lfshell.
+# This may be replaced when dependencies are built.

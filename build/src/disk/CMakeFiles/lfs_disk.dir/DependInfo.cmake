@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/block_device.cpp" "src/disk/CMakeFiles/lfs_disk.dir/block_device.cpp.o" "gcc" "src/disk/CMakeFiles/lfs_disk.dir/block_device.cpp.o.d"
+  "/root/repo/src/disk/crash_disk.cpp" "src/disk/CMakeFiles/lfs_disk.dir/crash_disk.cpp.o" "gcc" "src/disk/CMakeFiles/lfs_disk.dir/crash_disk.cpp.o.d"
+  "/root/repo/src/disk/disk_model.cpp" "src/disk/CMakeFiles/lfs_disk.dir/disk_model.cpp.o" "gcc" "src/disk/CMakeFiles/lfs_disk.dir/disk_model.cpp.o.d"
+  "/root/repo/src/disk/file_disk.cpp" "src/disk/CMakeFiles/lfs_disk.dir/file_disk.cpp.o" "gcc" "src/disk/CMakeFiles/lfs_disk.dir/file_disk.cpp.o.d"
+  "/root/repo/src/disk/mem_disk.cpp" "src/disk/CMakeFiles/lfs_disk.dir/mem_disk.cpp.o" "gcc" "src/disk/CMakeFiles/lfs_disk.dir/mem_disk.cpp.o.d"
+  "/root/repo/src/disk/sim_disk.cpp" "src/disk/CMakeFiles/lfs_disk.dir/sim_disk.cpp.o" "gcc" "src/disk/CMakeFiles/lfs_disk.dir/sim_disk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_disk.dir/block_device.cpp.o"
+  "CMakeFiles/lfs_disk.dir/block_device.cpp.o.d"
+  "CMakeFiles/lfs_disk.dir/crash_disk.cpp.o"
+  "CMakeFiles/lfs_disk.dir/crash_disk.cpp.o.d"
+  "CMakeFiles/lfs_disk.dir/disk_model.cpp.o"
+  "CMakeFiles/lfs_disk.dir/disk_model.cpp.o.d"
+  "CMakeFiles/lfs_disk.dir/file_disk.cpp.o"
+  "CMakeFiles/lfs_disk.dir/file_disk.cpp.o.d"
+  "CMakeFiles/lfs_disk.dir/mem_disk.cpp.o"
+  "CMakeFiles/lfs_disk.dir/mem_disk.cpp.o.d"
+  "CMakeFiles/lfs_disk.dir/sim_disk.cpp.o"
+  "CMakeFiles/lfs_disk.dir/sim_disk.cpp.o.d"
+  "liblfs_disk.a"
+  "liblfs_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ffs/bitmap.cpp" "src/ffs/CMakeFiles/lfs_ffs.dir/bitmap.cpp.o" "gcc" "src/ffs/CMakeFiles/lfs_ffs.dir/bitmap.cpp.o.d"
+  "/root/repo/src/ffs/ffs.cpp" "src/ffs/CMakeFiles/lfs_ffs.dir/ffs.cpp.o" "gcc" "src/ffs/CMakeFiles/lfs_ffs.dir/ffs.cpp.o.d"
+  "/root/repo/src/ffs/ffs_layout.cpp" "src/ffs/CMakeFiles/lfs_ffs.dir/ffs_layout.cpp.o" "gcc" "src/ffs/CMakeFiles/lfs_ffs.dir/ffs_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lfs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/lfs_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/lfs_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_ffs.dir/bitmap.cpp.o"
+  "CMakeFiles/lfs_ffs.dir/bitmap.cpp.o.d"
+  "CMakeFiles/lfs_ffs.dir/ffs.cpp.o"
+  "CMakeFiles/lfs_ffs.dir/ffs.cpp.o.d"
+  "CMakeFiles/lfs_ffs.dir/ffs_layout.cpp.o"
+  "CMakeFiles/lfs_ffs.dir/ffs_layout.cpp.o.d"
+  "liblfs_ffs.a"
+  "liblfs_ffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_ffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/fd_table.cpp" "src/fs/CMakeFiles/lfs_fs.dir/fd_table.cpp.o" "gcc" "src/fs/CMakeFiles/lfs_fs.dir/fd_table.cpp.o.d"
+  "/root/repo/src/fs/file_system.cpp" "src/fs/CMakeFiles/lfs_fs.dir/file_system.cpp.o" "gcc" "src/fs/CMakeFiles/lfs_fs.dir/file_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

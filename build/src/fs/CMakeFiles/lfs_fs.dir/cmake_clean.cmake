@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_fs.dir/fd_table.cpp.o"
+  "CMakeFiles/lfs_fs.dir/fd_table.cpp.o.d"
+  "CMakeFiles/lfs_fs.dir/file_system.cpp.o"
+  "CMakeFiles/lfs_fs.dir/file_system.cpp.o.d"
+  "liblfs_fs.a"
+  "liblfs_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lfs/check.cpp" "src/lfs/CMakeFiles/lfs_core.dir/check.cpp.o" "gcc" "src/lfs/CMakeFiles/lfs_core.dir/check.cpp.o.d"
+  "/root/repo/src/lfs/inode_map.cpp" "src/lfs/CMakeFiles/lfs_core.dir/inode_map.cpp.o" "gcc" "src/lfs/CMakeFiles/lfs_core.dir/inode_map.cpp.o.d"
+  "/root/repo/src/lfs/layout.cpp" "src/lfs/CMakeFiles/lfs_core.dir/layout.cpp.o" "gcc" "src/lfs/CMakeFiles/lfs_core.dir/layout.cpp.o.d"
+  "/root/repo/src/lfs/lfs.cpp" "src/lfs/CMakeFiles/lfs_core.dir/lfs.cpp.o" "gcc" "src/lfs/CMakeFiles/lfs_core.dir/lfs.cpp.o.d"
+  "/root/repo/src/lfs/lfs_cleaner.cpp" "src/lfs/CMakeFiles/lfs_core.dir/lfs_cleaner.cpp.o" "gcc" "src/lfs/CMakeFiles/lfs_core.dir/lfs_cleaner.cpp.o.d"
+  "/root/repo/src/lfs/lfs_io.cpp" "src/lfs/CMakeFiles/lfs_core.dir/lfs_io.cpp.o" "gcc" "src/lfs/CMakeFiles/lfs_core.dir/lfs_io.cpp.o.d"
+  "/root/repo/src/lfs/lfs_namespace.cpp" "src/lfs/CMakeFiles/lfs_core.dir/lfs_namespace.cpp.o" "gcc" "src/lfs/CMakeFiles/lfs_core.dir/lfs_namespace.cpp.o.d"
+  "/root/repo/src/lfs/lfs_recovery.cpp" "src/lfs/CMakeFiles/lfs_core.dir/lfs_recovery.cpp.o" "gcc" "src/lfs/CMakeFiles/lfs_core.dir/lfs_recovery.cpp.o.d"
+  "/root/repo/src/lfs/seg_usage.cpp" "src/lfs/CMakeFiles/lfs_core.dir/seg_usage.cpp.o" "gcc" "src/lfs/CMakeFiles/lfs_core.dir/seg_usage.cpp.o.d"
+  "/root/repo/src/lfs/segment_writer.cpp" "src/lfs/CMakeFiles/lfs_core.dir/segment_writer.cpp.o" "gcc" "src/lfs/CMakeFiles/lfs_core.dir/segment_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lfs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/lfs_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/lfs_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_core.dir/check.cpp.o"
+  "CMakeFiles/lfs_core.dir/check.cpp.o.d"
+  "CMakeFiles/lfs_core.dir/inode_map.cpp.o"
+  "CMakeFiles/lfs_core.dir/inode_map.cpp.o.d"
+  "CMakeFiles/lfs_core.dir/layout.cpp.o"
+  "CMakeFiles/lfs_core.dir/layout.cpp.o.d"
+  "CMakeFiles/lfs_core.dir/lfs.cpp.o"
+  "CMakeFiles/lfs_core.dir/lfs.cpp.o.d"
+  "CMakeFiles/lfs_core.dir/lfs_cleaner.cpp.o"
+  "CMakeFiles/lfs_core.dir/lfs_cleaner.cpp.o.d"
+  "CMakeFiles/lfs_core.dir/lfs_io.cpp.o"
+  "CMakeFiles/lfs_core.dir/lfs_io.cpp.o.d"
+  "CMakeFiles/lfs_core.dir/lfs_namespace.cpp.o"
+  "CMakeFiles/lfs_core.dir/lfs_namespace.cpp.o.d"
+  "CMakeFiles/lfs_core.dir/lfs_recovery.cpp.o"
+  "CMakeFiles/lfs_core.dir/lfs_recovery.cpp.o.d"
+  "CMakeFiles/lfs_core.dir/seg_usage.cpp.o"
+  "CMakeFiles/lfs_core.dir/seg_usage.cpp.o.d"
+  "CMakeFiles/lfs_core.dir/segment_writer.cpp.o"
+  "CMakeFiles/lfs_core.dir/segment_writer.cpp.o.d"
+  "liblfs_core.a"
+  "liblfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

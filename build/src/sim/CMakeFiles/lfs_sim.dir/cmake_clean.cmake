@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_sim.dir/sim.cpp.o"
+  "CMakeFiles/lfs_sim.dir/sim.cpp.o.d"
+  "liblfs_sim.a"
+  "liblfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_util.dir/crc32.cpp.o"
+  "CMakeFiles/lfs_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/lfs_util.dir/histogram.cpp.o"
+  "CMakeFiles/lfs_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/lfs_util.dir/rng.cpp.o"
+  "CMakeFiles/lfs_util.dir/rng.cpp.o.d"
+  "CMakeFiles/lfs_util.dir/status.cpp.o"
+  "CMakeFiles/lfs_util.dir/status.cpp.o.d"
+  "CMakeFiles/lfs_util.dir/table.cpp.o"
+  "CMakeFiles/lfs_util.dir/table.cpp.o.d"
+  "liblfs_util.a"
+  "liblfs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_table_test.dir/fd_table_test.cpp.o"
+  "CMakeFiles/fd_table_test.dir/fd_table_test.cpp.o.d"
+  "fd_table_test"
+  "fd_table_test.pdb"
+  "fd_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

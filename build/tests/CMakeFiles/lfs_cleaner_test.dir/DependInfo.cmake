@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lfs_cleaner_test.cpp" "tests/CMakeFiles/lfs_cleaner_test.dir/lfs_cleaner_test.cpp.o" "gcc" "tests/CMakeFiles/lfs_cleaner_test.dir/lfs_cleaner_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lfs/CMakeFiles/lfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/lfs_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/lfs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

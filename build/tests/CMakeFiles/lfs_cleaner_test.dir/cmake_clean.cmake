@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_cleaner_test.dir/lfs_cleaner_test.cpp.o"
+  "CMakeFiles/lfs_cleaner_test.dir/lfs_cleaner_test.cpp.o.d"
+  "lfs_cleaner_test"
+  "lfs_cleaner_test.pdb"
+  "lfs_cleaner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_cleaner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_dirlog_test.dir/lfs_dirlog_test.cpp.o"
+  "CMakeFiles/lfs_dirlog_test.dir/lfs_dirlog_test.cpp.o.d"
+  "lfs_dirlog_test"
+  "lfs_dirlog_test.pdb"
+  "lfs_dirlog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_dirlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_invariants_test.dir/lfs_invariants_test.cpp.o"
+  "CMakeFiles/lfs_invariants_test.dir/lfs_invariants_test.cpp.o.d"
+  "lfs_invariants_test"
+  "lfs_invariants_test.pdb"
+  "lfs_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

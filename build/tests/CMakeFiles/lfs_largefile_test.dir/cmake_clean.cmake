@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_largefile_test.dir/lfs_largefile_test.cpp.o"
+  "CMakeFiles/lfs_largefile_test.dir/lfs_largefile_test.cpp.o.d"
+  "lfs_largefile_test"
+  "lfs_largefile_test.pdb"
+  "lfs_largefile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_largefile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

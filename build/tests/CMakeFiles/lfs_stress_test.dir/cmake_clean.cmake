@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_stress_test.dir/lfs_stress_test.cpp.o"
+  "CMakeFiles/lfs_stress_test.dir/lfs_stress_test.cpp.o.d"
+  "lfs_stress_test"
+  "lfs_stress_test.pdb"
+  "lfs_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/lfs_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/lfs_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/lfs_cleaner_test[1]_include.cmake")
+include("/root/repo/build/tests/ffs_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/disk_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_test[1]_include.cmake")
+include("/root/repo/build/tests/components_test[1]_include.cmake")
+include("/root/repo/build/tests/lfs_invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/check_test[1]_include.cmake")
+include("/root/repo/build/tests/fd_table_test[1]_include.cmake")
+include("/root/repo/build/tests/lfs_dirlog_test[1]_include.cmake")
+include("/root/repo/build/tests/lfs_largefile_test[1]_include.cmake")
+include("/root/repo/build/tests/lfs_stress_test[1]_include.cmake")

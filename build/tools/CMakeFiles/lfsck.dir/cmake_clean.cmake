@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfsck.dir/lfsck.cpp.o"
+  "CMakeFiles/lfsck.dir/lfsck.cpp.o.d"
+  "lfsck"
+  "lfsck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfsck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

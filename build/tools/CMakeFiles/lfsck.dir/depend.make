@@ -1,0 +1,2 @@
+# Empty dependencies file for lfsck.
+# This may be replaced when dependencies are built.

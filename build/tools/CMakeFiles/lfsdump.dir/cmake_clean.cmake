@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfsdump.dir/lfsdump.cpp.o"
+  "CMakeFiles/lfsdump.dir/lfsdump.cpp.o.d"
+  "lfsdump"
+  "lfsdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfsdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkfs_lfs.dir/mkfs_lfs.cpp.o"
+  "CMakeFiles/mkfs_lfs.dir/mkfs_lfs.cpp.o.d"
+  "mkfs_lfs"
+  "mkfs_lfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkfs_lfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
