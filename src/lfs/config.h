@@ -57,6 +57,11 @@ struct LfsConfig {
   // leaving only Sync()/unmount checkpoints.
   uint64_t checkpoint_interval_bytes = 0;
 
+  // Cross-check every victim selection against the reference O(n log n)
+  // scan-and-sort and count divergences in stats.selection_mismatches.
+  // Debug/test aid for the incremental selection index; off in production.
+  bool verify_selection = false;
+
   // Clean-block read cache (block count; 0 disables). Sprite kept inodes
   // and hot file blocks in its file cache; recovery in particular depends on
   // cached inode blocks (each holds ~25 inodes that roll-forward revisits).

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <string>
 
 namespace lfs {
@@ -14,7 +15,8 @@ LfsFileSystem::LfsFileSystem(BlockDevice* device, const LfsConfig& cfg, const Su
       sb_(sb),
       imap_(sb.max_inodes, sb.imap_entries_per_chunk()),
       usage_(sb.nsegments, sb.segment_bytes(), sb.usage_entries_per_chunk()),
-      writer_(device, &sb_, &usage_, &stats_, cfg.reserve_segments) {}
+      writer_(device, &sb_, &usage_, &stats_, cfg.reserve_segments),
+      debug_cleaner_(getenv("LFS_DEBUG_CLEANER") != nullptr) {}
 
 Result<std::unique_ptr<LfsFileSystem>> LfsFileSystem::Mkfs(BlockDevice* device,
                                                            const LfsConfig& cfg) {
@@ -125,7 +127,7 @@ Result<std::unique_ptr<LfsFileSystem>> LfsFileSystem::Mount(BlockDevice* device,
   // the usage chunks were serialized while the checkpoint itself was still
   // appending to it. Recompute it exactly by scanning. (Older chunk-host
   // segments can at worst UNDERcount their own chunk blocks, which is safe:
-  // they are in ProtectedSegments, so neither the zero-live sweep nor
+  // they are in the protected-segment set, so neither the zero-live sweep nor
   // segment reuse can touch them, and the cleaner verifies liveness block by
   // block anyway.)
   LFS_RETURN_IF_ERROR(fs->RecomputeSegmentUsage(fs->writer_.current_segment(),
@@ -306,11 +308,26 @@ Status LfsFileSystem::WriteCheckpointRegion() {
   return OkStatus();
 }
 
-std::set<SegNo> LfsFileSystem::ProtectedSegments() const {
-  std::set<SegNo> keep = ChunkHostSegments();
-  keep.insert(cr_hosts_[0].begin(), cr_hosts_[0].end());
-  keep.insert(cr_hosts_[1].begin(), cr_hosts_[1].end());
-  keep.insert(writer_.current_segment());
+std::vector<uint8_t> LfsFileSystem::ProtectedSegmentBitmap() const {
+  std::vector<uint8_t> keep(sb_.nsegments, 0);
+  auto mark = [&](SegNo s) {
+    if (s != kNilSeg && s < sb_.nsegments) {
+      keep[s] = 1;
+    }
+  };
+  for (uint32_t c = 0; c < imap_.chunk_count(); c++) {
+    mark(sb_.SegOf(imap_.chunk_addr(c)));
+  }
+  for (uint32_t c = 0; c < usage_.chunk_count(); c++) {
+    mark(sb_.SegOf(usage_.chunk_addr(c)));
+  }
+  for (SegNo s : cr_hosts_[0]) {
+    mark(s);
+  }
+  for (SegNo s : cr_hosts_[1]) {
+    mark(s);
+  }
+  mark(writer_.current_segment());
   return keep;
 }
 
@@ -325,19 +342,21 @@ void LfsFileSystem::SweepZeroLiveSegments() {
   // at worst lose part of the (already-dead-dominated) post-crash replay
   // tail via a sequence gap — a bounded truncation, never corruption.
   // Segments referenced by the on-disk checkpoint regions stay protected.
-  std::set<SegNo> keep = ProtectedSegments();
-  for (SegNo seg = 0; seg < sb_.nsegments; seg++) {
-    if (keep.count(seg) != 0) {
+  if (usage_.zero_live_dirty_count() == 0) {
+    return;
+  }
+  std::vector<uint8_t> keep = ProtectedSegmentBitmap();
+  std::vector<SegNo> zeros;
+  usage_.AppendZeroLiveDirty(&zeros);
+  for (SegNo seg : zeros) {
+    if (keep[seg]) {
       continue;
     }
-    const SegUsageEntry& e = usage_.Get(seg);
-    if (e.state == SegState::kDirty && e.live_bytes == 0) {
-      usage_.SetState(seg, SegState::kClean);
-      // This is the cleaner's u=0 fast path (Section 3.4: an empty segment
-      // need not be read at all); count it in the Table 2 statistics.
-      stats_.segments_cleaned++;
-      stats_.segments_cleaned_empty++;
-    }
+    usage_.SetState(seg, SegState::kClean);
+    // This is the cleaner's u=0 fast path (Section 3.4: an empty segment
+    // need not be read at all); count it in the Table 2 statistics.
+    stats_.segments_cleaned++;
+    stats_.segments_cleaned_empty++;
   }
 }
 

@@ -116,6 +116,16 @@ class LfsFileSystem : public FileSystem {
 
   // --- introspection (tests, benchmarks, examples) --------------------------------
 
+  // Victim selection, exposed for the differential selection test and the
+  // hot-path benchmark. SelectSegmentsToClean pops candidates from the
+  // incrementally maintained index in SegUsage (O(k log n));
+  // SelectSegmentsToCleanReference is the original scan-and-sort
+  // implementation (O(n log n)) kept as the behavioral oracle — both must
+  // return identical victims in identical order for any state and `now`.
+  // Neither mutates filesystem state.
+  std::vector<SegNo> SelectSegmentsToClean(uint32_t max_segments);
+  std::vector<SegNo> SelectSegmentsToCleanReference(uint32_t max_segments, uint64_t now);
+
   const Superblock& superblock() const { return sb_; }
   const LfsConfig& config() const { return cfg_; }
   const SegUsage& seg_usage() const { return usage_; }
@@ -173,8 +183,10 @@ class LfsFileSystem : public FileSystem {
   // Segments that must never be recycled right now: the active segment, the
   // hosts of current in-memory metadata chunks, and the hosts of chunks
   // referenced by either on-disk checkpoint region (a torn checkpoint write
-  // falls back to the older region, so both must stay readable).
-  std::set<SegNo> ProtectedSegments() const;
+  // falls back to the older region, so both must stay readable). Returned as
+  // a per-segment bitmap so the cleaner's hot path does no ordered-set
+  // lookups or node allocations.
+  std::vector<uint8_t> ProtectedSegmentBitmap() const;
 
   // --- I/O core (lfs_io.cpp) ---
 
@@ -187,6 +199,11 @@ class LfsFileSystem : public FileSystem {
   bool ReadCacheGet(BlockNo addr, std::span<uint8_t> out) const;
   void ReadCachePut(BlockNo addr, std::span<const uint8_t> data) const;
   Status ReadLogBlock(BlockNo addr, std::span<uint8_t> out) const;
+  // Reads `count` consecutively addressed blocks into `out`, serving each
+  // from the writer buffer or read cache when possible and fetching the
+  // uncached stretches with single run-granular device reads that also
+  // populate the read cache.
+  Status ReadLogRun(BlockNo addr, uint64_t count, std::span<uint8_t> out) const;
   void StoreDirtyBlock(InodeNum ino, uint64_t fbn, std::vector<uint8_t> data);
   Status ReadFileBlock(FileMap* fm, InodeNum ino, uint64_t fbn, std::span<uint8_t> out);
   void MarkIndirectDirty(FileMap* fm, uint64_t fbn);
@@ -229,7 +246,6 @@ class LfsFileSystem : public FileSystem {
   uint32_t EffectiveCleanLo() const;
   uint32_t EffectiveCleanHi() const;
   Result<uint32_t> CleanerPass();    // returns source segments reclaimed
-  std::vector<SegNo> SelectSegmentsToClean(uint32_t max_segments);
   Result<bool> IsLiveBlock(const SummaryEntry& entry, BlockNo addr,
                            std::span<const uint8_t> content);
   Status MigrateLiveBlock(const SummaryEntry& entry, BlockNo addr,
@@ -291,6 +307,7 @@ class LfsFileSystem : public FileSystem {
   bool in_recovery_ = false;
   bool in_checkpoint_ = false;
   bool read_only_ = false;
+  bool debug_cleaner_ = false;  // LFS_DEBUG_CLEANER, looked up once at mount
 };
 
 }  // namespace lfs

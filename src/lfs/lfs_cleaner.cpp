@@ -20,20 +20,62 @@
 namespace lfs {
 
 std::vector<SegNo> LfsFileSystem::SelectSegmentsToClean(uint32_t max_segments) {
-  std::set<SegNo> off_limits = ProtectedSegments();
+  uint64_t now = clock_.Now();
+  std::vector<uint8_t> off_limits = ProtectedSegmentBitmap();
+
+  // Bound the pass so the rewritten live data — plus the buffered user data
+  // the pass's final flush will push out — is guaranteed to fit in the clean
+  // segments we currently have (the cleaner must never wedge itself).
+  uint64_t buffered = dirty_data_.size() * uint64_t{sb_.block_size};
+  uint64_t budget = usage_.clean_count() > 1
+                        ? (uint64_t{usage_.clean_count()} - 1) * sb_.segment_bytes()
+                        : 0;
+  budget = budget > buffered ? budget - buffered : 0;
+
+  // Pop candidates from the selection index in exact score order; it holds
+  // every kDirty segment, so only the per-candidate filters remain here.
+  std::vector<SegNo> chosen;
+  uint64_t planned_live = 0;
+  VictimIndex::Cursor cursor =
+      usage_.SelectVictims(cfg_.policy == CleaningPolicy::kGreedy, now);
+  for (SegNo seg = cursor.Next();
+       seg != VictimIndex::kNone && chosen.size() < max_segments; seg = cursor.Next()) {
+    if (off_limits[seg]) {
+      continue;
+    }
+    // Never touch segments written after the last checkpoint: they are the
+    // roll-forward log tail and must survive until the next checkpoint.
+    if (usage_.write_seq(seg) >= ckpt_boundary_seq_) {
+      continue;
+    }
+    uint64_t live = usage_.Get(seg).live_bytes;
+    if (planned_live + live > budget) {
+      continue;  // try a smaller (likely emptier) candidate
+    }
+    planned_live += live;
+    chosen.push_back(seg);
+  }
+
+  if (cfg_.verify_selection &&
+      chosen != SelectSegmentsToCleanReference(max_segments, now)) {
+    stats_.selection_mismatches++;
+  }
+  return chosen;
+}
+
+std::vector<SegNo> LfsFileSystem::SelectSegmentsToCleanReference(uint32_t max_segments,
+                                                                 uint64_t now) {
+  std::vector<uint8_t> off_limits = ProtectedSegmentBitmap();
   struct Scored {
     SegNo seg;
     double score;
   };
   std::vector<Scored> scored;
-  uint64_t now = clock_.Now();
   for (SegNo seg = 0; seg < sb_.nsegments; seg++) {
     const SegUsageEntry& e = usage_.Get(seg);
-    if (e.state != SegState::kDirty || off_limits.count(seg) != 0) {
+    if (e.state != SegState::kDirty || off_limits[seg]) {
       continue;
     }
-    // Never touch segments written after the last checkpoint: they are the
-    // roll-forward log tail and must survive until the next checkpoint.
     if (usage_.write_seq(seg) >= ckpt_boundary_seq_) {
       continue;
     }
@@ -57,9 +99,6 @@ std::vector<SegNo> LfsFileSystem::SelectSegmentsToClean(uint32_t max_segments) {
     return a.seg < b.seg;
   });
 
-  // Bound the pass so the rewritten live data — plus the buffered user data
-  // the pass's final flush will push out — is guaranteed to fit in the clean
-  // segments we currently have (the cleaner must never wedge itself).
   uint64_t buffered = dirty_data_.size() * uint64_t{sb_.block_size};
   uint64_t budget = usage_.clean_count() > 1
                         ? (uint64_t{usage_.clean_count()} - 1) * sb_.segment_bytes()
@@ -293,17 +332,17 @@ Status LfsFileSystem::CollectLiveBlocksSparse(SegNo seg, std::vector<LiveBlock>*
   }
 
   // Resolve the deferred inode-block liveness checks now that we have data.
-  std::set<size_t> drop;
+  std::vector<uint8_t> drop(candidates.size(), 0);
   for (size_t idx : inode_block_idx) {
     LFS_ASSIGN_OR_RETURN(
         bool live, IsLiveBlock(candidates[idx].entry, candidates[idx].addr,
                                candidates[idx].content));
     if (!live) {
-      drop.insert(idx);
+      drop[idx] = 1;
     }
   }
   for (size_t i = 0; i < candidates.size(); i++) {
-    if (drop.count(i) == 0) {
+    if (!drop[i]) {
       out->push_back(std::move(candidates[i]));
     }
   }
@@ -426,15 +465,10 @@ uint32_t LfsFileSystem::EffectiveCleanHi() const {
 }
 
 Status LfsFileSystem::MaybeClean() {
-  if (getenv("LFS_DEBUG_CLEANER") != nullptr) {
-    uint32_t zero = 0;
-    for (SegNo seg = 0; seg < sb_.nsegments; seg++) {
-      const SegUsageEntry& e = usage_.Get(seg);
-      if (e.state == SegState::kDirty && e.live_bytes == 0) zero++;
-    }
+  if (debug_cleaner_) {
     fprintf(stderr, "[MaybeClean] in_cleaner=%d usable=%u lo=%u clean=%u zero_dirty=%u\n",
             (int)in_cleaner_, writer_.usable_clean_segments(), EffectiveCleanLo(),
-            usage_.clean_count(), zero);
+            usage_.clean_count(), usage_.zero_live_dirty_count());
   }
   if (in_cleaner_ || writer_.usable_clean_segments() >= EffectiveCleanLo()) {
     return OkStatus();
@@ -443,17 +477,19 @@ Status LfsFileSystem::MaybeClean() {
   // checkpoint can be reclaimed for free (no copying) once a checkpoint
   // advances the roll-forward boundary. A checkpoint costs a few blocks;
   // cleaning a half-live segment costs megabytes of copying — so when dead
-  // segments exist, checkpoint before reaching for the expensive ones.
+  // segments exist, checkpoint before reaching for the expensive ones. The
+  // incrementally maintained zero-live count makes this an O(1) check
+  // (discounting the current segment, which is never harvestable).
   bool checkpointed = false;
   if (!in_checkpoint_ && !in_recovery_) {
-    for (SegNo seg = 0; seg < sb_.nsegments; seg++) {
-      const SegUsageEntry& e = usage_.Get(seg);
-      if (e.state == SegState::kDirty && e.live_bytes == 0 &&
-          seg != writer_.current_segment()) {
-        checkpointed = true;
-        LFS_RETURN_IF_ERROR(LightCheckpoint());
-        break;
-      }
+    uint32_t harvestable = usage_.zero_live_dirty_count();
+    const SegUsageEntry& cur = usage_.Get(writer_.current_segment());
+    if (cur.state == SegState::kDirty && cur.live_bytes == 0) {
+      harvestable--;
+    }
+    if (harvestable > 0) {
+      checkpointed = true;
+      LFS_RETURN_IF_ERROR(LightCheckpoint());
     }
     if (writer_.usable_clean_segments() >= EffectiveCleanLo()) {
       return OkStatus();
@@ -466,7 +502,7 @@ Status LfsFileSystem::MaybeClean() {
     LFS_ASSIGN_OR_RETURN(uint32_t reclaimed, CleanerPass());
     reclaimed_any = reclaimed_any || reclaimed > 0;
     if (reclaimed == 0) {
-      if (getenv("LFS_DEBUG_CLEANER") != nullptr) {
+      if (debug_cleaner_) {
         uint32_t dirty_pre = 0, dirty_post = 0, zero = 0;
         for (SegNo seg = 0; seg < sb_.nsegments; seg++) {
           const SegUsageEntry& e = usage_.Get(seg);

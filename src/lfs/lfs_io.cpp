@@ -74,6 +74,31 @@ Status LfsFileSystem::ReadLogBlock(BlockNo addr, std::span<uint8_t> out) const {
   return OkStatus();
 }
 
+Status LfsFileSystem::ReadLogRun(BlockNo addr, uint64_t count, std::span<uint8_t> out) const {
+  const uint32_t bs = sb_.block_size;
+  uint64_t i = 0;
+  while (i < count) {
+    // Serve writer-buffered and cached blocks individually; everything
+    // between them is fetched in one device read per contiguous stretch.
+    uint64_t j = i;
+    while (j < count) {
+      std::span<uint8_t> block = out.subspan(j * bs, bs);
+      if (writer_.ReadBuffered(addr + j, block) || ReadCacheGet(addr + j, block)) {
+        break;  // block j is already filled
+      }
+      j++;
+    }
+    if (j > i) {
+      LFS_RETURN_IF_ERROR(device_->Read(addr + i, j - i, out.subspan(i * bs, (j - i) * bs)));
+      for (uint64_t k = i; k < j; k++) {
+        ReadCachePut(addr + k, out.subspan(k * bs, bs));
+      }
+    }
+    i = j < count ? j + 1 : j;
+  }
+  return OkStatus();
+}
+
 Result<Inode> LfsFileSystem::ReadInodeFromDisk(InodeNum ino) const {
   ImapEntry e = imap_.Get(ino);
   if (!e.allocated()) {
@@ -345,13 +370,12 @@ Result<uint64_t> LfsFileSystem::ReadAt(InodeNum ino, uint64_t offset, std::span<
         }
         run++;
       }
-      std::span<uint8_t> dst = out.subspan(done, run * bs);
-      if (!writer_.ReadBuffered(fm->blocks[fbn], dst.subspan(0, bs))) {
-        LFS_RETURN_IF_ERROR(device_->Read(fm->blocks[fbn], run, dst));
-        done += run * bs;
-        continue;
-      }
-      // Buffered in the writer: fall through to slow per-block path.
+      // One coalesced fetch for the whole run; blocks still sitting in the
+      // writer buffer or the read cache are served in place, so the device
+      // sees only the uncached stretches (each as a single sequential read).
+      LFS_RETURN_IF_ERROR(ReadLogRun(fm->blocks[fbn], run, out.subspan(done, run * bs)));
+      done += run * bs;
+      continue;
     }
     std::vector<uint8_t> block(bs);
     LFS_RETURN_IF_ERROR(ReadFileBlock(fm, ino, fbn, block));

@@ -1,10 +1,41 @@
 #include "src/lfs/seg_usage.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstring>
 
 namespace lfs {
+
+void SegUsage::SyncIndex(SegNo seg) {
+  const SegUsageEntry& e = entries_[seg];
+  if (e.state == SegState::kDirty) {
+    victim_index_.Insert(seg, e.live_bytes, e.last_write);  // insert-or-update
+  } else {
+    victim_index_.Remove(seg);
+  }
+  bool zero = e.state == SegState::kDirty && e.live_bytes == 0;
+  uint64_t& word = zero_live_words_[seg >> 6];
+  uint64_t bit = uint64_t{1} << (seg & 63);
+  if (zero && (word & bit) == 0) {
+    word |= bit;
+    zero_live_dirty_count_++;
+  } else if (!zero && (word & bit) != 0) {
+    word &= ~bit;
+    zero_live_dirty_count_--;
+  }
+}
+
+void SegUsage::AppendZeroLiveDirty(std::vector<SegNo>* out) const {
+  for (size_t w = 0; w < zero_live_words_.size(); w++) {
+    uint64_t word = zero_live_words_[w];
+    while (word != 0) {
+      int bit = std::countr_zero(word);
+      word &= word - 1;
+      out->push_back(static_cast<SegNo>(w * 64 + bit));
+    }
+  }
+}
 
 void SegUsage::AddLive(SegNo seg, uint32_t bytes, uint64_t mtime) {
   assert(seg < entries_.size());
@@ -14,6 +45,7 @@ void SegUsage::AddLive(SegNo seg, uint32_t bytes, uint64_t mtime) {
   assert(e.live_bytes <= segment_bytes_);
   e.last_write = std::max(e.last_write, mtime);
   MarkDirty(seg);
+  SyncIndex(seg);
 }
 
 void SegUsage::SubLive(SegNo seg, uint32_t bytes) {
@@ -26,6 +58,7 @@ void SegUsage::SubLive(SegNo seg, uint32_t bytes) {
   e.live_bytes -= sub;
   total_live_ -= sub;
   MarkDirty(seg);
+  SyncIndex(seg);
 }
 
 void SegUsage::SetState(SegNo seg, SegState state) {
@@ -41,6 +74,7 @@ void SegUsage::SetState(SegNo seg, SegState state) {
   }
   e.state = state;
   MarkDirty(seg);
+  SyncIndex(seg);
 }
 
 SegNo SegUsage::PickClean() const {
@@ -80,6 +114,7 @@ void SegUsage::LoadChunk(uint32_t chunk, std::span<const uint8_t> block) {
     entries_[seg] = SegUsageEntry::DecodeFrom(block.subspan(size_t{i} * kUsageEntrySize,
                                                             kUsageEntrySize));
     total_live_ += entries_[seg].live_bytes;
+    SyncIndex(seg);
   }
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/lfs/layout.h"
+#include "src/util/victim_index.h"
 
 namespace lfs {
 
@@ -30,7 +31,9 @@ class SegUsage {
         entries_per_chunk_(entries_per_chunk),
         entries_(nsegments),
         write_seq_(nsegments, 0),
-        chunk_addrs_((nsegments + entries_per_chunk - 1) / entries_per_chunk, kNilBlock) {
+        chunk_addrs_((nsegments + entries_per_chunk - 1) / entries_per_chunk, kNilBlock),
+        victim_index_(nsegments, segment_bytes),
+        zero_live_words_((nsegments + 63) / 64, 0) {
     clean_count_ = nsegments;
   }
 
@@ -57,6 +60,23 @@ class SegUsage {
 
   // Next clean segment to fill (lowest-numbered), or kNilSeg if none.
   SegNo PickClean() const;
+
+  // --- victim selection --------------------------------------------------------
+
+  // The selection index holds exactly the kDirty segments, keyed by their
+  // current (live_bytes, last_write); it is kept in sync by AddLive/SubLive/
+  // SetState/LoadChunk. Victims pop in exact reference-sort order.
+  const VictimIndex& victim_index() const { return victim_index_; }
+  VictimIndex::Cursor SelectVictims(bool greedy, uint64_t now) const {
+    return victim_index_.Select(greedy, now);
+  }
+
+  // Dirty segments whose data has entirely died: reclaimable for free after
+  // a checkpoint. Maintained incrementally so the cleaner's harvest check is
+  // O(1) instead of a full-table scan.
+  uint32_t zero_live_dirty_count() const { return zero_live_dirty_count_; }
+  // Appends the zero-live dirty segments in ascending order.
+  void AppendZeroLiveDirty(std::vector<SegNo>* out) const;
 
   // Overall disk capacity utilization: live bytes / total segment bytes.
   double DiskUtilization() const;
@@ -86,6 +106,9 @@ class SegUsage {
 
  private:
   void MarkDirty(SegNo seg) { dirty_chunks_.insert(chunk_of(seg)); }
+  // Re-syncs the selection index and zero-live set with entries_[seg]; must
+  // run after every mutation of a segment's state or live-byte count.
+  void SyncIndex(SegNo seg);
 
   uint32_t segment_bytes_;
   uint32_t entries_per_chunk_;
@@ -95,6 +118,10 @@ class SegUsage {
   std::set<uint32_t> dirty_chunks_;
   uint32_t clean_count_ = 0;
   uint64_t total_live_ = 0;  // sum of live_bytes, maintained incrementally
+
+  VictimIndex victim_index_;               // kDirty segments only
+  std::vector<uint64_t> zero_live_words_;  // bitmap: kDirty && live_bytes == 0
+  uint32_t zero_live_dirty_count_ = 0;
 };
 
 }  // namespace lfs

@@ -33,6 +33,8 @@ struct LfsStats {
   double sum_cleaned_utilization = 0.0;    // over non-empty cleaned segments
   uint64_t checkpoints = 0;
   uint64_t rollforward_partials = 0;       // partial writes replayed at recovery
+  uint64_t selection_mismatches = 0;       // indexed vs reference victim order
+                                           // divergences (verify_selection)
 
   uint64_t total_log_written() const {
     uint64_t payload = 0;

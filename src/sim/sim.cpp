@@ -28,6 +28,7 @@ CleaningSimulator::CleaningSimulator(const SimConfig& config)
   for (Segment& s : segments_) {
     s.slots.reserve(cfg_.blocks_per_segment);
   }
+  victim_index_.Reset(cfg_.nsegments, cfg_.blocks_per_segment);
   clean_count_ = cfg_.nsegments;
   file_seg_.resize(nfiles_);
   file_mtime_.assign(nfiles_, 0);
@@ -69,6 +70,7 @@ void CleaningSimulator::EnsureWritableSegment(bool cleaning) {
       segments_[s].slots.clear();
       segments_[s].live = 0;
       segments_[s].last_write = 0;
+      victim_index_.Insert(s, 0, 0);
       clean_count_--;
       cursor = s;
       return;
@@ -85,6 +87,7 @@ void CleaningSimulator::AppendFile(int32_t file, bool cleaning) {
   seg.slots.push_back(file);
   seg.live++;
   seg.last_write = std::max(seg.last_write, file_mtime_[file]);
+  victim_index_.Update(cursor, seg.live, seg.last_write);
   file_seg_[file] = cursor;
   file_slot_[file] = static_cast<uint32_t>(seg.slots.size() - 1);
   if (cleaning) {
@@ -94,7 +97,24 @@ void CleaningSimulator::AppendFile(int32_t file, bool cleaning) {
   }
 }
 
-uint32_t CleaningSimulator::PickVictim() const {
+uint32_t CleaningSimulator::PickVictim() {
+  VictimIndex::Cursor cursor =
+      victim_index_.Select(cfg_.policy == Policy::kGreedy, now_);
+  uint32_t best = VictimIndex::kNone;
+  for (uint32_t s = cursor.Next(); s != VictimIndex::kNone; s = cursor.Next()) {
+    if (s == new_cursor_ || s == clean_cursor_) {
+      continue;  // the write cursors are never victims
+    }
+    best = s;
+    break;
+  }
+  if (cfg_.verify_selection && best != PickVictimReference()) {
+    selection_mismatches_++;
+  }
+  return best;  // kNone == UINT32_MAX, the historical "no victim" value
+}
+
+uint32_t CleaningSimulator::PickVictimReference() const {
   uint32_t best = UINT32_MAX;
   double best_score = -1.0;
   for (uint32_t s = 0; s < segments_.size(); s++) {
@@ -158,6 +178,7 @@ void CleaningSimulator::RunCleaner() {
     seg.live = 0;
     seg.last_write = 0;
     seg.clean = true;
+    victim_index_.Remove(victim);
     clean_count_++;
 
     if (cfg_.age_sort) {
@@ -180,6 +201,7 @@ void CleaningSimulator::Step() {
   Segment& old_seg = segments_[file_seg_[f]];
   old_seg.slots[file_slot_[f]] = -1;
   old_seg.live--;
+  victim_index_.Update(file_seg_[f], old_seg.live, old_seg.last_write);
   file_mtime_[f] = now_;
   AppendFile(f, /*cleaning=*/false);
 }

@@ -21,6 +21,7 @@
 
 #include "src/util/histogram.h"
 #include "src/util/rng.h"
+#include "src/util/victim_index.h"
 
 namespace lfs::sim {
 
@@ -67,6 +68,10 @@ struct SimConfig {
   uint64_t warmup_overwrites_per_file = 40;
   uint64_t measure_overwrites_per_file = 40;
 
+  // Cross-check every indexed victim pick against the reference full scan
+  // (debug/test aid; divergences are counted in selection_mismatches()).
+  bool verify_selection = false;
+
   uint64_t seed = 1;
 };
 
@@ -102,6 +107,7 @@ class CleaningSimulator {
   uint32_t clean_segments() const;
   uint32_t nfiles() const { return nfiles_; }
   double ActualDiskUtilization() const;
+  uint64_t selection_mismatches() const { return selection_mismatches_; }
 
  private:
   struct Segment {
@@ -114,7 +120,9 @@ class CleaningSimulator {
   void AppendFile(int32_t file, bool cleaning);
   void EnsureWritableSegment(bool cleaning);
   void RunCleaner();
-  uint32_t PickVictim() const;  // best segment per policy, or UINT32_MAX
+  uint32_t PickVictim();  // best segment per policy, or UINT32_MAX
+  // The original O(n) full scan, kept as the selection oracle.
+  uint32_t PickVictimReference() const;
   int32_t PickFileToOverwrite();
 
   SimConfig cfg_;
@@ -127,6 +135,10 @@ class CleaningSimulator {
   std::vector<uint32_t> file_slot_;   // slot index within that segment
   std::vector<uint64_t> file_mtime_;  // last overwrite time of each file
   std::vector<Segment> segments_;
+  // All non-clean segments keyed by (live, last_write); PickVictim pops the
+  // best-scoring one instead of rescanning the whole segment table.
+  VictimIndex victim_index_;
+  uint64_t selection_mismatches_ = 0;
   uint32_t new_cursor_ = UINT32_MAX;    // segment receiving new data
   uint32_t clean_cursor_ = UINT32_MAX;  // segment receiving cleaned data
   uint32_t clean_count_ = 0;

@@ -1,0 +1,241 @@
+// VictimIndex: an incrementally maintained segment-selection index for the
+// cleaner (Section 3.6 keeps the segment usage table in memory precisely so
+// victim selection never touches disk; this makes the in-memory side cheap
+// as well).
+//
+// The old selection path re-scored and re-sorted every segment on each
+// cleaning pass — O(n log n) per pass, quadratic across a simulation sweep.
+// This index is updated in O(log n) whenever a segment's live-byte count,
+// last-write time, or eligibility changes, and then yields victims in
+// O(k log n) per pass through a cursor.
+//
+// Two structures are maintained side by side:
+//
+//  * by_live_: all eligible segments ordered by (live, seg). For the greedy
+//    policy, score = 1 - u is a strictly decreasing function of live bytes,
+//    so ascending live order IS descending score order, with ties (equal
+//    live => bit-identical score) broken by segment number exactly as the
+//    reference sort does.
+//
+//  * buckets_: eligible segments partitioned into utilization buckets, each
+//    bucket ordered by (last_write, seg). Cost-benefit scores
+//    (1-u)*age/(1+u) depend on the current time, so no static order exists;
+//    instead selection runs lazy best-first expansion: each bucket enters a
+//    max-heap under an upper bound computed from the bucket's lowest
+//    possible utilization and oldest last-write time, and a bucket is
+//    re-scored (its members pushed with exact scores) only when its bound
+//    reaches the top of the heap. A segment is emitted only once it
+//    outranks every unexpanded bucket's bound, so the emission order is
+//    byte-identical to scoring everything and sorting — typically after
+//    expanding only the few buckets that can contain winners.
+//
+// The caller owns eligibility (insert dirty segments, remove clean/active
+// ones) and applies its own per-candidate filters (protected segments,
+// checkpoint boundary, write budget) as it pops the cursor.
+
+#ifndef LFS_UTIL_VICTIM_INDEX_H_
+#define LFS_UTIL_VICTIM_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace lfs {
+
+class VictimIndex {
+ public:
+  static constexpr uint32_t kNone = 0xFFFFFFFFu;
+
+  VictimIndex() = default;
+  VictimIndex(uint32_t nsegments, uint64_t capacity, uint32_t nbuckets = 64) {
+    Reset(nsegments, capacity, nbuckets);
+  }
+
+  // Drops all members and re-dimensions the index. `capacity` is the
+  // denominator of utilization: bytes per segment for the filesystem, blocks
+  // per segment for the simulator.
+  void Reset(uint32_t nsegments, uint64_t capacity, uint32_t nbuckets = 64) {
+    capacity_ = std::max<uint64_t>(capacity, 1);
+    entries_.assign(nsegments, Entry{});
+    by_live_.clear();
+    buckets_.assign(nbuckets, {});
+  }
+
+  bool contains(uint32_t seg) const { return entries_[seg].present; }
+  uint32_t size() const { return static_cast<uint32_t>(by_live_.size()); }
+  uint64_t live(uint32_t seg) const { return entries_[seg].live; }
+
+  void Insert(uint32_t seg, uint64_t live, uint64_t last_write) {
+    Entry& e = entries_[seg];
+    if (e.present) {
+      Update(seg, live, last_write);
+      return;
+    }
+    e.present = true;
+    e.live = live;
+    e.last_write = last_write;
+    by_live_.insert({live, seg});
+    buckets_[BucketOf(live)].insert({last_write, seg});
+  }
+
+  void Remove(uint32_t seg) {
+    Entry& e = entries_[seg];
+    if (!e.present) {
+      return;
+    }
+    by_live_.erase({e.live, seg});
+    buckets_[BucketOf(e.live)].erase({e.last_write, seg});
+    e.present = false;
+  }
+
+  void Update(uint32_t seg, uint64_t live, uint64_t last_write) {
+    Entry& e = entries_[seg];
+    if (!e.present) {
+      Insert(seg, live, last_write);
+      return;
+    }
+    if (e.live != live) {
+      by_live_.erase({e.live, seg});
+      by_live_.insert({live, seg});
+    }
+    uint32_t old_bucket = BucketOf(e.live);
+    uint32_t new_bucket = BucketOf(live);
+    if (old_bucket != new_bucket || e.last_write != last_write) {
+      buckets_[old_bucket].erase({e.last_write, seg});
+      buckets_[new_bucket].insert({last_write, seg});
+    }
+    e.live = live;
+    e.last_write = last_write;
+  }
+
+  // Pops eligible segments in exact score order for the given policy and
+  // time: greedy score = 1-u, cost-benefit score = (1-u)*age/(1+u) with
+  // age = now - min(now, last_write); ties broken by lower segment number;
+  // segments at u >= 1.0 are never emitted. The index must not be mutated
+  // while a cursor is live.
+  class Cursor {
+   public:
+    // Next victim in score order, or kNone when exhausted.
+    uint32_t Next() {
+      if (greedy_) {
+        if (it_ == owner_->by_live_.end() || it_->first >= owner_->capacity_) {
+          return kNone;  // u >= 1.0 from here on: nothing reclaimable
+        }
+        return (it_++)->second;
+      }
+      while (!heap_.empty()) {
+        Item top = heap_.top();
+        heap_.pop();
+        if (top.bucket >= 0) {
+          ExpandBucket(top.bucket);
+          continue;
+        }
+        return top.seg;
+      }
+      return kNone;
+    }
+
+   private:
+    friend class VictimIndex;
+
+    struct Item {
+      double score;
+      uint32_t seg;    // valid when bucket < 0
+      int32_t bucket;  // >= 0: an unexpanded bucket under its upper bound
+    };
+    struct ItemLess {
+      bool operator()(const Item& a, const Item& b) const {
+        if (a.score != b.score) {
+          return a.score < b.score;  // max-heap on score
+        }
+        bool a_bucket = a.bucket >= 0;
+        bool b_bucket = b.bucket >= 0;
+        if (a_bucket != b_bucket) {
+          // A bucket whose bound ties a scored segment may still contain an
+          // equal-score segment with a smaller number: expand it first.
+          return b_bucket;
+        }
+        if (!a_bucket) {
+          return a.seg > b.seg;  // equal score: lower segment number wins
+        }
+        return false;
+      }
+    };
+
+    Cursor(const VictimIndex* owner, bool greedy, uint64_t now)
+        : owner_(owner), greedy_(greedy), now_(now) {
+      if (greedy_) {
+        it_ = owner_->by_live_.begin();
+        return;
+      }
+      for (int32_t b = 0; b < static_cast<int32_t>(owner_->buckets_.size()); b++) {
+        const auto& bucket = owner_->buckets_[b];
+        if (!bucket.empty()) {
+          heap_.push(Item{owner_->BucketUpperBound(b, bucket.begin()->first, now_), 0, b});
+        }
+      }
+    }
+
+    void ExpandBucket(int32_t b) {
+      for (const auto& [last_write, seg] : owner_->buckets_[b]) {
+        uint64_t live = owner_->entries_[seg].live;
+        if (live >= owner_->capacity_) {
+          continue;  // u >= 1.0: nothing to reclaim, the reference skips it
+        }
+        heap_.push(Item{owner_->Score(live, last_write, now_), seg, -1});
+      }
+    }
+
+    const VictimIndex* owner_;
+    bool greedy_;
+    uint64_t now_;
+    std::set<std::pair<uint64_t, uint32_t>>::const_iterator it_;
+    std::priority_queue<Item, std::vector<Item>, ItemLess> heap_;
+  };
+
+  Cursor Select(bool greedy, uint64_t now) const { return Cursor(this, greedy, now); }
+
+  // The exact score expression of the reference implementations (the double
+  // arithmetic must match bit for bit).
+  double Score(uint64_t live, uint64_t last_write, uint64_t now) const {
+    double u = static_cast<double>(live) / static_cast<double>(capacity_);
+    double age = static_cast<double>(now - std::min(now, last_write));
+    return (1.0 - u) * age / (1.0 + u);
+  }
+
+ private:
+  struct Entry {
+    uint64_t live = 0;
+    uint64_t last_write = 0;
+    bool present = false;
+  };
+
+  uint32_t BucketOf(uint64_t live) const {
+    uint64_t b = live * buckets_.size() / capacity_;
+    return static_cast<uint32_t>(std::min<uint64_t>(b, buckets_.size() - 1));
+  }
+
+  double BucketUpperBound(uint32_t bucket, uint64_t oldest_last_write, uint64_t now) const {
+    double u_lo = static_cast<double>(bucket) / static_cast<double>(buckets_.size());
+    double age = static_cast<double>(now - std::min(now, oldest_last_write));
+    // Inflate so floating-point rounding can never drop the bound below a
+    // member's exactly-computed score: over-expansion costs a little work,
+    // under-expansion would break the exact-order guarantee.
+    return (1.0 - u_lo) * age / (1.0 + u_lo) * (1.0 + 1e-12);
+  }
+
+  uint64_t capacity_ = 1;
+  std::vector<Entry> entries_;
+  // (live, seg), ascending: descending greedy score with seg-number ties.
+  std::set<std::pair<uint64_t, uint32_t>> by_live_;
+  // Per utilization bucket: (last_write, seg), ascending; begin() is the
+  // bucket's oldest member, which caps every member's age.
+  std::vector<std::set<std::pair<uint64_t, uint32_t>>> buckets_;
+};
+
+}  // namespace lfs
+
+#endif  // LFS_UTIL_VICTIM_INDEX_H_
