@@ -36,8 +36,19 @@ Status CrashDisk::Write(BlockNo block, uint64_t count, std::span<const uint8_t> 
 }
 
 Status CrashDisk::Flush() {
+  flushes_seen_++;
   if (crashed_) {
-    return OkStatus();
+    return OkStatus();  // the machine is down; the barrier never happens
+  }
+  if (armed_) {
+    if (writes_until_crash_ == 0) {
+      // Crash at the barrier itself: every completed write already reached
+      // the backing store, but the flush is lost. Nothing to tear.
+      crashed_ = true;
+      armed_ = false;
+      return OkStatus();
+    }
+    writes_until_crash_--;
   }
   return backing_->Flush();
 }

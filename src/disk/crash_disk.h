@@ -6,6 +6,11 @@
 // is silently discarded (the CPU is "dead"); reads keep working so recovery
 // code can be driven against the surviving image after ClearCrash().
 //
+// Flush() is a crash-point boundary too: each flush consumes one unit of the
+// armed countdown, so a sweep over CrashAfterWrites(n) also lands crashes
+// *between* a write and its barrier — the window where an I/O is issued but
+// not yet durable. A crash at a flush tears nothing (no blocks in flight).
+//
 // Used by recovery tests (crash-point sweeps) and the Table 3 benchmark.
 
 #ifndef LFS_DISK_CRASH_DISK_H_
@@ -32,8 +37,9 @@ class CrashDisk : public BlockDevice {
   Status Write(BlockNo block, uint64_t count, std::span<const uint8_t> data) override;
   Status Flush() override;
 
-  // Crashes after `n` more write operations complete; the (n+1)-th write is
-  // the torn one (its first `torn_blocks` blocks persist, the rest do not).
+  // Crashes after `n` more write or flush operations complete; the (n+1)-th
+  // operation is the crash point — a write is torn (its first `torn_blocks`
+  // blocks persist, the rest do not), a flush simply never happens.
   void CrashAfterWrites(uint64_t n, uint64_t torn_blocks = 0) {
     writes_until_crash_ = n;
     torn_blocks_ = torn_blocks;
@@ -55,6 +61,7 @@ class CrashDisk : public BlockDevice {
   bool crashed() const { return crashed_; }
   uint64_t writes_seen() const { return writes_seen_; }
   uint64_t writes_dropped() const { return writes_dropped_; }
+  uint64_t flushes_seen() const { return flushes_seen_; }
 
   BlockDevice* backing() { return backing_.get(); }
 
@@ -66,6 +73,7 @@ class CrashDisk : public BlockDevice {
   uint64_t torn_blocks_ = 0;
   uint64_t writes_seen_ = 0;
   uint64_t writes_dropped_ = 0;
+  uint64_t flushes_seen_ = 0;
 };
 
 }  // namespace lfs

@@ -1,0 +1,90 @@
+#include "src/disk/fault_disk.h"
+
+#include <string>
+
+namespace lfs {
+
+bool FaultDisk::ConsumeTransient(std::map<BlockNo, uint32_t>* script, BlockNo block,
+                                 uint64_t count) {
+  bool faulted = false;
+  auto it = script->lower_bound(block);
+  while (it != script->end() && it->first < block + count) {
+    faulted = true;
+    if (--it->second == 0) {
+      it = script->erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return faulted;
+}
+
+bool FaultDisk::TouchesLatent(BlockNo block, uint64_t count) const {
+  auto it = latent_.lower_bound(block);
+  return it != latent_.end() && *it < block + count;
+}
+
+Status FaultDisk::Read(BlockNo block, uint64_t count, std::span<uint8_t> out) {
+  LFS_RETURN_IF_ERROR(CheckRange(block, count, out.size()));
+  counters_.reads++;
+
+  if (TouchesLatent(block, count)) {
+    counters_.latent_read_faults++;
+    return IoError("latent sector error reading blocks [" + std::to_string(block) +
+                   ", " + std::to_string(block + count) + ")");
+  }
+  if (ConsumeTransient(&transient_read_, block, count)) {
+    counters_.transient_read_faults++;
+    return IoError("transient read error at block " + std::to_string(block));
+  }
+  if (read_fault_rate_ > 0.0 && rng_.NextBool(read_fault_rate_)) {
+    counters_.transient_read_faults++;
+    return IoError("transient read error at block " + std::to_string(block));
+  }
+
+  LFS_RETURN_IF_ERROR(backing_->Read(block, count, out));
+
+  if (!corrupt_.empty()) {
+    auto it = corrupt_.lower_bound(block);
+    for (; it != corrupt_.end() && *it < block + count; ++it) {
+      // Deterministic single-bit flip, silent: the caller sees OkStatus and
+      // must rely on its own checksums to notice.
+      uint64_t off = (*it - block) * block_size() + (*it % block_size());
+      out[off] ^= static_cast<uint8_t>(1u << (*it % 8));
+      counters_.corrupted_reads++;
+    }
+  }
+  return OkStatus();
+}
+
+Status FaultDisk::Write(BlockNo block, uint64_t count, std::span<const uint8_t> data) {
+  LFS_RETURN_IF_ERROR(CheckRange(block, count, data.size()));
+  counters_.writes++;
+
+  if (TouchesLatent(block, count)) {
+    counters_.latent_write_faults++;
+    return IoError("latent sector error writing blocks [" + std::to_string(block) +
+                   ", " + std::to_string(block + count) + ")");
+  }
+  if (ConsumeTransient(&transient_write_, block, count)) {
+    counters_.transient_write_faults++;
+    return IoError("transient write error at block " + std::to_string(block));
+  }
+  if (write_fault_rate_ > 0.0 && rng_.NextBool(write_fault_rate_)) {
+    counters_.transient_write_faults++;
+    return IoError("transient write error at block " + std::to_string(block));
+  }
+
+  LFS_RETURN_IF_ERROR(backing_->Write(block, count, data));
+
+  // A sector rewrite replaces any silently-corrupt contents.
+  if (!corrupt_.empty()) {
+    auto it = corrupt_.lower_bound(block);
+    while (it != corrupt_.end() && *it < block + count) {
+      it = corrupt_.erase(it);
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace lfs

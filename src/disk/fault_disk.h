@@ -1,0 +1,117 @@
+// FaultDisk: fault-injection wrapper that models media failures between
+// crashes — the failure modes CrashDisk does not cover.
+//
+// Three fault classes, all deterministic under a fixed seed and script:
+//  - Transient errors: a scripted block fails its next `fail_count` read (or
+//    write) attempts with kIoError, then recovers — the model for the
+//    retry-with-backoff path. A probabilistic mode flips a seeded coin per
+//    request instead, failing that single attempt.
+//  - Latent sector errors: a block range fails every access permanently
+//    until ClearLatentError — the model for cleaner quarantine and the
+//    checkpoint-region fallback / degraded-read-only ladder.
+//  - Silent corruption: reads of a marked block return bit-flipped data with
+//    OkStatus — the model for CRC-verified read paths. A successful write to
+//    the block rewrites the sector and clears the corruption.
+//
+// A multi-block request fails whole if any covered block faults, matching
+// how a real controller reports a failed transfer.
+
+#ifndef LFS_DISK_FAULT_DISK_H_
+#define LFS_DISK_FAULT_DISK_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "src/disk/block_device.h"
+#include "src/util/rng.h"
+
+namespace lfs {
+
+class FaultDisk : public BlockDevice {
+ public:
+  struct FaultCounters {
+    uint64_t reads = 0;                  // read requests seen
+    uint64_t writes = 0;                 // write requests seen
+    uint64_t transient_read_faults = 0;  // scripted + probabilistic
+    uint64_t transient_write_faults = 0;
+    uint64_t latent_read_faults = 0;
+    uint64_t latent_write_faults = 0;
+    uint64_t corrupted_reads = 0;        // blocks returned with flipped bits
+  };
+
+  explicit FaultDisk(std::unique_ptr<BlockDevice> backing, uint64_t seed = 1)
+      : backing_(std::move(backing)), rng_(seed) {}
+
+  uint32_t block_size() const override { return backing_->block_size(); }
+  uint64_t block_count() const override { return backing_->block_count(); }
+
+  Status Read(BlockNo block, uint64_t count, std::span<uint8_t> out) override;
+  Status Write(BlockNo block, uint64_t count, std::span<const uint8_t> data) override;
+  Status Flush() override { return backing_->Flush(); }
+
+  // The next `fail_count` read (write) attempts touching `block` fail with
+  // kIoError; the attempt after that succeeds.
+  void AddTransientReadFault(BlockNo block, uint32_t fail_count = 1) {
+    transient_read_[block] += fail_count;
+  }
+  void AddTransientWriteFault(BlockNo block, uint32_t fail_count = 1) {
+    transient_write_[block] += fail_count;
+  }
+
+  // Permanent latent sector errors over [block, block + count): every read
+  // and write of the range fails until cleared.
+  void AddLatentError(BlockNo block, uint64_t count = 1) {
+    for (uint64_t i = 0; i < count; i++) {
+      latent_.insert(block + i);
+    }
+  }
+  void ClearLatentError(BlockNo block, uint64_t count = 1) {
+    for (uint64_t i = 0; i < count; i++) {
+      latent_.erase(block + i);
+    }
+  }
+
+  // Reads of `block` silently return corrupted bytes (one bit flipped,
+  // deterministic per block number). A successful write clears it.
+  void CorruptOnRead(BlockNo block) { corrupt_.insert(block); }
+
+  // Probabilistic mode: each request independently fails (one attempt) with
+  // probability p, drawn from the seeded generator. 0 disables.
+  void SetTransientReadFaultRate(double p) { read_fault_rate_ = p; }
+  void SetTransientWriteFaultRate(double p) { write_fault_rate_ = p; }
+
+  void ClearAllFaults() {
+    transient_read_.clear();
+    transient_write_.clear();
+    latent_.clear();
+    corrupt_.clear();
+    read_fault_rate_ = 0.0;
+    write_fault_rate_ = 0.0;
+  }
+
+  const FaultCounters& counters() const { return counters_; }
+  BlockDevice* backing() { return backing_.get(); }
+
+ private:
+  // True (and decrements the script) when any block of [block, block+count)
+  // has a pending scripted transient fault.
+  static bool ConsumeTransient(std::map<BlockNo, uint32_t>* script, BlockNo block,
+                               uint64_t count);
+  bool TouchesLatent(BlockNo block, uint64_t count) const;
+
+  std::unique_ptr<BlockDevice> backing_;
+  Rng rng_;
+  std::map<BlockNo, uint32_t> transient_read_;   // block -> remaining failures
+  std::map<BlockNo, uint32_t> transient_write_;
+  std::set<BlockNo> latent_;
+  std::set<BlockNo> corrupt_;
+  double read_fault_rate_ = 0.0;
+  double write_fault_rate_ = 0.0;
+  FaultCounters counters_;
+};
+
+}  // namespace lfs
+
+#endif  // LFS_DISK_FAULT_DISK_H_

@@ -66,9 +66,20 @@ class Checker {
 };
 
 Status Checker::LoadCheckpoint() {
+  // Like mount: if the primary superblock is unreadable or undecodable,
+  // fall back to the backup copy in the device's last block.
   std::vector<uint8_t> block;
-  LFS_RETURN_IF_ERROR(ReadBlock(0, &block));
-  LFS_ASSIGN_OR_RETURN(sb_, Superblock::DecodeFrom(block));
+  Status primary_read = ReadBlock(0, &block);
+  Result<Superblock> primary =
+      primary_read.ok() ? Superblock::DecodeFrom(block) : Result<Superblock>(primary_read);
+  if (primary.ok()) {
+    sb_ = std::move(primary).value();
+  } else {
+    LFS_RETURN_IF_ERROR(ReadBlock(device_->block_count() - 1, &block));
+    LFS_ASSIGN_OR_RETURN(sb_, Superblock::DecodeFrom(block));
+    Warn("primary superblock bad (" + primary.status().ToString() +
+         "); using the backup copy");
+  }
   if (sb_.total_blocks > device_->block_count() || sb_.block_size != device_->block_size()) {
     return CorruptionError("superblock geometry does not match the device");
   }
@@ -126,6 +137,8 @@ Status Checker::LoadTables() {
                                                   kUsageEntrySize));
       if (usage_[seg].state == SegState::kClean) {
         report_.clean_segments++;
+      } else if (usage_[seg].state == SegState::kQuarantined) {
+        report_.quarantined_segments++;
       }
     }
     Claim(addr, "usage chunk " + std::to_string(c));
@@ -434,17 +447,28 @@ Status Checker::CheckSegmentChains() {
       prev_seq = sum->seq;
       report_.partial_writes++;
       if (options_.verify_payload_crcs) {
+        // Damage inside a quarantined segment is known and contained: the
+        // filesystem has already fenced it off, so report it as a warning.
+        bool quarantined = usage_[seg].state == SegState::kQuarantined;
         std::vector<uint8_t> payload(sum->entries.size() * size_t{bs});
         if (!device_->Read(sb_.SegmentBase(seg) + offset + 1, sum->entries.size(), payload)
                  .ok()) {
-          Error("segment " + std::to_string(seg) + ": unreadable payload at offset " +
-                std::to_string(offset));
+          if (quarantined) {
+            Warn("quarantined segment " + std::to_string(seg) +
+                 ": unreadable payload at offset " + std::to_string(offset));
+          } else {
+            Error("segment " + std::to_string(seg) + ": unreadable payload at offset " +
+                  std::to_string(offset));
+          }
           break;
         }
         if (Crc32(payload) != sum->payload_crc) {
           // Only the log tail may legitimately hold a torn partial write.
           if (seg == ck_.cur_segment && offset >= ck_.cur_offset) {
             Warn("torn partial write in the log tail (recoverable)");
+          } else if (quarantined) {
+            Warn("quarantined segment " + std::to_string(seg) +
+                 ": payload CRC mismatch at offset " + std::to_string(offset));
           } else {
             Error("segment " + std::to_string(seg) + ": payload CRC mismatch at offset " +
                   std::to_string(offset));
@@ -472,10 +496,14 @@ void Checker::CheckUsageTable() {
     uint64_t actual = recomputed_live_[seg];
     if (table != actual) {
       // Post-checkpoint tail activity legitimately drifts; metadata chunk
-      // self-reference makes the active segment approximate. Everything else
-      // should match what the checkpoint recorded.
-      if (seg == ck_.cur_segment) {
-        Warn("active segment live bytes: table " + std::to_string(table) + " vs actual " +
+      // self-reference makes the active segment approximate; a quarantined
+      // segment's count reflects blocks the checker may not have been able
+      // to walk. Everything else should match what the checkpoint recorded.
+      if (seg == ck_.cur_segment || usage_[seg].state == SegState::kQuarantined) {
+        const char* kind =
+            seg == ck_.cur_segment ? "active" : "quarantined";
+        Warn(std::string(kind) + " segment " + std::to_string(seg) +
+             " live bytes: table " + std::to_string(table) + " vs actual " +
              std::to_string(actual));
       } else {
         Error("segment " + std::to_string(seg) + " live bytes: table " +
@@ -504,7 +532,11 @@ std::string CheckReport::Summary() const {
          " directories, " + std::to_string(live_data_blocks) + " live data blocks, " +
          std::to_string(partial_writes) + " partial writes in " +
          std::to_string(segments_scanned) + " segments (" + std::to_string(clean_segments) +
-         " clean)";
+         " clean";
+  if (quarantined_segments > 0) {
+    out += ", " + std::to_string(quarantined_segments) + " quarantined";
+  }
+  out += ")";
   return out;
 }
 

@@ -17,7 +17,8 @@
 //     sequence numbers).
 //
 // Errors are definite corruption; warnings are tolerated imprecision (e.g.
-// usage-table counts for the post-checkpoint tail).
+// usage-table counts for the post-checkpoint tail, or damage confined to
+// segments the filesystem has already quarantined).
 
 #ifndef LFS_LFS_CHECK_H_
 #define LFS_LFS_CHECK_H_
@@ -43,6 +44,7 @@ struct CheckReport {
   uint64_t segments_scanned = 0;
   uint64_t partial_writes = 0;
   uint64_t clean_segments = 0;
+  uint64_t quarantined_segments = 0;
 
   bool ok() const { return errors == 0; }
   std::string Summary() const;

@@ -62,6 +62,19 @@ struct LfsConfig {
   // Debug/test aid for the incremental selection index; off in production.
   bool verify_selection = false;
 
+  // Device I/O retry policy for transient media errors: each log read/write
+  // is attempted up to `io_max_attempts` times, with an exponential backoff
+  // (starting at `io_backoff_ticks` logical-clock ticks) between attempts.
+  // 1 attempt means no retries.
+  uint32_t io_max_attempts = 4;
+  uint64_t io_backoff_ticks = 1;
+
+  // Verify payload CRCs on every cache-missing log read by walking the
+  // segment's summary chain, so silent media corruption surfaces as a
+  // pinpointed kCorruption instead of garbage data. Costs extra reads per
+  // miss; meant for paranoid/diagnostic mounts and fault testing.
+  bool verify_read_crcs = false;
+
   // Clean-block read cache (block count; 0 disables). Sprite kept inodes
   // and hot file blocks in its file cache; recovery in particular depends on
   // cached inode blocks (each holds ~25 inodes that roll-forward revisits).

@@ -84,10 +84,13 @@ Result<Superblock> Superblock::Compute(uint32_t block_size, uint64_t total_block
   sb.cr_base0 = 1;
   sb.cr_base1 = 1 + sb.cr_blocks;
   sb.seg_start = 1 + 2ull * sb.cr_blocks;
-  if (total_blocks <= sb.seg_start) {
+  // The final device block is reserved for the backup superblock copy and
+  // never belongs to a segment.
+  if (total_blocks <= sb.seg_start + 1) {
     return InvalidArgumentError("device too small for fixed area");
   }
-  sb.nsegments = static_cast<uint32_t>((total_blocks - sb.seg_start) / segment_blocks);
+  sb.nsegments =
+      static_cast<uint32_t>((total_blocks - sb.seg_start - 1) / segment_blocks);
   if (sb.nsegments < 8) {
     return InvalidArgumentError("device too small: fewer than 8 segments");
   }

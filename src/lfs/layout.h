@@ -177,9 +177,10 @@ struct ImapEntry {
 };
 
 enum class SegState : uint8_t {
-  kClean = 0,   // fully reusable; the writer may claim it
-  kDirty = 1,   // contains log data (possibly all dead, awaiting checkpoint)
-  kActive = 2,  // the segment currently being filled by the writer
+  kClean = 0,        // fully reusable; the writer may claim it
+  kDirty = 1,        // contains log data (possibly all dead, awaiting checkpoint)
+  kActive = 2,       // the segment currently being filled by the writer
+  kQuarantined = 3,  // media damage detected; never allocated, never cleaned
 };
 
 // Per-segment entry of the segment usage table (Table 1, Section 3.6).

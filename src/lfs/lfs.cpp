@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -13,10 +14,55 @@ LfsFileSystem::LfsFileSystem(BlockDevice* device, const LfsConfig& cfg, const Su
     : device_(device),
       cfg_(cfg),
       sb_(sb),
+      retry_policy_{cfg.io_max_attempts, cfg.io_backoff_ticks, 2},
       imap_(sb.max_inodes, sb.imap_entries_per_chunk()),
       usage_(sb.nsegments, sb.segment_bytes(), sb.usage_entries_per_chunk()),
-      writer_(device, &sb_, &usage_, &stats_, cfg.reserve_segments),
+      writer_(device, &sb_, &usage_, &stats_, cfg.reserve_segments, &clock_,
+              retry_policy_),
       debug_cleaner_(getenv("LFS_DEBUG_CLEANER") != nullptr) {}
+
+Status LfsFileSystem::DeviceRead(BlockNo block, uint64_t count,
+                                 std::span<uint8_t> out) const {
+  Status st = RetryWithBackoff(retry_policy_, &clock_, &stats_.io_retries,
+                               [&] { return device_->Read(block, count, out); });
+  if (!st.ok() && st.code() == StatusCode::kIoError) {
+    stats_.io_retry_failures++;
+  }
+  return st;
+}
+
+Status LfsFileSystem::DeviceWrite(BlockNo block, uint64_t count,
+                                  std::span<const uint8_t> data) {
+  Status st = RetryWithBackoff(retry_policy_, &clock_, &stats_.io_retries,
+                               [&] { return device_->Write(block, count, data); });
+  if (!st.ok() && st.code() == StatusCode::kIoError) {
+    stats_.io_retry_failures++;
+  }
+  return st;
+}
+
+void LfsFileSystem::EnterDegradedReadOnly(const char* why) {
+  if (degraded_) {
+    return;
+  }
+  degraded_ = true;
+  read_only_ = true;
+  stats_.degraded_entries++;
+  if (debug_cleaner_ || getenv("LFS_DEBUG_FAULTS") != nullptr) {
+    std::fprintf(stderr, "lfs: entering degraded read-only mode: %s\n", why);
+  }
+}
+
+LfsStatFs LfsFileSystem::StatFs() const {
+  LfsStatFs out;
+  out.total_bytes = uint64_t{sb_.nsegments} * sb_.segment_bytes();
+  out.live_bytes = usage_.TotalLiveBytes();
+  out.nsegments = sb_.nsegments;
+  out.clean_segments = usage_.clean_count();
+  out.quarantined_segments = usage_.quarantined_count();
+  out.state = mount_state();
+  return out;
+}
 
 Result<std::unique_ptr<LfsFileSystem>> LfsFileSystem::Mkfs(BlockDevice* device,
                                                            const LfsConfig& cfg) {
@@ -34,6 +80,9 @@ Result<std::unique_ptr<LfsFileSystem>> LfsFileSystem::Mkfs(BlockDevice* device,
   std::vector<uint8_t> block(sb.block_size);
   sb.EncodeTo(block);
   LFS_RETURN_IF_ERROR(device->WriteBlock(0, block));
+  // Redundant copy at the last device block (reserved by Compute); mount
+  // falls back to it when the primary is unreadable or fails its CRC.
+  LFS_RETURN_IF_ERROR(device->WriteBlock(device->block_count() - 1, block));
 
   auto fs = std::unique_ptr<LfsFileSystem>(new LfsFileSystem(device, cfg, sb));
   // Open the log at segment 0.
@@ -70,8 +119,23 @@ Result<std::unique_ptr<LfsFileSystem>> LfsFileSystem::Mount(BlockDevice* device,
                                                             const LfsConfig& cfg,
                                                             const MountOptions& opts) {
   std::vector<uint8_t> block(device->block_size());
-  LFS_RETURN_IF_ERROR(device->ReadBlock(0, block));
-  LFS_ASSIGN_OR_RETURN(Superblock sb, Superblock::DecodeFrom(block));
+  bool used_backup_superblock = false;
+  Superblock sb;
+  {
+    Status primary_read = device->ReadBlock(0, block);
+    Result<Superblock> primary =
+        primary_read.ok() ? Superblock::DecodeFrom(block)
+                          : Result<Superblock>(primary_read);
+    if (primary.ok()) {
+      sb = std::move(primary).value();
+    } else {
+      // Primary unreadable or CRC-bad: try the backup copy at the last
+      // device block.
+      LFS_RETURN_IF_ERROR(device->ReadBlock(device->block_count() - 1, block));
+      LFS_ASSIGN_OR_RETURN(sb, Superblock::DecodeFrom(block));
+      used_backup_superblock = true;
+    }
+  }
   if (sb.block_size != device->block_size() || sb.total_blocks > device->block_count()) {
     return CorruptionError("superblock geometry does not match device");
   }
@@ -113,6 +177,9 @@ Result<std::unique_ptr<LfsFileSystem>> LfsFileSystem::Mount(BlockDevice* device,
   }
 
   auto fs = std::unique_ptr<LfsFileSystem>(new LfsFileSystem(device, cfg, sb));
+  if (used_backup_superblock) {
+    fs->stats_.superblock_fallbacks++;
+  }
   fs->cr_next_ = 1 - ck_region;  // alternate away from the surviving region
   fs->cr_hosts_[0] = std::move(regions_hosts[0]);
   fs->cr_hosts_[1] = std::move(regions_hosts[1]);
@@ -150,7 +217,7 @@ Status LfsFileSystem::LoadFromCheckpoint(const Checkpoint& ck) {
     if (addr == kNilBlock) {
       return CorruptionError("checkpoint: missing usage chunk " + std::to_string(c));
     }
-    LFS_RETURN_IF_ERROR(device_->ReadBlock(addr, block));
+    LFS_RETURN_IF_ERROR(DeviceRead(addr, 1, block));
     usage_.LoadChunk(c, block);
     usage_.set_chunk_addr(c, addr);
   }
@@ -170,7 +237,7 @@ Status LfsFileSystem::LoadFromCheckpoint(const Checkpoint& ck) {
     if (addr == kNilBlock) {
       return CorruptionError("checkpoint: missing imap chunk " + std::to_string(c));
     }
-    LFS_RETURN_IF_ERROR(device_->ReadBlock(addr, block));
+    LFS_RETURN_IF_ERROR(DeviceRead(addr, 1, block));
     imap_.LoadChunk(c, block, ck.ninodes);
     imap_.set_chunk_addr(c, addr);
   }
@@ -298,12 +365,35 @@ Status LfsFileSystem::WriteCheckpointRegion() {
 
   std::vector<uint8_t> region(size_t{sb_.cr_blocks} * sb_.block_size);
   ck.EncodeTo(region);
-  BlockNo base = cr_next_ == 0 ? sb_.cr_base0 : sb_.cr_base1;
-  LFS_RETURN_IF_ERROR(device_->Write(base, sb_.cr_blocks, region));
+  // Try the preferred (older) region first; if its media has failed, fall
+  // back to the alternate. Overwriting the alternate — the currently-newest
+  // valid region — is safe because this checkpoint carries a higher
+  // ckpt_seq, so whichever write completes wins at mount. Only when BOTH
+  // regions refuse the write is a checkpoint impossible: then nothing may
+  // mutate the log further (half of this checkpoint's chunks are already
+  // appended), so the filesystem drops to degraded read-only mode.
+  Status write_st;
+  uint32_t wrote_region = cr_next_;
+  for (uint32_t attempt = 0; attempt < 2; attempt++) {
+    uint32_t r = attempt == 0 ? cr_next_ : 1 - cr_next_;
+    BlockNo base = r == 0 ? sb_.cr_base0 : sb_.cr_base1;
+    write_st = DeviceWrite(base, sb_.cr_blocks, region);
+    if (write_st.ok()) {
+      wrote_region = r;
+      if (attempt > 0) {
+        stats_.checkpoint_fallbacks++;
+      }
+      break;
+    }
+  }
+  if (!write_st.ok()) {
+    EnterDegradedReadOnly(write_st.ToString().c_str());
+    return write_st;
+  }
   LFS_RETURN_IF_ERROR(device_->Flush());
   stats_.checkpoint_bytes += region.size();
-  cr_hosts_[cr_next_] = ChunkHostSegments();
-  cr_next_ = 1 - cr_next_;
+  cr_hosts_[wrote_region] = ChunkHostSegments();
+  cr_next_ = 1 - wrote_region;
   ckpt_boundary_seq_ = ck.next_summary_seq;
   return OkStatus();
 }

@@ -40,6 +40,7 @@
 #include "src/lfs/seg_usage.h"
 #include "src/lfs/segment_writer.h"
 #include "src/lfs/stats.h"
+#include "src/util/retry.h"
 
 namespace lfs {
 
@@ -53,6 +54,26 @@ struct MountOptions {
   // still performed in memory so reads see the recovered state, but nothing
   // is written back until a read-write mount.
   bool read_only = false;
+};
+
+// How writable the filesystem currently is. kDegradedReadOnly is entered at
+// runtime when the media can no longer persist a checkpoint (both regions
+// failing); reads keep working but every mutation is refused, so the
+// on-disk image stays exactly as of the last successful checkpoint.
+enum class MountState {
+  kReadWrite,
+  kReadOnly,          // requested via MountOptions
+  kDegradedReadOnly,  // forced by media failure
+};
+
+// Snapshot of filesystem-wide health/capacity (statfs analogue).
+struct LfsStatFs {
+  uint64_t total_bytes = 0;        // capacity of the segment area
+  uint64_t live_bytes = 0;
+  uint32_t nsegments = 0;
+  uint32_t clean_segments = 0;
+  uint32_t quarantined_segments = 0;
+  MountState state = MountState::kReadWrite;
 };
 
 class LfsFileSystem : public FileSystem {
@@ -133,6 +154,15 @@ class LfsFileSystem : public FileSystem {
   const LfsStats& stats() const { return stats_; }
   LfsStats& mutable_stats() { return stats_; }
   LogicalClock& clock() { return clock_; }
+  // Current writability ladder position and capacity/health snapshot.
+  MountState mount_state() const {
+    if (degraded_) {
+      return MountState::kDegradedReadOnly;
+    }
+    return read_only_ ? MountState::kReadOnly : MountState::kReadWrite;
+  }
+  bool degraded() const { return degraded_; }
+  LfsStatFs StatFs() const;
   uint32_t clean_segments() const { return usage_.clean_count(); }
   double disk_utilization() const { return usage_.DiskUtilization(); }
   uint64_t dirty_buffered_blocks() const { return dirty_data_.size(); }
@@ -174,6 +204,15 @@ class LfsFileSystem : public FileSystem {
 
   // --- shared helpers (lfs.cpp) ---
 
+  // All device I/O from the filesystem goes through these: transient
+  // kIoError failures are retried per cfg_ with exponential backoff modeled
+  // on the logical clock; exhausting the attempts bumps io_retry_failures.
+  Status DeviceRead(BlockNo block, uint64_t count, std::span<uint8_t> out) const;
+  Status DeviceWrite(BlockNo block, uint64_t count, std::span<const uint8_t> data);
+  // Irreversibly flips the filesystem into degraded read-only mode (media
+  // can no longer persist a checkpoint); every later mutation is refused.
+  void EnterDegradedReadOnly(const char* why);
+
   Status LoadFromCheckpoint(const Checkpoint& ck);
   Status WriteCheckpointRegion();
   Status FlushMetadataChunks();      // dirty imap + usage chunks to the log
@@ -199,6 +238,11 @@ class LfsFileSystem : public FileSystem {
   bool ReadCacheGet(BlockNo addr, std::span<uint8_t> out) const;
   void ReadCachePut(BlockNo addr, std::span<const uint8_t> data) const;
   Status ReadLogBlock(BlockNo addr, std::span<uint8_t> out) const;
+  // cfg_.verify_read_crcs support: walks the summary chain of addr's segment
+  // and checks the payload CRC of every partial covering [addr, addr+count),
+  // returning a pinpointed kCorruption on mismatch. Blocks still in the
+  // writer buffer or past the written chain verify trivially.
+  Status VerifyLogBlockCrcs(BlockNo addr, uint64_t count) const;
   // Reads `count` consecutively addressed blocks into `out`, serving each
   // from the writer buffer or read cache when possible and fetching the
   // uncached stretches with single run-granular device reads that also
@@ -259,17 +303,29 @@ class LfsFileSystem : public FileSystem {
   // Collects a segment's live blocks, either by reading the whole segment
   // (the paper's conservative default) or by reading summaries first and
   // then only the live block runs (cleaner_read_live_blocks_only).
-  Status CollectLiveBlocksWhole(SegNo seg, std::vector<LiveBlock>* out);
-  Status CollectLiveBlocksSparse(SegNo seg, std::vector<LiveBlock>* out);
+  // `media_damage` is set when the segment could not be fully collected
+  // because of unreadable or CRC-failing blocks; whatever live blocks were
+  // recovered before the damage are still appended to `out`.
+  Status CollectLiveBlocksWhole(SegNo seg, std::vector<LiveBlock>* out, bool* media_damage);
+  Status CollectLiveBlocksSparse(SegNo seg, std::vector<LiveBlock>* out, bool* media_damage);
 
   // --- recovery (lfs_recovery.cpp) ---
 
+  // Why a segment-chain parse stopped where it did. A chain ending at an
+  // unreadable or CRC-failing block is indistinguishable from a legitimate
+  // log-tail end without this; the cleaner uses it to decide quarantine.
+  struct ChainStatus {
+    bool io_error = false;   // a summary or payload read failed
+    bool crc_error = false;  // a payload CRC mismatched
+    BlockNo error_block = kNilBlock;  // first block implicated
+  };
   // Parses the partial-write chain of one segment starting at start_offset.
   // Stops at an invalid summary, a non-increasing sequence number, a payload
   // CRC mismatch, or stop_offset.
   Result<std::vector<ParsedPartial>> ParseSegmentChain(SegNo seg, uint32_t start_offset,
                                                        uint32_t stop_offset,
-                                                       uint64_t min_seq);
+                                                       uint64_t min_seq,
+                                                       ChainStatus* chain_status = nullptr);
   Status RollForward(const Checkpoint& ck);
   Status ApplyDirLogFix(const DirLogRecord& rec);
 
@@ -278,8 +334,11 @@ class LfsFileSystem : public FileSystem {
   BlockDevice* device_;
   LfsConfig cfg_;
   Superblock sb_;
-  LogicalClock clock_;
-  LfsStats stats_;
+  // Mutable: retried device reads on const paths advance the backoff clock
+  // and bump retry counters.
+  mutable LogicalClock clock_;
+  mutable LfsStats stats_;
+  RetryPolicy retry_policy_;
   InodeMap imap_;
   SegUsage usage_;
   SegmentWriter writer_;
@@ -307,6 +366,7 @@ class LfsFileSystem : public FileSystem {
   bool in_recovery_ = false;
   bool in_checkpoint_ = false;
   bool read_only_ = false;
+  bool degraded_ = false;       // media forced us read-only (sticky)
   bool debug_cleaner_ = false;  // LFS_DEBUG_CLEANER, looked up once at mount
 };
 

@@ -245,11 +245,19 @@ Status LfsFileSystem::MigrateLiveBlock(const SummaryEntry& entry, BlockNo addr,
   return OkStatus();
 }
 
-Status LfsFileSystem::CollectLiveBlocksWhole(SegNo seg, std::vector<LiveBlock>* out) {
+Status LfsFileSystem::CollectLiveBlocksWhole(SegNo seg, std::vector<LiveBlock>* out,
+                                             bool* media_damage) {
   // The paper's conservative mechanism: read the segment in its entirety
   // (the chain of partial writes covers everything ever written to it).
+  // Victims are always fully checkpointed, so a chain that stops at an
+  // unreadable or CRC-failing block is media damage, not a torn log tail.
+  ChainStatus chain_status;
   LFS_ASSIGN_OR_RETURN(std::vector<ParsedPartial> chain,
-                       ParseSegmentChain(seg, 0, sb_.segment_blocks, /*min_seq=*/0));
+                       ParseSegmentChain(seg, 0, sb_.segment_blocks, /*min_seq=*/0,
+                                         &chain_status));
+  if (chain_status.io_error || chain_status.crc_error) {
+    *media_damage = true;
+  }
   for (ParsedPartial& p : chain) {
     stats_.clean_read_bytes += (1 + p.summary.entries.size()) * uint64_t{sb_.block_size};
     for (size_t i = 0; i < p.summary.entries.size(); i++) {
@@ -269,7 +277,8 @@ Status LfsFileSystem::CollectLiveBlocksWhole(SegNo seg, std::vector<LiveBlock>* 
   return OkStatus();
 }
 
-Status LfsFileSystem::CollectLiveBlocksSparse(SegNo seg, std::vector<LiveBlock>* out) {
+Status LfsFileSystem::CollectLiveBlocksSparse(SegNo seg, std::vector<LiveBlock>* out,
+                                              bool* media_damage) {
   // The paper's untried variant: read only the summary blocks, decide
   // liveness from the in-memory tables, then fetch just the live block runs.
   // Pays off when utilization is low; no payload-CRC validation is possible,
@@ -284,7 +293,13 @@ Status LfsFileSystem::CollectLiveBlocksSparse(SegNo seg, std::vector<LiveBlock>*
   uint32_t offset = 0;
   uint64_t prev_seq = 0;
   while (offset + 1 < sb_.segment_blocks) {
-    LFS_RETURN_IF_ERROR(device_->ReadBlock(base + offset, sum_block));
+    if (!DeviceRead(base + offset, 1, sum_block).ok()) {
+      // Unreadable summary: the rest of the chain is unreachable. Report
+      // damage and let the caller quarantine; what was collected so far
+      // still migrates.
+      *media_damage = true;
+      break;
+    }
     stats_.clean_read_bytes += bs;
     Result<SegmentSummary> sum = SegmentSummary::DecodeFrom(sum_block);
     if (!sum.ok() || (prev_seq != 0 && sum->seq <= prev_seq) || sum->entries.empty() ||
@@ -314,7 +329,10 @@ Status LfsFileSystem::CollectLiveBlocksSparse(SegNo seg, std::vector<LiveBlock>*
   }
 
   // Fetch the candidates in coalesced address runs (candidates are already
-  // in ascending address order).
+  // in ascending address order). A run that cannot be read even with retries
+  // is media damage: drop those candidates (their blocks stay in place in
+  // the soon-to-be-quarantined segment) and keep going.
+  std::vector<uint8_t> drop(candidates.size(), 0);
   for (size_t i = 0; i < candidates.size();) {
     size_t j = i + 1;
     while (j < candidates.size() && candidates[j].addr == candidates[j - 1].addr + 1) {
@@ -322,7 +340,14 @@ Status LfsFileSystem::CollectLiveBlocksSparse(SegNo seg, std::vector<LiveBlock>*
     }
     uint64_t run = j - i;
     std::vector<uint8_t> buf(run * bs);
-    LFS_RETURN_IF_ERROR(device_->Read(candidates[i].addr, run, buf));
+    if (!DeviceRead(candidates[i].addr, run, buf).ok()) {
+      *media_damage = true;
+      for (size_t k = i; k < j; k++) {
+        drop[k] = 1;
+      }
+      i = j;
+      continue;
+    }
     stats_.clean_read_bytes += run * bs;
     for (size_t k = i; k < j; k++) {
       candidates[k].content.assign(buf.begin() + static_cast<long>((k - i) * bs),
@@ -332,8 +357,10 @@ Status LfsFileSystem::CollectLiveBlocksSparse(SegNo seg, std::vector<LiveBlock>*
   }
 
   // Resolve the deferred inode-block liveness checks now that we have data.
-  std::vector<uint8_t> drop(candidates.size(), 0);
   for (size_t idx : inode_block_idx) {
+    if (drop[idx]) {
+      continue;  // unreadable; stays behind in the quarantined segment
+    }
     LFS_ASSIGN_OR_RETURN(
         bool live, IsLiveBlock(candidates[idx].entry, candidates[idx].addr,
                                candidates[idx].content));
@@ -381,6 +408,7 @@ Result<uint32_t> LfsFileSystem::CleanerPass() {
   const uint64_t pass_start_seq = writer_.next_seq();
 
   std::vector<LiveBlock> live_blocks;
+  uint32_t quarantined_this_pass = 0;
   for (SegNo seg : chosen) {
     uint32_t live_before = usage_.Get(seg).live_bytes;
     stats_.segments_cleaned++;
@@ -393,11 +421,23 @@ Result<uint32_t> LfsFileSystem::CleanerPass() {
       continue;
     }
     stats_.sum_cleaned_utilization += usage_.Utilization(seg);
+    bool media_damage = false;
     Status collect = cfg_.cleaner_read_live_blocks_only
-                         ? CollectLiveBlocksSparse(seg, &live_blocks)
-                         : CollectLiveBlocksWhole(seg, &live_blocks);
+                         ? CollectLiveBlocksSparse(seg, &live_blocks, &media_damage)
+                         : CollectLiveBlocksWhole(seg, &live_blocks, &media_damage);
     if (!collect.ok()) {
       return cleanup(Result<uint32_t>(collect));
+    }
+    if (media_damage) {
+      // The victim has unreadable or corrupt blocks. Quarantine it: never
+      // allocated, never picked again, its surviving live blocks left in
+      // place. Whatever was collected before the damage still migrates, and
+      // the pass continues with the remaining victims.
+      usage_.SetState(seg, SegState::kQuarantined);
+      stats_.segments_quarantined++;
+      quarantined_this_pass++;
+      stats_.segments_cleaned--;  // it was not reclaimed
+      stats_.sum_cleaned_utilization -= usage_.Utilization(seg);
     }
   }
 
@@ -445,13 +485,15 @@ Result<uint32_t> LfsFileSystem::CleanerPass() {
     // Mark a source segment clean only if nothing was written into it during
     // this pass: a source emptied early in the pass may already have been
     // recycled as the cleaner's own output segment, and marking it clean
-    // again would discard the freshly migrated live data.
+    // again would discard the freshly migrated live data. Quarantined
+    // sources are no longer kDirty, so they naturally stay quarantined.
     if (usage_.Get(seg).state == SegState::kDirty &&
         usage_.write_seq(seg) < pass_start_seq) {
       usage_.SetState(seg, SegState::kClean);
     }
   }
-  return cleanup(Result<uint32_t>(static_cast<uint32_t>(chosen.size())));
+  return cleanup(
+      Result<uint32_t>(static_cast<uint32_t>(chosen.size()) - quarantined_this_pass));
 }
 
 uint32_t LfsFileSystem::EffectiveCleanLo() const {

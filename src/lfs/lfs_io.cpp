@@ -13,6 +13,7 @@
 
 #include "src/lfs/lfs.h"
 #include "src/util/codec.h"
+#include "src/util/crc32.h"
 
 namespace lfs {
 
@@ -69,8 +70,65 @@ Status LfsFileSystem::ReadLogBlock(BlockNo addr, std::span<uint8_t> out) const {
   if (ReadCacheGet(addr, out)) {
     return OkStatus();
   }
-  LFS_RETURN_IF_ERROR(device_->Read(addr, 1, out));
+  if (cfg_.verify_read_crcs) {
+    LFS_RETURN_IF_ERROR(VerifyLogBlockCrcs(addr, 1));
+  }
+  LFS_RETURN_IF_ERROR(DeviceRead(addr, 1, out));
   ReadCachePut(addr, out);
+  return OkStatus();
+}
+
+Status LfsFileSystem::VerifyLogBlockCrcs(BlockNo addr, uint64_t count) const {
+  SegNo seg = sb_.SegOf(addr);
+  if (seg == kNilSeg) {
+    return OkStatus();  // fixed-area blocks carry their own CRCs
+  }
+  const uint32_t bs = sb_.block_size;
+  const BlockNo base = sb_.SegmentBase(seg);
+  const BlockNo lo = addr;
+  const BlockNo hi = addr + count;
+  uint32_t stop = seg == writer_.current_segment() ? writer_.current_offset()
+                                                   : sb_.segment_blocks;
+  // Walk the partial-write chain until it covers [lo, hi). Reads go straight
+  // to the device (ReadLogBlock would recurse). If the chain is unreadable
+  // or ends before reaching the target, nothing can be proven here — the
+  // caller's own read will surface any I/O error.
+  uint32_t off = 0;
+  uint64_t prev_seq = 0;
+  std::vector<uint8_t> sblock(bs);
+  while (off + 1 < stop) {
+    if (!device_->Read(base + off, 1, sblock).ok()) {
+      break;
+    }
+    Result<SegmentSummary> sum = SegmentSummary::DecodeFrom(sblock);
+    if (!sum.ok() || sum->seq <= prev_seq) {
+      break;
+    }
+    uint32_t n = static_cast<uint32_t>(sum->entries.size());
+    if (n == 0 || off + 1 + n > sb_.segment_blocks) {
+      break;
+    }
+    BlockNo pstart = base + off + 1;
+    BlockNo pend = pstart + n;
+    if (pstart >= hi) {
+      break;  // chain is past the target range
+    }
+    if (pend > lo) {
+      // This partial covers part of the target: check its payload CRC.
+      std::vector<uint8_t> payload(size_t{n} * bs);
+      LFS_RETURN_IF_ERROR(DeviceRead(pstart, n, payload));
+      if (Crc32(payload) != sum->payload_crc) {
+        stats_.read_crc_failures++;
+        return CorruptionError(
+            "payload CRC mismatch reading block " + std::to_string(addr) +
+            " (segment " + std::to_string(seg) + ", partial at offset " +
+            std::to_string(off) + " covering blocks [" + std::to_string(pstart) +
+            ", " + std::to_string(pend) + "))");
+      }
+    }
+    prev_seq = sum->seq;
+    off += 1 + n;
+  }
   return OkStatus();
 }
 
@@ -89,7 +147,10 @@ Status LfsFileSystem::ReadLogRun(BlockNo addr, uint64_t count, std::span<uint8_t
       j++;
     }
     if (j > i) {
-      LFS_RETURN_IF_ERROR(device_->Read(addr + i, j - i, out.subspan(i * bs, (j - i) * bs)));
+      if (cfg_.verify_read_crcs) {
+        LFS_RETURN_IF_ERROR(VerifyLogBlockCrcs(addr + i, j - i));
+      }
+      LFS_RETURN_IF_ERROR(DeviceRead(addr + i, j - i, out.subspan(i * bs, (j - i) * bs)));
       for (uint64_t k = i; k < j; k++) {
         ReadCachePut(addr + k, out.subspan(k * bs, bs));
       }
@@ -286,6 +347,10 @@ Status LfsFileSystem::EnsureSpaceForWrite(uint64_t new_blocks) {
 }
 
 Status LfsFileSystem::CheckWritable() const {
+  if (degraded_) {
+    return ReadOnlyError(
+        "filesystem is in degraded read-only mode (checkpoint media failure)");
+  }
   if (read_only_) {
     return ReadOnlyError("filesystem is mounted read-only");
   }

@@ -28,7 +28,8 @@
 namespace lfs {
 
 Result<std::vector<LfsFileSystem::ParsedPartial>> LfsFileSystem::ParseSegmentChain(
-    SegNo seg, uint32_t start_offset, uint32_t stop_offset, uint64_t min_seq) {
+    SegNo seg, uint32_t start_offset, uint32_t stop_offset, uint64_t min_seq,
+    ChainStatus* chain_status) {
   std::vector<ParsedPartial> out;
   const uint32_t bs = sb_.block_size;
   const BlockNo base = sb_.SegmentBase(seg);
@@ -37,7 +38,11 @@ Result<std::vector<LfsFileSystem::ParsedPartial>> LfsFileSystem::ParseSegmentCha
   std::vector<uint8_t> sum_block(bs);
 
   while (offset + 1 < stop_offset) {
-    if (!device_->ReadBlock(base + offset, sum_block).ok()) {
+    if (!DeviceRead(base + offset, 1, sum_block).ok()) {
+      if (chain_status != nullptr) {
+        chain_status->io_error = true;
+        chain_status->error_block = base + offset;
+      }
       break;
     }
     Result<SegmentSummary> sum = SegmentSummary::DecodeFrom(sum_block);
@@ -57,10 +62,18 @@ Result<std::vector<LfsFileSystem::ParsedPartial>> LfsFileSystem::ParseSegmentCha
     p.seg = seg;
     p.offset = offset;
     p.payload.resize(size_t{n} * bs);
-    if (!device_->Read(base + offset + 1, n, p.payload).ok()) {
+    if (!DeviceRead(base + offset + 1, n, p.payload).ok()) {
+      if (chain_status != nullptr) {
+        chain_status->io_error = true;
+        chain_status->error_block = base + offset + 1;
+      }
       break;
     }
     if (Crc32(p.payload) != sum->payload_crc) {
+      if (chain_status != nullptr) {
+        chain_status->crc_error = true;
+        chain_status->error_block = base + offset + 1;
+      }
       break;  // torn partial write: ignore it and everything after
     }
     prev_seq = sum->seq;
@@ -101,7 +114,7 @@ Status LfsFileSystem::RollForward(const Checkpoint& ck) {
     if (seg == ck.cur_segment || usage_.Get(seg).state != SegState::kClean) {
       continue;
     }
-    if (!device_->ReadBlock(sb_.SegmentBase(seg), sum_block).ok()) {
+    if (!DeviceRead(sb_.SegmentBase(seg), 1, sum_block).ok()) {
       break;
     }
     Result<SegmentSummary> first = SegmentSummary::DecodeFrom(sum_block);
@@ -236,7 +249,7 @@ Status LfsFileSystem::RollForward(const Checkpoint& ck) {
     // that moved or disappeared ("utilizations of older segments must be
     // adjusted to reflect deletions and overwrites").
     std::vector<uint8_t> block(bs);
-    if (!device_->ReadBlock(old.inode_block, block).ok()) {
+    if (!DeviceRead(old.inode_block, 1, block).ok()) {
       continue;
     }
     Result<Inode> old_inode_r = Inode::DecodeFrom(std::span<const uint8_t>(block).subspan(

@@ -72,6 +72,11 @@ void SegUsage::SetState(SegNo seg, SegState state) {
     e.live_bytes = 0;
     e.last_write = 0;
   }
+  if (e.state != SegState::kQuarantined && state == SegState::kQuarantined) {
+    quarantined_count_++;
+  } else if (e.state == SegState::kQuarantined && state != SegState::kQuarantined) {
+    quarantined_count_--;
+  }
   e.state = state;
   MarkDirty(seg);
   SyncIndex(seg);
@@ -120,9 +125,12 @@ void SegUsage::LoadChunk(uint32_t chunk, std::span<const uint8_t> block) {
 
 void SegUsage::RecountClean() {
   clean_count_ = 0;
+  quarantined_count_ = 0;
   for (const SegUsageEntry& e : entries_) {
     if (e.state == SegState::kClean) {
       clean_count_++;
+    } else if (e.state == SegState::kQuarantined) {
+      quarantined_count_++;
     }
   }
 }

@@ -43,6 +43,7 @@ class SegUsage {
     return static_cast<double>(entries_[seg].live_bytes) / segment_bytes_;
   }
   uint32_t clean_count() const { return clean_count_; }
+  uint32_t quarantined_count() const { return quarantined_count_; }
   uint32_t segment_bytes() const { return segment_bytes_; }
 
   // Live-byte accounting. AddLive also refreshes the segment's last-write
@@ -101,7 +102,7 @@ class SegUsage {
   void EncodeChunk(uint32_t chunk, std::span<uint8_t> block) const;
   void LoadChunk(uint32_t chunk, std::span<const uint8_t> block);
 
-  // Recomputes clean_count_ after loading chunks.
+  // Recomputes clean_count_ and quarantined_count_ after loading chunks.
   void RecountClean();
 
  private:
@@ -117,6 +118,7 @@ class SegUsage {
   std::vector<BlockNo> chunk_addrs_;
   std::set<uint32_t> dirty_chunks_;
   uint32_t clean_count_ = 0;
+  uint32_t quarantined_count_ = 0;
   uint64_t total_live_ = 0;  // sum of live_bytes, maintained incrementally
 
   VictimIndex victim_index_;               // kDirty segments only

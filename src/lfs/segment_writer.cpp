@@ -114,7 +114,18 @@ Status SegmentWriter::Flush() {
   summary.EncodeTo(std::span<uint8_t>(io.data(), bs));
 
   BlockNo start = sb_->SegmentBase(cur_seg_) + cur_offset_;
-  LFS_RETURN_IF_ERROR(device_->Write(start, 1 + n, io));
+  Status write_st = RetryWithBackoff(retry_, clock_, &stats_->io_retries,
+                                     [&] { return device_->Write(start, 1 + n, io); });
+  if (!write_st.ok()) {
+    if (write_st.code() == StatusCode::kIoError) {
+      stats_->io_retry_failures++;
+    }
+    // The partial was never durable; roll the sequence number back so the
+    // caller can re-drive the flush (possibly into a different segment)
+    // without leaving a gap that would end roll-forward early.
+    next_seq_--;
+    return write_st;
+  }
   stats_->summary_bytes += bs;
   usage_->SetWriteSeq(cur_seg_, summary.seq);
 

@@ -20,21 +20,28 @@
 #include <vector>
 
 #include "src/disk/block_device.h"
+#include "src/fs/clock.h"
 #include "src/lfs/layout.h"
 #include "src/lfs/seg_usage.h"
 #include "src/lfs/stats.h"
+#include "src/util/retry.h"
 
 namespace lfs {
 
 class SegmentWriter {
  public:
+  // `clock` and `retry` govern transient-write-error handling of the
+  // partial-segment device write: retried with backoff modeled on the clock.
   SegmentWriter(BlockDevice* device, const Superblock* sb, SegUsage* usage, LfsStats* stats,
-                uint32_t reserve_segments)
+                uint32_t reserve_segments, LogicalClock* clock = nullptr,
+                RetryPolicy retry = RetryPolicy{})
       : device_(device),
         sb_(sb),
         usage_(usage),
         stats_(stats),
-        reserve_segments_(reserve_segments) {}
+        reserve_segments_(reserve_segments),
+        clock_(clock),
+        retry_(retry) {}
 
   // Positions the log tail (mkfs / mount / recovery). The segment must
   // already be marked kActive in the usage table.
@@ -107,6 +114,8 @@ class SegmentWriter {
   SegUsage* usage_;
   LfsStats* stats_;
   uint32_t reserve_segments_;
+  LogicalClock* clock_;  // may be null: retries still happen, delays are not modeled
+  RetryPolicy retry_;
 
   SegNo cur_seg_ = kNilSeg;
   uint32_t cur_offset_ = 0;  // next free block index within cur_seg_

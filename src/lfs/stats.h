@@ -36,6 +36,15 @@ struct LfsStats {
   uint64_t selection_mismatches = 0;       // indexed vs reference victim order
                                            // divergences (verify_selection)
 
+  // Media-fault handling (robustness pass).
+  uint64_t io_retries = 0;             // device I/O attempts beyond the first
+  uint64_t io_retry_failures = 0;      // I/Os that failed even after retries
+  uint64_t read_crc_failures = 0;      // corrupt blocks caught on the read path
+  uint64_t segments_quarantined = 0;   // victims abandoned to kQuarantined
+  uint64_t checkpoint_fallbacks = 0;   // CR writes diverted to the alternate region
+  uint64_t superblock_fallbacks = 0;   // mounts served by the backup superblock
+  uint64_t degraded_entries = 0;       // transitions into degraded read-only mode
+
   uint64_t total_log_written() const {
     uint64_t payload = 0;
     for (uint64_t b : log_bytes_by_kind) {

@@ -1,0 +1,59 @@
+// Bounded retry with exponential backoff for transient device I/O errors.
+//
+// Only kIoError is retried: it is the one code a device reports for a fault
+// that may clear on a later attempt. Everything else (corruption, bounds,
+// logic errors) is deterministic and retrying would just repeat it.
+//
+// Backoff is modeled through the caller's logical clock rather than real
+// sleeping, so simulated runs stay deterministic and fast. The clock type is
+// a template parameter (anything with AdvanceTo/Now) to keep this header
+// free of higher-layer includes.
+
+#ifndef LFS_UTIL_RETRY_H_
+#define LFS_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace lfs {
+
+struct RetryPolicy {
+  uint32_t max_attempts = 4;       // total attempts, including the first
+  uint64_t backoff_ticks = 1;      // clock delay before the first retry
+  uint64_t backoff_multiplier = 2; // delay growth per subsequent retry
+};
+
+// Runs fn() up to policy.max_attempts times, advancing `clock` by an
+// exponentially growing delay between attempts. Returns the first
+// non-kIoError status (usually OK), or the last error once attempts are
+// exhausted. `retries`, if non-null, is incremented once per retry actually
+// performed — wire it to a stats counter.
+template <typename Clock, typename Fn>
+Status RetryWithBackoff(const RetryPolicy& policy, Clock* clock, uint64_t* retries,
+                        Fn&& fn) {
+  uint32_t max_attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  uint64_t delay = policy.backoff_ticks;
+  Status st = OkStatus();
+  for (uint32_t attempt = 0; attempt < max_attempts; attempt++) {
+    if (attempt > 0) {
+      if (clock != nullptr && delay > 0) {
+        clock->AdvanceTo(clock->Now() + delay);
+      }
+      delay *= policy.backoff_multiplier;
+      if (retries != nullptr) {
+        (*retries)++;
+      }
+    }
+    st = fn();
+    if (st.code() != StatusCode::kIoError) {
+      return st;
+    }
+  }
+  return st;
+}
+
+}  // namespace lfs
+
+#endif  // LFS_UTIL_RETRY_H_

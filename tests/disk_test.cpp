@@ -9,6 +9,7 @@
 
 #include "src/disk/crash_disk.h"
 #include "src/disk/disk_model.h"
+#include "src/disk/fault_disk.h"
 #include "src/disk/file_disk.h"
 #include "src/disk/mem_disk.h"
 #include "src/disk/sim_disk.h"
@@ -158,6 +159,109 @@ TEST(CrashDiskTest, CountdownArmsFutureWrite) {
   std::vector<uint8_t> r(512);
   ASSERT_TRUE(disk.Read(2, 1, r).ok());
   EXPECT_EQ(r[0], 0);
+}
+
+TEST(CrashDiskTest, FlushIsACrashPoint) {
+  CrashDisk disk(std::make_unique<MemDisk>(512, 64));
+  std::vector<uint8_t> ones(512, 1);
+  std::vector<uint8_t> twos(512, 2);
+
+  // Countdown of 1: the write consumes it, the flush is the crash point.
+  disk.CrashAfterWrites(1, 0);
+  ASSERT_TRUE(disk.Write(3, 1, ones).ok());
+  EXPECT_FALSE(disk.crashed());
+  ASSERT_TRUE(disk.Flush().ok());
+  EXPECT_TRUE(disk.crashed());
+  EXPECT_EQ(disk.flushes_seen(), 1u);
+
+  // The write before the lost barrier still persisted (completed writes
+  // reach the backing store; only the barrier itself is lost)...
+  std::vector<uint8_t> r(512);
+  ASSERT_TRUE(disk.Read(3, 1, r).ok());
+  EXPECT_EQ(r, ones);
+  // ...and post-crash writes are dropped as usual.
+  ASSERT_TRUE(disk.Write(3, 1, twos).ok());
+  ASSERT_TRUE(disk.Read(3, 1, r).ok());
+  EXPECT_EQ(r, ones);
+
+  // A flush also decrements a larger countdown, shifting the crash point.
+  disk.ClearCrash();
+  disk.CrashAfterWrites(2, 0);
+  ASSERT_TRUE(disk.Flush().ok());   // countdown 2 -> 1
+  ASSERT_TRUE(disk.Write(4, 1, ones).ok());  // countdown 1 -> 0
+  EXPECT_FALSE(disk.crashed());
+  ASSERT_TRUE(disk.Write(5, 1, twos).ok());  // crash point: torn (0 kept)
+  EXPECT_TRUE(disk.crashed());
+  ASSERT_TRUE(disk.Read(5, 1, r).ok());
+  EXPECT_EQ(r[0], 0);
+}
+
+TEST(FaultDiskTest, TransientReadFaultClearsAfterNAttempts) {
+  FaultDisk disk(std::make_unique<MemDisk>(512, 64));
+  std::vector<uint8_t> w(512, 0xAB);
+  ASSERT_TRUE(disk.Write(7, 1, w).ok());
+  disk.AddTransientReadFault(7, /*fail_count=*/2);
+  std::vector<uint8_t> r(512);
+  EXPECT_EQ(disk.Read(7, 1, r).code(), StatusCode::kIoError);
+  EXPECT_EQ(disk.Read(7, 1, r).code(), StatusCode::kIoError);
+  ASSERT_TRUE(disk.Read(7, 1, r).ok());  // third attempt succeeds
+  EXPECT_EQ(r, w);
+  EXPECT_EQ(disk.counters().transient_read_faults, 2u);
+}
+
+TEST(FaultDiskTest, LatentErrorPersistsUntilCleared) {
+  FaultDisk disk(std::make_unique<MemDisk>(512, 64));
+  std::vector<uint8_t> buf(512, 1);
+  ASSERT_TRUE(disk.Write(10, 1, buf).ok());
+  disk.AddLatentError(10);
+  for (int i = 0; i < 3; i++) {
+    EXPECT_EQ(disk.Read(10, 1, buf).code(), StatusCode::kIoError);
+  }
+  EXPECT_EQ(disk.Write(10, 1, buf).code(), StatusCode::kIoError);
+  // A multi-block I/O touching the bad block fails too.
+  std::vector<uint8_t> big(512 * 4);
+  EXPECT_EQ(disk.Read(8, 4, big).code(), StatusCode::kIoError);
+  disk.ClearLatentError(10);
+  EXPECT_TRUE(disk.Read(10, 1, buf).ok());
+  EXPECT_GE(disk.counters().latent_read_faults, 4u);
+  EXPECT_EQ(disk.counters().latent_write_faults, 1u);
+}
+
+TEST(FaultDiskTest, CorruptOnReadFlipsOneBit) {
+  FaultDisk disk(std::make_unique<MemDisk>(512, 64));
+  std::vector<uint8_t> w(512, 0x00);
+  ASSERT_TRUE(disk.Write(5, 1, w).ok());
+  disk.CorruptOnRead(5);
+  std::vector<uint8_t> r(512);
+  ASSERT_TRUE(disk.Read(5, 1, r).ok());  // read "succeeds" — silent corruption
+  EXPECT_NE(r, w);
+  int flipped = 0;
+  for (size_t i = 0; i < r.size(); i++) {
+    flipped += __builtin_popcount(static_cast<unsigned>(r[i] ^ w[i]));
+  }
+  EXPECT_EQ(flipped, 1);
+  EXPECT_EQ(disk.counters().corrupted_reads, 1u);
+  // Rewriting the block heals it.
+  ASSERT_TRUE(disk.Write(5, 1, w).ok());
+  ASSERT_TRUE(disk.Read(5, 1, r).ok());
+  EXPECT_EQ(r, w);
+}
+
+TEST(FaultDiskTest, ProbabilisticFaultsAreSeededAndDeterministic) {
+  auto run = [](uint64_t seed) {
+    FaultDisk disk(std::make_unique<MemDisk>(512, 64), seed);
+    disk.SetTransientReadFaultRate(0.3);
+    std::vector<uint8_t> buf(512);
+    std::string pattern;
+    for (int i = 0; i < 50; i++) {
+      pattern += disk.Read(0, 1, buf).ok() ? '.' : 'x';
+    }
+    return pattern;
+  };
+  EXPECT_EQ(run(42), run(42));      // same seed, same fault schedule
+  EXPECT_NE(run(42), run(43));      // different seed, different schedule
+  EXPECT_NE(run(42).find('x'), std::string::npos);  // some faults fired
+  EXPECT_NE(run(42).find('.'), std::string::npos);  // some reads survived
 }
 
 TEST(FileDiskTest, PersistsAcrossReopen) {

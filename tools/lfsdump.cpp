@@ -4,7 +4,8 @@
 //     super              the superblock / geometry
 //     checkpoints        both checkpoint regions
 //     segments           one line per segment (state, live bytes, age)
-//     segment <N>        the partial-write chain of segment N
+//     segment <N>        the partial-write chain of segment N (with CRCs)
+//     crcs               per-segment summary/payload CRC validity + quarantine
 //     imap               allocated inode-map entries
 //     inode <INO>        one inode in full detail
 //
@@ -19,6 +20,7 @@
 
 #include "src/disk/file_disk.h"
 #include "src/lfs/layout.h"
+#include "src/util/crc32.h"
 
 using namespace lfs;
 
@@ -60,6 +62,41 @@ Result<Image> OpenImage(const std::string& path) {
     }
   }
   return img;
+}
+
+const char* StateName(SegState state) {
+  switch (state) {
+    case SegState::kClean:
+      return "clean";
+    case SegState::kActive:
+      return "ACTIVE";
+    case SegState::kDirty:
+      return "dirty";
+    case SegState::kQuarantined:
+      return "QUARANTINED";
+  }
+  return "?";
+}
+
+// Reads the per-segment usage entries from the newest checkpoint; entries
+// for segments whose usage chunk is unreadable stay default (kClean, 0).
+std::vector<SegUsageEntry> LoadUsageEntries(const Image& img) {
+  std::vector<SegUsageEntry> usage(img.sb.nsegments);
+  std::vector<uint8_t> block(img.sb.block_size);
+  for (uint32_t c = 0; c < img.ck.usage_chunk_addr.size(); c++) {
+    if (!img.disk->Read(img.ck.usage_chunk_addr[c], 1, block).ok()) {
+      continue;
+    }
+    for (uint32_t i = 0; i < img.sb.usage_entries_per_chunk(); i++) {
+      SegNo seg = c * img.sb.usage_entries_per_chunk() + i;
+      if (seg >= img.sb.nsegments) {
+        break;
+      }
+      usage[seg] = SegUsageEntry::DecodeFrom(std::span<const uint8_t>(block).subspan(
+          size_t{i} * kUsageEntrySize, kUsageEntrySize));
+    }
+  }
+  return usage;
 }
 
 const char* KindName(BlockKind kind) {
@@ -126,7 +163,7 @@ void DumpSegments(const Image& img) {
     return;
   }
   std::vector<uint8_t> block(img.sb.block_size);
-  std::printf("%-6s %-7s %12s %12s\n", "seg", "state", "live bytes", "last write");
+  std::printf("%-6s %-11s %12s %12s\n", "seg", "state", "live bytes", "last write");
   for (uint32_t c = 0; c < img.ck.usage_chunk_addr.size(); c++) {
     if (!img.disk->Read(img.ck.usage_chunk_addr[c], 1, block).ok()) {
       continue;
@@ -138,10 +175,7 @@ void DumpSegments(const Image& img) {
       }
       SegUsageEntry e = SegUsageEntry::DecodeFrom(std::span<const uint8_t>(block).subspan(
           size_t{i} * kUsageEntrySize, kUsageEntrySize));
-      const char* state = e.state == SegState::kClean    ? "clean"
-                          : e.state == SegState::kActive ? "ACTIVE"
-                                                         : "dirty";
-      std::printf("%-6u %-7s %12u %12llu\n", seg, state, e.live_bytes,
+      std::printf("%-6u %-11s %12u %12llu\n", seg, StateName(e.state), e.live_bytes,
                   static_cast<unsigned long long>(e.last_write));
     }
   }
@@ -168,9 +202,17 @@ void DumpSegmentChain(const Image& img, SegNo seg) {
       break;
     }
     prev_seq = sum->seq;
-    std::printf("offset %4u: partial write seq %llu, %zu blocks, time %llu\n", offset,
+    const char* crc_state = "payload crc ok";
+    std::vector<uint8_t> payload(sum->entries.size() * size_t{bs});
+    if (!img.disk->Read(img.sb.SegmentBase(seg) + offset + 1, sum->entries.size(), payload)
+             .ok()) {
+      crc_state = "payload UNREADABLE";
+    } else if (Crc32(payload) != sum->payload_crc) {
+      crc_state = "payload crc BAD";
+    }
+    std::printf("offset %4u: partial write seq %llu, %zu blocks, time %llu, %s\n", offset,
                 static_cast<unsigned long long>(sum->seq), sum->entries.size(),
-                static_cast<unsigned long long>(sum->timestamp));
+                static_cast<unsigned long long>(sum->timestamp), crc_state);
     for (size_t i = 0; i < sum->entries.size(); i++) {
       const SummaryEntry& e = sum->entries[i];
       std::printf("    +%-4zu %-9s ino %-6u fbn %-8llu ver %-4u mtime %llu\n", i + 1,
@@ -178,6 +220,55 @@ void DumpSegmentChain(const Image& img, SegNo seg) {
                   static_cast<unsigned long long>(e.mtime));
     }
     offset += 1 + static_cast<uint32_t>(sum->entries.size());
+  }
+}
+
+void DumpCrcs(const Image& img) {
+  if (!img.have_ck) {
+    std::printf("no valid checkpoint; cannot locate the usage table\n");
+    return;
+  }
+  const uint32_t bs = img.sb.block_size;
+  std::vector<SegUsageEntry> usage = LoadUsageEntries(img);
+  std::vector<uint8_t> sum_block(bs);
+  std::printf("%-6s %-11s %8s %8s %8s  %s\n", "seg", "state", "partials", "crc ok",
+              "crc bad", "notes");
+  for (SegNo seg = 0; seg < img.sb.nsegments; seg++) {
+    if (usage[seg].state == SegState::kClean) {
+      continue;
+    }
+    uint32_t partials = 0, ok = 0, bad = 0;
+    std::string notes;
+    uint32_t offset = 0;
+    uint64_t prev_seq = 0;
+    while (offset + 1 < img.sb.segment_blocks) {
+      if (!img.disk->Read(img.sb.SegmentBase(seg) + offset, 1, sum_block).ok()) {
+        notes = "summary unreadable at offset " + std::to_string(offset);
+        break;
+      }
+      Result<SegmentSummary> sum = SegmentSummary::DecodeFrom(sum_block);
+      if (!sum.ok() || (prev_seq != 0 && sum->seq <= prev_seq) || sum->entries.empty() ||
+          offset + 1 + sum->entries.size() > img.sb.segment_blocks) {
+        break;  // end of the live chain
+      }
+      prev_seq = sum->seq;
+      partials++;
+      std::vector<uint8_t> payload(sum->entries.size() * size_t{bs});
+      if (!img.disk->Read(img.sb.SegmentBase(seg) + offset + 1, sum->entries.size(), payload)
+               .ok()) {
+        bad++;
+        notes = "payload unreadable at offset " + std::to_string(offset);
+        break;
+      }
+      if (Crc32(payload) == sum->payload_crc) {
+        ok++;
+      } else {
+        bad++;
+      }
+      offset += 1 + static_cast<uint32_t>(sum->entries.size());
+    }
+    std::printf("%-6u %-11s %8u %8u %8u  %s\n", seg, StateName(usage[seg].state), partials,
+                ok, bad, notes.c_str());
   }
 }
 
@@ -264,7 +355,7 @@ void DumpInode(const Image& img, InodeNum ino) {
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s <image> super|checkpoints|segments|segment <N>|imap|inode <INO>\n",
+                 "usage: %s <image> super|checkpoints|segments|segment <N>|crcs|imap|inode <INO>\n",
                  argv[0]);
     return 2;
   }
@@ -287,6 +378,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     DumpSegmentChain(*img, seg);
+  } else if (cmd == "crcs") {
+    DumpCrcs(*img);
   } else if (cmd == "imap") {
     DumpImap(*img);
   } else if (cmd == "inode" && argc >= 4) {
