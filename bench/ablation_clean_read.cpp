@@ -46,6 +46,8 @@ Outcome RunOne(bool live_only, double utilization) {
   cfg.clean_hi = 8;
   cfg.segments_per_pass = 8;
   cfg.reserve_segments = 3;
+  // Not shrunk in smoke mode: the 0.90-utilization fill needs the full
+  // disk's headroom to stay ahead of segment-padding overhead.
   const uint64_t disk_bytes = 64ull * 1024 * 1024;
   LfsInstance inst = MakeLfs(disk_bytes, cfg);
   Check(inst.fs->Mkdir("/d"));
@@ -57,7 +59,15 @@ Outcome RunOne(bool live_only, double utilization) {
   std::vector<uint8_t> content(file_bytes, 0x66);
   int i = 0;
   while (inst.fs->disk_utilization() < 0.90) {
-    Check(inst.fs->WriteFile("/d/f" + std::to_string(i++), content));
+    Status st = inst.fs->WriteFile("/d/f" + std::to_string(i), content);
+    if (st.code() == StatusCode::kNoSpace) {
+      // Log-overhead padding can exhaust committed space before live bytes
+      // reach the target; the utilization actually achieved is what the
+      // sweep measures, so stop filling here.
+      break;
+    }
+    Check(st);
+    i++;
   }
   // Delete down to the target utilization, randomly (fragmentation).
   std::vector<int> alive(i);
@@ -97,6 +107,7 @@ Outcome RunOne(bool live_only, double utilization) {
 }  // namespace
 
 int main() {
+  BenchReport report("ablation_clean_read");
   std::printf("=== Ablation: whole-segment vs live-blocks-only cleaning reads ===\n\n");
   std::printf("%-6s %-12s %14s %16s %12s\n", "util", "strategy", "bytes read",
               "cleaner disk (s)", "cleaned");
@@ -108,9 +119,20 @@ int main() {
     std::printf("%-6s %-12s %11.1f MB %16.2f %12llu\n", "", "live-only", sparse.clean_read_mb,
                 sparse.cleaner_disk_sec,
                 static_cast<unsigned long long>(sparse.segments_cleaned));
+    char key[64];
+    int u = static_cast<int>(util * 100);
+    std::snprintf(key, sizeof(key), "whole.clean_read_mb.u%02d", u);
+    report.AddScalar(key, whole.clean_read_mb);
+    std::snprintf(key, sizeof(key), "live_only.clean_read_mb.u%02d", u);
+    report.AddScalar(key, sparse.clean_read_mb);
+    std::snprintf(key, sizeof(key), "whole.cleaner_disk_sec.u%02d", u);
+    report.AddScalar(key, whole.cleaner_disk_sec);
+    std::snprintf(key, sizeof(key), "live_only.cleaner_disk_sec.u%02d", u);
+    report.AddScalar(key, sparse.cleaner_disk_sec);
   }
   std::printf("\nExpected: live-only reads far fewer bytes at low utilization (the\n");
   std::printf("paper's untried hypothesis, confirmed); the advantage shrinks as\n");
   std::printf("utilization rises and nearly everything must be read anyway.\n");
+  report.Write();
   return 0;
 }

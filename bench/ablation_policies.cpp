@@ -56,7 +56,8 @@ double RunOne(CleaningPolicy policy, bool age_sort, double utilization) {
 
   // Hot-and-cold churn: 90% of the rewrites hit 10% of the files.
   int hot = std::max(1, nfiles / 10);
-  for (int step = 0; step < nfiles * 12; step++) {
+  const int churn_steps = nfiles * static_cast<int>(SmokePick(12, 3));
+  for (int step = 0; step < churn_steps; step++) {
     int idx = rng.NextBool(0.9) ? static_cast<int>(rng.NextBelow(hot))
                                 : static_cast<int>(hot + rng.NextBelow(nfiles - hot));
     std::string path = "/d/f" + std::to_string(idx);
@@ -70,6 +71,7 @@ double RunOne(CleaningPolicy policy, bool age_sort, double utilization) {
 }  // namespace
 
 int main() {
+  BenchReport report("ablation_policies");
   std::printf("=== Ablation: cleaning policy x age-sort on the real filesystem ===\n\n");
   std::printf("(hot-and-cold whole-file churn; write cost, lower is better)\n\n");
   std::printf("%-6s %16s %16s %16s %16s\n", "util", "greedy", "greedy+sort", "cost-benefit",
@@ -80,8 +82,19 @@ int main() {
     double cb = RunOne(CleaningPolicy::kCostBenefit, false, util);
     double cbs = RunOne(CleaningPolicy::kCostBenefit, true, util);
     std::printf("%-6.2f %16.2f %16.2f %16.2f %16.2f\n", util, g, gs, cb, cbs);
+    char key[64];
+    int u = static_cast<int>(util * 100);
+    std::snprintf(key, sizeof(key), "greedy.write_cost.u%02d", u);
+    report.AddScalar(key, g);
+    std::snprintf(key, sizeof(key), "greedy_sort.write_cost.u%02d", u);
+    report.AddScalar(key, gs);
+    std::snprintf(key, sizeof(key), "costbenefit.write_cost.u%02d", u);
+    report.AddScalar(key, cb);
+    std::snprintf(key, sizeof(key), "costbenefit_sort.write_cost.u%02d", u);
+    report.AddScalar(key, cbs);
   }
   std::printf("\nExpected: cost-benefit+sort lowest at high utilization, echoing the\n");
   std::printf("simulator's Figure 7 on the full system.\n");
+  report.Write();
   return 0;
 }

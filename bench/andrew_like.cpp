@@ -21,7 +21,7 @@ using namespace lfs::bench;
 
 namespace {
 
-constexpr uint64_t kDiskBytes = 300ull * 1024 * 1024;
+const uint64_t kDiskBytes = SmokePick(300, 64) * 1024 * 1024;
 
 void Check(const Status& st) {
   if (!st.ok()) {
@@ -147,5 +147,19 @@ int main() {
   std::printf("  FFS fsck (scan all metadata):          %8.2f s\n", ffs_fsck);
   std::printf("  ratio: %.0fx  (the paper cites 'tens of minutes' for production fsck)\n",
               ffs_fsck / std::max(lfs_recovery, 1e-9));
+
+  BenchReport report("andrew_like");
+  report.AddScalar("lfs.elapsed_sec", lfs_elapsed);
+  report.AddScalar("lfs.cpu_sec", lfs_cpu);
+  report.AddScalar("lfs.disk_sec", lfs_disk);
+  report.AddScalar("lfs.recovery_sec", lfs_recovery);
+  report.AddScalar("ffs.elapsed_sec", ffs_elapsed);
+  report.AddScalar("ffs.cpu_sec", ffs_cpu);
+  report.AddScalar("ffs.disk_sec", ffs_disk);
+  report.AddScalar("ffs.fsck_sec", ffs_fsck);
+  report.AddScalar("speedup_percent", (ffs_elapsed / lfs_elapsed - 1.0) * 100);
+  report.AddLfs("lfs.", lfs_inst);
+  report.AddFfs("ffs.", ffs_inst);
+  report.Write();
   return 0;
 }

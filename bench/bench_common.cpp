@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
+
+#include "src/obs/bindings.h"
 
 namespace lfs::bench {
 
@@ -78,19 +81,26 @@ WorkloadReport RunWorkload(LfsFileSystem* fs, uint64_t disk_bytes,
   // segment yields completely empty segments (Section 5.2).
   auto sample_size = [&]() -> uint64_t {
     if (rng.NextBool(0.03)) {
-      return rng.NextFileSize(params.mean_file_bytes * 20, 8 * 1024 * 1024);
+      return rng.NextFileSize(params.mean_file_bytes * 20, params.max_file_bytes);
     }
     return rng.NextFileSize(std::max<uint64_t>(1024, params.mean_file_bytes * 2 / 5),
                             256 * 1024);
   };
-  auto create_one = [&](bool may_be_cold) {
+  // Returns false when the log is out of committed space (the large-file
+  // tail can overshoot the utilization target, especially on small disks);
+  // the caller stops filling and lets deletions restore headroom.
+  auto create_one = [&](bool may_be_cold) -> bool {
     uint64_t size = sample_size();
     std::string path = "/w/f" + std::to_string(next_id++);
     std::vector<uint8_t> content(size);
     for (auto& b : content) {
       b = static_cast<uint8_t>(rng.NextU64());
     }
-    CheckOk(fs->WriteFile(path, content), "create");
+    Status st = fs->WriteFile(path, content);
+    if (st.code() == StatusCode::kNoSpace) {
+      return false;
+    }
+    CheckOk(st, "create");
     report.bytes_written += size;
     total_file_bytes += size;
     file_count++;
@@ -98,6 +108,7 @@ WorkloadReport RunWorkload(LfsFileSystem* fs, uint64_t disk_bytes,
     if (!may_be_cold || !rng.NextBool(params.cold_fraction)) {
       hot.push_back(LiveFile{std::move(path), size});
     }
+    return true;
   };
   // Regulate on the filesystem's own live-byte accounting so metadata and
   // block-padding overheads are included in the utilization target.
@@ -109,7 +120,9 @@ WorkloadReport RunWorkload(LfsFileSystem* fs, uint64_t disk_bytes,
 
   // Phase 1: fill to the target utilization.
   while (below_target()) {
-    create_one(/*may_be_cold=*/true);
+    if (!create_one(/*may_be_cold=*/true)) {
+      break;
+    }
   }
   CheckOk(fs->Sync(), "sync after fill");
 
@@ -154,7 +167,9 @@ WorkloadReport RunWorkload(LfsFileSystem* fs, uint64_t disk_bytes,
       hot.erase(hot.begin() + idx, hot.begin() + end);
       // Refill toward the target utilization.
       while (below_target()) {
-        create_one(/*may_be_cold=*/false);
+        if (!create_one(/*may_be_cold=*/false)) {
+          break;
+        }
       }
     }
     since_checkpoint += report.bytes_written - before;
@@ -222,6 +237,60 @@ WorkloadParams Swap2Workload() {
   p.sparse_rewrites = true;  // VM backing store: nonsequential block rewrites
   p.seed = 1005;
   return p;
+}
+
+bool SmokeMode() {
+  const char* v = std::getenv("LFS_BENCH_SMOKE");
+  return v != nullptr && std::string(v) != "0";
+}
+
+uint64_t SmokePick(uint64_t full, uint64_t smoke) { return SmokeMode() ? smoke : full; }
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::AddScalar(const std::string& name, double value) {
+  reg_.AddGauge(name, value);
+}
+
+void BenchReport::AddLfs(const std::string& prefix, const LfsInstance& inst) {
+  obs::BindLfsStats(&reg_, prefix, inst.fs->stats());
+  obs::BindFsObs(&reg_, prefix, inst.fs->obs());
+  obs::BindSimDisk(&reg_, prefix + "disk.", *inst.disk);
+}
+
+void BenchReport::AddFfs(const std::string& prefix, const FfsInstance& inst) {
+  obs::BindFfsStats(&reg_, prefix, inst.fs->stats());
+  obs::BindFsObs(&reg_, prefix, inst.fs->obs());
+  obs::BindSimDisk(&reg_, prefix + "disk.", *inst.disk);
+}
+
+std::string BenchReport::ToJson() const {
+  // Prepend the identity header to the registry's {"metrics", "histograms"}
+  // object; the registry output starts "{\n", so substr(2) splices cleanly.
+  std::string inner = reg_.ToJson(2);
+  std::string out = "{\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"bench\": " + obs::JsonString(name_) + ",\n";
+  out += std::string("  \"smoke\": ") + (SmokeMode() ? "true" : "false") + ",\n";
+  out += inner.substr(2);
+  return out;
+}
+
+void BenchReport::Write() const {
+  const char* dir = std::getenv("LFS_BENCH_OUT");
+  std::string path = (dir != nullptr && dir[0] != '\0') ? std::string(dir) + "/" : "";
+  path += "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::string json = ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  // stderr: perf_hotpaths' stdout is documented as a pure JSON object.
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
 }
 
 std::string HumanBytes(uint64_t bytes) {

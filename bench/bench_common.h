@@ -24,6 +24,7 @@
 #include "src/ffs/ffs.h"
 #include "src/fs/file_system.h"
 #include "src/lfs/lfs.h"
+#include "src/obs/metrics.h"
 #include "src/util/rng.h"
 
 namespace lfs::bench {
@@ -77,6 +78,7 @@ LfsConfig PaperLfsConfig();
 struct WorkloadParams {
   std::string name;
   uint64_t mean_file_bytes = 24 * 1024;
+  uint64_t max_file_bytes = 8 * 1024 * 1024;  // cap of the large-file tail
   double target_utilization = 0.75;  // of the disk
   double churn_multiplier = 3.0;     // total new data / disk size
   double cold_fraction = 0.5;        // files never modified after creation
@@ -103,6 +105,58 @@ WorkloadParams Swap2Workload();
 
 // Formats a byte count as "12.3 MB" etc.
 std::string HumanBytes(uint64_t bytes);
+
+// --- machine-readable results (BENCH_<name>.json) ------------------------------
+
+// True when LFS_BENCH_SMOKE is set in the environment (to anything but "0"):
+// benchmarks shrink their workloads so CI can run every binary in seconds.
+// The emitted JSON records the mode so smoke numbers are never diffed
+// against full-run numbers.
+bool SmokeMode();
+
+// `full` normally, `smoke` under SmokeMode(). For scaling disk sizes,
+// iteration counts, and file counts in one place.
+uint64_t SmokePick(uint64_t full, uint64_t smoke);
+
+// Collects a benchmark's metrics and emits BENCH_<name>.json with a stable
+// schema CI can validate and diff:
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "<name>",
+//     "smoke": false,
+//     "metrics":    { "<dotted.name>": number, ... },       // sorted keys
+//     "histograms": { "<name>": {count, mean_us, p50_us, p90_us,
+//                                p95_us, p99_us, min_us, max_us}, ... }
+//   }
+//
+// All numbers come from the modeled clock / operation counters, so the file
+// is deterministic for a given build and workload (wall-clock measurements
+// must go in with a "wall." prefix, which CI comparisons ignore).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  void AddScalar(const std::string& name, double value);
+  // Snapshot a filesystem instance under `prefix` (e.g. "lfs."): stats
+  // counters, disk counters, device service-time histograms, per-op latency
+  // histograms.
+  void AddLfs(const std::string& prefix, const LfsInstance& inst);
+  void AddFfs(const std::string& prefix, const FfsInstance& inst);
+
+  obs::MetricsRegistry& registry() { return reg_; }
+
+  // Serializes the report (stable schema above).
+  std::string ToJson() const;
+
+  // Writes BENCH_<name>.json into $LFS_BENCH_OUT (default: current
+  // directory) and prints the path to stdout.
+  void Write() const;
+
+ private:
+  std::string name_;
+  obs::MetricsRegistry reg_;
+};
 
 }  // namespace lfs::bench
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/disk/mem_disk.h"
 #include "src/ffs/ffs.h"
 #include "src/lfs/lfs.h"
@@ -60,11 +61,16 @@ void Check(const Status& st, const char* what) {
   }
 }
 
-void PrintTrace(const char* title, const TracingDisk& disk, uint64_t seeks_baseline) {
+struct TraceTotals {
+  uint64_t write_ops = 0;
+  uint64_t blocks = 0;
+  uint64_t seeks = 0;
+};
+
+TraceTotals PrintTrace(const char* title, const TracingDisk& disk, uint64_t seeks_baseline) {
   std::printf("%s\n", title);
   uint64_t prev_end = seeks_baseline;
-  uint64_t seeks = 0;
-  uint64_t blocks = 0;
+  TraceTotals t;
   for (const auto& w : disk.writes) {
     bool seek = w.block != prev_end;
     std::printf("  write %4llu..%-4llu (%llu block%s)%s\n",
@@ -72,13 +78,16 @@ void PrintTrace(const char* title, const TracingDisk& disk, uint64_t seeks_basel
                 static_cast<unsigned long long>(w.block + w.count - 1),
                 static_cast<unsigned long long>(w.count), w.count == 1 ? "" : "s",
                 seek ? "   <- seek" : "");
-    seeks += seek ? 1 : 0;
-    blocks += w.count;
+    t.seeks += seek ? 1 : 0;
+    t.blocks += w.count;
     prev_end = w.block + w.count;
   }
-  std::printf("  => %zu write operations, %llu blocks, %llu seek%s\n\n",
-              disk.writes.size(), static_cast<unsigned long long>(blocks),
-              static_cast<unsigned long long>(seeks), seeks == 1 ? "" : "s");
+  t.write_ops = disk.writes.size();
+  std::printf("  => %llu write operations, %llu blocks, %llu seek%s\n\n",
+              static_cast<unsigned long long>(t.write_ops),
+              static_cast<unsigned long long>(t.blocks),
+              static_cast<unsigned long long>(t.seeks), t.seeks == 1 ? "" : "s");
+  return t;
 }
 
 }  // namespace
@@ -86,6 +95,8 @@ void PrintTrace(const char* title, const TracingDisk& disk, uint64_t seeks_basel
 int main() {
   std::printf("=== Figure 1: creating dir1/file1 and dir2/file2 ===\n\n");
   std::vector<uint8_t> one_block(4096, 0xF1);
+  TraceTotals lfs_totals;
+  TraceTotals ffs_totals;
 
   {
     LfsConfig cfg;
@@ -100,8 +111,9 @@ int main() {
     Check(fs->Sync(), "sync");
     // The trace includes the fixed-position checkpoint-region write (the one
     // seek): it is part of LFS's story too.
-    PrintTrace("Sprite LFS (log write: data + inodes + directories together):",
-               *trace, trace->writes.empty() ? 0 : trace->writes.front().block);
+    lfs_totals =
+        PrintTrace("Sprite LFS (log write: data + inodes + directories together):",
+                   *trace, trace->writes.empty() ? 0 : trace->writes.front().block);
   }
 
   {
@@ -113,12 +125,22 @@ int main() {
     Check(fs->Mkdir("/dir2"), "mkdir");
     Check(fs->WriteFile("/dir1/file1", one_block), "file1");
     Check(fs->WriteFile("/dir2/file2", one_block), "file2");
-    PrintTrace("Unix FFS (each inode written twice; everything at fixed places):",
-               *trace, trace->writes.empty() ? 0 : trace->writes.front().block);
+    ffs_totals =
+        PrintTrace("Unix FFS (each inode written twice; everything at fixed places):",
+                   *trace, trace->writes.empty() ? 0 : trace->writes.front().block);
   }
 
   std::printf("Expected shape (paper's caption): FFS needs ~ten small non-sequential\n");
   std::printf("writes; LFS performs the same operations in a couple of large\n");
   std::printf("sequential log writes (plus its fixed-position checkpoint region).\n");
+
+  lfs::bench::BenchReport report("fig1_layout");
+  report.AddScalar("lfs.write_ops", static_cast<double>(lfs_totals.write_ops));
+  report.AddScalar("lfs.blocks", static_cast<double>(lfs_totals.blocks));
+  report.AddScalar("lfs.seeks", static_cast<double>(lfs_totals.seeks));
+  report.AddScalar("ffs.write_ops", static_cast<double>(ffs_totals.write_ops));
+  report.AddScalar("ffs.blocks", static_cast<double>(ffs_totals.blocks));
+  report.AddScalar("ffs.seeks", static_cast<double>(ffs_totals.seeks));
+  report.Write();
   return 0;
 }

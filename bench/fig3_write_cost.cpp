@@ -4,16 +4,22 @@
 // 10-20) and "FFS improved" (~25% of bandwidth => cost 4).
 
 #include <cstdio>
+#include <string>
 
+#include "bench/bench_common.h"
 #include "src/sim/sim.h"
 
 int main() {
+  lfs::bench::BenchReport report("fig3_write_cost");
   std::printf("=== Figure 3: write cost as a function of u (formula 1) ===\n");
   std::printf("write cost = (read segs + write live + write new) / new = 2/(1-u)\n\n");
   std::printf("%-28s %12s\n", "fraction alive (u)", "write cost");
   for (int i = 0; i <= 18; i++) {
     double u = i * 0.05;
     std::printf("%-28.2f %12.2f\n", u, lfs::sim::FormulaWriteCost(u));
+    char key[32];
+    std::snprintf(key, sizeof(key), "write_cost.u%02d", i * 5);
+    report.AddScalar(key, lfs::sim::FormulaWriteCost(u));
   }
   std::printf("\nReference points (horizontal lines in the paper's figure):\n");
   std::printf("  FFS today:    write cost 10-20 (5-10%% of disk bandwidth for new data)\n");
@@ -22,5 +28,6 @@ int main() {
   std::printf("segments have u < 0.8; beats improved FFS when u < 0.5.\n");
   std::printf("  2/(1-0.8) = %.1f  (= FFS today's 10)\n", lfs::sim::FormulaWriteCost(0.8));
   std::printf("  2/(1-0.5) = %.1f  (= FFS improved's 4)\n", lfs::sim::FormulaWriteCost(0.5));
+  report.Write();
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "src/sim/sim.h"
 
 using lfs::sim::AccessPattern;
@@ -24,8 +25,10 @@ int main() {
   cfg.blocks_per_segment = 64;
   cfg.disk_utilization = 0.75;
   cfg.policy = Policy::kGreedy;
-  cfg.warmup_overwrites_per_file = 150;
-  cfg.measure_overwrites_per_file = 60;
+  cfg.warmup_overwrites_per_file =
+      static_cast<uint32_t>(lfs::bench::SmokePick(150, 25));
+  cfg.measure_overwrites_per_file =
+      static_cast<uint32_t>(lfs::bench::SmokePick(60, 10));
   cfg.seed = 21;
 
   std::printf("=== Figure 5: segment utilization distributions, greedy cleaner, 75%% util ===\n\n");
@@ -45,5 +48,12 @@ int main() {
   std::printf("segments are cleaned at higher average utilization than uniform\n");
   std::printf("(measured: %.3f vs %.3f).\n", hotcold.avg_cleaned_utilization,
               uniform.avg_cleaned_utilization);
+
+  lfs::bench::BenchReport report("fig5_greedy_dist");
+  report.AddScalar("uniform.write_cost", uniform.write_cost);
+  report.AddScalar("uniform.avg_cleaned_utilization", uniform.avg_cleaned_utilization);
+  report.AddScalar("hotcold.write_cost", hotcold.write_cost);
+  report.AddScalar("hotcold.avg_cleaned_utilization", hotcold.avg_cleaned_utilization);
+  report.Write();
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "src/sim/sim.h"
 
 using lfs::sim::AccessPattern;
@@ -23,8 +24,10 @@ int main() {
   cfg.disk_utilization = 0.75;
   cfg.pattern = AccessPattern::kHotAndCold;
   cfg.age_sort = true;
-  cfg.warmup_overwrites_per_file = 150;
-  cfg.measure_overwrites_per_file = 60;
+  cfg.warmup_overwrites_per_file =
+      static_cast<uint32_t>(lfs::bench::SmokePick(150, 25));
+  cfg.measure_overwrites_per_file =
+      static_cast<uint32_t>(lfs::bench::SmokePick(60, 10));
   cfg.seed = 33;
 
   std::printf("=== Figure 6: segment utilization distribution, cost-benefit policy ===\n\n");
@@ -46,5 +49,12 @@ int main() {
   std::printf("Expected: bimodal overall distribution under cost-benefit (cold\n");
   std::printf("segments ripen near the top; hot segments cleaned low), and the\n");
   std::printf("cleaned-u distribution concentrated at low utilizations.\n");
+
+  lfs::bench::BenchReport report("fig6_costbenefit_dist");
+  report.AddScalar("costbenefit.write_cost", cb.write_cost);
+  report.AddScalar("costbenefit.avg_cleaned_utilization", cb.avg_cleaned_utilization);
+  report.AddScalar("greedy.write_cost", greedy.write_cost);
+  report.AddScalar("greedy.avg_cleaned_utilization", greedy.avg_cleaned_utilization);
+  report.Write();
   return 0;
 }

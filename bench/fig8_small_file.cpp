@@ -24,9 +24,9 @@ using namespace lfs::bench;
 
 namespace {
 
-constexpr int kNumFiles = 10000;
+const int kNumFiles = static_cast<int>(SmokePick(10000, 500));
 constexpr int kFileSize = 1024;
-constexpr uint64_t kDiskBytes = 300ull * 1024 * 1024;
+const uint64_t kDiskBytes = SmokePick(300, 64) * 1024 * 1024;
 
 struct PhaseResult {
   double cpu_sec = 0;
@@ -160,5 +160,18 @@ int main() {
   }
   std::printf("\nExpected shape: LFS scales nearly linearly with CPU speed; FFS is\n");
   std::printf("pinned by its saturated disk (paper: 4-6x more headroom for LFS).\n");
+
+  BenchReport report("fig8_small_file");
+  report.AddScalar("lfs.create_files_per_sec", lfs_create.files_per_sec);
+  report.AddScalar("lfs.read_files_per_sec", lfs_read.files_per_sec);
+  report.AddScalar("lfs.delete_files_per_sec", lfs_delete.files_per_sec);
+  report.AddScalar("lfs.create_disk_busy_fraction", lfs_create.disk_busy_fraction);
+  report.AddScalar("ffs.create_files_per_sec", ffs_create.files_per_sec);
+  report.AddScalar("ffs.read_files_per_sec", ffs_read.files_per_sec);
+  report.AddScalar("ffs.delete_files_per_sec", ffs_delete.files_per_sec);
+  report.AddScalar("ffs.create_disk_busy_fraction", ffs_create.disk_busy_fraction);
+  report.AddLfs("lfs.", lfs_inst);
+  report.AddFfs("ffs.", ffs_inst);
+  report.Write();
   return 0;
 }

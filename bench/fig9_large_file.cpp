@@ -20,8 +20,8 @@ using namespace lfs::bench;
 
 namespace {
 
-constexpr uint64_t kFileBytes = 100ull * 1024 * 1024;
-constexpr uint64_t kDiskBytes = 300ull * 1024 * 1024;
+const uint64_t kFileBytes = SmokePick(100, 8) * 1024 * 1024;
+const uint64_t kDiskBytes = SmokePick(300, 48) * 1024 * 1024;
 constexpr uint32_t kIoUnit = 8 * 1024;        // sequential access unit
 constexpr uint32_t kRandomUnit = 4 * 1024;    // random access unit
 
@@ -70,6 +70,7 @@ int main() {
 
   Phase phases[5] = {{"write seq"}, {"read seq"}, {"write rand"}, {"read rand"},
                      {"reread seq"}};
+  BenchReport report("fig9_large_file");
 
   // --- Sprite LFS ---------------------------------------------------------------
   {
@@ -107,6 +108,7 @@ int main() {
         Check(inst.fs->ReadAt(ino, off, buf).status());
       }
     });
+    report.AddLfs("lfs.", inst);
   }
 
   // --- Unix FFS --------------------------------------------------------------------
@@ -143,6 +145,7 @@ int main() {
         Check(inst.fs->ReadAt(ino, off, buf).status());
       }
     });
+    report.AddFfs("ffs.", inst);
   }
 
   std::printf("=== Figure 9: 100-MB file bandwidth per phase (KB/sec) ===\n\n");
@@ -155,5 +158,12 @@ int main() {
   std::printf("random writes), ties the sequential read and random read, and LOSES\n");
   std::printf("the final sequential re-read of the randomly-written file — the one\n");
   std::printf("case where FFS's logical locality beats LFS's temporal locality.\n");
+
+  const char* keys[5] = {"write_seq", "read_seq", "write_rand", "read_rand", "reread_seq"};
+  for (int i = 0; i < 5; i++) {
+    report.AddScalar(std::string("lfs.") + keys[i] + "_kbps", phases[i].lfs_kbps);
+    report.AddScalar(std::string("ffs.") + keys[i] + "_kbps", phases[i].ffs_kbps);
+  }
+  report.Write();
   return 0;
 }

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/disk/mem_disk.h"
 #include "src/disk/sim_disk.h"
 #include "src/lfs/lfs.h"
@@ -88,14 +89,14 @@ SelectionResult BenchSelection(uint32_t target_segments, CleaningPolicy policy,
   r.policy = policy_name;
   r.victims = static_cast<uint32_t>(fs->SelectSegmentsToClean(16).size());
 
-  const int indexed_iters = 2000;
+  const int indexed_iters = static_cast<int>(SmokePick(2000, 200));
   auto t0 = std::chrono::steady_clock::now();
   for (int i = 0; i < indexed_iters; i++) {
     (void)fs->SelectSegmentsToClean(16);
   }
   r.indexed_us = SecondsSince(t0) * 1e6 / indexed_iters;
 
-  const int reference_iters = 200;
+  const int reference_iters = static_cast<int>(SmokePick(200, 20));
   uint64_t now = fs->clock().Now();
   t0 = std::chrono::steady_clock::now();
   for (int i = 0; i < reference_iters; i++) {
@@ -117,7 +118,7 @@ double BenchSimStepsPerSec(uint32_t nsegments) {
   for (uint64_t i = 0; i < warmup; i++) {
     simulator.Step();
   }
-  const uint64_t steps = 200000;
+  const uint64_t steps = SmokePick(200000, 20000);
   auto t0 = std::chrono::steady_clock::now();
   for (uint64_t i = 0; i < steps; i++) {
     simulator.Step();
@@ -161,7 +162,7 @@ ReadResult BenchSequentialRead(uint32_t block_size) {
   const double mb = static_cast<double>(file_bytes) / (1 << 20);
   std::vector<uint8_t> buf(file_bytes);
   const uint32_t bs = cfg.block_size;
-  const int passes = 5;
+  const int passes = static_cast<int>(SmokePick(5, 2));
 
   disk.ResetStats();
   auto t0 = std::chrono::steady_clock::now();
@@ -227,6 +228,35 @@ int Main() {
   }
   printf("  ]\n");
   printf("}\n");
+
+  // The stable-schema report CI diffs. Modeled/count metrics are
+  // deterministic; host wall-clock measurements carry the "wall." prefix so
+  // schema comparisons can skip them.
+  BenchReport report("perf_hotpaths");
+  const uint32_t targets[2] = {512u, 4096u};
+  for (size_t i = 0; i < selection.size(); i++) {
+    const SelectionResult& s = selection[i];
+    std::string p = "selection." + std::string(s.policy) + ".s" +
+                    std::to_string(targets[i / 2]) + ".";
+    report.AddScalar(p + "victims_per_pass", s.victims);
+    report.AddScalar("wall." + p + "indexed_us_per_pass", s.indexed_us);
+    report.AddScalar("wall." + p + "reference_us_per_pass", s.reference_us);
+    report.AddScalar("wall." + p + "speedup", s.reference_us / s.indexed_us);
+  }
+  report.AddScalar("wall.sim.steps_per_sec.s512", sim512);
+  report.AddScalar("wall.sim.steps_per_sec.s4096", sim4096);
+  for (const ReadResult& read : reads) {
+    std::string p = "read.bs" + std::to_string(read.block_size) + ".";
+    report.AddScalar(p + "coalesced_mb_per_s", read.coalesced_mb_s);
+    report.AddScalar(p + "per_block_mb_per_s", read.per_block_mb_s);
+    report.AddScalar(p + "coalesced_requests_per_pass",
+                     static_cast<double>(read.coalesced_requests));
+    report.AddScalar(p + "per_block_requests_per_pass",
+                     static_cast<double>(read.per_block_requests));
+    report.AddScalar("wall." + p + "coalesced_mb_per_s", read.coalesced_wall_mb_s);
+    report.AddScalar("wall." + p + "per_block_mb_per_s", read.per_block_wall_mb_s);
+  }
+  report.Write();
   return 0;
 }
 

@@ -34,7 +34,7 @@ void Check(const Status& st) {
 
 // Runs one crash cell; returns modeled recovery seconds.
 double RunCell(uint64_t file_bytes, uint64_t data_bytes, uint64_t* files_out) {
-  const uint64_t disk_bytes = 300ull * 1024 * 1024;
+  const uint64_t disk_bytes = SmokePick(300, 96) * 1024 * 1024;
   LfsConfig cfg = PaperLfsConfig();
   auto sim = std::make_unique<SimDisk>(
       std::make_unique<MemDisk>(cfg.block_size, disk_bytes / cfg.block_size),
@@ -77,8 +77,9 @@ double RunCell(uint64_t file_bytes, uint64_t data_bytes, uint64_t* files_out) {
 int main() {
   const uint64_t kMB = 1024 * 1024;
   uint64_t file_sizes[] = {1024, 10 * 1024, 100 * 1024};
-  uint64_t data_sizes[] = {1 * kMB, 10 * kMB, 50 * kMB};
+  uint64_t data_sizes[] = {1 * kMB, SmokePick(10, 4) * kMB, SmokePick(50, 8) * kMB};
 
+  BenchReport report("table3_recovery");
   std::printf("=== Table 3: recovery time (seconds) for various crash configurations ===\n\n");
   Table table({"File size", "1 MB recovered", "10 MB recovered", "50 MB recovered"});
   for (uint64_t fsize : file_sizes) {
@@ -90,6 +91,11 @@ int main() {
       std::snprintf(cell, sizeof(cell), "%.2f s (%llu files)", sec,
                     static_cast<unsigned long long>(files));
       row.push_back(cell);
+      char key[64];
+      std::snprintf(key, sizeof(key), "recovery_sec.f%lluk_d%llum",
+                    static_cast<unsigned long long>(fsize / 1024),
+                    static_cast<unsigned long long>(dsize / kMB));
+      report.AddScalar(key, sec);
     }
     table.AddRow(row);
   }
@@ -104,5 +110,6 @@ int main() {
   std::printf("large-file cells at equal data. Compare with an FFS fsck, which must\n");
   std::printf("scan ALL metadata regardless of how little changed (see andrew_like's\n");
   std::printf("recovery comparison and the paper's 'tens of minutes').\n");
+  report.Write();
   return 0;
 }

@@ -20,10 +20,14 @@ using namespace lfs;
 using namespace lfs::bench;
 
 int main() {
-  const uint64_t disk_bytes = 160ull * 1024 * 1024;
+  const uint64_t disk_bytes = SmokePick(160, 48) * 1024 * 1024;
   LfsInstance inst = MakeLfs(disk_bytes, PaperLfsConfig());
   inst.fs->mutable_stats() = LfsStats{};
   WorkloadParams params = User6Workload();
+  if (SmokeMode()) {
+    params.churn_multiplier = 1.0;
+    params.max_file_bytes = disk_bytes / 24;
+  }
   RunWorkload(inst.fs.get(), disk_bytes, params);
 
   auto live_r = inst.fs->LiveBytesByKind();
@@ -42,19 +46,21 @@ int main() {
 
   struct RowSpec {
     const char* name;
+    const char* key;  // metric-name suffix for the BENCH json
     BlockKind kind;
     const char* paper_live;
     const char* paper_log;
   };
   RowSpec rows[] = {
-      {"Data blocks*", BlockKind::kData, "98.0%", "85.2%"},
-      {"Indirect blocks*", BlockKind::kIndirect, "1.0%", "1.6%"},
-      {"Inode blocks*", BlockKind::kInodeBlock, "0.2%", "2.7%"},
-      {"Inode map", BlockKind::kImapChunk, "0.2%", "7.8%"},
-      {"Seg usage map*", BlockKind::kUsageChunk, "0.0%", "2.1%"},
-      {"Dir op log", BlockKind::kDirLog, "0.0%", "0.1%"},
+      {"Data blocks*", "data", BlockKind::kData, "98.0%", "85.2%"},
+      {"Indirect blocks*", "indirect", BlockKind::kIndirect, "1.0%", "1.6%"},
+      {"Inode blocks*", "inode", BlockKind::kInodeBlock, "0.2%", "2.7%"},
+      {"Inode map", "imap", BlockKind::kImapChunk, "0.2%", "7.8%"},
+      {"Seg usage map*", "usage", BlockKind::kUsageChunk, "0.0%", "2.1%"},
+      {"Dir op log", "dirlog", BlockKind::kDirLog, "0.0%", "0.1%"},
   };
 
+  BenchReport bench_report("table4_composition");
   Table table({"Block type", "Live data", "Log bandwidth", "Paper live", "Paper log"});
   for (const RowSpec& r : rows) {
     size_t k = static_cast<size_t>(r.kind);
@@ -69,6 +75,10 @@ int main() {
                   Table::FmtPercent(static_cast<double>(live_bytes) / live_total, 1),
                   Table::FmtPercent(static_cast<double>(log_bytes) / log_total, 1),
                   r.paper_live, r.paper_log});
+    bench_report.AddScalar(std::string("live_fraction.") + r.key,
+                           static_cast<double>(live_bytes) / live_total);
+    bench_report.AddScalar(std::string("log_fraction.") + r.key,
+                           static_cast<double>(log_bytes) / log_total);
   }
   table.AddRow({"Summary blocks", Table::FmtPercent(0.0, 1),
                 Table::FmtPercent(static_cast<double>(st.summary_bytes) / log_total, 1),
@@ -81,5 +91,9 @@ int main() {
   std::printf("fractions here are over new data + cleaning traffic combined.)\n\n");
   std::printf("Expected shape: file data dominates live bytes (>95%%), while metadata\n");
   std::printf("takes a disproportionate share of log bandwidth.\n");
+  bench_report.AddScalar("log_fraction.summary",
+                         static_cast<double>(st.summary_bytes) / log_total);
+  bench_report.AddLfs("lfs.", inst);
+  bench_report.Write();
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <span>
 
+#include "src/obs/modeled_time.h"
 #include "src/util/status.h"
 
 namespace lfs {
@@ -22,9 +23,13 @@ namespace lfs {
 using BlockNo = uint64_t;
 inline constexpr BlockNo kNilBlock = 0;
 
-class BlockDevice {
+// Every device doubles as a ModeledTimeSource: SimDisk reports its
+// accumulated service time (the deterministic clock behind the obs layer's
+// latency histograms); wrappers forward to their backing; raw stores stay at
+// the default 0.
+class BlockDevice : public obs::ModeledTimeSource {
  public:
-  virtual ~BlockDevice() = default;
+  ~BlockDevice() override = default;
 
   virtual uint32_t block_size() const = 0;
   virtual uint64_t block_count() const = 0;

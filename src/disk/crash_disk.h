@@ -37,6 +37,8 @@ class CrashDisk : public BlockDevice {
   Status Write(BlockNo block, uint64_t count, std::span<const uint8_t> data) override;
   Status Flush() override;
 
+  double ModeledTime() const override { return backing_->ModeledTime(); }
+
   // Crashes after `n` more write or flush operations complete; the (n+1)-th
   // operation is the crash point — a write is torn (its first `torn_blocks`
   // blocks persist, the rest do not), a flush simply never happens.

@@ -51,6 +51,8 @@ class FaultDisk : public BlockDevice {
   Status Write(BlockNo block, uint64_t count, std::span<const uint8_t> data) override;
   Status Flush() override { return backing_->Flush(); }
 
+  double ModeledTime() const override { return backing_->ModeledTime(); }
+
   // The next `fail_count` read (write) attempts touching `block` fail with
   // kIoError; the attempt after that succeeds.
   void AddTransientReadFault(BlockNo block, uint32_t fail_count = 1) {

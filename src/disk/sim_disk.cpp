@@ -27,9 +27,11 @@ void SimDisk::Charge(BlockNo block, uint64_t count, bool is_write) {
   if (is_write) {
     stats_.writes++;
     stats_.bytes_written += bytes;
+    write_latency_.Record(service);
   } else {
     stats_.reads++;
     stats_.bytes_read += bytes;
+    read_latency_.Record(service);
   }
 }
 

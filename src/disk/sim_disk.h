@@ -10,6 +10,7 @@
 
 #include "src/disk/block_device.h"
 #include "src/disk/disk_model.h"
+#include "src/obs/latency.h"
 
 namespace lfs {
 
@@ -40,7 +41,19 @@ class SimDisk : public BlockDevice {
   Status Flush() override { return backing_->Flush(); }
 
   const DiskStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DiskStats{}; }
+  void ResetStats() {
+    stats_ = DiskStats{};
+    read_latency_.Clear();
+    write_latency_.Clear();
+  }
+
+  // Accumulated modeled service time: the deterministic clock the obs layer
+  // derives per-operation latencies from.
+  double ModeledTime() const override { return stats_.busy_sec; }
+
+  // Per-request service-time distributions (log2 buckets, microseconds).
+  const obs::LatencyHistogram& read_latency() const { return read_latency_; }
+  const obs::LatencyHistogram& write_latency() const { return write_latency_; }
 
   // Full-stream sequential bandwidth of the modeled device (bytes/sec); the
   // denominator in "fraction of raw bandwidth" metrics.
@@ -54,6 +67,8 @@ class SimDisk : public BlockDevice {
   std::unique_ptr<BlockDevice> backing_;
   DiskModel model_;
   DiskStats stats_;
+  obs::LatencyHistogram read_latency_;
+  obs::LatencyHistogram write_latency_;
 };
 
 }  // namespace lfs

@@ -352,6 +352,7 @@ Status FfsFileSystem::ShrinkFile(FileMap* fm, uint64_t new_block_count) {
 // --- data I/O ----------------------------------------------------------------------
 
 Status FfsFileSystem::WriteAt(InodeNum ino, uint64_t offset, std::span<const uint8_t> data) {
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kWrite, device_, &clock_, ino);
   if (data.empty()) {
     return OkStatus();
   }
@@ -409,6 +410,7 @@ Status FfsFileSystem::WriteAt(InodeNum ino, uint64_t offset, std::span<const uin
 }
 
 Result<uint64_t> FfsFileSystem::ReadAt(InodeNum ino, uint64_t offset, std::span<uint8_t> out) {
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kRead, device_, &clock_, ino);
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
   if (offset >= fm->inode.size || out.empty()) {
     return uint64_t{0};
@@ -466,6 +468,7 @@ Status FfsFileSystem::Truncate(InodeNum ino, uint64_t new_size) {
 }
 
 Status FfsFileSystem::Sync() {
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kSync, device_, &clock_);
   LFS_RETURN_IF_ERROR(FlushAllPointers());
   return WriteBitmapsSync();
 }
@@ -606,6 +609,7 @@ Result<std::pair<InodeNum, std::string>> FfsFileSystem::ResolveParent(std::strin
 }
 
 Result<InodeNum> FfsFileSystem::Lookup(std::string_view path) {
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kLookup, device_, &clock_);
   LFS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
   InodeNum ino = kRootInode;
   for (const std::string& comp : parts) {
@@ -615,6 +619,7 @@ Result<InodeNum> FfsFileSystem::Lookup(std::string_view path) {
 }
 
 Result<InodeNum> FfsFileSystem::Create(std::string_view path) {
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kCreate, device_, &clock_);
   LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
   auto [dir_ino, name] = parent;
   if (LookupInDir(dir_ino, name).ok()) {
@@ -635,6 +640,7 @@ Result<InodeNum> FfsFileSystem::Create(std::string_view path) {
 }
 
 Status FfsFileSystem::Mkdir(std::string_view path) {
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kMkdir, device_, &clock_);
   LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
   auto [dir_ino, name] = parent;
   if (LookupInDir(dir_ino, name).ok()) {
@@ -668,6 +674,7 @@ Status FfsFileSystem::DeleteFileContents(InodeNum ino) {
 }
 
 Status FfsFileSystem::Unlink(std::string_view path) {
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kUnlink, device_, &clock_);
   LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
   auto [dir_ino, name] = parent;
   LFS_ASSIGN_OR_RETURN(InodeNum ino, LookupInDir(dir_ino, name));

@@ -24,6 +24,7 @@
 #include "src/ffs/ffs_layout.h"
 #include "src/fs/clock.h"
 #include "src/fs/file_system.h"
+#include "src/obs/obs.h"
 
 namespace lfs::ffs {
 
@@ -76,6 +77,8 @@ class FfsFileSystem : public FileSystem {
 
   const FfsSuperblock& superblock() const { return sb_; }
   const FfsStats& stats() const { return stats_; }
+  const obs::FsObs& obs() const { return obs_; }
+  obs::FsObs& mutable_obs() { return obs_; }
   LogicalClock& clock() { return clock_; }
   uint64_t free_data_blocks() const { return free_data_blocks_; }
 
@@ -135,6 +138,7 @@ class FfsFileSystem : public FileSystem {
   FfsSuperblock sb_;
   LogicalClock clock_;
   FfsStats stats_;
+  mutable obs::FsObs obs_;
 
   std::vector<Bitmap> inode_bitmaps_;  // one per group
   std::vector<Bitmap> block_bitmaps_;  // one per group, data region only

@@ -18,25 +18,43 @@ LfsFileSystem::LfsFileSystem(BlockDevice* device, const LfsConfig& cfg, const Su
       imap_(sb.max_inodes, sb.imap_entries_per_chunk()),
       usage_(sb.nsegments, sb.segment_bytes(), sb.usage_entries_per_chunk()),
       writer_(device, &sb_, &usage_, &stats_, cfg.reserve_segments, &clock_,
-              retry_policy_),
+              retry_policy_, &obs_),
       debug_cleaner_(getenv("LFS_DEBUG_CLEANER") != nullptr) {}
 
 Status LfsFileSystem::DeviceRead(BlockNo block, uint64_t count,
                                  std::span<uint8_t> out) const {
+  uint64_t retries_before = stats_.io_retries;
   Status st = RetryWithBackoff(retry_policy_, &clock_, &stats_.io_retries,
                                [&] { return device_->Read(block, count, out); });
+  if (stats_.io_retries != retries_before) {
+    LFS_TRACE(obs_.tracer(), obs::TraceEventType::kIoRetry, obs::OpType::kNone,
+              clock_.Now(), block, stats_.io_retries - retries_before,
+              device_->ModeledTime());
+  }
   if (!st.ok() && st.code() == StatusCode::kIoError) {
     stats_.io_retry_failures++;
+    LFS_TRACE(obs_.tracer(), obs::TraceEventType::kMediaFault, obs::OpType::kNone,
+              clock_.Now(), block, static_cast<uint64_t>(st.code()),
+              device_->ModeledTime());
   }
   return st;
 }
 
 Status LfsFileSystem::DeviceWrite(BlockNo block, uint64_t count,
                                   std::span<const uint8_t> data) {
+  uint64_t retries_before = stats_.io_retries;
   Status st = RetryWithBackoff(retry_policy_, &clock_, &stats_.io_retries,
                                [&] { return device_->Write(block, count, data); });
+  if (stats_.io_retries != retries_before) {
+    LFS_TRACE(obs_.tracer(), obs::TraceEventType::kIoRetry, obs::OpType::kNone,
+              clock_.Now(), block, stats_.io_retries - retries_before,
+              device_->ModeledTime());
+  }
   if (!st.ok() && st.code() == StatusCode::kIoError) {
     stats_.io_retry_failures++;
+    LFS_TRACE(obs_.tracer(), obs::TraceEventType::kMediaFault, obs::OpType::kNone,
+              clock_.Now(), block, static_cast<uint64_t>(st.code()),
+              device_->ModeledTime());
   }
   return st;
 }
@@ -48,6 +66,8 @@ void LfsFileSystem::EnterDegradedReadOnly(const char* why) {
   degraded_ = true;
   read_only_ = true;
   stats_.degraded_entries++;
+  LFS_TRACE(obs_.tracer(), obs::TraceEventType::kDegraded, obs::OpType::kNone,
+            clock_.Now(), 0, 0, device_->ModeledTime());
   if (debug_cleaner_ || getenv("LFS_DEBUG_FAULTS") != nullptr) {
     std::fprintf(stderr, "lfs: entering degraded read-only mode: %s\n", why);
   }
@@ -346,6 +366,8 @@ Status LfsFileSystem::FlushMetadataChunks() {
 }
 
 Status LfsFileSystem::WriteCheckpointRegion() {
+  LFS_TRACE(obs_.tracer(), obs::TraceEventType::kCheckpointBegin, obs::OpType::kNone,
+            clock_.Now(), cr_next_, 0, device_->ModeledTime());
   Checkpoint ck;
   ck.ckpt_seq = ++ckpt_seq_;
   ck.timestamp = clock_.Tick();
@@ -387,6 +409,8 @@ Status LfsFileSystem::WriteCheckpointRegion() {
     }
   }
   if (!write_st.ok()) {
+    LFS_TRACE(obs_.tracer(), obs::TraceEventType::kCheckpointEnd, obs::OpType::kNone,
+              clock_.Now(), wrote_region, 0, device_->ModeledTime());
     EnterDegradedReadOnly(write_st.ToString().c_str());
     return write_st;
   }
@@ -395,6 +419,8 @@ Status LfsFileSystem::WriteCheckpointRegion() {
   cr_hosts_[wrote_region] = ChunkHostSegments();
   cr_next_ = 1 - wrote_region;
   ckpt_boundary_seq_ = ck.next_summary_seq;
+  LFS_TRACE(obs_.tracer(), obs::TraceEventType::kCheckpointEnd, obs::OpType::kNone,
+            clock_.Now(), wrote_region, 1, device_->ModeledTime());
   return OkStatus();
 }
 
@@ -451,6 +477,7 @@ void LfsFileSystem::SweepZeroLiveSegments() {
 }
 
 Status LfsFileSystem::WriteCheckpoint() {
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kCheckpoint, device_, &clock_);
   // Checkpoints run privileged: they may consume reserve segments, because
   // completing a checkpoint is what returns dead segments to the clean pool.
   in_checkpoint_ = true;
@@ -491,6 +518,7 @@ Status LfsFileSystem::WriteCheckpoint() {
 }
 
 Status LfsFileSystem::LightCheckpoint() {
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kCheckpoint, device_, &clock_);
   in_checkpoint_ = true;
   writer_.set_privileged(true);
   auto done = [this](Status st) {
@@ -571,6 +599,7 @@ Status LfsFileSystem::Sync() {
   if (read_only_) {
     return OkStatus();  // nothing can be dirty
   }
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kSync, device_, &clock_);
   return WriteCheckpoint();
 }
 

@@ -40,6 +40,7 @@
 #include "src/lfs/seg_usage.h"
 #include "src/lfs/segment_writer.h"
 #include "src/lfs/stats.h"
+#include "src/obs/obs.h"
 #include "src/util/retry.h"
 
 namespace lfs {
@@ -153,6 +154,10 @@ class LfsFileSystem : public FileSystem {
   const InodeMap& inode_map() const { return imap_; }
   const LfsStats& stats() const { return stats_; }
   LfsStats& mutable_stats() { return stats_; }
+  // Observability: per-op latency histograms + (when compiled in) the event
+  // trace. Latencies are modeled-disk-time deltas; see src/obs/obs.h.
+  const obs::FsObs& obs() const { return obs_; }
+  obs::FsObs& mutable_obs() { return obs_; }
   LogicalClock& clock() { return clock_; }
   // Current writability ladder position and capacity/health snapshot.
   MountState mount_state() const {
@@ -335,9 +340,10 @@ class LfsFileSystem : public FileSystem {
   LfsConfig cfg_;
   Superblock sb_;
   // Mutable: retried device reads on const paths advance the backoff clock
-  // and bump retry counters.
+  // and bump retry counters (and emit trace records).
   mutable LogicalClock clock_;
   mutable LfsStats stats_;
+  mutable obs::FsObs obs_;
   RetryPolicy retry_policy_;
   InodeMap imap_;
   SegUsage usage_;

@@ -381,6 +381,7 @@ Result<uint32_t> LfsFileSystem::CleanerPass() {
     return uint32_t{0};
   }
   in_cleaner_ = true;
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kCleanerPass, device_, &clock_);
   auto cleanup = [this](auto status_or) {
     in_cleaner_ = false;
     writer_.set_cleaning(false);
@@ -401,6 +402,8 @@ Result<uint32_t> LfsFileSystem::CleanerPass() {
     return cleanup(Result<uint32_t>(uint32_t{0}));
   }
   stats_.cleaner_passes++;
+  LFS_TRACE(obs_.tracer(), obs::TraceEventType::kCleanerPassBegin, obs::OpType::kCleanerPass,
+            clock_.Now(), chosen.size(), 0, device_->ModeledTime());
   writer_.set_cleaning(true);
   // Everything the cleaner (or anyone) writes from here on carries a
   // sequence number >= pass_start_seq; used below to detect source segments
@@ -434,6 +437,8 @@ Result<uint32_t> LfsFileSystem::CleanerPass() {
       // place. Whatever was collected before the damage still migrates, and
       // the pass continues with the remaining victims.
       usage_.SetState(seg, SegState::kQuarantined);
+      LFS_TRACE(obs_.tracer(), obs::TraceEventType::kQuarantine, obs::OpType::kCleanerPass,
+                clock_.Now(), seg, live_before, device_->ModeledTime());
       stats_.segments_quarantined++;
       quarantined_this_pass++;
       stats_.segments_cleaned--;  // it was not reclaimed
@@ -492,8 +497,10 @@ Result<uint32_t> LfsFileSystem::CleanerPass() {
       usage_.SetState(seg, SegState::kClean);
     }
   }
-  return cleanup(
-      Result<uint32_t>(static_cast<uint32_t>(chosen.size()) - quarantined_this_pass));
+  const uint32_t reclaimed = static_cast<uint32_t>(chosen.size()) - quarantined_this_pass;
+  LFS_TRACE(obs_.tracer(), obs::TraceEventType::kCleanerPassEnd, obs::OpType::kCleanerPass,
+            clock_.Now(), reclaimed, live_blocks.size(), device_->ModeledTime());
+  return cleanup(Result<uint32_t>(reclaimed));
 }
 
 uint32_t LfsFileSystem::EffectiveCleanLo() const {

@@ -358,6 +358,7 @@ Status LfsFileSystem::CheckWritable() const {
 }
 
 Status LfsFileSystem::WriteAt(InodeNum ino, uint64_t offset, std::span<const uint8_t> data) {
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kWrite, device_, &clock_, ino);
   LFS_RETURN_IF_ERROR(CheckWritable());
   if (data.empty()) {
     return OkStatus();
@@ -404,6 +405,7 @@ Status LfsFileSystem::WriteAt(InodeNum ino, uint64_t offset, std::span<const uin
 }
 
 Result<uint64_t> LfsFileSystem::ReadAt(InodeNum ino, uint64_t offset, std::span<uint8_t> out) {
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kRead, device_, &clock_, ino);
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
   if (offset >= fm->inode.size || out.empty()) {
     return uint64_t{0};
@@ -452,6 +454,7 @@ Result<uint64_t> LfsFileSystem::ReadAt(InodeNum ino, uint64_t offset, std::span<
 }
 
 Status LfsFileSystem::Truncate(InodeNum ino, uint64_t new_size) {
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kTruncate, device_, &clock_, ino);
   LFS_RETURN_IF_ERROR(CheckWritable());
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
   if (fm->inode.type == FileType::kDirectory) {

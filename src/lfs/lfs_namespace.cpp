@@ -120,6 +120,7 @@ Result<std::pair<InodeNum, std::string>> LfsFileSystem::ResolveParent(std::strin
 }
 
 Result<InodeNum> LfsFileSystem::Lookup(std::string_view path) {
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kLookup, device_, &clock_);
   LFS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
   InodeNum ino = kRootInode;
   for (const std::string& comp : parts) {
@@ -136,6 +137,7 @@ void LfsFileSystem::LogDirOp(DirLogRecord record) {
 }
 
 Result<InodeNum> LfsFileSystem::Create(std::string_view path) {
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kCreate, device_, &clock_);
   LFS_RETURN_IF_ERROR(CheckWritable());
   LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
   auto [dir_ino, name] = parent;
@@ -171,6 +173,7 @@ Result<InodeNum> LfsFileSystem::Create(std::string_view path) {
 }
 
 Status LfsFileSystem::Mkdir(std::string_view path) {
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kMkdir, device_, &clock_);
   LFS_RETURN_IF_ERROR(CheckWritable());
   LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
   auto [dir_ino, name] = parent;
@@ -221,6 +224,7 @@ Status LfsFileSystem::DeleteFileContents(InodeNum ino) {
 }
 
 Status LfsFileSystem::Unlink(std::string_view path) {
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kUnlink, device_, &clock_);
   LFS_RETURN_IF_ERROR(CheckWritable());
   LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
   auto [dir_ino, name] = parent;
@@ -315,6 +319,7 @@ Status LfsFileSystem::Link(std::string_view existing, std::string_view link_path
 }
 
 Status LfsFileSystem::Rename(std::string_view from, std::string_view to) {
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kRename, device_, &clock_);
   LFS_RETURN_IF_ERROR(CheckWritable());
   if (from == to) {
     return OkStatus();

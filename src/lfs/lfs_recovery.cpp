@@ -143,6 +143,8 @@ Status LfsFileSystem::RollForward(const Checkpoint& ck) {
     return OkStatus();
   }
   stats_.rollforward_partials += replay.size();
+  LFS_TRACE(obs_.tracer(), obs::TraceEventType::kRollForward, obs::OpType::kNone, clock_.Now(),
+            replay.size(), start_seq, device_->ModeledTime());
 
   // Advance the log tail past everything we are about to accept, so new
   // writes append after the recovered data instead of overwriting it.

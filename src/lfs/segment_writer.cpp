@@ -128,6 +128,9 @@ Status SegmentWriter::Flush() {
   }
   stats_->summary_bytes += bs;
   usage_->SetWriteSeq(cur_seg_, summary.seq);
+  LFS_TRACE(obs_ != nullptr ? obs_->tracer() : nullptr, obs::TraceEventType::kSegmentWrite,
+            obs::OpType::kNone, clock_ != nullptr ? clock_->Now() : 0, cur_seg_, 1 + n,
+            device_->ModeledTime());
 
   cur_offset_ += 1 + n;
   pending_.clear();

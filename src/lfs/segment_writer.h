@@ -24,6 +24,7 @@
 #include "src/lfs/layout.h"
 #include "src/lfs/seg_usage.h"
 #include "src/lfs/stats.h"
+#include "src/obs/obs.h"
 #include "src/util/retry.h"
 
 namespace lfs {
@@ -34,14 +35,15 @@ class SegmentWriter {
   // partial-segment device write: retried with backoff modeled on the clock.
   SegmentWriter(BlockDevice* device, const Superblock* sb, SegUsage* usage, LfsStats* stats,
                 uint32_t reserve_segments, LogicalClock* clock = nullptr,
-                RetryPolicy retry = RetryPolicy{})
+                RetryPolicy retry = RetryPolicy{}, obs::FsObs* obs = nullptr)
       : device_(device),
         sb_(sb),
         usage_(usage),
         stats_(stats),
         reserve_segments_(reserve_segments),
         clock_(clock),
-        retry_(retry) {}
+        retry_(retry),
+        obs_(obs) {}
 
   // Positions the log tail (mkfs / mount / recovery). The segment must
   // already be marked kActive in the usage table.
@@ -116,6 +118,7 @@ class SegmentWriter {
   uint32_t reserve_segments_;
   LogicalClock* clock_;  // may be null: retries still happen, delays are not modeled
   RetryPolicy retry_;
+  obs::FsObs* obs_;      // may be null: no trace events from the writer
 
   SegNo cur_seg_ = kNilSeg;
   uint32_t cur_offset_ = 0;  // next free block index within cur_seg_

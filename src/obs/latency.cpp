@@ -1,0 +1,91 @@
+#include "src/obs/latency.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace lfs::obs {
+
+size_t LatencyHistogram::BucketIndex(uint64_t us) {
+  if (us == 0) {
+    return 0;
+  }
+  // bit_width(us) = 1 + floor(log2(us)); us in [2^(i-1), 2^i) => index i.
+  size_t i = std::bit_width(us);
+  return std::min(i, kBuckets - 1);
+}
+
+uint64_t LatencyHistogram::BucketLowerUs(size_t i) {
+  return i == 0 ? 0 : uint64_t{1} << (i - 1);
+}
+
+uint64_t LatencyHistogram::BucketUpperUs(size_t i) {
+  return uint64_t{1} << i;
+}
+
+void LatencyHistogram::Record(double seconds) {
+  double us = seconds * 1e6;
+  RecordUs(us <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(us)));
+}
+
+void LatencyHistogram::RecordUs(uint64_t us) {
+  counts_[BucketIndex(us)]++;
+  if (count_ == 0 || us < min_us_) {
+    min_us_ = us;
+  }
+  max_us_ = std::max(max_us_, us);
+  sum_us_ += static_cast<double>(us);
+  count_++;
+}
+
+double LatencyHistogram::PercentileUs(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the requested sample, 1-based ceiling (p99 of 100 = 99th).
+  uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p * static_cast<double>(count_))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; i++) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      if (i == 0) {
+        return 0.0;
+      }
+      // Geometric midpoint of the bucket, clamped to the observed extremes
+      // so tiny histograms report honest values.
+      double lo = static_cast<double>(BucketLowerUs(i));
+      double hi = static_cast<double>(BucketUpperUs(i));
+      double mid = std::sqrt(lo * hi);
+      mid = std::min(mid, static_cast<double>(max_us_));
+      mid = std::max(mid, static_cast<double>(min_us()));
+      return mid;
+    }
+  }
+  return static_cast<double>(max_us_);
+}
+
+void LatencyHistogram::Clear() {
+  counts_.fill(0);
+  count_ = 0;
+  min_us_ = 0;
+  max_us_ = 0;
+  sum_us_ = 0.0;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kBuckets; i++) {
+    counts_[i] += other.counts_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_us_ < min_us_) {
+      min_us_ = other.min_us_;
+    }
+    max_us_ = std::max(max_us_, other.max_us_);
+  }
+  count_ += other.count_;
+  sum_us_ += other.sum_us_;
+}
+
+}  // namespace lfs::obs

@@ -1,0 +1,68 @@
+// LatencyHistogram: log2-bucketed latency distribution over microsecond
+// ticks. Bucket i (i >= 1) covers [2^(i-1), 2^i) microseconds; bucket 0
+// holds exact-zero samples (common under LFS write buffering, where an op
+// touches no disk at all). Samples come from the *modeled* disk clock
+// (DiskModel service time), not host wall-clock, so every recorded
+// distribution is deterministic and replayable.
+//
+// Percentiles are computed from the bucket counts: the bucket containing the
+// requested rank contributes the geometric midpoint of its bounds. Exact
+// min/max/sum are tracked alongside so means and extremes are not quantized.
+
+#ifndef LFS_OBS_LATENCY_H_
+#define LFS_OBS_LATENCY_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace lfs::obs {
+
+class LatencyHistogram {
+ public:
+  // 64 buckets cover the full uint64 microsecond range.
+  static constexpr size_t kBuckets = 64;
+
+  // Bucket index for a sample of `us` microseconds: 0 for 0, otherwise
+  // 1 + floor(log2(us)) (so bucket i covers [2^(i-1), 2^i)).
+  static size_t BucketIndex(uint64_t us);
+
+  // Inclusive lower bound of bucket i in microseconds (0, 1, 2, 4, 8, ...).
+  static uint64_t BucketLowerUs(size_t i);
+  // Exclusive upper bound of bucket i (1, 2, 4, 8, ...).
+  static uint64_t BucketUpperUs(size_t i);
+
+  // Records one sample; `seconds` of modeled time is rounded to the nearest
+  // whole microsecond. Negative samples are clamped to zero.
+  void Record(double seconds);
+  void RecordUs(uint64_t us);
+
+  uint64_t count() const { return count_; }
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  uint64_t min_us() const { return count_ == 0 ? 0 : min_us_; }
+  uint64_t max_us() const { return max_us_; }
+  double sum_us() const { return sum_us_; }
+  double MeanUs() const {
+    return count_ == 0 ? 0.0 : sum_us_ / static_cast<double>(count_);
+  }
+
+  // p in [0, 1]; returns the latency (us) at that quantile, 0 if empty.
+  // Exact for the extreme buckets (clamped to recorded min/max).
+  double PercentileUs(double p) const;
+
+  void Clear();
+
+  // Merges another histogram into this one.
+  void Merge(const LatencyHistogram& other);
+
+ private:
+  std::array<uint64_t, kBuckets> counts_{};
+  uint64_t count_ = 0;
+  uint64_t min_us_ = 0;
+  uint64_t max_us_ = 0;
+  double sum_us_ = 0.0;
+};
+
+}  // namespace lfs::obs
+
+#endif  // LFS_OBS_LATENCY_H_

@@ -1,0 +1,124 @@
+#include "src/obs/metrics.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace lfs::obs {
+
+HistogramSnapshot HistogramSnapshot::From(const LatencyHistogram& h) {
+  HistogramSnapshot s;
+  s.count = h.count();
+  s.mean_us = h.MeanUs();
+  s.p50_us = h.PercentileUs(0.50);
+  s.p90_us = h.PercentileUs(0.90);
+  s.p95_us = h.PercentileUs(0.95);
+  s.p99_us = h.PercentileUs(0.99);
+  s.min_us = h.min_us();
+  s.max_us = h.max_us();
+  return s;
+}
+
+void MetricsRegistry::AddCounter(const std::string& name, uint64_t value) {
+  values_[name] = static_cast<double>(value);
+}
+
+void MetricsRegistry::AddGauge(const std::string& name, double value) {
+  values_[name] = value;
+}
+
+void MetricsRegistry::AddHistogram(const std::string& name,
+                                   const LatencyHistogram& hist) {
+  histograms_[name] = HistogramSnapshot::From(hist);
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) {
+    return "0";
+  }
+  char buf[64];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+std::string HistJson(const HistogramSnapshot& h) {
+  std::ostringstream os;
+  os << "{\"count\": " << h.count << ", \"mean_us\": " << JsonNumber(h.mean_us)
+     << ", \"p50_us\": " << JsonNumber(h.p50_us)
+     << ", \"p90_us\": " << JsonNumber(h.p90_us)
+     << ", \"p95_us\": " << JsonNumber(h.p95_us)
+     << ", \"p99_us\": " << JsonNumber(h.p99_us) << ", \"min_us\": " << h.min_us
+     << ", \"max_us\": " << h.max_us << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson(int indent) const {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  std::string pad2 = pad + pad;
+  std::ostringstream os;
+  os << "{\n" << pad << "\"metrics\": {";
+  bool first = true;
+  for (const auto& [name, value] : values_) {
+    os << (first ? "\n" : ",\n") << pad2 << JsonString(name) << ": "
+       << JsonNumber(value);
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad) << "},\n" << pad << "\"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    os << (first ? "\n" : ",\n") << pad2 << JsonString(name) << ": "
+       << HistJson(hist);
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad) << "}\n}";
+  return os.str();
+}
+
+std::string MetricsRegistry::ToCsv() const {
+  std::ostringstream os;
+  os << "metric,value\n";
+  for (const auto& [name, value] : values_) {
+    os << name << "," << JsonNumber(value) << "\n";
+  }
+  os << "histogram,count,mean_us,p50_us,p90_us,p95_us,p99_us,min_us,max_us\n";
+  for (const auto& [name, h] : histograms_) {
+    os << name << "," << h.count << "," << JsonNumber(h.mean_us) << ","
+       << JsonNumber(h.p50_us) << "," << JsonNumber(h.p90_us) << ","
+       << JsonNumber(h.p95_us) << "," << JsonNumber(h.p99_us) << "," << h.min_us
+       << "," << h.max_us << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace lfs::obs

@@ -1,0 +1,72 @@
+// MetricsRegistry: a named-metric snapshot unifying every counter family in
+// the repository (LfsStats, FFS counters, DiskStats, FaultDisk counters) and
+// the obs latency histograms behind one interface with machine-readable
+// exporters.
+//
+// The registry is snapshot-style: Add*() copies the value at call time, so a
+// registry can outlive the filesystem it describes and exporting never races
+// live counters. Names are dotted paths ("lfs.cleaner.segments_cleaned");
+// exporters emit them sorted, which gives the BENCH_*.json files a stable,
+// diffable field order.
+
+#ifndef LFS_OBS_METRICS_H_
+#define LFS_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/obs/latency.h"
+
+namespace lfs::obs {
+
+// Percentile summary of one latency histogram, as exported.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  uint64_t min_us = 0;
+  uint64_t max_us = 0;
+
+  static HistogramSnapshot From(const LatencyHistogram& h);
+};
+
+class MetricsRegistry {
+ public:
+  // Scalar metrics. Counters are integral, gauges are doubles; both land in
+  // the same namespace and JSON "metrics" object.
+  void AddCounter(const std::string& name, uint64_t value);
+  void AddGauge(const std::string& name, double value);
+  void AddHistogram(const std::string& name, const LatencyHistogram& hist);
+
+  const std::map<std::string, double>& values() const { return values_; }
+  const std::map<std::string, HistogramSnapshot>& histograms() const {
+    return histograms_;
+  }
+
+  // {"metrics": {...}, "histograms": {name: {count, mean_us, p50_us, ...}}}
+  // Keys sorted; numbers rendered with enough precision to round-trip.
+  std::string ToJson(int indent = 2) const;
+
+  // "metric,value" rows followed by
+  // "histogram,count,mean_us,p50_us,p90_us,p95_us,p99_us,min_us,max_us" rows.
+  std::string ToCsv() const;
+
+ private:
+  std::map<std::string, double> values_;
+  std::map<std::string, HistogramSnapshot> histograms_;
+};
+
+// Renders a double as JSON: integral values without a fraction, others with
+// round-trip precision. Shared by the registry and the bench emitters.
+std::string JsonNumber(double v);
+
+// Escapes a string for embedding in JSON (quotes added).
+std::string JsonString(const std::string& s);
+
+}  // namespace lfs::obs
+
+#endif  // LFS_OBS_METRICS_H_

@@ -1,0 +1,21 @@
+// ModeledTimeSource: the one-method interface through which the obs layer
+// reads the simulated disk clock. BlockDevice inherits it, so any device in
+// a stack can be handed to a ScopedOpTimer; only SimDisk reports nonzero
+// time (its accumulated DiskModel service time), and wrapper devices forward
+// to their backing so the clock is visible through fault-injection stacks.
+
+#ifndef LFS_OBS_MODELED_TIME_H_
+#define LFS_OBS_MODELED_TIME_H_
+
+namespace lfs::obs {
+
+class ModeledTimeSource {
+ public:
+  virtual ~ModeledTimeSource() = default;
+  // Monotone modeled time in seconds; 0 for devices without a timing model.
+  virtual double ModeledTime() const { return 0.0; }
+};
+
+}  // namespace lfs::obs
+
+#endif  // LFS_OBS_MODELED_TIME_H_

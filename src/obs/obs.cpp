@@ -1,0 +1,26 @@
+#include "src/obs/obs.h"
+
+#include "src/fs/clock.h"
+
+namespace lfs::obs {
+
+ScopedOpTimer::ScopedOpTimer(FsObs* obs, OpType op, const ModeledTimeSource* dev,
+                             const LogicalClock* clock, uint64_t arg)
+    : obs_(obs),
+      op_(op),
+      dev_(dev),
+      clock_(clock),
+      arg_(arg),
+      t0_(dev != nullptr ? dev->ModeledTime() : 0.0) {
+  LFS_TRACE(obs_->tracer(), TraceEventType::kOpBegin, op_,
+            clock_ != nullptr ? clock_->Now() : 0, arg_, 0, t0_);
+}
+
+ScopedOpTimer::~ScopedOpTimer() {
+  double t1 = dev_ != nullptr ? dev_->ModeledTime() : 0.0;
+  obs_->hist(op_).Record(t1 - t0_);
+  LFS_TRACE(obs_->tracer(), TraceEventType::kOpEnd, op_,
+            clock_ != nullptr ? clock_->Now() : 0, arg_, ok_ ? 1 : 0, t1);
+}
+
+}  // namespace lfs::obs

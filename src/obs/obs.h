@@ -1,0 +1,78 @@
+// FsObs: the per-filesystem observability bundle — one latency histogram per
+// operation type plus (when compiled in) the structured event trace. Both
+// LfsFileSystem and FfsFileSystem own one and feed it from their public
+// entry points via ScopedOpTimer.
+//
+// Latencies are *modeled disk time* deltas (BlockDevice::ModeledTime), so an
+// op that is absorbed entirely by the write buffer records 0 and a Sync that
+// flushes a segment records the full modeled service time of the partial-
+// segment write. Deterministic by construction: the same workload records
+// the same histograms on every run.
+
+#ifndef LFS_OBS_OBS_H_
+#define LFS_OBS_OBS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/obs/latency.h"
+#include "src/obs/modeled_time.h"
+#include "src/obs/trace.h"
+
+namespace lfs {
+class LogicalClock;  // src/fs/clock.h
+}
+
+namespace lfs::obs {
+
+struct FsObs {
+  std::array<LatencyHistogram, static_cast<size_t>(OpType::kCount)> op_hist;
+#if LFS_TRACE_ENABLED
+  TraceBuffer trace{1 << 16};
+#endif
+
+  TraceBuffer* tracer() {
+#if LFS_TRACE_ENABLED
+    return &trace;
+#else
+    return nullptr;
+#endif
+  }
+
+  LatencyHistogram& hist(OpType op) {
+    return op_hist[static_cast<size_t>(op)];
+  }
+  const LatencyHistogram& hist(OpType op) const {
+    return op_hist[static_cast<size_t>(op)];
+  }
+};
+
+// RAII op timer: emits kOpBegin/kOpEnd trace events and records the modeled-
+// time delta into the op's histogram. `clock` provides the logical timestamp
+// for the trace (may be null); `arg` is the op's principal argument (inode,
+// segment, ...) for trace filtering.
+class ScopedOpTimer {
+ public:
+  ScopedOpTimer(FsObs* obs, OpType op, const ModeledTimeSource* dev,
+                const LogicalClock* clock, uint64_t arg = 0);
+  ~ScopedOpTimer();
+
+  ScopedOpTimer(const ScopedOpTimer&) = delete;
+  ScopedOpTimer& operator=(const ScopedOpTimer&) = delete;
+
+  // Marks the op as failed in the kOpEnd record (latency is still recorded).
+  void set_failed() { ok_ = false; }
+
+ private:
+  FsObs* obs_;
+  OpType op_;
+  const ModeledTimeSource* dev_;
+  const LogicalClock* clock_;
+  uint64_t arg_;
+  double t0_;
+  bool ok_ = true;
+};
+
+}  // namespace lfs::obs
+
+#endif  // LFS_OBS_OBS_H_

@@ -1,0 +1,145 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace lfs::obs {
+
+namespace {
+
+// Trace file header. Fixed little-endian layout, record array follows.
+constexpr char kMagic[8] = {'L', 'F', 'S', 'T', 'R', 'C', '0', '1'};
+
+struct FileHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t record_bytes;
+  uint64_t count;
+};
+
+}  // namespace
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kOpBegin: return "op_begin";
+    case TraceEventType::kOpEnd: return "op_end";
+    case TraceEventType::kSegmentWrite: return "segment_write";
+    case TraceEventType::kCleanerPassBegin: return "cleaner_pass_begin";
+    case TraceEventType::kCleanerPassEnd: return "cleaner_pass_end";
+    case TraceEventType::kCheckpointBegin: return "checkpoint_begin";
+    case TraceEventType::kCheckpointEnd: return "checkpoint_end";
+    case TraceEventType::kIoRetry: return "io_retry";
+    case TraceEventType::kMediaFault: return "media_fault";
+    case TraceEventType::kQuarantine: return "quarantine";
+    case TraceEventType::kRollForward: return "roll_forward";
+    case TraceEventType::kDegraded: return "degraded";
+  }
+  return "unknown";
+}
+
+const char* OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kNone: return "none";
+    case OpType::kRead: return "read";
+    case OpType::kWrite: return "write";
+    case OpType::kCreate: return "create";
+    case OpType::kUnlink: return "unlink";
+    case OpType::kSync: return "sync";
+    case OpType::kLookup: return "lookup";
+    case OpType::kTruncate: return "truncate";
+    case OpType::kMkdir: return "mkdir";
+    case OpType::kRename: return "rename";
+    case OpType::kCleanerPass: return "cleaner_pass";
+    case OpType::kCheckpoint: return "checkpoint";
+    case OpType::kCount: break;
+  }
+  return "unknown";
+}
+
+std::string TraceRecord::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "seq=%llu ts=%llu %s op=%s a=%llu b=%llu t=%.6f",
+                static_cast<unsigned long long>(seq),
+                static_cast<unsigned long long>(ts),
+                TraceEventTypeName(static_cast<TraceEventType>(type)),
+                OpTypeName(static_cast<OpType>(op)),
+                static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b), t_model);
+  return buf;
+}
+
+TraceBuffer::TraceBuffer(size_t capacity) : ring_(capacity > 0 ? capacity : 1) {}
+
+void TraceBuffer::Emit(TraceEventType type, OpType op, uint64_t ts, uint64_t a,
+                       uint64_t b, double t_model) {
+  TraceRecord& r = ring_[emitted_ % ring_.size()];
+  r.seq = emitted_++;
+  r.ts = ts;
+  r.type = static_cast<uint16_t>(type);
+  r.op = static_cast<uint16_t>(op);
+  r.a = a;
+  r.b = b;
+  r.t_model = t_model;
+}
+
+size_t TraceBuffer::size() const {
+  return emitted_ < ring_.size() ? static_cast<size_t>(emitted_) : ring_.size();
+}
+
+void TraceBuffer::Clear() { emitted_ = 0; }
+
+std::vector<TraceRecord> TraceBuffer::Snapshot() const {
+  std::vector<TraceRecord> out;
+  size_t n = size();
+  out.reserve(n);
+  uint64_t first = emitted_ - n;
+  for (uint64_t s = first; s < emitted_; s++) {
+    out.push_back(ring_[s % ring_.size()]);
+  }
+  return out;
+}
+
+Status TraceBuffer::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return IoError("trace: cannot open " + path + " for writing");
+  }
+  std::vector<TraceRecord> records = Snapshot();
+  FileHeader hdr{};
+  std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
+  hdr.version = 1;
+  hdr.record_bytes = sizeof(TraceRecord);
+  hdr.count = records.size();
+  bool ok = std::fwrite(&hdr, sizeof(hdr), 1, f) == 1;
+  ok = ok && (records.empty() ||
+              std::fwrite(records.data(), sizeof(TraceRecord), records.size(), f) ==
+                  records.size());
+  ok = std::fclose(f) == 0 && ok;
+  return ok ? OkStatus() : IoError("trace: short write to " + path);
+}
+
+Result<std::vector<TraceRecord>> TraceBuffer::ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return IoError("trace: cannot open " + path);
+  }
+  FileHeader hdr{};
+  if (std::fread(&hdr, sizeof(hdr), 1, f) != 1 ||
+      std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) != 0 || hdr.version != 1 ||
+      hdr.record_bytes != sizeof(TraceRecord)) {
+    std::fclose(f);
+    return CorruptionError("trace: " + path + " is not a v1 trace file");
+  }
+  std::vector<TraceRecord> records(hdr.count);
+  size_t got = hdr.count == 0
+                   ? 0
+                   : std::fread(records.data(), sizeof(TraceRecord), hdr.count, f);
+  std::fclose(f);
+  if (got != hdr.count) {
+    return CorruptionError("trace: " + path + " truncated");
+  }
+  return records;
+}
+
+}  // namespace lfs::obs

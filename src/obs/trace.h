@@ -1,0 +1,123 @@
+// Structured event trace: a fixed-capacity ring buffer of typed, fixed-size
+// records stamped with the filesystem's logical clock and the modeled disk
+// clock. The trace answers "what did the system do, in what order, and how
+// much modeled time did it cost" — the raw material behind the paper's
+// evaluation numbers (write cost, cleaning behaviour, recovery activity).
+//
+// Emission sites use the LFS_TRACE() macro, which compiles to nothing when
+// the tree is configured with -DLFS_TRACE=OFF (LFS_TRACE_ENABLED=0), so the
+// hot paths carry zero tracing cost in that configuration. The TraceBuffer
+// type itself always exists so tools and tests link in both configurations.
+
+#ifndef LFS_OBS_TRACE_H_
+#define LFS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+#ifndef LFS_TRACE_ENABLED
+#define LFS_TRACE_ENABLED 1
+#endif
+
+namespace lfs::obs {
+
+// Record types. Values are stable (they appear in serialized trace files);
+// append only.
+enum class TraceEventType : uint16_t {
+  kOpBegin = 1,         // op = OpType, a = inode or 0
+  kOpEnd = 2,           // op = OpType, a = inode or 0, b = ok (1) / error (0)
+  kSegmentWrite = 3,    // a = segment number, b = blocks written (summary + payload)
+  kCleanerPassBegin = 4,  // a = clean segments before the pass
+  kCleanerPassEnd = 5,    // a = segments reclaimed, b = live blocks migrated
+  kCheckpointBegin = 6,   // a = checkpoint region index
+  kCheckpointEnd = 7,     // a = checkpoint region index, b = ok (1) / error (0)
+  kIoRetry = 8,           // a = block number, b = attempts beyond the first
+  kMediaFault = 9,        // a = block number, b = StatusCode of the failure
+  kQuarantine = 10,       // a = segment number
+  kRollForward = 11,      // a = segment number, b = partials replayed
+  kDegraded = 12,         // entered degraded read-only mode
+};
+
+// Operation codes for kOpBegin/kOpEnd, shared with the latency histograms
+// (one histogram per op). Values are stable in serialized traces.
+enum class OpType : uint16_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kCreate = 3,
+  kUnlink = 4,
+  kSync = 5,
+  kLookup = 6,
+  kTruncate = 7,
+  kMkdir = 8,
+  kRename = 9,
+  kCleanerPass = 10,
+  kCheckpoint = 11,
+  kCount = 12,  // number of op codes; not a real op
+};
+
+const char* TraceEventTypeName(TraceEventType type);
+const char* OpTypeName(OpType op);
+
+// One trace record. Fixed-size POD so the ring is a flat allocation and
+// serialization is a memcpy per record.
+struct TraceRecord {
+  uint64_t seq = 0;       // emission counter (monotone across wraparound)
+  uint64_t ts = 0;        // logical clock at emission
+  uint16_t type = 0;      // TraceEventType
+  uint16_t op = 0;        // OpType for op events, 0 otherwise
+  uint32_t pad = 0;
+  uint64_t a = 0;         // type-specific (see TraceEventType)
+  uint64_t b = 0;
+  double t_model = 0.0;   // modeled disk time (seconds) at emission
+
+  // One-line human rendering ("seq=12 ts=40 op_end op=read a=5 ...").
+  std::string ToString() const;
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity = 1 << 16);
+
+  void Emit(TraceEventType type, OpType op, uint64_t ts, uint64_t a, uint64_t b,
+            double t_model);
+
+  size_t capacity() const { return ring_.size(); }
+  // Records currently retained (== min(emitted, capacity)).
+  size_t size() const;
+  // Total records ever emitted, including overwritten ones.
+  uint64_t emitted() const { return emitted_; }
+  void Clear();
+
+  // Retained records, oldest first.
+  std::vector<TraceRecord> Snapshot() const;
+
+  // Binary trace file: 8-byte magic, version, record size, record count,
+  // then the records oldest-first. Read back with ReadFile / lfstrace.
+  Status WriteFile(const std::string& path) const;
+  static Result<std::vector<TraceRecord>> ReadFile(const std::string& path);
+
+ private:
+  std::vector<TraceRecord> ring_;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace lfs::obs
+
+// Emission macro: no-op (arguments unevaluated) when tracing is compiled out.
+#if LFS_TRACE_ENABLED
+#define LFS_TRACE(tracer, ...)              \
+  do {                                      \
+    if ((tracer) != nullptr) {              \
+      (tracer)->Emit(__VA_ARGS__);          \
+    }                                       \
+  } while (0)
+#else
+#define LFS_TRACE(tracer, ...) ((void)0)
+#endif
+
+#endif  // LFS_OBS_TRACE_H_

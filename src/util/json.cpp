@@ -1,0 +1,222 @@
+#include "src/util/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace lfs::json {
+
+const Value* Value::Find(std::string_view key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : *obj_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> Document() {
+    LFS_ASSIGN_OR_RETURN(Value v, ParseValue());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after document");
+    }
+    return v;
+  }
+
+ private:
+  Status Fail(const std::string& why) const {
+    return InvalidArgumentError("json: " + why + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      pos_++;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      LFS_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Value(std::move(s));
+    }
+    if (ConsumeWord("true")) {
+      return Value(true);
+    }
+    if (ConsumeWord("false")) {
+      return Value(false);
+    }
+    if (ConsumeWord("null")) {
+      return Value();
+    }
+    return ParseNumber();
+  }
+
+  Result<Value> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      pos_++;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      pos_++;
+    }
+    if (pos_ == start) {
+      return Fail("expected a value");
+    }
+    double out = 0.0;
+    auto [ptr, ec] = std::from_chars(text_.data() + start, text_.data() + pos_, out);
+    if (ec != std::errc() || ptr != text_.data() + pos_) {
+      return Fail("malformed number");
+    }
+    return Value(out);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) {
+      return Fail("expected string");
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Fail("truncated \\u escape");
+            }
+            unsigned code = std::strtoul(std::string(text_.substr(pos_, 4)).c_str(),
+                                         nullptr, 16);
+            pos_ += 4;
+            // Basic-plane only; encode as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Result<Value> ParseArray() {
+    Consume('[');
+    Array items;
+    SkipWs();
+    if (Consume(']')) {
+      return Value(std::move(items));
+    }
+    while (true) {
+      LFS_ASSIGN_OR_RETURN(Value v, ParseValue());
+      items.push_back(std::move(v));
+      SkipWs();
+      if (Consume(']')) {
+        return Value(std::move(items));
+      }
+      if (!Consume(',')) {
+        return Fail("expected ',' or ']'");
+      }
+    }
+  }
+
+  Result<Value> ParseObject() {
+    Consume('{');
+    Object members;
+    SkipWs();
+    if (Consume('}')) {
+      return Value(std::move(members));
+    }
+    while (true) {
+      SkipWs();
+      LFS_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) {
+        return Fail("expected ':'");
+      }
+      LFS_ASSIGN_OR_RETURN(Value v, ParseValue());
+      members.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (Consume('}')) {
+        return Value(std::move(members));
+      }
+      if (!Consume(',')) {
+        return Fail("expected ',' or '}'");
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(std::string_view text) { return Parser(text).Document(); }
+
+}  // namespace lfs::json

@@ -1,0 +1,65 @@
+// Minimal JSON document model and recursive-descent parser. Just enough to
+// round-trip the repository's own machine-readable outputs (metrics exports,
+// BENCH_*.json) in tests and tools — not a general-purpose library: numbers
+// are doubles, objects preserve insertion order, no \uXXXX surrogate pairs.
+
+#ifndef LFS_UTIL_JSON_H_
+#define LFS_UTIL_JSON_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace lfs::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::vector<std::pair<std::string, Value>>;  // insertion order
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : kind_(Kind::kNull) {}
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double n) : kind_(Kind::kNumber), num_(n) {}
+  explicit Value(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  explicit Value(Array a) : kind_(Kind::kArray), arr_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o) : kind_(Kind::kObject), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+  const Array& as_array() const { return *arr_; }
+  const Object& as_object() const { return *obj_; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+// Parses one JSON document (surrounding whitespace allowed; trailing garbage
+// is an error).
+Result<Value> Parse(std::string_view text);
+
+}  // namespace lfs::json
+
+#endif  // LFS_UTIL_JSON_H_
