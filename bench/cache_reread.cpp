@@ -1,0 +1,191 @@
+// Block-cache effectiveness on the Figure 8 (small-file) workload: create a
+// working set of 4-KB files, then re-read it repeatedly. With the unified
+// write-back cache at paper-scale capacity (the Sprite machines dedicated
+// megabytes of main memory to the file cache, Section 5.1) the re-read
+// passes are served from memory and the device sees an order of magnitude
+// fewer reads; without it every pass pays device reads.
+//
+// Deterministic and single-threaded: all numbers come from the modeled disk
+// and the cache's own counters, so the emitted JSON is byte-stable and safe
+// for the CI bench-regression gate. Also sweeps cache capacity and reports
+// hit rate at each size (the EXPERIMENTS.md cache table).
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/cache/cached_device.h"
+
+using namespace lfs;
+using namespace lfs::bench;
+
+namespace {
+
+const uint64_t kFileCount = SmokePick(2000, 400);
+constexpr uint32_t kFileBytes = 4 * 1024;  // one block per file at 4-KB blocks
+const uint64_t kRereadPasses = SmokePick(16, 6);
+const uint64_t kDiskBytes = SmokePick(192, 64) * 1024 * 1024;
+
+// Paper-scale cache: comfortably larger than the working set, the regime the
+// paper assumes when it says "large file caches ... alter the disk workload
+// seen by the filesystem" (Section 1).
+constexpr uint64_t kPaperCacheBlocks = 4096;  // 16 MB of 4-KB blocks
+
+void Check(const Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "cache_reread: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+}
+
+LfsConfig BenchConfig() {
+  LfsConfig cfg = PaperLfsConfig();
+  // Shrink the front-end's internal block-address read cache so the device-
+  // level cache under test is what serves (or fails to serve) re-reads.
+  cfg.read_cache_blocks = 16;
+  return cfg;
+}
+
+struct RunResult {
+  uint64_t warm_device_reads = 0;    // device reads during the re-read passes
+  uint64_t total_device_reads = 0;   // including the cold pass
+  double reread_busy_sec = 0;        // modeled disk time of the re-read passes
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+// Runs the create + (1 cold + kRereadPasses warm) read workload. When
+// `cache_blocks` is nonzero the filesystem sits on a CachedBlockDevice of
+// that capacity; zero means the filesystem talks to the modeled disk
+// directly.
+RunResult RunOnce(uint64_t cache_blocks) {
+  LfsConfig cfg = BenchConfig();
+  uint64_t blocks = kDiskBytes / cfg.block_size;
+  SimDisk disk(std::make_unique<MemDisk>(cfg.block_size, blocks), DiskModelParams::WrenIV());
+
+  std::unique_ptr<cache::CachedBlockDevice> cached;
+  BlockDevice* dev = &disk;
+  if (cache_blocks > 0) {
+    cache::CachedDeviceOptions opts;
+    opts.capacity_blocks = cache_blocks;
+    opts.shards = 8;
+    cached = std::make_unique<cache::CachedBlockDevice>(&disk, opts);
+    dev = cached.get();
+  }
+
+  auto fs_r = LfsFileSystem::Mkfs(dev, cfg);
+  Check(fs_r.status());
+  auto fs = std::move(fs_r).value();
+
+  std::vector<InodeNum> inos(kFileCount);
+  std::vector<uint8_t> content(kFileBytes, 0x42);
+  for (uint64_t i = 0; i < kFileCount; i++) {
+    auto ino = fs->Create("/f" + std::to_string(i));
+    Check(ino.status());
+    inos[i] = *ino;
+    Check(fs->WriteAt(inos[i], 0, content));
+  }
+  Check(fs->Sync());
+  if (cached) {
+    Check(cached->Flush());  // writes reach the platter; reads start cold-ish
+  }
+
+  RunResult res;
+  std::vector<uint8_t> buf(kFileBytes);
+  DiskStats before_all = disk.stats();
+  // Cold pass: populates the cache (or doesn't, in the uncached run).
+  for (uint64_t i = 0; i < kFileCount; i++) {
+    Check(fs->ReadAt(inos[i], 0, buf).status());
+  }
+  DiskStats before_warm = disk.stats();
+  for (uint64_t pass = 0; pass < kRereadPasses; pass++) {
+    for (uint64_t i = 0; i < kFileCount; i++) {
+      Check(fs->ReadAt(inos[i], 0, buf).status());
+    }
+  }
+  DiskStats after = disk.stats();
+  res.warm_device_reads = after.reads - before_warm.reads;
+  res.total_device_reads = after.reads - before_all.reads;
+  res.reread_busy_sec = after.busy_sec - before_warm.busy_sec;
+  if (cached) {
+    res.cache_hits = cached->cache().stats().hits;
+    res.cache_misses = cached->cache().stats().misses;
+  }
+  Check(fs->Unmount());
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  BenchReport report("cache_reread");
+
+  RunResult uncached = RunOnce(0);
+  RunResult cached = RunOnce(kPaperCacheBlocks);
+
+  // The headline number: device reads during the re-read phase, with and
+  // without the cache. The acceptance bar is a >= 10x reduction.
+  double reduction = cached.warm_device_reads == 0
+                         ? static_cast<double>(uncached.warm_device_reads)
+                         : static_cast<double>(uncached.warm_device_reads) /
+                               static_cast<double>(cached.warm_device_reads);
+  double hit_rate = static_cast<double>(cached.cache_hits) /
+                    static_cast<double>(cached.cache_hits + cached.cache_misses);
+
+  std::printf("=== Block cache on the Fig. 8 small-file re-read workload ===\n\n");
+  std::printf("%" PRIu64 " files x %u bytes, %" PRIu64 " re-read passes\n",
+              kFileCount, kFileBytes, kRereadPasses);
+  std::printf("%-28s %14s %14s\n", "", "uncached", "cached");
+  std::printf("%-28s %14" PRIu64 " %14" PRIu64 "\n", "device reads (re-read)",
+              uncached.warm_device_reads, cached.warm_device_reads);
+  std::printf("%-28s %14" PRIu64 " %14" PRIu64 "\n", "device reads (total)",
+              uncached.total_device_reads, cached.total_device_reads);
+  std::printf("%-28s %14.3f %14.3f\n", "modeled re-read disk sec",
+              uncached.reread_busy_sec, cached.reread_busy_sec);
+  std::printf("\nre-read device-read reduction: %.1fx (cache hit rate %.3f)\n",
+              reduction, hit_rate);
+  if (reduction < 10.0) {
+    std::fprintf(stderr, "cache_reread: reduction %.1fx below the 10x bar\n", reduction);
+    return 1;
+  }
+
+  report.AddScalar("cache.files", static_cast<double>(kFileCount));
+  report.AddScalar("cache.reread_passes", static_cast<double>(kRereadPasses));
+  report.AddScalar("cache.capacity_blocks", static_cast<double>(kPaperCacheBlocks));
+  report.AddScalar("cache.uncached_reread_device_reads",
+                   static_cast<double>(uncached.warm_device_reads));
+  report.AddScalar("cache.cached_reread_device_reads",
+                   static_cast<double>(cached.warm_device_reads));
+  report.AddScalar("cache.read_reduction", reduction);
+  report.AddScalar("cache.hits", static_cast<double>(cached.cache_hits));
+  report.AddScalar("cache.misses", static_cast<double>(cached.cache_misses));
+  report.AddScalar("cache.hit_rate", hit_rate);
+  report.AddScalar("cache.uncached_reread_busy_sec", uncached.reread_busy_sec);
+  report.AddScalar("cache.cached_reread_busy_sec", cached.reread_busy_sec);
+
+  // Capacity sweep: hit rate vs cache size (EXPERIMENTS.md table). The knee
+  // sits where capacity crosses the working set.
+  std::printf("\n%-18s %12s %16s %12s\n", "capacity (blocks)", "hit rate",
+              "re-read dev reads", "reduction");
+  const uint64_t sweep[] = {256, 512, 1024, 2048, 4096};
+  for (uint64_t cap : sweep) {
+    RunResult r = RunOnce(cap);
+    double hr = static_cast<double>(r.cache_hits) /
+                static_cast<double>(r.cache_hits + r.cache_misses);
+    double red = r.warm_device_reads == 0
+                     ? static_cast<double>(uncached.warm_device_reads)
+                     : static_cast<double>(uncached.warm_device_reads) /
+                           static_cast<double>(r.warm_device_reads);
+    std::printf("%-18" PRIu64 " %12.3f %16" PRIu64 " %11.1fx\n", cap, hr,
+                r.warm_device_reads, red);
+    std::string key = "sweep.cap_" + std::to_string(cap);
+    report.AddScalar(key + ".hit_rate", hr);
+    report.AddScalar(key + ".reread_device_reads",
+                     static_cast<double>(r.warm_device_reads));
+  }
+
+  report.Write();
+  return 0;
+}

@@ -1,0 +1,296 @@
+#include "src/cache/block_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lfs::cache {
+
+namespace {
+
+// Mixes the block number before taking the shard index so sequential log
+// addresses spread across shards instead of marching through one at a time
+// (splitmix64 finalizer — fast, and uniform enough for a shard pick).
+uint64_t MixBlock(BlockNo block) {
+  uint64_t x = block + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+BlockCache::BlockCache(const BlockCacheConfig& config, WritebackFn writeback,
+                       obs::TraceBuffer* tracer)
+    : capacity_(std::max<uint64_t>(1, config.capacity_blocks)),
+      block_size_(config.block_size),
+      writeback_(std::move(writeback)),
+      tracer_(tracer) {
+  uint32_t shards = std::max<uint32_t>(1, config.shards);
+  shards = static_cast<uint32_t>(std::min<uint64_t>(shards, capacity_));
+  shards_ = std::vector<Shard>(shards);
+  shard_capacity_ = (capacity_ + shards - 1) / shards;
+}
+
+BlockCache::~BlockCache() = default;
+
+uint32_t BlockCache::ShardOf(BlockNo block) const {
+  return static_cast<uint32_t>(MixBlock(block) % shards_.size());
+}
+
+void BlockCache::Touch(Shard& shard, Frame& frame, BlockNo block) {
+  if (frame.lru_it != shard.lru.begin()) {
+    shard.lru.erase(frame.lru_it);
+    shard.lru.push_front(block);
+    frame.lru_it = shard.lru.begin();
+  }
+}
+
+bool BlockCache::Get(BlockNo block, std::span<uint8_t> out) {
+  Shard& shard = shards_[ShardOf(block)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(block);
+  if (it == shard.frames.end()) {
+    stats_.misses++;
+    return false;
+  }
+  Frame& frame = it->second;
+  std::memcpy(out.data(), frame.data.data(),
+              std::min<size_t>(out.size(), frame.data.size()));
+  Touch(shard, frame, block);
+  stats_.hits++;
+  return true;
+}
+
+void BlockCache::EvictIfFull(Shard& shard) {
+  while (shard.frames.size() >= shard_capacity_) {
+    // LRU-first scan for an unpinned victim.
+    BlockNo victim = kNilBlock;
+    bool found = false;
+    for (auto rit = shard.lru.rbegin(); rit != shard.lru.rend(); ++rit) {
+      Frame& f = shard.frames.at(*rit);
+      if (f.refcount == 0) {
+        if (f.dirty) {
+          // Writeback-then-drop is atomic under the shard lock: no reader
+          // can fetch the block from the device in the window where the
+          // device copy is stale.
+          Status st = writeback_(*rit, 1, f.data);
+          if (!st.ok()) {
+            continue;  // keep the dirty frame; try an older victim
+          }
+          stats_.dirty_evictions++;
+          stats_.writebacks++;
+          stats_.writeback_blocks++;
+          LFS_TRACE(tracer_, obs::TraceEventType::kCacheWriteback, obs::OpType::kNone,
+                    0, *rit, 1, 0.0);
+        }
+        victim = *rit;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      stats_.pin_overcommits++;
+      return;  // every frame pinned (or unevictable): overcommit
+    }
+    Frame& f = shard.frames.at(victim);
+    LFS_TRACE(tracer_, obs::TraceEventType::kCacheEvict, obs::OpType::kNone, 0,
+              victim, f.dirty ? 1 : 0, 0.0);
+    shard.lru.erase(f.lru_it);
+    shard.frames.erase(victim);
+    stats_.evictions++;
+  }
+}
+
+BlockCache::Frame* BlockCache::Insert(Shard& shard, BlockNo block,
+                                      std::span<const uint8_t> data, bool dirty) {
+  EvictIfFull(shard);
+  shard.lru.push_front(block);
+  Frame frame;
+  frame.data.assign(data.begin(), data.end());
+  frame.data.resize(block_size_, 0);
+  frame.dirty = dirty;
+  frame.lru_it = shard.lru.begin();
+  auto [it, inserted] = shard.frames.emplace(block, std::move(frame));
+  stats_.insertions++;
+  return &it->second;
+}
+
+void BlockCache::PutClean(BlockNo block, std::span<const uint8_t> data) {
+  Shard& shard = shards_[ShardOf(block)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(block);
+  if (it != shard.frames.end()) {
+    // Resident already (racing fill or newer dirty contents): keep it.
+    Touch(shard, it->second, block);
+    return;
+  }
+  Insert(shard, block, data, /*dirty=*/false);
+}
+
+void BlockCache::PutDirty(BlockNo block, std::span<const uint8_t> data) {
+  Shard& shard = shards_[ShardOf(block)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(block);
+  if (it != shard.frames.end()) {
+    Frame& frame = it->second;
+    frame.data.assign(data.begin(), data.end());
+    frame.data.resize(block_size_, 0);
+    frame.dirty = true;
+    Touch(shard, frame, block);
+    return;
+  }
+  Insert(shard, block, data, /*dirty=*/true);
+}
+
+void BlockCache::PutThrough(BlockNo block, std::span<const uint8_t> data) {
+  Shard& shard = shards_[ShardOf(block)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(block);
+  if (it != shard.frames.end()) {
+    Frame& frame = it->second;
+    frame.data.assign(data.begin(), data.end());
+    frame.data.resize(block_size_, 0);
+    Touch(shard, frame, block);
+    return;
+  }
+  Insert(shard, block, data, /*dirty=*/false);
+}
+
+bool BlockCache::Pin(BlockNo block) {
+  Shard& shard = shards_[ShardOf(block)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(block);
+  if (it == shard.frames.end()) {
+    return false;
+  }
+  it->second.refcount++;
+  return true;
+}
+
+void BlockCache::Unpin(BlockNo block) {
+  Shard& shard = shards_[ShardOf(block)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(block);
+  if (it != shard.frames.end() && it->second.refcount > 0) {
+    it->second.refcount--;
+  }
+}
+
+bool BlockCache::Contains(BlockNo block) const {
+  const Shard& shard = shards_[ShardOf(block)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.frames.count(block) > 0;
+}
+
+bool BlockCache::IsDirty(BlockNo block) const {
+  const Shard& shard = shards_[ShardOf(block)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(block);
+  return it != shard.frames.end() && it->second.dirty;
+}
+
+Status BlockCache::FlushAll() {
+  // Lock every shard in index order (a total order, so FlushAll never
+  // deadlocks with itself) and hold them all: the flush must be a point-in-
+  // time barrier — no new dirty frame can slip between collection and the
+  // clean-bit reset.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (Shard& shard : shards_) {
+    locks.emplace_back(shard.mu);
+  }
+
+  std::vector<BlockNo> dirty;
+  for (Shard& shard : shards_) {
+    for (auto& [block, frame] : shard.frames) {
+      if (frame.dirty) {
+        dirty.push_back(block);
+      }
+    }
+  }
+  std::sort(dirty.begin(), dirty.end());
+
+  Status result = OkStatus();
+  size_t total_frames = 0;
+  for (const Shard& shard : shards_) {
+    total_frames += shard.frames.size();
+  }
+
+  // Coalesce consecutively addressed dirty blocks into single writebacks —
+  // the log-structured write pattern makes most flushes a handful of long
+  // sequential runs.
+  std::vector<uint8_t> run;
+  size_t i = 0;
+  while (i < dirty.size()) {
+    size_t j = i + 1;
+    while (j < dirty.size() && dirty[j] == dirty[j - 1] + 1) {
+      j++;
+    }
+    uint64_t count = j - i;
+    run.clear();
+    run.reserve(count * block_size_);
+    for (size_t k = i; k < j; k++) {
+      Frame& f = shards_[ShardOf(dirty[k])].frames.at(dirty[k]);
+      run.insert(run.end(), f.data.begin(), f.data.end());
+    }
+    Status st = writeback_(dirty[i], count, run);
+    if (st.ok()) {
+      for (size_t k = i; k < j; k++) {
+        shards_[ShardOf(dirty[k])].frames.at(dirty[k]).dirty = false;
+      }
+      stats_.writebacks++;
+      stats_.writeback_blocks += count;
+      LFS_TRACE(tracer_, obs::TraceEventType::kCacheWriteback, obs::OpType::kNone,
+                0, dirty[i], count, 0.0);
+    } else if (result.ok()) {
+      result = st;  // keep flushing the rest; report the first failure
+    }
+    i = j;
+  }
+  LFS_TRACE(tracer_, obs::TraceEventType::kCacheFlush, obs::OpType::kNone, 0,
+            dirty.size(), total_frames, 0.0);
+  return result;
+}
+
+void BlockCache::DropClean() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.frames.begin(); it != shard.frames.end();) {
+      if (!it->second.dirty && it->second.refcount == 0) {
+        shard.lru.erase(it->second.lru_it);
+        it = shard.frames.erase(it);
+        stats_.evictions++;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+uint64_t BlockCache::size() const {
+  uint64_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.frames.size();
+  }
+  return n;
+}
+
+uint64_t BlockCache::dirty_count() const {
+  uint64_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [block, frame] : shard.frames) {
+      n += frame.dirty ? 1 : 0;
+    }
+  }
+  return n;
+}
+
+uint64_t BlockCache::shard_size(uint32_t shard) const {
+  const Shard& s = shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.frames.size();
+}
+
+}  // namespace lfs::cache

@@ -1,0 +1,69 @@
+// CachedBlockDevice: a BlockDevice that interposes a BlockCache between a
+// filesystem (LFS or FFS) and the real device — the repository's stand-in
+// for the large main-memory file cache the paper assumes (Section 1).
+//
+// Reads are served per-block from the cache; the uncached stretches of a
+// multi-block request are fetched with run-granular reads of the inner
+// device and admitted as clean frames, so a re-read-heavy workload touches
+// the modeled disk only on first access. Writes are write-back by default:
+// blocks become dirty frames and reach the inner device on eviction or
+// Flush(), coalesced into sorted sequential runs. Write-through mode
+// forwards every write immediately (preserving the inner device's write
+// ordering — required under crash/fault injection) and keeps the cache as a
+// read accelerator only.
+//
+// ModeledTime() forwards to the inner device, so cache hits cost zero
+// modeled disk time — exactly the paper's "reads that hit in the cache are
+// free; the disk sees the writes" premise.
+//
+// Thread safety: all methods are safe to call concurrently (the cache
+// shards its locks; the inner device must itself be thread-safe, which
+// MemDisk/SimDisk are).
+
+#ifndef LFS_CACHE_CACHED_DEVICE_H_
+#define LFS_CACHE_CACHED_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/cache/block_cache.h"
+#include "src/disk/block_device.h"
+
+namespace lfs::cache {
+
+struct CachedDeviceOptions {
+  uint64_t capacity_blocks = 4096;
+  uint32_t shards = 8;
+  bool write_through = false;
+};
+
+class CachedBlockDevice : public BlockDevice {
+ public:
+  // `inner` must outlive this device.
+  CachedBlockDevice(BlockDevice* inner, const CachedDeviceOptions& options,
+                    obs::TraceBuffer* tracer = nullptr);
+
+  uint32_t block_size() const override { return inner_->block_size(); }
+  uint64_t block_count() const override { return inner_->block_count(); }
+  double ModeledTime() const override { return inner_->ModeledTime(); }
+
+  Status Read(BlockNo block, uint64_t count, std::span<uint8_t> out) override;
+  Status Write(BlockNo block, uint64_t count, std::span<const uint8_t> data) override;
+
+  // Writes back all dirty frames (sorted, run-coalesced), then flushes the
+  // inner device.
+  Status Flush() override;
+
+  BlockCache& cache() { return cache_; }
+  const BlockCache& cache() const { return cache_; }
+  BlockDevice* inner() { return inner_; }
+
+ private:
+  BlockDevice* inner_;
+  bool write_through_;
+  BlockCache cache_;
+};
+
+}  // namespace lfs::cache
+
+#endif  // LFS_CACHE_CACHED_DEVICE_H_

@@ -6,12 +6,14 @@ namespace lfs {
 
 Status MemDisk::Read(BlockNo block, uint64_t count, std::span<uint8_t> out) {
   LFS_RETURN_IF_ERROR(CheckRange(block, count, out.size()));
+  std::lock_guard<std::mutex> lock(mu_);
   std::memcpy(out.data(), data_.data() + block * block_size_, out.size());
   return OkStatus();
 }
 
 Status MemDisk::Write(BlockNo block, uint64_t count, std::span<const uint8_t> data) {
   LFS_RETURN_IF_ERROR(CheckRange(block, count, data.size()));
+  std::lock_guard<std::mutex> lock(mu_);
   std::memcpy(data_.data() + block * block_size_, data.data(), data.size());
   return OkStatus();
 }

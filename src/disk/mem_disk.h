@@ -5,12 +5,16 @@
 #define LFS_DISK_MEM_DISK_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "src/disk/block_device.h"
 
 namespace lfs {
 
+// Thread safety: Read/Write serialize on an internal mutex so concurrent
+// front-end threads (and the background cleaner) can share one platter.
+// raw() stays unsynchronized — it is for quiesced test inspection only.
 class MemDisk : public BlockDevice {
  public:
   MemDisk(uint32_t block_size, uint64_t block_count)
@@ -28,6 +32,7 @@ class MemDisk : public BlockDevice {
   std::span<const uint8_t> raw() const { return data_; }
 
  private:
+  std::mutex mu_;
   uint32_t block_size_;
   uint64_t block_count_;
   std::vector<uint8_t> data_;

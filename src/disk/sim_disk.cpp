@@ -15,6 +15,7 @@ DiskStats DiskStats::operator-(const DiskStats& other) const {
 }
 
 void SimDisk::Charge(BlockNo block, uint64_t count, bool is_write) {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t offset = block * block_size();
   uint64_t bytes = count * block_size();
   bool seeked = offset != model_.head_position();

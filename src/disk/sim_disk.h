@@ -7,6 +7,7 @@
 #define LFS_DISK_SIM_DISK_H_
 
 #include <memory>
+#include <mutex>
 
 #include "src/disk/block_device.h"
 #include "src/disk/disk_model.h"
@@ -40,16 +41,22 @@ class SimDisk : public BlockDevice {
   Status Write(BlockNo block, uint64_t count, std::span<const uint8_t> data) override;
   Status Flush() override { return backing_->Flush(); }
 
+  // Quiesced snapshot access; concurrent readers should use ModeledTime().
   const DiskStats& stats() const { return stats_; }
   void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
     stats_ = DiskStats{};
     read_latency_.Clear();
     write_latency_.Clear();
   }
 
   // Accumulated modeled service time: the deterministic clock the obs layer
-  // derives per-operation latencies from.
-  double ModeledTime() const override { return stats_.busy_sec; }
+  // derives per-operation latencies from. Thread-safe: the model and stats
+  // are charged under the same mutex this read takes.
+  double ModeledTime() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_.busy_sec;
+  }
 
   // Per-request service-time distributions (log2 buckets, microseconds).
   const obs::LatencyHistogram& read_latency() const { return read_latency_; }
@@ -64,6 +71,9 @@ class SimDisk : public BlockDevice {
  private:
   void Charge(BlockNo block, uint64_t count, bool is_write);
 
+  // Serializes model head movement + stats accumulation so concurrent
+  // requests charge deterministic-per-request service times without racing.
+  mutable std::mutex mu_;
   std::unique_ptr<BlockDevice> backing_;
   DiskModel model_;
   DiskStats stats_;

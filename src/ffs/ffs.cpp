@@ -352,6 +352,7 @@ Status FfsFileSystem::ShrinkFile(FileMap* fm, uint64_t new_block_count) {
 // --- data I/O ----------------------------------------------------------------------
 
 Status FfsFileSystem::WriteAt(InodeNum ino, uint64_t offset, std::span<const uint8_t> data) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kWrite, device_, &clock_, ino);
   if (data.empty()) {
     return OkStatus();
@@ -410,6 +411,7 @@ Status FfsFileSystem::WriteAt(InodeNum ino, uint64_t offset, std::span<const uin
 }
 
 Result<uint64_t> FfsFileSystem::ReadAt(InodeNum ino, uint64_t offset, std::span<uint8_t> out) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kRead, device_, &clock_, ino);
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
   if (offset >= fm->inode.size || out.empty()) {
@@ -445,6 +447,7 @@ Result<uint64_t> FfsFileSystem::ReadAt(InodeNum ino, uint64_t offset, std::span<
 }
 
 Status FfsFileSystem::Truncate(InodeNum ino, uint64_t new_size) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
   if (fm->inode.type == FileType::kDirectory) {
     return IsADirectoryError("cannot truncate a directory");
@@ -468,12 +471,14 @@ Status FfsFileSystem::Truncate(InodeNum ino, uint64_t new_size) {
 }
 
 Status FfsFileSystem::Sync() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kSync, device_, &clock_);
   LFS_RETURN_IF_ERROR(FlushAllPointers());
   return WriteBitmapsSync();
 }
 
 Status FfsFileSystem::Unmount() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   LFS_RETURN_IF_ERROR(FlushAllPointers());
   LFS_RETURN_IF_ERROR(WriteBitmapsSync());
   files_.clear();
@@ -483,6 +488,7 @@ Status FfsFileSystem::Unmount() {
 }
 
 Result<FileStat> FfsFileSystem::Stat(InodeNum ino) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
   FileStat st;
   st.ino = ino;
@@ -609,6 +615,7 @@ Result<std::pair<InodeNum, std::string>> FfsFileSystem::ResolveParent(std::strin
 }
 
 Result<InodeNum> FfsFileSystem::Lookup(std::string_view path) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kLookup, device_, &clock_);
   LFS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
   InodeNum ino = kRootInode;
@@ -619,6 +626,7 @@ Result<InodeNum> FfsFileSystem::Lookup(std::string_view path) {
 }
 
 Result<InodeNum> FfsFileSystem::Create(std::string_view path) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kCreate, device_, &clock_);
   LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
   auto [dir_ino, name] = parent;
@@ -640,6 +648,7 @@ Result<InodeNum> FfsFileSystem::Create(std::string_view path) {
 }
 
 Status FfsFileSystem::Mkdir(std::string_view path) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kMkdir, device_, &clock_);
   LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
   auto [dir_ino, name] = parent;
@@ -674,6 +683,7 @@ Status FfsFileSystem::DeleteFileContents(InodeNum ino) {
 }
 
 Status FfsFileSystem::Unlink(std::string_view path) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kUnlink, device_, &clock_);
   LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
   auto [dir_ino, name] = parent;
@@ -692,6 +702,7 @@ Status FfsFileSystem::Unlink(std::string_view path) {
 }
 
 Status FfsFileSystem::Rmdir(std::string_view path) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
   auto [dir_ino, name] = parent;
   LFS_ASSIGN_OR_RETURN(InodeNum ino, LookupInDir(dir_ino, name));
@@ -719,6 +730,7 @@ Status FfsFileSystem::Rmdir(std::string_view path) {
 }
 
 Status FfsFileSystem::Link(std::string_view existing, std::string_view link_path) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   LFS_ASSIGN_OR_RETURN(InodeNum ino, Lookup(existing));
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
   if (fm->inode.type == FileType::kDirectory) {
@@ -736,6 +748,7 @@ Status FfsFileSystem::Link(std::string_view existing, std::string_view link_path
 }
 
 Status FfsFileSystem::Rename(std::string_view from, std::string_view to) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (from == to) {
     return OkStatus();
   }
@@ -771,6 +784,7 @@ Status FfsFileSystem::Rename(std::string_view from, std::string_view to) {
 }
 
 Result<std::vector<DirEntry>> FfsFileSystem::ReadDir(std::string_view path) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   LFS_ASSIGN_OR_RETURN(InodeNum ino, ResolveDir(path));
   LFS_ASSIGN_OR_RETURN(DirCache * cache, GetDirCache(ino));
   std::vector<DirEntry> out;
@@ -785,6 +799,7 @@ Result<std::vector<DirEntry>> FfsFileSystem::ReadDir(std::string_view path) {
 // --- fsck ---------------------------------------------------------------------------
 
 Result<FsckReport> FfsFileSystem::Fsck() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FsckReport report;
   const uint32_t bs = sb_.block_size;
   files_.clear();

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -133,6 +134,14 @@ class FfsFileSystem : public FileSystem {
   Result<std::pair<InodeNum, std::string>> ResolveParent(std::string_view path);
   Status DeleteFileContents(InodeNum ino);
   Status WriteBitmapsSync();
+
+  // Coarse serialization of the public interface, so the FFS baseline is
+  // safe to drive from multi-threaded benchmarks (e.g. through a shared
+  // CachedBlockDevice). FFS is the paper's comparison point, not the
+  // contribution, so a single recursive mutex — reentrancy covers the
+  // public-calls-public paths like Link -> Lookup — is deliberate; the LFS
+  // front-end gets the real reader-writer regime.
+  mutable std::recursive_mutex mu_;
 
   BlockDevice* device_;
   FfsSuperblock sb_;

@@ -4,10 +4,15 @@
 // modification times, so a logical tick counter is sufficient and keeps
 // every experiment deterministic. Benchmarks that model elapsed wall time
 // (e.g. Table 2's MB/hour traffic rates) advance the clock explicitly.
+//
+// The counter is a relaxed atomic so concurrent front-end threads can stamp
+// mtimes without a data race; single-threaded runs see the identical tick
+// sequence as before.
 
 #ifndef LFS_FS_CLOCK_H_
 #define LFS_FS_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace lfs {
@@ -15,17 +20,17 @@ namespace lfs {
 class LogicalClock {
  public:
   // Returns the current time and advances it by one tick.
-  uint64_t Tick() { return now_++; }
+  uint64_t Tick() { return now_.fetch_add(1, std::memory_order_relaxed); }
 
-  uint64_t Now() const { return now_; }
+  uint64_t Now() const { return now_.load(std::memory_order_relaxed); }
   void AdvanceTo(uint64_t t) {
-    if (t > now_) {
-      now_ = t;
+    uint64_t cur = now_.load(std::memory_order_relaxed);
+    while (t > cur && !now_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
     }
   }
 
  private:
-  uint64_t now_ = 1;  // 0 is reserved as "never"
+  std::atomic<uint64_t> now_{1};  // 0 is reserved as "never"
 };
 
 }  // namespace lfs

@@ -79,6 +79,16 @@ struct LfsConfig {
   // and hot file blocks in its file cache; recovery in particular depends on
   // cached inode blocks (each holds ~25 inodes that roll-forward revisits).
   uint32_t read_cache_blocks = 2048;
+
+  // Concurrent front-end (off by default so single-threaded runs stay
+  // byte-for-byte deterministic). When true the filesystem may be called
+  // from multiple threads — reads take a shared lock, mutations an exclusive
+  // one — and a background cleaner thread handles the clean-segment
+  // watermark instead of the foreground write path, which only cleans
+  // synchronously once clean segments fall to the critical floor
+  // (Section 4's sketch of Sprite LFS's kernel cleaner running "in the
+  // background when the disk is idle").
+  bool concurrent = false;
 };
 
 }  // namespace lfs

@@ -56,7 +56,8 @@ void InodeMap::SetLocation(InodeNum ino, BlockNo inode_block, uint16_t slot) {
 
 void InodeMap::SetAtime(InodeNum ino, uint64_t atime) {
   EnsureSize(ino);
-  entries_[ino].atime = atime;
+  entries_[ino].atime = atime;  // relaxed atomic store
+  std::lock_guard<std::mutex> lock(atime_mu_);
   MarkDirty(ino);
 }
 

@@ -16,6 +16,7 @@
 #define LFS_LFS_INODE_MAP_H_
 
 #include <cstdint>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -57,6 +58,10 @@ class InodeMap {
   // Records the new log location of an inode.
   void SetLocation(InodeNum ino, BlockNo inode_block, uint16_t slot);
 
+  // Thread-safe under the filesystem's *shared* lock: the atime store is a
+  // relaxed atomic and the dirty-chunk insert is serialized by atime_mu_, so
+  // concurrent readers may bump access times without the exclusive lock.
+  // Every other mutator still requires exclusive ownership.
   void SetAtime(InodeNum ino, uint64_t atime);
 
   // Used by roll-forward: force an entry to a recovered state.
@@ -91,6 +96,7 @@ class InodeMap {
   std::vector<InodeNum> free_list_;     // freed numbers below the high-water mark
   std::vector<BlockNo> chunk_addrs_;    // current log address of each chunk
   std::set<uint32_t> dirty_chunks_;
+  std::mutex atime_mu_;  // orders concurrent SetAtime dirty-chunk inserts
   uint64_t allocated_count_ = 0;
 };
 

@@ -35,6 +35,7 @@
 
 #include "src/disk/block_device.h"
 #include "src/fs/file_system.h"
+#include "src/util/relaxed.h"
 #include "src/util/result.h"
 
 namespace lfs {
@@ -169,7 +170,10 @@ struct ImapEntry {
   BlockNo inode_block = kNilBlock;  // block holding the inode; kNilBlock = free
   uint16_t slot = 0;                // inode slot within that block
   uint32_t version = 0;             // survives free/reuse so uids stay unique
-  uint64_t atime = 0;               // time of last access (paper keeps it here)
+  // Time of last access (the paper keeps access times in the inode map).
+  // Relaxed so ReadAt, which runs under the shared filesystem lock, can bump
+  // it while concurrent readers copy the entry.
+  Relaxed<uint64_t> atime = 0;
 
   bool allocated() const { return inode_block != kNilBlock; }
   void EncodeTo(std::span<uint8_t> out) const;  // kImapEntrySize bytes

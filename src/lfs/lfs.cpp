@@ -21,6 +21,8 @@ LfsFileSystem::LfsFileSystem(BlockDevice* device, const LfsConfig& cfg, const Su
               retry_policy_, &obs_),
       debug_cleaner_(getenv("LFS_DEBUG_CLEANER") != nullptr) {}
 
+LfsFileSystem::~LfsFileSystem() { StopCleanerThread(); }
+
 Status LfsFileSystem::DeviceRead(BlockNo block, uint64_t count,
                                  std::span<uint8_t> out) const {
   uint64_t retries_before = stats_.io_retries;
@@ -74,6 +76,7 @@ void LfsFileSystem::EnterDegradedReadOnly(const char* why) {
 }
 
 LfsStatFs LfsFileSystem::StatFs() const {
+  std::shared_lock<std::shared_mutex> lock(fs_mu_);
   LfsStatFs out;
   out.total_bytes = uint64_t{sb_.nsegments} * sb_.segment_bytes();
   out.live_bytes = usage_.TotalLiveBytes();
@@ -131,7 +134,10 @@ Result<std::unique_ptr<LfsFileSystem>> LfsFileSystem::Mkfs(BlockDevice* device,
   for (uint32_t c = 0; c < fs->usage_.chunk_count(); c++) {
     fs->usage_.MarkChunkDirty(c);
   }
-  LFS_RETURN_IF_ERROR(fs->WriteCheckpoint());
+  LFS_RETURN_IF_ERROR(fs->WriteCheckpointImpl());
+  if (cfg.concurrent) {
+    fs->StartCleanerThread();
+  }
   return fs;
 }
 
@@ -219,6 +225,9 @@ Result<std::unique_ptr<LfsFileSystem>> LfsFileSystem::Mount(BlockDevice* device,
   // block anyway.)
   LFS_RETURN_IF_ERROR(fs->RecomputeSegmentUsage(fs->writer_.current_segment(),
                                                 fs->writer_.current_offset()));
+  if (cfg.concurrent && !fs->read_only_) {
+    fs->StartCleanerThread();
+  }
   return fs;
 }
 
@@ -477,6 +486,11 @@ void LfsFileSystem::SweepZeroLiveSegments() {
 }
 
 Status LfsFileSystem::WriteCheckpoint() {
+  std::unique_lock<std::shared_mutex> lock(fs_mu_);
+  return WriteCheckpointImpl();
+}
+
+Status LfsFileSystem::WriteCheckpointImpl() {
   obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kCheckpoint, device_, &clock_);
   // Checkpoints run privileged: they may consume reserve segments, because
   // completing a checkpoint is what returns dead segments to the clean pool.
@@ -518,6 +532,11 @@ Status LfsFileSystem::WriteCheckpoint() {
 }
 
 Status LfsFileSystem::LightCheckpoint() {
+  std::unique_lock<std::shared_mutex> lock(fs_mu_);
+  return LightCheckpointImpl();
+}
+
+Status LfsFileSystem::LightCheckpointImpl() {
   obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kCheckpoint, device_, &clock_);
   in_checkpoint_ = true;
   writer_.set_privileged(true);
@@ -596,26 +615,32 @@ Status LfsFileSystem::RecomputeSegmentUsage(SegNo seg, uint32_t stop_offset) {
 }
 
 Status LfsFileSystem::Sync() {
+  std::unique_lock<std::shared_mutex> lock(fs_mu_);
   if (read_only_) {
     return OkStatus();  // nothing can be dirty
   }
   obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kSync, device_, &clock_);
-  return WriteCheckpoint();
+  return WriteCheckpointImpl();
 }
 
 Status LfsFileSystem::Unmount() {
+  // Stop the background cleaner before taking fs_mu_: the thread acquires
+  // fs_mu_ to clean, so joining while holding it would deadlock.
+  StopCleanerThread();
+  std::unique_lock<std::shared_mutex> lock(fs_mu_);
   if (read_only_) {
     files_.clear();
     dirs_.clear();
     return OkStatus();
   }
-  LFS_RETURN_IF_ERROR(WriteCheckpoint());
+  LFS_RETURN_IF_ERROR(WriteCheckpointImpl());
   files_.clear();
   dirs_.clear();
   return OkStatus();
 }
 
 Result<FileStat> LfsFileSystem::Stat(InodeNum ino) {
+  std::shared_lock<std::shared_mutex> lock(fs_mu_);
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
   FileStat st;
   st.ino = ino;
@@ -628,22 +653,25 @@ Result<FileStat> LfsFileSystem::Stat(InodeNum ino) {
 }
 
 Result<uint32_t> LfsFileSystem::ForceClean() {
+  std::unique_lock<std::shared_mutex> lock(fs_mu_);
   LFS_RETURN_IF_ERROR(writer_.Flush());
   LFS_ASSIGN_OR_RETURN(uint32_t reclaimed, CleanerPass());
   // Checkpoint after reclaiming so the recovery scan filter (which probes
   // only checkpoint-clean segments) covers any reuse of the sources.
   if (reclaimed > 0 && !in_checkpoint_ && !in_recovery_) {
-    LFS_RETURN_IF_ERROR(LightCheckpoint());
+    LFS_RETURN_IF_ERROR(LightCheckpointImpl());
   }
   return reclaimed;
 }
 
 Result<std::vector<BlockNo>> LfsFileSystem::FileBlockAddresses(InodeNum ino) {
+  std::shared_lock<std::shared_mutex> lock(fs_mu_);
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
   return fm->blocks;
 }
 
 Result<std::array<uint64_t, 8>> LfsFileSystem::LiveBytesByKind() {
+  std::unique_lock<std::shared_mutex> lock(fs_mu_);
   LFS_RETURN_IF_ERROR(FlushDirtyData());
   LFS_RETURN_IF_ERROR(writer_.Flush());
   std::array<uint64_t, 8> live{};

@@ -23,11 +23,16 @@
 #ifndef LFS_LFS_LFS_H_
 #define LFS_LFS_LFS_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -88,9 +93,28 @@ class LfsFileSystem : public FileSystem {
   static Result<std::unique_ptr<LfsFileSystem>> Mount(BlockDevice* device, const LfsConfig& cfg,
                                                       const MountOptions& opts = MountOptions{});
 
-  ~LfsFileSystem() override = default;
+  // Stops the background cleaner thread (if running) before tearing down.
+  ~LfsFileSystem() override;
   LfsFileSystem(const LfsFileSystem&) = delete;
   LfsFileSystem& operator=(const LfsFileSystem&) = delete;
+
+  // --- threading model -----------------------------------------------------------
+  //
+  // Every public operation takes fs_mu_: reads (ReadAt, Lookup, Stat,
+  // ReadDir, StatFs, FileBlockAddresses) shared, mutations exclusive. The
+  // lock is uncontended and cheap when cfg.concurrent is false, so the
+  // single-threaded paths are unchanged. Shared holders may still populate
+  // lazily built caches; those structures are guarded by the leaf mutexes
+  // files_mu_ / read_cache_mu_ (and InodeMap::atime_mu_). Lock order:
+  //
+  //   cleaner_mu_ (never held while acquiring fs_mu_)
+  //   fs_mu_  ->  files_mu_ | read_cache_mu_ | InodeMap::atime_mu_
+  //           ->  device mutexes (SimDisk / MemDisk / BlockCache shards)
+  //
+  // With cfg.concurrent set, Mkfs/Mount also start a background cleaner
+  // thread; MaybeClean then only cleans synchronously below the critical
+  // floor and otherwise kicks the thread (the paper's background cleaning
+  // "when the disk is idle", Section 4).
 
   // --- FileSystem interface ----------------------------------------------------
 
@@ -218,6 +242,12 @@ class LfsFileSystem : public FileSystem {
   // can no longer persist a checkpoint); every later mutation is refused.
   void EnterDegradedReadOnly(const char* why);
 
+  // Lock-free bodies of the public checkpoint/lookup entry points, for
+  // internal callers that already hold fs_mu_ (fs_mu_ is not recursive).
+  Status WriteCheckpointImpl();
+  Status LightCheckpointImpl();
+  Result<InodeNum> LookupImpl(std::string_view path);
+
   Status LoadFromCheckpoint(const Checkpoint& ck);
   Status WriteCheckpointRegion();
   Status FlushMetadataChunks();      // dirty imap + usage chunks to the log
@@ -290,6 +320,19 @@ class LfsFileSystem : public FileSystem {
   // --- cleaner (lfs_cleaner.cpp) ---
 
   Status MaybeClean();               // run passes while below clean_lo
+  // Background cleaner thread (cfg_.concurrent). The thread sleeps on
+  // cleaner_cv_ and, when kicked, takes fs_mu_ exclusively and runs
+  // MaybeClean. It releases cleaner_mu_ before touching fs_mu_, and
+  // KickCleaner only takes cleaner_mu_ momentarily, so the two mutexes are
+  // never held across each other in conflicting order.
+  void StartCleanerThread();
+  void StopCleanerThread();   // idempotent; joins the thread
+  void CleanerThreadMain();
+  void KickCleaner();
+  // Below this many usable clean segments the foreground write path cleans
+  // synchronously instead of delegating, so a burst cannot outrun the
+  // background thread and hit the writer's hard reserve.
+  uint32_t CriticalCleanFloor() const;
   // Thresholds clamped so small filesystems do not demand an impossible
   // fraction of clean segments (Sprite's "few tens" presumes >1000 segments).
   uint32_t EffectiveCleanLo() const;
@@ -362,6 +405,23 @@ class LfsFileSystem : public FileSystem {
   };
   mutable std::unordered_map<BlockNo, ReadCacheEntry> read_cache_;
   mutable std::list<BlockNo> read_cache_lru_;  // front = most recent
+
+  // Reader-writer regime over all filesystem state (see the threading-model
+  // note above); const read paths lock it shared, hence mutable.
+  mutable std::shared_mutex fs_mu_;
+  // Leaf mutexes for caches that shared holders populate lazily: files_ and
+  // dirs_ insertion (std::map nodes are stable, so handed-out FileMap* and
+  // DirCache* stay valid), and the clean-block read cache's LRU state.
+  mutable std::mutex files_mu_;
+  mutable std::mutex read_cache_mu_;
+
+  // Background cleaner thread state (cfg_.concurrent only).
+  std::thread cleaner_thread_;
+  std::mutex cleaner_mu_;
+  std::condition_variable cleaner_cv_;
+  bool cleaner_stop_ = false;   // guarded by cleaner_mu_
+  bool cleaner_kick_ = false;   // guarded by cleaner_mu_
+  std::atomic<bool> cleaner_running_{false};
 
   uint32_t cr_next_ = 0;            // which checkpoint region to write next
   std::set<SegNo> cr_hosts_[2];     // chunk-host segments referenced by each CR

@@ -522,6 +522,16 @@ Status LfsFileSystem::MaybeClean() {
   if (in_cleaner_ || writer_.usable_clean_segments() >= EffectiveCleanLo()) {
     return OkStatus();
   }
+  // With a background cleaner running, the foreground write path only cleans
+  // synchronously once clean segments fall to the critical floor; above it,
+  // wake the cleaner thread and keep going (it will grab the exclusive lock
+  // as soon as this operation releases it).
+  if (cleaner_running_.load(std::memory_order_relaxed) &&
+      std::this_thread::get_id() != cleaner_thread_.get_id() &&
+      writer_.usable_clean_segments() >= CriticalCleanFloor()) {
+    KickCleaner();
+    return OkStatus();
+  }
   // Harvest first: segments whose data has entirely died since the last
   // checkpoint can be reclaimed for free (no copying) once a checkpoint
   // advances the roll-forward boundary. A checkpoint costs a few blocks;
@@ -538,7 +548,7 @@ Status LfsFileSystem::MaybeClean() {
     }
     if (harvestable > 0) {
       checkpointed = true;
-      LFS_RETURN_IF_ERROR(LightCheckpoint());
+      LFS_RETURN_IF_ERROR(LightCheckpointImpl());
     }
     if (writer_.usable_clean_segments() >= EffectiveCleanLo()) {
       return OkStatus();
@@ -568,7 +578,7 @@ Status LfsFileSystem::MaybeClean() {
       // left, take a checkpoint to advance the boundary and retry once.
       if (!checkpointed && !in_checkpoint_ && !in_recovery_) {
         checkpointed = true;
-        LFS_RETURN_IF_ERROR(LightCheckpoint());
+        LFS_RETURN_IF_ERROR(LightCheckpointImpl());
         continue;
       }
       break;  // nothing cleanable right now; let the writer use what exists
@@ -579,9 +589,84 @@ Status LfsFileSystem::MaybeClean() {
   // checkpoint writes only ever land in checkpoint-clean segments or the
   // active segment).
   if (reclaimed_any && !in_checkpoint_ && !in_recovery_) {
-    LFS_RETURN_IF_ERROR(LightCheckpoint());
+    LFS_RETURN_IF_ERROR(LightCheckpointImpl());
   }
   return OkStatus();
+}
+
+// --- background cleaner thread (cfg_.concurrent) -------------------------------
+//
+// The paper ran the Sprite LFS cleaner "in the background when the disk is
+// idle"; here the thread sleeps until a foreground flush notices the clean
+// pool dropping below the low watermark and kicks it. All actual cleaning
+// runs under the exclusive fs lock, so the thread is a scheduler, not a new
+// concurrency domain: the segment writer, usage table, and inode map see
+// exactly one cleaner at a time.
+
+uint32_t LfsFileSystem::CriticalCleanFloor() const {
+  return std::max<uint32_t>(2, EffectiveCleanLo() / 2);
+}
+
+void LfsFileSystem::StartCleanerThread() {
+  if (cleaner_running_.load()) {
+    return;
+  }
+  cleaner_stop_ = false;
+  cleaner_kick_ = false;
+  cleaner_thread_ = std::thread([this] { CleanerThreadMain(); });
+  cleaner_running_.store(true);
+}
+
+void LfsFileSystem::StopCleanerThread() {
+  if (!cleaner_running_.exchange(false)) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(cleaner_mu_);
+    cleaner_stop_ = true;
+  }
+  cleaner_cv_.notify_one();
+  cleaner_thread_.join();
+}
+
+void LfsFileSystem::KickCleaner() {
+  if (!cleaner_running_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  // cleaner_mu_ is only ever held momentarily here and around the condition
+  // flags in CleanerThreadMain — never while fs_mu_ is being acquired — so
+  // kicking from under the exclusive fs lock cannot deadlock.
+  {
+    std::lock_guard<std::mutex> lock(cleaner_mu_);
+    cleaner_kick_ = true;
+  }
+  cleaner_cv_.notify_one();
+}
+
+void LfsFileSystem::CleanerThreadMain() {
+  std::unique_lock<std::mutex> lk(cleaner_mu_);
+  for (;;) {
+    cleaner_cv_.wait(lk, [this] { return cleaner_stop_ || cleaner_kick_; });
+    if (cleaner_stop_) {
+      return;
+    }
+    cleaner_kick_ = false;
+    lk.unlock();  // released before fs_mu_: see the lock-order note in lfs.h
+    {
+      std::unique_lock<std::shared_mutex> fs_lock(fs_mu_);
+      if (!read_only_ && !degraded_ &&
+          writer_.usable_clean_segments() < EffectiveCleanLo()) {
+        // Failures flip the filesystem into degraded read-only inside the
+        // cleaning machinery itself; there is no caller to report to here.
+        Status st = MaybeClean();
+        if (!st.ok() && debug_cleaner_) {
+          fprintf(stderr, "[cleaner thread] MaybeClean: %s\n",
+                  st.ToString().c_str());
+        }
+      }
+    }
+    lk.lock();
+  }
 }
 
 }  // namespace lfs

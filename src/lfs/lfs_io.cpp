@@ -23,6 +23,9 @@ constexpr size_t kFileCacheCap = 16384;
 }  // namespace
 
 bool LfsFileSystem::ReadCacheGet(BlockNo addr, std::span<uint8_t> out) const {
+  // Called under the shared fs lock too (reads populate the cache), so the
+  // LRU bookkeeping is serialized by its own leaf mutex.
+  std::lock_guard<std::mutex> lock(read_cache_mu_);
   auto it = read_cache_.find(addr);
   if (it == read_cache_.end()) {
     return false;
@@ -47,6 +50,7 @@ void LfsFileSystem::ReadCachePut(BlockNo addr, std::span<const uint8_t> data) co
   if (seg == kNilSeg) {
     return;  // fixed-area blocks are not cached
   }
+  std::lock_guard<std::mutex> lock(read_cache_mu_);
   if (read_cache_.count(addr) != 0) {
     return;
   }
@@ -182,12 +186,20 @@ Result<Inode> LfsFileSystem::ReadInodeFromDisk(InodeNum ino) const {
 }
 
 Result<LfsFileSystem::FileMap*> LfsFileSystem::GetFileMap(InodeNum ino) {
-  auto it = files_.find(ino);
-  if (it != files_.end()) {
-    return &it->second;
+  // May run under the shared fs lock (ReadAt, Stat, lookups), so structural
+  // access to files_ is serialized by files_mu_; std::map node stability
+  // keeps the returned pointer valid after the mutex drops. Two shared
+  // holders may both load the map from disk; emplace keeps the first.
+  {
+    std::lock_guard<std::mutex> lock(files_mu_);
+    auto it = files_.find(ino);
+    if (it != files_.end()) {
+      return &it->second;
+    }
   }
   LFS_ASSIGN_OR_RETURN(Inode inode, ReadInodeFromDisk(ino));
   LFS_ASSIGN_OR_RETURN(FileMap fm, LoadFileMap(inode));
+  std::lock_guard<std::mutex> lock(files_mu_);
   auto [pos, inserted] = files_.emplace(ino, std::move(fm));
   (void)inserted;
   return &pos->second;
@@ -358,6 +370,7 @@ Status LfsFileSystem::CheckWritable() const {
 }
 
 Status LfsFileSystem::WriteAt(InodeNum ino, uint64_t offset, std::span<const uint8_t> data) {
+  std::unique_lock<std::shared_mutex> lock(fs_mu_);
   obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kWrite, device_, &clock_, ino);
   LFS_RETURN_IF_ERROR(CheckWritable());
   if (data.empty()) {
@@ -405,6 +418,7 @@ Status LfsFileSystem::WriteAt(InodeNum ino, uint64_t offset, std::span<const uin
 }
 
 Result<uint64_t> LfsFileSystem::ReadAt(InodeNum ino, uint64_t offset, std::span<uint8_t> out) {
+  std::shared_lock<std::shared_mutex> lock(fs_mu_);
   obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kRead, device_, &clock_, ino);
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
   if (offset >= fm->inode.size || out.empty()) {
@@ -454,6 +468,7 @@ Result<uint64_t> LfsFileSystem::ReadAt(InodeNum ino, uint64_t offset, std::span<
 }
 
 Status LfsFileSystem::Truncate(InodeNum ino, uint64_t new_size) {
+  std::unique_lock<std::shared_mutex> lock(fs_mu_);
   obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kTruncate, device_, &clock_, ino);
   LFS_RETURN_IF_ERROR(CheckWritable());
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
@@ -698,7 +713,7 @@ Status LfsFileSystem::MaybeAutoCheckpoint() {
       bytes_since_checkpoint_ < cfg_.checkpoint_interval_bytes) {
     return OkStatus();
   }
-  return WriteCheckpoint();
+  return WriteCheckpointImpl();
 }
 
 }  // namespace lfs

@@ -15,9 +15,16 @@
 namespace lfs {
 
 Result<LfsFileSystem::DirCache*> LfsFileSystem::GetDirCache(InodeNum dir_ino) {
-  auto it = dirs_.find(dir_ino);
-  if (it != dirs_.end()) {
-    return &it->second;
+  // May run under the shared fs lock (lookups, ReadDir), so structural
+  // access to dirs_ goes through files_mu_. std::map nodes are stable:
+  // the returned pointer outlives the lock. Two shared holders may both
+  // parse the directory; emplace keeps the first copy.
+  {
+    std::lock_guard<std::mutex> lock(files_mu_);
+    auto it = dirs_.find(dir_ino);
+    if (it != dirs_.end()) {
+      return &it->second;
+    }
   }
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(dir_ino));
   if (fm->inode.type != FileType::kDirectory) {
@@ -37,6 +44,7 @@ Result<LfsFileSystem::DirCache*> LfsFileSystem::GetDirCache(InodeNum dir_ino) {
     cache.blocks.push_back(std::move(entries));
     cache.used_bytes.push_back(used);
   }
+  std::lock_guard<std::mutex> lock(files_mu_);
   auto [pos, inserted] = dirs_.emplace(dir_ino, std::move(cache));
   (void)inserted;
   return &pos->second;
@@ -120,6 +128,11 @@ Result<std::pair<InodeNum, std::string>> LfsFileSystem::ResolveParent(std::strin
 }
 
 Result<InodeNum> LfsFileSystem::Lookup(std::string_view path) {
+  std::shared_lock<std::shared_mutex> lock(fs_mu_);
+  return LookupImpl(path);
+}
+
+Result<InodeNum> LfsFileSystem::LookupImpl(std::string_view path) {
   obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kLookup, device_, &clock_);
   LFS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
   InodeNum ino = kRootInode;
@@ -137,6 +150,7 @@ void LfsFileSystem::LogDirOp(DirLogRecord record) {
 }
 
 Result<InodeNum> LfsFileSystem::Create(std::string_view path) {
+  std::unique_lock<std::shared_mutex> lock(fs_mu_);
   obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kCreate, device_, &clock_);
   LFS_RETURN_IF_ERROR(CheckWritable());
   LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
@@ -173,6 +187,7 @@ Result<InodeNum> LfsFileSystem::Create(std::string_view path) {
 }
 
 Status LfsFileSystem::Mkdir(std::string_view path) {
+  std::unique_lock<std::shared_mutex> lock(fs_mu_);
   obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kMkdir, device_, &clock_);
   LFS_RETURN_IF_ERROR(CheckWritable());
   LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
@@ -224,6 +239,7 @@ Status LfsFileSystem::DeleteFileContents(InodeNum ino) {
 }
 
 Status LfsFileSystem::Unlink(std::string_view path) {
+  std::unique_lock<std::shared_mutex> lock(fs_mu_);
   obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kUnlink, device_, &clock_);
   LFS_RETURN_IF_ERROR(CheckWritable());
   LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
@@ -257,6 +273,7 @@ Status LfsFileSystem::Unlink(std::string_view path) {
 }
 
 Status LfsFileSystem::Rmdir(std::string_view path) {
+  std::unique_lock<std::shared_mutex> lock(fs_mu_);
   LFS_RETURN_IF_ERROR(CheckWritable());
   LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
   auto [dir_ino, name] = parent;
@@ -288,8 +305,9 @@ Status LfsFileSystem::Rmdir(std::string_view path) {
 }
 
 Status LfsFileSystem::Link(std::string_view existing, std::string_view link_path) {
+  std::unique_lock<std::shared_mutex> lock(fs_mu_);
   LFS_RETURN_IF_ERROR(CheckWritable());
-  LFS_ASSIGN_OR_RETURN(InodeNum ino, Lookup(existing));
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, LookupImpl(existing));
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
   if (fm->inode.type == FileType::kDirectory) {
     return IsADirectoryError("hard links to directories are not allowed");
@@ -319,6 +337,7 @@ Status LfsFileSystem::Link(std::string_view existing, std::string_view link_path
 }
 
 Status LfsFileSystem::Rename(std::string_view from, std::string_view to) {
+  std::unique_lock<std::shared_mutex> lock(fs_mu_);
   obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kRename, device_, &clock_);
   LFS_RETURN_IF_ERROR(CheckWritable());
   if (from == to) {
@@ -387,6 +406,7 @@ Status LfsFileSystem::Rename(std::string_view from, std::string_view to) {
 }
 
 Result<std::vector<DirEntry>> LfsFileSystem::ReadDir(std::string_view path) {
+  std::shared_lock<std::shared_mutex> lock(fs_mu_);
   LFS_ASSIGN_OR_RETURN(InodeNum ino, ResolveDir(path));
   LFS_ASSIGN_OR_RETURN(DirCache * cache, GetDirCache(ino));
   std::vector<DirEntry> out;

@@ -10,40 +10,45 @@
 #include <array>
 #include <cstdint>
 
+#include "src/util/relaxed.h"
+
 namespace lfs {
 
+// Counters are Relaxed<> atomics so concurrent front-end threads (and the
+// background cleaner) can bump them without data races; the struct keeps
+// value semantics (tests snapshot and subtract it) via Relaxed's copyability.
 struct LfsStats {
   // Payload bytes appended to the log, by BlockKind (index = kind value).
-  std::array<uint64_t, 8> log_bytes_by_kind{};
-  uint64_t summary_bytes = 0;        // segment summary blocks written
-  uint64_t checkpoint_bytes = 0;     // checkpoint region writes (fixed area)
+  std::array<Relaxed<uint64_t>, 8> log_bytes_by_kind{};
+  Relaxed<uint64_t> summary_bytes = 0;        // segment summary blocks written
+  Relaxed<uint64_t> checkpoint_bytes = 0;     // checkpoint region writes (fixed area)
 
   // New data vs cleaning traffic. "New" is everything appended outside a
   // cleaning pass (file data, indirect blocks, inodes, imap/usage chunks,
   // dirlog); "clean" is live data rewritten by the cleaner.
-  uint64_t new_payload_bytes = 0;
-  uint64_t new_data_bytes = 0;       // kData subset of new_payload_bytes
-  uint64_t clean_write_bytes = 0;
-  uint64_t clean_read_bytes = 0;     // whole segments read by the cleaner
+  Relaxed<uint64_t> new_payload_bytes = 0;
+  Relaxed<uint64_t> new_data_bytes = 0;       // kData subset of new_payload_bytes
+  Relaxed<uint64_t> clean_write_bytes = 0;
+  Relaxed<uint64_t> clean_read_bytes = 0;     // whole segments read by the cleaner
 
   // Cleaning pass statistics (Table 2 columns).
-  uint64_t cleaner_passes = 0;
-  uint64_t segments_cleaned = 0;
-  uint64_t segments_cleaned_empty = 0;     // reclaimed with zero live bytes
-  double sum_cleaned_utilization = 0.0;    // over non-empty cleaned segments
-  uint64_t checkpoints = 0;
-  uint64_t rollforward_partials = 0;       // partial writes replayed at recovery
-  uint64_t selection_mismatches = 0;       // indexed vs reference victim order
-                                           // divergences (verify_selection)
+  Relaxed<uint64_t> cleaner_passes = 0;
+  Relaxed<uint64_t> segments_cleaned = 0;
+  Relaxed<uint64_t> segments_cleaned_empty = 0;  // reclaimed with zero live bytes
+  Relaxed<double> sum_cleaned_utilization = 0.0; // over non-empty cleaned segments
+  Relaxed<uint64_t> checkpoints = 0;
+  Relaxed<uint64_t> rollforward_partials = 0;    // partial writes replayed at recovery
+  Relaxed<uint64_t> selection_mismatches = 0;    // indexed vs reference victim order
+                                                 // divergences (verify_selection)
 
   // Media-fault handling (robustness pass).
-  uint64_t io_retries = 0;             // device I/O attempts beyond the first
-  uint64_t io_retry_failures = 0;      // I/Os that failed even after retries
-  uint64_t read_crc_failures = 0;      // corrupt blocks caught on the read path
-  uint64_t segments_quarantined = 0;   // victims abandoned to kQuarantined
-  uint64_t checkpoint_fallbacks = 0;   // CR writes diverted to the alternate region
-  uint64_t superblock_fallbacks = 0;   // mounts served by the backup superblock
-  uint64_t degraded_entries = 0;       // transitions into degraded read-only mode
+  Relaxed<uint64_t> io_retries = 0;             // device I/O attempts beyond the first
+  Relaxed<uint64_t> io_retry_failures = 0;      // I/Os that failed even after retries
+  Relaxed<uint64_t> read_crc_failures = 0;      // corrupt blocks caught on the read path
+  Relaxed<uint64_t> segments_quarantined = 0;   // victims abandoned to kQuarantined
+  Relaxed<uint64_t> checkpoint_fallbacks = 0;   // CR writes diverted to the alternate region
+  Relaxed<uint64_t> superblock_fallbacks = 0;   // mounts served by the backup superblock
+  Relaxed<uint64_t> degraded_entries = 0;       // transitions into degraded read-only mode
 
   uint64_t total_log_written() const {
     uint64_t payload = 0;

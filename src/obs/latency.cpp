@@ -30,10 +30,8 @@ void LatencyHistogram::Record(double seconds) {
 
 void LatencyHistogram::RecordUs(uint64_t us) {
   counts_[BucketIndex(us)]++;
-  if (count_ == 0 || us < min_us_) {
-    min_us_ = us;
-  }
-  max_us_ = std::max(max_us_, us);
+  min_us_.StoreMin(us);
+  max_us_.StoreMax(us);
   sum_us_ += static_cast<double>(us);
   count_++;
 }
@@ -69,23 +67,21 @@ double LatencyHistogram::PercentileUs(double p) const {
 void LatencyHistogram::Clear() {
   counts_.fill(0);
   count_ = 0;
-  min_us_ = 0;
+  min_us_ = std::numeric_limits<uint64_t>::max();
   max_us_ = 0;
   sum_us_ = 0.0;
 }
 
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
   for (size_t i = 0; i < kBuckets; i++) {
-    counts_[i] += other.counts_[i];
+    counts_[i] += other.counts_[i].load();
   }
   if (other.count_ > 0) {
-    if (count_ == 0 || other.min_us_ < min_us_) {
-      min_us_ = other.min_us_;
-    }
-    max_us_ = std::max(max_us_, other.max_us_);
+    min_us_.StoreMin(other.min_us_.load());
+    max_us_.StoreMax(other.max_us_.load());
   }
-  count_ += other.count_;
-  sum_us_ += other.sum_us_;
+  count_ += other.count_.load();
+  sum_us_ += other.sum_us_.load();
 }
 
 }  // namespace lfs::obs

@@ -14,7 +14,10 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <string>
+
+#include "src/util/relaxed.h"
 
 namespace lfs::obs {
 
@@ -39,7 +42,7 @@ class LatencyHistogram {
 
   uint64_t count() const { return count_; }
   uint64_t bucket_count(size_t i) const { return counts_[i]; }
-  uint64_t min_us() const { return count_ == 0 ? 0 : min_us_; }
+  uint64_t min_us() const { return count_ == 0 ? 0 : min_us_.load(); }
   uint64_t max_us() const { return max_us_; }
   double sum_us() const { return sum_us_; }
   double MeanUs() const {
@@ -56,11 +59,14 @@ class LatencyHistogram {
   void Merge(const LatencyHistogram& other);
 
  private:
-  std::array<uint64_t, kBuckets> counts_{};
-  uint64_t count_ = 0;
-  uint64_t min_us_ = 0;
-  uint64_t max_us_ = 0;
-  double sum_us_ = 0.0;
+  // Relaxed atomics: concurrent op timers record samples without a race;
+  // the struct stays copyable so snapshots keep working. min_us_ holds a
+  // max-sentinel when empty (min_us() hides it behind the count_ check).
+  std::array<Relaxed<uint64_t>, kBuckets> counts_{};
+  Relaxed<uint64_t> count_ = 0;
+  Relaxed<uint64_t> min_us_ = std::numeric_limits<uint64_t>::max();
+  Relaxed<uint64_t> max_us_ = 0;
+  Relaxed<double> sum_us_ = 0.0;
 };
 
 }  // namespace lfs::obs

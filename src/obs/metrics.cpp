@@ -20,16 +20,28 @@ HistogramSnapshot HistogramSnapshot::From(const LatencyHistogram& h) {
   return s;
 }
 
+MetricsRegistry& MetricsRegistry::operator=(const MetricsRegistry& o) {
+  if (this != &o) {
+    std::scoped_lock lock(mu_, o.mu_);
+    values_ = o.values_;
+    histograms_ = o.histograms_;
+  }
+  return *this;
+}
+
 void MetricsRegistry::AddCounter(const std::string& name, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
   values_[name] = static_cast<double>(value);
 }
 
 void MetricsRegistry::AddGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   values_[name] = value;
 }
 
 void MetricsRegistry::AddHistogram(const std::string& name,
                                    const LatencyHistogram& hist) {
+  std::lock_guard<std::mutex> lock(mu_);
   histograms_[name] = HistogramSnapshot::From(hist);
 }
 
@@ -84,6 +96,7 @@ std::string HistJson(const HistogramSnapshot& h) {
 }  // namespace
 
 std::string MetricsRegistry::ToJson(int indent) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string pad(static_cast<size_t>(indent), ' ');
   std::string pad2 = pad + pad;
   std::ostringstream os;
@@ -106,6 +119,7 @@ std::string MetricsRegistry::ToJson(int indent) const {
 }
 
 std::string MetricsRegistry::ToCsv() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os << "metric,value\n";
   for (const auto& [name, value] : values_) {

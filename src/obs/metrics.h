@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "src/obs/latency.h"
@@ -34,8 +35,16 @@ struct HistogramSnapshot {
   static HistogramSnapshot From(const LatencyHistogram& h);
 };
 
+// Thread safety: Add*() and the exporters serialize on an internal mutex so
+// concurrent workers can publish into one registry. The reference accessors
+// (values()/histograms()) remain unsynchronized views for quiesced use —
+// don't walk them while another thread is still adding.
 class MetricsRegistry {
  public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry& o) { *this = o; }
+  MetricsRegistry& operator=(const MetricsRegistry& o);
+
   // Scalar metrics. Counters are integral, gauges are doubles; both land in
   // the same namespace and JSON "metrics" object.
   void AddCounter(const std::string& name, uint64_t value);
@@ -56,6 +65,7 @@ class MetricsRegistry {
   std::string ToCsv() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, double> values_;
   std::map<std::string, HistogramSnapshot> histograms_;
 };

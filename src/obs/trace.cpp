@@ -33,6 +33,9 @@ const char* TraceEventTypeName(TraceEventType type) {
     case TraceEventType::kQuarantine: return "quarantine";
     case TraceEventType::kRollForward: return "roll_forward";
     case TraceEventType::kDegraded: return "degraded";
+    case TraceEventType::kCacheEvict: return "cache_evict";
+    case TraceEventType::kCacheWriteback: return "cache_writeback";
+    case TraceEventType::kCacheFlush: return "cache_flush";
   }
   return "unknown";
 }
@@ -73,28 +76,37 @@ TraceBuffer::TraceBuffer(size_t capacity) : ring_(capacity > 0 ? capacity : 1) {
 
 void TraceBuffer::Emit(TraceEventType type, OpType op, uint64_t ts, uint64_t a,
                        uint64_t b, double t_model) {
-  TraceRecord& r = ring_[emitted_ % ring_.size()];
-  r.seq = emitted_++;
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t seq = emitted_.load(std::memory_order_relaxed);
+  TraceRecord& r = ring_[seq % ring_.size()];
+  r.seq = seq;
   r.ts = ts;
   r.type = static_cast<uint16_t>(type);
   r.op = static_cast<uint16_t>(op);
   r.a = a;
   r.b = b;
   r.t_model = t_model;
+  emitted_.store(seq + 1, std::memory_order_relaxed);
 }
 
 size_t TraceBuffer::size() const {
-  return emitted_ < ring_.size() ? static_cast<size_t>(emitted_) : ring_.size();
+  uint64_t emitted = emitted_.load(std::memory_order_relaxed);
+  return emitted < ring_.size() ? static_cast<size_t>(emitted) : ring_.size();
 }
 
-void TraceBuffer::Clear() { emitted_ = 0; }
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  emitted_.store(0, std::memory_order_relaxed);
+}
 
 std::vector<TraceRecord> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceRecord> out;
-  size_t n = size();
+  uint64_t emitted = emitted_.load(std::memory_order_relaxed);
+  size_t n = emitted < ring_.size() ? static_cast<size_t>(emitted) : ring_.size();
   out.reserve(n);
-  uint64_t first = emitted_ - n;
-  for (uint64_t s = first; s < emitted_; s++) {
+  uint64_t first = emitted - n;
+  for (uint64_t s = first; s < emitted; s++) {
     out.push_back(ring_[s % ring_.size()]);
   }
   return out;

@@ -12,7 +12,9 @@
 #ifndef LFS_OBS_TRACE_H_
 #define LFS_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,6 +42,9 @@ enum class TraceEventType : uint16_t {
   kQuarantine = 10,       // a = segment number
   kRollForward = 11,      // a = segment number, b = partials replayed
   kDegraded = 12,         // entered degraded read-only mode
+  kCacheEvict = 13,       // a = block number, b = dirty (1) / clean (0)
+  kCacheWriteback = 14,   // a = block number, b = run length in blocks
+  kCacheFlush = 15,       // a = dirty blocks written back, b = total frames
 };
 
 // Operation codes for kOpBegin/kOpEnd, shared with the latency histograms
@@ -79,6 +84,11 @@ struct TraceRecord {
   std::string ToString() const;
 };
 
+// Thread safety: Emit serializes slot claims under an internal mutex (a
+// bare fetch-add claim would let a lapped writer tear a slot another thread
+// is still filling), so concurrent emitters are race-free and seq numbers
+// stay dense. Single-threaded emission order — and therefore the serialized
+// trace file — is byte-identical to the lock-free original.
 class TraceBuffer {
  public:
   explicit TraceBuffer(size_t capacity = 1 << 16);
@@ -90,7 +100,7 @@ class TraceBuffer {
   // Records currently retained (== min(emitted, capacity)).
   size_t size() const;
   // Total records ever emitted, including overwritten ones.
-  uint64_t emitted() const { return emitted_; }
+  uint64_t emitted() const { return emitted_.load(std::memory_order_relaxed); }
   void Clear();
 
   // Retained records, oldest first.
@@ -102,8 +112,9 @@ class TraceBuffer {
   static Result<std::vector<TraceRecord>> ReadFile(const std::string& path);
 
  private:
+  mutable std::mutex mu_;
   std::vector<TraceRecord> ring_;
-  uint64_t emitted_ = 0;
+  std::atomic<uint64_t> emitted_{0};
 };
 
 }  // namespace lfs::obs

@@ -29,9 +29,10 @@ struct RetryPolicy {
 // exponentially growing delay between attempts. Returns the first
 // non-kIoError status (usually OK), or the last error once attempts are
 // exhausted. `retries`, if non-null, is incremented once per retry actually
-// performed — wire it to a stats counter.
-template <typename Clock, typename Fn>
-Status RetryWithBackoff(const RetryPolicy& policy, Clock* clock, uint64_t* retries,
+// performed — wire it to a stats counter (plain uint64_t or Relaxed<uint64_t>;
+// the counter type is a template parameter so atomic counters work too).
+template <typename Clock, typename Counter, typename Fn>
+Status RetryWithBackoff(const RetryPolicy& policy, Clock* clock, Counter* retries,
                         Fn&& fn) {
   uint32_t max_attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
   uint64_t delay = policy.backoff_ticks;

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate: diff a directory of BENCH_<name>.json reports
+against checked-in baselines.
+
+    compare_bench.py BASELINE_DIR CURRENT_DIR [--tolerance=0.05]
+                     [--require=bench1,bench2,...]
+
+For every BENCH_*.json in BASELINE_DIR, the same file must exist in
+CURRENT_DIR and agree on every metric within the relative tolerance.
+Rules, matching the BenchReport contract (bench/bench_common.h):
+
+  - Metrics prefixed "wall." are host wall-clock measurements; they vary
+    run to run and machine to machine, so they are never compared.
+  - All other metrics come from the modeled clock / deterministic counters
+    and must satisfy |cur - base| <= tolerance * max(|base|, 1e-12).
+  - Histograms are modeled-time too: the same fields are compared with the
+    same tolerance.
+  - A metric present on only one side is a failure (schema drift is a
+    regression: silently dropped metrics hide silently dropped coverage).
+  - Reports whose "smoke" flags differ refuse to compare: smoke numbers
+    must never be judged against full-run numbers.
+
+--require lists bench names that must be present in CURRENT_DIR even if no
+baseline exists yet (so adding a bench to CI without a baseline is loud).
+
+Exit status: 0 clean, 1 on any regression/missing file/malformed report.
+Only the Python standard library is used.
+"""
+
+import glob
+import json
+import math
+import os
+import sys
+
+HIST_FIELDS = ("count", "mean_us", "p50_us", "p90_us", "p95_us", "p99_us",
+               "min_us", "max_us")
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def close(base, cur, tol):
+    return abs(cur - base) <= tol * max(abs(base), 1e-12)
+
+
+def compare_reports(base_path, cur_path, tol):
+    """Returns a list of human-readable problem strings (empty = clean)."""
+    problems = []
+    try:
+        base = load(base_path)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"baseline unreadable: {e}"]
+    try:
+        cur = load(cur_path)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"current unreadable: {e}"]
+
+    if base.get("smoke") != cur.get("smoke"):
+        return [f"smoke flag mismatch (baseline={base.get('smoke')}, "
+                f"current={cur.get('smoke')}): refusing to compare"]
+
+    bm = base.get("metrics", {})
+    cm = cur.get("metrics", {})
+    gated = lambda k: not k.startswith("wall.")
+    for key in sorted(set(bm) | set(cm)):
+        if not gated(key):
+            continue
+        if key not in cm:
+            problems.append(f"metric dropped: {key} (baseline {bm[key]})")
+        elif key not in bm:
+            problems.append(f"metric added without baseline: {key} = {cm[key]}"
+                            " (regenerate the baseline)")
+        elif not (isinstance(bm[key], (int, float)) and isinstance(cm[key], (int, float))
+                  and math.isfinite(bm[key]) and math.isfinite(cm[key])):
+            problems.append(f"non-finite metric: {key}")
+        elif not close(bm[key], cm[key], tol):
+            problems.append(f"metric regressed: {key} baseline={bm[key]} "
+                            f"current={cm[key]} (tolerance {tol:.1%})")
+
+    bh = base.get("histograms", {})
+    ch = cur.get("histograms", {})
+    for name in sorted(set(bh) | set(ch)):
+        if name not in ch:
+            problems.append(f"histogram dropped: {name}")
+            continue
+        if name not in bh:
+            problems.append(f"histogram added without baseline: {name}")
+            continue
+        for field in HIST_FIELDS:
+            b, c = bh[name].get(field), ch[name].get(field)
+            if b is None or c is None or not close(b, c, tol):
+                problems.append(f"histogram regressed: {name}.{field} "
+                                f"baseline={b} current={c}")
+    return problems
+
+
+def main(argv):
+    tol = 0.05
+    require = []
+    dirs = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tol = float(arg.split("=", 1)[1])
+        elif arg.startswith("--require="):
+            require = [b for b in arg.split("=", 1)[1].split(",") if b]
+        else:
+            dirs.append(arg)
+    if len(dirs) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline_dir, current_dir = dirs
+
+    baselines = sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.json")))
+    if not baselines and not require:
+        print(f"compare_bench: no baselines in {baseline_dir}", file=sys.stderr)
+        return 1
+
+    failed = False
+    for base_path in baselines:
+        name = os.path.basename(base_path)
+        cur_path = os.path.join(current_dir, name)
+        if not os.path.exists(cur_path):
+            print(f"FAIL {name}: missing from {current_dir}")
+            failed = True
+            continue
+        problems = compare_reports(base_path, cur_path, tol)
+        if problems:
+            failed = True
+            print(f"FAIL {name}:")
+            for p in problems:
+                print(f"  {p}")
+        else:
+            print(f"OK   {name}")
+
+    for bench in require:
+        name = f"BENCH_{bench}.json"
+        if not os.path.exists(os.path.join(current_dir, name)):
+            print(f"FAIL {name}: required bench report missing from {current_dir}")
+            failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
