@@ -252,6 +252,25 @@ Status BlockCache::FlushAll() {
   return result;
 }
 
+void BlockCache::Invalidate(BlockNo block, uint64_t count) {
+  for (uint64_t i = 0; i < count; i++) {
+    BlockNo b = block + i;
+    Shard& shard = shards_[ShardOf(b)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.frames.find(b);
+    if (it == shard.frames.end()) {
+      continue;
+    }
+    if (it->second.refcount > 0) {
+      it->second.dirty = false;  // dead contents must not be written back
+      continue;
+    }
+    shard.lru.erase(it->second.lru_it);
+    shard.frames.erase(it);
+    stats_.evictions++;
+  }
+}
+
 void BlockCache::DropClean() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);

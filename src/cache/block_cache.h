@@ -121,6 +121,13 @@ class BlockCache {
   // Drops every clean, unpinned frame (tests and memory-pressure hooks).
   void DropClean();
 
+  // Discards the frames of [block, block + count) without writeback — the
+  // caller has declared the contents dead (TRIM path), so even dirty frames
+  // are dropped rather than flushed. Pinned frames cannot vanish under their
+  // holder; they are marked clean instead so the dead bytes never reach the
+  // device, and evict normally once unpinned.
+  void Invalidate(BlockNo block, uint64_t count);
+
   const BlockCacheStats& stats() const { return stats_; }
   uint64_t capacity_blocks() const { return capacity_; }
   uint32_t shard_count() const { return static_cast<uint32_t>(shards_.size()); }

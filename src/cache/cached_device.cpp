@@ -77,4 +77,10 @@ Status CachedBlockDevice::Flush() {
   return inner_->Flush();
 }
 
+Status CachedBlockDevice::Trim(BlockNo block, uint64_t count) {
+  LFS_RETURN_IF_ERROR(CheckRange(block, count, count * block_size()));
+  cache_.Invalidate(block, count);
+  return inner_->Trim(block, count);
+}
+
 }  // namespace lfs::cache

@@ -54,6 +54,10 @@ class CachedBlockDevice : public BlockDevice {
   // inner device.
   Status Flush() override;
 
+  // Drops the range's frames (even dirty ones — the contents are declared
+  // dead, writing them back would resurrect them) and forwards the trim.
+  Status Trim(BlockNo block, uint64_t count) override;
+
   BlockCache& cache() { return cache_; }
   const BlockCache& cache() const { return cache_; }
   BlockDevice* inner() { return inner_; }

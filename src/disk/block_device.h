@@ -45,6 +45,17 @@ class BlockDevice : public obs::ModeledTimeSource {
   // injection devices use this as a barrier marker.
   virtual Status Flush() = 0;
 
+  // TRIM/discard: declares `count` consecutive blocks starting at `block`
+  // dead — the filesystem no longer cares about their contents. Devices that
+  // can exploit the hint (SsdDisk invalidates the mapped flash pages, caches
+  // drop the frames) do so; everything else validates the range and ignores
+  // it. After a Trim the contents of the range are unspecified: a device may
+  // preserve them (MemDisk) or return zeros (SsdDisk). Never an error to
+  // trim blocks that were never written.
+  virtual Status Trim(BlockNo block, uint64_t count) {
+    return CheckRange(block, count, count * block_size());
+  }
+
   // Convenience single-block forms.
   Status ReadBlock(BlockNo block, std::span<uint8_t> out) { return Read(block, 1, out); }
   Status WriteBlock(BlockNo block, std::span<const uint8_t> data) {

@@ -37,6 +37,19 @@ class CrashDisk : public BlockDevice {
   Status Write(BlockNo block, uint64_t count, std::span<const uint8_t> data) override;
   Status Flush() override;
 
+  // Trims pass through before the crash and are silently discarded after it
+  // (the dead machine's discard commands never reach the device). Trims do
+  // not consume the armed countdown: crash points are counted in writes and
+  // flushes so existing crash-sweep tests keep their meaning.
+  Status Trim(BlockNo block, uint64_t count) override {
+    trims_seen_++;
+    if (crashed_) {
+      trims_dropped_++;
+      return OkStatus();
+    }
+    return backing_->Trim(block, count);
+  }
+
   double ModeledTime() const override { return backing_->ModeledTime(); }
 
   // Crashes after `n` more write or flush operations complete; the (n+1)-th
@@ -64,6 +77,8 @@ class CrashDisk : public BlockDevice {
   uint64_t writes_seen() const { return writes_seen_; }
   uint64_t writes_dropped() const { return writes_dropped_; }
   uint64_t flushes_seen() const { return flushes_seen_; }
+  uint64_t trims_seen() const { return trims_seen_; }
+  uint64_t trims_dropped() const { return trims_dropped_; }
 
   BlockDevice* backing() { return backing_.get(); }
 
@@ -76,6 +91,8 @@ class CrashDisk : public BlockDevice {
   uint64_t writes_seen_ = 0;
   uint64_t writes_dropped_ = 0;
   uint64_t flushes_seen_ = 0;
+  uint64_t trims_seen_ = 0;
+  uint64_t trims_dropped_ = 0;
 };
 
 }  // namespace lfs

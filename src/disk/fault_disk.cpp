@@ -87,4 +87,22 @@ Status FaultDisk::Write(BlockNo block, uint64_t count, std::span<const uint8_t> 
   return OkStatus();
 }
 
+Status FaultDisk::Trim(BlockNo block, uint64_t count) {
+  LFS_RETURN_IF_ERROR(CheckRange(block, count, count * block_size()));
+  counters_.trims++;
+
+  // A controller with failing media may reject the discard command too; a
+  // latent range keeps failing, a scripted fault fails the next attempts.
+  if (TouchesLatent(block, count)) {
+    counters_.trim_faults++;
+    return IoError("latent sector error trimming blocks [" + std::to_string(block) + ", " +
+                   std::to_string(block + count) + ")");
+  }
+  if (ConsumeTransient(&transient_trim_, block, count)) {
+    counters_.trim_faults++;
+    return IoError("transient trim error at block " + std::to_string(block));
+  }
+  return backing_->Trim(block, count);
+}
+
 }  // namespace lfs

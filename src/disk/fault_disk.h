@@ -39,6 +39,8 @@ class FaultDisk : public BlockDevice {
     uint64_t latent_read_faults = 0;
     uint64_t latent_write_faults = 0;
     uint64_t corrupted_reads = 0;        // blocks returned with flipped bits
+    uint64_t trims = 0;                  // trim requests seen
+    uint64_t trim_faults = 0;            // trims failed (scripted or latent)
   };
 
   explicit FaultDisk(std::unique_ptr<BlockDevice> backing, uint64_t seed = 1)
@@ -50,6 +52,7 @@ class FaultDisk : public BlockDevice {
   Status Read(BlockNo block, uint64_t count, std::span<uint8_t> out) override;
   Status Write(BlockNo block, uint64_t count, std::span<const uint8_t> data) override;
   Status Flush() override { return backing_->Flush(); }
+  Status Trim(BlockNo block, uint64_t count) override;
 
   double ModeledTime() const override { return backing_->ModeledTime(); }
 
@@ -60,6 +63,10 @@ class FaultDisk : public BlockDevice {
   }
   void AddTransientWriteFault(BlockNo block, uint32_t fail_count = 1) {
     transient_write_[block] += fail_count;
+  }
+  // The next `fail_count` trims touching `block` fail with kIoError.
+  void AddTransientTrimFault(BlockNo block, uint32_t fail_count = 1) {
+    transient_trim_[block] += fail_count;
   }
 
   // Permanent latent sector errors over [block, block + count): every read
@@ -87,6 +94,7 @@ class FaultDisk : public BlockDevice {
   void ClearAllFaults() {
     transient_read_.clear();
     transient_write_.clear();
+    transient_trim_.clear();
     latent_.clear();
     corrupt_.clear();
     read_fault_rate_ = 0.0;
@@ -107,6 +115,7 @@ class FaultDisk : public BlockDevice {
   Rng rng_;
   std::map<BlockNo, uint32_t> transient_read_;   // block -> remaining failures
   std::map<BlockNo, uint32_t> transient_write_;
+  std::map<BlockNo, uint32_t> transient_trim_;
   std::set<BlockNo> latent_;
   std::set<BlockNo> corrupt_;
   double read_fault_rate_ = 0.0;

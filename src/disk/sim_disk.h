@@ -40,6 +40,11 @@ class SimDisk : public BlockDevice {
   Status Read(BlockNo block, uint64_t count, std::span<uint8_t> out) override;
   Status Write(BlockNo block, uint64_t count, std::span<const uint8_t> data) override;
   Status Flush() override { return backing_->Flush(); }
+  // Trims are free on the timing model (a queued command, no data transfer)
+  // and forward to the backing so an SSD backing can invalidate pages.
+  Status Trim(BlockNo block, uint64_t count) override {
+    return backing_->Trim(block, count);
+  }
 
   // Quiesced snapshot access; concurrent readers should use ModeledTime().
   const DiskStats& stats() const { return stats_; }

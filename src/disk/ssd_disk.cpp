@@ -1,0 +1,309 @@
+#include "src/disk/ssd_disk.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+namespace lfs {
+
+SsdDisk::SsdDisk(uint32_t page_size, uint64_t logical_pages, SsdModelParams params)
+    : params_(params), page_size_(page_size), logical_pages_(logical_pages) {
+  params_.channels = std::max<uint32_t>(1, params_.channels);
+  params_.erase_block_pages = std::max<uint32_t>(1, params_.erase_block_pages);
+  params_.gc_reserve_erase_blocks = std::max<uint32_t>(1, params_.gc_reserve_erase_blocks);
+  params_.open_erase_blocks = std::max<uint32_t>(1, params_.open_erase_blocks);
+
+  const uint64_t ebp = params_.erase_block_pages;
+  uint64_t logical_ebs = (logical_pages_ + ebp - 1) / ebp;
+  uint64_t target =
+      static_cast<uint64_t>(static_cast<double>(logical_pages_) * (1.0 + params_.over_provision));
+  // Floor: every logical page mapped, the GC reserve intact, and one block
+  // per concurrently open frontier (host streams + GC's own).
+  uint64_t physical_ebs = std::max(
+      (target + ebp - 1) / ebp,
+      logical_ebs + params_.gc_reserve_erase_blocks + params_.open_erase_blocks + 1);
+  physical_pages_ = physical_ebs * ebp;
+
+  flash_.assign(physical_pages_ * size_t{page_size_}, 0);
+  l2p_.assign(logical_pages_, kUnmapped);
+  p2l_.assign(physical_pages_, kUnmapped);
+  erase_blocks_.assign(physical_ebs, EraseBlock{});
+  for (uint32_t eb = 0; eb < physical_ebs; eb++) {
+    free_ebs_.push_back(eb);
+  }
+  channel_free_.assign(params_.channels, 0.0);
+  host_open_.assign(params_.open_erase_blocks, OpenBlock{});
+}
+
+double SsdDisk::QueuePageOp(uint64_t phys_page, double start, double sec) {
+  uint32_t ch = ChannelOf(phys_page / params_.erase_block_pages);
+  channel_free_[ch] = std::max(channel_free_[ch], start) + sec;
+  return channel_free_[ch];
+}
+
+void SsdDisk::CloseRequest(double start, double done) {
+  double service = params_.per_request_overhead_sec + (done - start);
+  stats_.busy_sec += service;
+  now_ = start + service;
+}
+
+void SsdDisk::InvalidatePage(uint64_t logical) {
+  uint64_t phys = l2p_[logical];
+  if (phys == kUnmapped) {
+    return;
+  }
+  l2p_[logical] = kUnmapped;
+  p2l_[phys] = kUnmapped;
+  erase_blocks_[phys / params_.erase_block_pages].valid--;
+}
+
+uint64_t SsdDisk::OpenSlack() const {
+  const uint32_t ebp = params_.erase_block_pages;
+  uint64_t slack = gc_open_.eb != UINT32_MAX ? ebp - gc_open_.next_page : 0;
+  for (const OpenBlock& slot : host_open_) {
+    if (slot.eb != UINT32_MAX) {
+      slack += ebp - slot.next_page;
+    }
+  }
+  return slack;
+}
+
+void SsdDisk::RunGc(double start, double* done) {
+  const uint32_t ebp = params_.erase_block_pages;
+  // Bounded: each pass erases one block, and the pool cannot need more
+  // passes than blocks exist (the cap guards a mis-parameterized device).
+  for (size_t pass = 0; pass < 2 * erase_blocks_.size(); pass++) {
+    if (free_ebs_.size() >= params_.gc_reserve_erase_blocks) {
+      return;
+    }
+    // Greedy victim: the closed erase block with the fewest valid pages
+    // (lowest index on ties, for determinism).
+    uint32_t victim = UINT32_MAX;
+    for (uint32_t eb = 0; eb < erase_blocks_.size(); eb++) {
+      if (erase_blocks_[eb].state == EbState::kClosed &&
+          (victim == UINT32_MAX || erase_blocks_[eb].valid < erase_blocks_[victim].valid)) {
+        victim = eb;
+      }
+    }
+    if (victim == UINT32_MAX || erase_blocks_[victim].valid >= ebp) {
+      return;  // nothing reclaimable: erasing would free no net space
+    }
+    // Relocation must not strand the victim half-emptied: require room for
+    // every survivor before starting (GC writes only into its own stream).
+    uint64_t room = free_ebs_.size() * uint64_t{ebp} +
+                    (gc_open_.eb != UINT32_MAX ? ebp - gc_open_.next_page : 0);
+    if (room < erase_blocks_[victim].valid) {
+      return;
+    }
+    for (uint32_t i = 0; i < ebp; i++) {
+      uint64_t src = uint64_t{victim} * ebp + i;
+      uint64_t logical = p2l_[src];
+      if (logical == kUnmapped) {
+        continue;
+      }
+      // Open the next free erase block directly — GC never re-enters itself.
+      if (gc_open_.eb == UINT32_MAX || gc_open_.next_page == ebp) {
+        if (gc_open_.eb != UINT32_MAX) {
+          erase_blocks_[gc_open_.eb].state = EbState::kClosed;
+        }
+        gc_open_.eb = free_ebs_.front();
+        free_ebs_.pop_front();
+        erase_blocks_[gc_open_.eb].state = EbState::kOpen;
+        gc_open_.next_page = 0;
+      }
+      uint64_t dst = uint64_t{gc_open_.eb} * ebp + gc_open_.next_page++;
+      *done = std::max(*done, QueuePageOp(src, start, params_.read_page_sec));
+      *done = std::max(*done, QueuePageOp(dst, start, params_.program_page_sec));
+      std::memcpy(&flash_[dst * page_size_], &flash_[src * page_size_], page_size_);
+      l2p_[logical] = dst;
+      p2l_[dst] = logical;
+      p2l_[src] = kUnmapped;
+      erase_blocks_[victim].valid--;
+      erase_blocks_[gc_open_.eb].valid++;
+      stats_.pages_programmed_gc++;
+    }
+    *done = std::max(*done, QueuePageOp(uint64_t{victim} * ebp, start, params_.erase_block_sec));
+    erase_blocks_[victim].state = EbState::kFree;
+    erase_blocks_[victim].erase_count++;
+    stats_.erases++;
+    free_ebs_.push_back(victim);
+  }
+}
+
+bool SsdDisk::OpenFresh(OpenBlock* slot, bool is_gc, double start, double* done) {
+  if (slot->eb != UINT32_MAX) {
+    erase_blocks_[slot->eb].state = EbState::kClosed;
+    slot->eb = UINT32_MAX;
+  }
+  if (!is_gc && free_ebs_.size() < params_.gc_reserve_erase_blocks) {
+    RunGc(start, done);
+  }
+  if (free_ebs_.empty()) {
+    return false;
+  }
+  slot->eb = free_ebs_.front();
+  free_ebs_.pop_front();
+  erase_blocks_[slot->eb].state = EbState::kOpen;
+  slot->next_page = 0;
+  return true;
+}
+
+uint64_t SsdDisk::AllocPage(uint64_t lpn, double start, double* done) {
+  const uint32_t ebp = params_.erase_block_pages;
+  // Sequential-stream detection: a write continuing a stream keeps filling
+  // that stream's open block, so independent sequential streams (an LFS's
+  // hot and cold logs, say) stay in separate erase blocks. Non-continuing
+  // writes take an idle slot, else evict the least-recently-used stream.
+  OpenBlock* slot = nullptr;
+  for (OpenBlock& s : host_open_) {
+    if (s.eb != UINT32_MAX && s.expect_lpn == lpn) {
+      slot = &s;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    for (OpenBlock& s : host_open_) {
+      if (s.eb == UINT32_MAX) {
+        slot = &s;
+        break;
+      }
+    }
+  }
+  if (slot == nullptr) {
+    slot = &host_open_[0];
+    for (OpenBlock& s : host_open_) {
+      if (s.last_use < slot->last_use) {
+        slot = &s;
+      }
+    }
+  }
+  if (slot->eb == UINT32_MAX || slot->next_page == ebp) {
+    if (!OpenFresh(slot, /*is_gc=*/false, start, done)) {
+      return kUnmapped;
+    }
+  }
+  slot->expect_lpn = lpn + 1;
+  slot->last_use = ++stream_clock_;
+  return uint64_t{slot->eb} * ebp + slot->next_page++;
+}
+
+Status SsdDisk::Read(BlockNo block, uint64_t count, std::span<uint8_t> out) {
+  LFS_RETURN_IF_ERROR(CheckRange(block, count, out.size()));
+  std::lock_guard<std::mutex> lock(mu_);
+  double start = now_;
+  double done = start;
+  for (uint64_t i = 0; i < count; i++) {
+    std::span<uint8_t> slot = out.subspan(i * page_size_, page_size_);
+    uint64_t phys = l2p_[block + i];
+    if (phys == kUnmapped) {
+      // Never written (or trimmed): flash has no mapping, the controller
+      // synthesizes zeros without touching a channel.
+      std::memset(slot.data(), 0, slot.size());
+      continue;
+    }
+    done = std::max(done, QueuePageOp(phys, start, params_.read_page_sec));
+    std::memcpy(slot.data(), &flash_[phys * page_size_], page_size_);
+  }
+  stats_.reads++;
+  stats_.bytes_read += count * page_size_;
+  CloseRequest(start, done);
+  return OkStatus();
+}
+
+Status SsdDisk::Write(BlockNo block, uint64_t count, std::span<const uint8_t> data) {
+  LFS_RETURN_IF_ERROR(CheckRange(block, count, data.size()));
+  std::lock_guard<std::mutex> lock(mu_);
+  double start = now_;
+  double done = start;
+  for (uint64_t i = 0; i < count; i++) {
+    InvalidatePage(block + i);
+    uint64_t phys = AllocPage(block + i, start, &done);
+    if (phys == kUnmapped) {
+      uint64_t mapped = 0;
+      for (uint64_t p : l2p_) {
+        mapped += p != kUnmapped;
+      }
+      uint64_t closed = 0, closed_valid = 0, full = 0;
+      for (const EraseBlock& eb : erase_blocks_) {
+        if (eb.state == EbState::kClosed) {
+          closed++;
+          closed_valid += eb.valid;
+          full += eb.valid >= params_.erase_block_pages;
+        }
+      }
+      return IoError("ssd: no erasable space for write at block " +
+                     std::to_string(block + i) + " (mapped " + std::to_string(mapped) +
+                     "/" + std::to_string(logical_pages_) + " logical, " +
+                     std::to_string(physical_pages_) + " physical, " +
+                     std::to_string(free_ebs_.size()) + " free ebs, " +
+                     std::to_string(closed) + " closed holding " +
+                     std::to_string(closed_valid) + " valid, " + std::to_string(full) +
+                     " full)");
+    }
+    std::memcpy(&flash_[phys * page_size_], data.subspan(i * page_size_, page_size_).data(),
+                page_size_);
+    l2p_[block + i] = phys;
+    p2l_[phys] = block + i;
+    erase_blocks_[phys / params_.erase_block_pages].valid++;
+    done = std::max(done, QueuePageOp(phys, start, params_.program_page_sec));
+    stats_.pages_programmed_host++;
+  }
+  stats_.writes++;
+  stats_.bytes_written += count * page_size_;
+  CloseRequest(start, done);
+  return OkStatus();
+}
+
+Status SsdDisk::Trim(BlockNo block, uint64_t count) {
+  LFS_RETURN_IF_ERROR(CheckRange(block, count, count * block_size()));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint64_t i = 0; i < count; i++) {
+    if (l2p_[block + i] != kUnmapped) {
+      stats_.pages_trimmed++;
+    }
+    InvalidatePage(block + i);
+  }
+  stats_.trims++;
+  // A discard is a queued command with no data transfer: overhead only.
+  CloseRequest(now_, now_);
+  return OkStatus();
+}
+
+uint32_t SsdDisk::erase_count(uint32_t erase_block) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return erase_block < erase_blocks_.size() ? erase_blocks_[erase_block].erase_count : 0;
+}
+
+uint32_t SsdDisk::min_erase_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t m = UINT32_MAX;
+  for (const EraseBlock& eb : erase_blocks_) {
+    m = std::min(m, eb.erase_count);
+  }
+  return erase_blocks_.empty() ? 0 : m;
+}
+
+uint32_t SsdDisk::max_erase_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t m = 0;
+  for (const EraseBlock& eb : erase_blocks_) {
+    m = std::max(m, eb.erase_count);
+  }
+  return m;
+}
+
+uint64_t SsdDisk::free_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_ebs_.size() * uint64_t{params_.erase_block_pages} + OpenSlack();
+}
+
+uint64_t SsdDisk::mapped_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (uint64_t p : l2p_) {
+    n += p != kUnmapped ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace lfs

@@ -1,0 +1,193 @@
+// SsdDisk: a flash SSD BlockDevice — the device the paper could not buy in
+// 1991. Where DiskModel charges seek + rotation + transfer, flash charges
+// none of that: reads and programs cost fixed per-page latencies, requests
+// spread across independent channels, and the real cost structure lives in
+// the erase-block granularity — pages program once, whole erase blocks
+// erase, and the FTL's garbage collection relocates still-valid pages,
+// multiplying every host write (write amplification).
+//
+// The model is a page-mapped FTL:
+//   - One logical block = one flash page. The device advertises
+//     `logical_pages` blocks; physically it holds more (over-provisioning),
+//     rounded up to whole erase blocks.
+//   - Writes append into one of `open_erase_blocks` concurrently open erase
+//     blocks, routed by sequential-stream detection: a write whose logical
+//     address continues a stream keeps filling that stream's block, so
+//     distinct sequential streams (e.g. an LFS's hot and cold logs) land in
+//     distinct erase blocks instead of interleaving. The old physical page
+//     of an overwritten logical block is invalidated in place.
+//   - When the free-erase-block pool drops below a reserve, greedy GC picks
+//     the closed erase block with the fewest valid pages (lowest index on
+//     ties), relocates the survivors into GC's own dedicated open block
+//     (host and GC streams never mix), and erases it.
+//   - Trim unmaps the logical range, turning future overwrites of those
+//     blocks free for GC. Reads of unmapped pages return zeros (OkStatus).
+//
+// Timing is deterministic off a modeled clock: each page operation queues on
+// the channel its erase block stripes to (per-channel busy-until clocks), so
+// an n-page request over k channels takes ~n/k page times plus a fixed
+// per-request overhead. Erases queue on the victim's channel. All counters
+// (host/GC programs, erases per block, write amplification) are exported via
+// obs::BindSsdDisk.
+
+#ifndef LFS_DISK_SSD_DISK_H_
+#define LFS_DISK_SSD_DISK_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "src/disk/block_device.h"
+
+namespace lfs {
+
+struct SsdModelParams {
+  uint32_t channels = 4;             // independent flash channels
+  uint32_t erase_block_pages = 64;   // pages per erase block
+  double read_page_sec = 50e-6;      // flash page read
+  double program_page_sec = 200e-6;  // flash page program
+  double erase_block_sec = 2e-3;     // whole erase-block erase
+  double per_request_overhead_sec = 20e-6;  // controller/command cost
+  // Physical capacity = logical * (1 + over_provision), rounded up to whole
+  // erase blocks and never less than logical + gc_reserve + 1 blocks — the
+  // slack GC converts into relocation headroom.
+  double over_provision = 0.15;
+  uint32_t gc_reserve_erase_blocks = 2;  // GC runs below this free pool
+  // Concurrently open erase blocks for host writes (GC always has one more
+  // of its own). Each open block tracks the sequential stream feeding it;
+  // a write that continues no stream takes an idle slot, or evicts the
+  // least-recently-used one. Multi-stream writing is what lets a flash
+  // device keep independent host write streams physically separated.
+  uint32_t open_erase_blocks = 4;
+
+  // A mid-range SATA drive circa 2010: the default parameter set.
+  static SsdModelParams Sata2010() { return SsdModelParams{}; }
+};
+
+// Counter family for the flash backend. Snapshot under the device mutex via
+// stats(); quiesce before walking it from another thread.
+struct SsdStats {
+  uint64_t reads = 0;   // read requests
+  uint64_t writes = 0;  // write requests
+  uint64_t trims = 0;   // trim requests
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t pages_programmed_host = 0;  // programs on behalf of host writes
+  uint64_t pages_programmed_gc = 0;    // programs relocating GC survivors
+  uint64_t pages_trimmed = 0;          // mapped pages invalidated by Trim
+  uint64_t erases = 0;                 // erase-block erases
+  double busy_sec = 0.0;               // total modeled service time
+
+  // (host + GC programs) / host programs; 1.0 before any host write. The
+  // Lomet & Luo first-class metric for log-store space reclamation.
+  double WriteAmplification() const {
+    return pages_programmed_host == 0
+               ? 1.0
+               : static_cast<double>(pages_programmed_host + pages_programmed_gc) /
+                     static_cast<double>(pages_programmed_host);
+  }
+};
+
+class SsdDisk : public BlockDevice {
+ public:
+  SsdDisk(uint32_t page_size, uint64_t logical_pages,
+          SsdModelParams params = SsdModelParams::Sata2010());
+
+  uint32_t block_size() const override { return page_size_; }
+  uint64_t block_count() const override { return logical_pages_; }
+
+  Status Read(BlockNo block, uint64_t count, std::span<uint8_t> out) override;
+  Status Write(BlockNo block, uint64_t count, std::span<const uint8_t> data) override;
+  Status Trim(BlockNo block, uint64_t count) override;
+  Status Flush() override { return OkStatus(); }
+
+  double ModeledTime() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_.busy_sec;
+  }
+
+  // Quiesced snapshot access (the device serializes internally; read these
+  // only after the workload settles).
+  SsdStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  // Zeroes the counters (per-block erase wear is kept): benches reset after
+  // their fill phase so the numbers cover steady-state churn only.
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = SsdStats{};
+  }
+  const SsdModelParams& params() const { return params_; }
+
+  uint32_t erase_block_count() const { return static_cast<uint32_t>(erase_blocks_.size()); }
+  uint32_t erase_count(uint32_t erase_block) const;
+  uint32_t min_erase_count() const;
+  uint32_t max_erase_count() const;
+  uint64_t free_pages() const;    // unwritten pages in free + open erase blocks
+  uint64_t mapped_pages() const;  // logical pages currently holding data
+
+ private:
+  enum class EbState : uint8_t { kFree, kOpen, kClosed };
+
+  struct EraseBlock {
+    EbState state = EbState::kFree;
+    uint32_t valid = 0;        // mapped pages inside
+    uint32_t erase_count = 0;  // wear
+  };
+
+  static constexpr uint64_t kUnmapped = UINT64_MAX;
+
+  uint32_t ChannelOf(uint64_t erase_block) const {
+    return static_cast<uint32_t>(erase_block % params_.channels);
+  }
+  // Queues one page operation of `sec` on the page's channel starting no
+  // earlier than `start`; returns that channel's new completion time.
+  double QueuePageOp(uint64_t phys_page, double start, double sec);
+  // Finishes a request that dispatched work up to `done`: charges service
+  // time, advances the modeled clock.
+  void CloseRequest(double start, double done);
+
+  // One write frontier: an open erase block plus the sequential stream
+  // feeding it (`expect_lpn` is the logical page that would continue it).
+  struct OpenBlock {
+    uint32_t eb = UINT32_MAX;       // open erase block (UINT32_MAX = none)
+    uint32_t next_page = 0;         // next unwritten page index within it
+    uint64_t expect_lpn = UINT64_MAX;  // lpn continuing this stream
+    uint64_t last_use = 0;          // LRU stamp for slot eviction
+  };
+
+  void InvalidatePage(uint64_t logical);   // drop the l2p/p2l mapping
+  // Next physical page for host write `lpn` on the stream it matches;
+  // triggers GC as needed. kUnmapped when out of erasable space.
+  uint64_t AllocPage(uint64_t lpn, double start, double* done);
+  // Opens a fresh erase block in `slot` (closing its current one), running
+  // GC first when the free pool is at reserve. False if none is available.
+  bool OpenFresh(OpenBlock* slot, bool is_gc, double start, double* done);
+  void RunGc(double start, double* done);
+  uint64_t OpenSlack() const;  // unwritten pages across all open blocks
+
+  mutable std::mutex mu_;
+  SsdModelParams params_;
+  uint32_t page_size_;
+  uint64_t logical_pages_;
+  uint64_t physical_pages_;
+
+  std::vector<uint8_t> flash_;    // physical page contents
+  std::vector<uint64_t> l2p_;     // logical page -> physical page (kUnmapped)
+  std::vector<uint64_t> p2l_;     // physical page -> logical page (kUnmapped)
+  std::vector<EraseBlock> erase_blocks_;
+  std::deque<uint32_t> free_ebs_;  // FIFO of erased erase blocks
+  std::vector<OpenBlock> host_open_;  // host write streams
+  OpenBlock gc_open_;                 // GC relocation stream
+  uint64_t stream_clock_ = 0;         // LRU counter for stream slots
+
+  std::vector<double> channel_free_;  // per-channel busy-until clocks
+  double now_ = 0.0;                  // modeled request-arrival clock
+  SsdStats stats_;
+};
+
+}  // namespace lfs
+
+#endif  // LFS_DISK_SSD_DISK_H_

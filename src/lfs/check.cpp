@@ -59,6 +59,32 @@ class Checker {
 
   Superblock sb_;
   Checkpoint ck_;
+  // Is `seg` a recorded append point (log 0's tail or any multi-log extra
+  // tail)? Tail segments may legitimately end in a torn partial and carry an
+  // approximate usage count.
+  bool IsTailSegment(SegNo seg) const {
+    if (seg == ck_.cur_segment) {
+      return true;
+    }
+    for (const auto& [tseg, toff] : ck_.extra_logs) {
+      if (tseg == seg) {
+        return true;
+      }
+    }
+    return false;
+  }
+  // The recorded append offset for a tail segment (segment_blocks otherwise).
+  uint32_t TailOffset(SegNo seg) const {
+    if (seg == ck_.cur_segment) {
+      return ck_.cur_offset;
+    }
+    for (const auto& [tseg, toff] : ck_.extra_logs) {
+      if (tseg == seg) {
+        return toff;
+      }
+    }
+    return sb_.segment_blocks;
+  }
   std::vector<ImapEntry> imap_;
   std::vector<SegUsageEntry> usage_;
   std::map<BlockNo, std::string> claimed_;
@@ -111,6 +137,14 @@ Status Checker::LoadCheckpoint() {
   }
   if (ck_.cur_segment >= sb_.nsegments || ck_.cur_offset > sb_.segment_blocks) {
     Error("checkpoint log tail out of range: segment " + std::to_string(ck_.cur_segment));
+  }
+  for (const auto& [seg, off] : ck_.extra_logs) {
+    if (seg == kNilSeg) {
+      continue;  // the log had not opened a segment yet
+    }
+    if (seg >= sb_.nsegments || off > sb_.segment_blocks) {
+      Error("checkpoint extra log tail out of range: segment " + std::to_string(seg));
+    }
   }
   return OkStatus();
 }
@@ -464,7 +498,7 @@ Status Checker::CheckSegmentChains() {
         }
         if (Crc32(payload) != sum->payload_crc) {
           // Only the log tail may legitimately hold a torn partial write.
-          if (seg == ck_.cur_segment && offset >= ck_.cur_offset) {
+          if (IsTailSegment(seg) && offset >= TailOffset(seg)) {
             Warn("torn partial write in the log tail (recoverable)");
           } else if (quarantined) {
             Warn("quarantined segment " + std::to_string(seg) +
@@ -499,9 +533,8 @@ void Checker::CheckUsageTable() {
       // self-reference makes the active segment approximate; a quarantined
       // segment's count reflects blocks the checker may not have been able
       // to walk. Everything else should match what the checkpoint recorded.
-      if (seg == ck_.cur_segment || usage_[seg].state == SegState::kQuarantined) {
-        const char* kind =
-            seg == ck_.cur_segment ? "active" : "quarantined";
+      if (IsTailSegment(seg) || usage_[seg].state == SegState::kQuarantined) {
+        const char* kind = IsTailSegment(seg) ? "active" : "quarantined";
         Warn(std::string(kind) + " segment " + std::to_string(seg) +
              " live bytes: table " + std::to_string(table) + " vs actual " +
              std::to_string(actual));

@@ -47,6 +47,31 @@ struct LfsConfig {
   // always has space to compact into.
   uint32_t reserve_segments = 4;
 
+  // Log append points (flash-era hot/cold segregation). 1 = the classic
+  // single log, byte-identical to the original layout. With N > 1 the
+  // segment writer classifies blocks at write time: metadata and young data
+  // fill log 0, progressively older data fills logs 1..N-1, so cleaner
+  // survivors stop remixing into hot segments and per-temperature segment
+  // populations emerge (SSDFS's multi-head argument; shrinks both LFS write
+  // cost and device-level write amplification on SSDs).
+  uint32_t num_logs = 1;
+
+  // Multi-log only (ignored when num_logs == 1): the cleaner declines
+  // victims whose live fraction is at or above this bar, unless nothing
+  // else is cleanable. Under the classic single log, compacting a nearly
+  // full old segment still pays — it sorts cold data together so future
+  // cleanings skip it. With write-time segregation that sorting already
+  // happened, so re-copying a nearly full cold segment buys almost no free
+  // space and no better layout; worse, the copy keeps the blocks' old
+  // mtimes, so cost-benefit's age term would pick the freshly compacted
+  // segment again and again (a cold-data copy storm). 1.0 disables the bar.
+  double multilog_victim_max_u = 0.85;
+
+  // Issue BlockDevice::Trim for segments that turn clean, after the next
+  // checkpoint makes the free durable. Free on devices that ignore it;
+  // lets an SSD backend drop dead flash pages instead of copying them in GC.
+  bool trim_on_free = true;
+
   // Dirty file data is buffered in memory and written in segment-sized
   // batches (Section 2.1's write buffering). A flush is forced once this
   // many dirty blocks accumulate.

@@ -244,6 +244,8 @@ void SegUsageEntry::EncodeTo(std::span<uint8_t> out) const {
   enc.PutU32(live_bytes);
   enc.PutU64(last_write);
   enc.PutU8(static_cast<uint8_t>(state));
+  enc.PutU8(log_id);
+  enc.PutU16(reuse_count);
   enc.PadTo(kUsageEntrySize);
   std::memcpy(out.data(), buf.data(), kUsageEntrySize);
 }
@@ -254,6 +256,8 @@ SegUsageEntry SegUsageEntry::DecodeFrom(std::span<const uint8_t> in) {
   e.live_bytes = dec.GetU32();
   e.last_write = dec.GetU64();
   e.state = static_cast<SegState>(dec.GetU8());
+  e.log_id = dec.GetU8();
+  e.reuse_count = dec.GetU16();
   return e;
 }
 
@@ -290,6 +294,19 @@ void Checkpoint::EncodeTo(std::span<uint8_t> region) const {
   }
   for (BlockNo b : usage_chunk_addr) {
     enc.PutU64(b);
+  }
+  // Multi-log extension: only emitted when extra logs exist (single-log
+  // checkpoints keep their exact legacy bytes) and only when the region's
+  // rounding slack can hold it — if not, the records are dropped and mount
+  // simply re-acquires clean segments for the extra logs.
+  if (!extra_logs.empty() &&
+      buf.size() + 8 + 8ull * extra_logs.size() <= region.size() - kCheckpointTrailerSize) {
+    enc.PutU32(kMultiLogMagic);
+    enc.PutU32(static_cast<uint32_t>(extra_logs.size()));
+    for (const auto& [seg, off] : extra_logs) {
+      enc.PutU32(seg);
+      enc.PutU32(off);
+    }
   }
   enc.PadTo(region.size() - kCheckpointTrailerSize);
   // Trailer: the checkpoint sequence again plus a CRC over the body. A torn
@@ -330,6 +347,21 @@ Result<Checkpoint> Checkpoint::DecodeFrom(std::span<const uint8_t> region) {
   ck.usage_chunk_addr.reserve(n_usage);
   for (uint32_t i = 0; i < n_usage; i++) {
     ck.usage_chunk_addr.push_back(dec.GetU64());
+  }
+  // Optional multi-log extension behind a sub-magic; the padding after the
+  // chunk tables is zero otherwise, so a legacy region can never match.
+  if (body_size - dec.pos() >= 8) {
+    Decoder peek(region.subspan(dec.pos(), body_size - dec.pos()));
+    if (peek.GetU32() == kMultiLogMagic) {
+      uint32_t n_extra = peek.GetU32();
+      if (peek.ok() && 8ull * n_extra <= peek.remaining()) {
+        for (uint32_t i = 0; i < n_extra; i++) {
+          SegNo seg = peek.GetU32();
+          uint32_t off = peek.GetU32();
+          ck.extra_logs.emplace_back(seg, off);
+        }
+      }
+    }
   }
   Decoder trailer(region.subspan(body_size));
   uint64_t seq_echo = trailer.GetU64();

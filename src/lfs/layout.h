@@ -47,6 +47,7 @@ inline constexpr uint32_t kSuperMagic = 0x4C465331;       // "LFS1"
 inline constexpr uint32_t kSummaryMagic = 0x53554D31;     // "SUM1"
 inline constexpr uint32_t kCheckpointMagic = 0x434B5031;  // "CKP1"
 inline constexpr uint32_t kDirLogMagic = 0x444C4F31;      // "DLO1"
+inline constexpr uint32_t kMultiLogMagic = 0x4D4C4731;    // "MLG1" (checkpoint extension)
 
 // Serialized sizes.
 inline constexpr uint32_t kInodeSlotSize = 160;       // bytes per inode in an inode block
@@ -188,10 +189,17 @@ enum class SegState : uint8_t {
 };
 
 // Per-segment entry of the segment usage table (Table 1, Section 3.6).
+// log_id and reuse_count live in previously zero spare bytes of the 16-byte
+// slot, so legacy images decode to the (0, 0) defaults and single-log images
+// stay byte-identical.
 struct SegUsageEntry {
   uint32_t live_bytes = 0;
   uint64_t last_write = 0;  // most recent mtime of data written to the segment
   SegState state = SegState::kClean;
+  uint8_t log_id = 0;        // append point that last filled the segment
+                             // (0 = metadata/hot, higher = colder)
+  uint16_t reuse_count = 0;  // clean->active cycles: the filesystem-level
+                             // erase count (wear proxy on flash)
 
   void EncodeTo(std::span<uint8_t> out) const;  // kUsageEntrySize bytes
   static SegUsageEntry DecodeFrom(std::span<const uint8_t> in);
@@ -213,6 +221,12 @@ struct Checkpoint {
   uint64_t clock = 1;            // logical clock restore value
   std::vector<BlockNo> imap_chunk_addr;   // imap_chunks entries (kNilBlock = none)
   std::vector<BlockNo> usage_chunk_addr;  // usage_chunks entries
+
+  // Append points of the extra logs (logs 1..N-1) in multi-log mode, as
+  // (segment, next free offset) pairs. Encoded after the chunk tables behind
+  // a sub-magic, only when non-empty — a single-log checkpoint's bytes are
+  // unchanged, and legacy regions (zero padding there) decode to empty.
+  std::vector<std::pair<SegNo, uint32_t>> extra_logs;
 
   // Encodes into a whole checkpoint region (cr_blocks * block_size bytes).
   void EncodeTo(std::span<uint8_t> region) const;

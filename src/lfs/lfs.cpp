@@ -18,7 +18,7 @@ LfsFileSystem::LfsFileSystem(BlockDevice* device, const LfsConfig& cfg, const Su
       imap_(sb.max_inodes, sb.imap_entries_per_chunk()),
       usage_(sb.nsegments, sb.segment_bytes(), sb.usage_entries_per_chunk()),
       writer_(device, &sb_, &usage_, &stats_, cfg.reserve_segments, &clock_,
-              retry_policy_, &obs_),
+              retry_policy_, &obs_, cfg.num_logs),
       debug_cleaner_(getenv("LFS_DEBUG_CLEANER") != nullptr) {}
 
 LfsFileSystem::~LfsFileSystem() { StopCleanerThread(); }
@@ -223,8 +223,13 @@ Result<std::unique_ptr<LfsFileSystem>> LfsFileSystem::Mount(BlockDevice* device,
   // they are in the protected-segment set, so neither the zero-live sweep nor
   // segment reuse can touch them, and the cleaner verifies liveness block by
   // block anyway.)
-  LFS_RETURN_IF_ERROR(fs->RecomputeSegmentUsage(fs->writer_.current_segment(),
-                                                fs->writer_.current_offset()));
+  for (uint32_t log = 0; log < fs->writer_.num_logs(); log++) {
+    SegNo seg = fs->writer_.log_segment(log);
+    if (seg == kNilSeg) {
+      continue;
+    }
+    LFS_RETURN_IF_ERROR(fs->RecomputeSegmentUsage(seg, fs->writer_.log_offset(log)));
+  }
   if (cfg.concurrent && !fs->read_only_) {
     fs->StartCleanerThread();
   }
@@ -281,6 +286,29 @@ Status LfsFileSystem::LoadFromCheckpoint(const Checkpoint& ck) {
   if (usage_.Get(ck.cur_segment).state != SegState::kActive) {
     usage_.SetState(ck.cur_segment, SegState::kActive);
   }
+  // Extra append points (multi-log checkpoints). Entry i belongs to log i+1.
+  // Entries beyond the mounted num_logs — or recorded as nil — have no
+  // writer position; if the usage table still calls such a segment active
+  // (it was an append point when the checkpoint was taken), demote it to
+  // dirty so the cleaner can eventually reclaim it.
+  for (size_t i = 0; i < ck.extra_logs.size(); i++) {
+    auto [seg, off] = ck.extra_logs[i];
+    uint32_t log = static_cast<uint32_t>(i) + 1;
+    if (seg == kNilSeg || seg >= sb_.nsegments) {
+      continue;
+    }
+    if (off > sb_.segment_blocks) {
+      return CorruptionError("checkpoint: log tail out of range");
+    }
+    if (log < writer_.num_logs()) {
+      writer_.InitLog(log, seg, off);
+      if (usage_.Get(seg).state != SegState::kActive) {
+        usage_.SetState(seg, SegState::kActive);
+      }
+    } else if (usage_.Get(seg).state == SegState::kActive) {
+      usage_.SetState(seg, SegState::kDirty);
+    }
+  }
   return OkStatus();
 }
 
@@ -327,7 +355,12 @@ Status LfsFileSystem::FlushMetadataChunks() {
   // settle all old-address decrements to a fixpoint, then serialize. The
   // residual imprecision (the active segment's own count growing while its
   // chunk is serialized) is repaired at mount by RecomputeSegmentUsage.
-  usage_.MarkChunkDirty(usage_.chunk_of(writer_.current_segment()));
+  for (uint32_t log = 0; log < writer_.num_logs(); log++) {
+    SegNo seg = writer_.log_segment(log);
+    if (seg != kNilSeg) {
+      usage_.MarkChunkDirty(usage_.chunk_of(seg));
+    }
+  }
   std::set<uint32_t> subbed;
   for (;;) {
     bool progress = false;
@@ -393,6 +426,12 @@ Status LfsFileSystem::WriteCheckpointRegion() {
   for (uint32_t c = 0; c < usage_.chunk_count(); c++) {
     ck.usage_chunk_addr[c] = usage_.chunk_addr(c);
   }
+  // Multi-log append points (logs 1..N-1; log 0 is cur_segment/cur_offset).
+  // Single-log filesystems record nothing, keeping the region byte-identical
+  // to the legacy layout.
+  for (uint32_t log = 1; log < writer_.num_logs(); log++) {
+    ck.extra_logs.emplace_back(writer_.log_segment(log), writer_.log_offset(log));
+  }
 
   std::vector<uint8_t> region(size_t{sb_.cr_blocks} * sb_.block_size);
   ck.EncodeTo(region);
@@ -428,9 +467,31 @@ Status LfsFileSystem::WriteCheckpointRegion() {
   cr_hosts_[wrote_region] = ChunkHostSegments();
   cr_next_ = 1 - wrote_region;
   ckpt_boundary_seq_ = ck.next_summary_seq;
+  TrimFreedSegments();  // the frees are durable now
   LFS_TRACE(obs_.tracer(), obs::TraceEventType::kCheckpointEnd, obs::OpType::kNone,
             clock_.Now(), wrote_region, 1, device_->ModeledTime());
   return OkStatus();
+}
+
+void LfsFileSystem::TrimFreedSegments() {
+  // Drain unconditionally so the freed list cannot grow without bound; only
+  // issue the trims when configured. A segment must still be clean at drain
+  // time — one reused since it was freed carries live data again.
+  std::vector<SegNo> freed = usage_.TakeFreed();
+  if (!cfg_.trim_on_free) {
+    return;
+  }
+  for (SegNo seg : freed) {
+    if (usage_.Get(seg).state != SegState::kClean) {
+      continue;
+    }
+    Status st = device_->Trim(sb_.SegmentBase(seg), sb_.segment_blocks);
+    if (st.ok()) {
+      stats_.segments_trimmed++;
+    }
+    // Trim is advisory: a device that cannot discard (or faults doing so)
+    // simply keeps the stale data, which is always safe.
+  }
 }
 
 std::vector<uint8_t> LfsFileSystem::ProtectedSegmentBitmap() const {
@@ -452,7 +513,9 @@ std::vector<uint8_t> LfsFileSystem::ProtectedSegmentBitmap() const {
   for (SegNo s : cr_hosts_[1]) {
     mark(s);
   }
-  mark(writer_.current_segment());
+  for (uint32_t log = 0; log < writer_.num_logs(); log++) {
+    mark(writer_.log_segment(log));
+  }
   return keep;
 }
 
@@ -564,6 +627,15 @@ Status LfsFileSystem::LightCheckpointImpl() {
   }
   stats_.checkpoints++;
   return done(OkStatus());
+}
+
+uint32_t LfsFileSystem::SegmentStopOffset(SegNo seg) const {
+  for (uint32_t log = 0; log < writer_.num_logs(); log++) {
+    if (writer_.log_segment(log) == seg) {
+      return writer_.log_offset(log);
+    }
+  }
+  return sb_.segment_blocks;
 }
 
 Status LfsFileSystem::RecomputeSegmentUsage(SegNo seg, uint32_t stop_offset) {
@@ -679,8 +751,7 @@ Result<std::array<uint64_t, 8>> LfsFileSystem::LiveBytesByKind() {
     if (usage_.Get(seg).state == SegState::kClean) {
       continue;
     }
-    uint32_t stop = seg == writer_.current_segment() ? writer_.current_offset()
-                                                     : sb_.segment_blocks;
+    uint32_t stop = SegmentStopOffset(seg);
     LFS_ASSIGN_OR_RETURN(std::vector<ParsedPartial> chain,
                          ParseSegmentChain(seg, 0, stop, /*min_seq=*/0));
     for (const ParsedPartial& p : chain) {

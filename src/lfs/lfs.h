@@ -253,6 +253,14 @@ class LfsFileSystem : public FileSystem {
   Status FlushMetadataChunks();      // dirty imap + usage chunks to the log
   void SweepZeroLiveSegments();      // dirty && live==0 -> clean (post-checkpoint)
   Status RecomputeSegmentUsage(SegNo seg, uint32_t stop_offset);
+  // How far into `seg` the written chain can extend: the append point when
+  // the segment is some log's active segment, else the whole segment. Scans
+  // every log, so multi-log mounts bound chain walks correctly.
+  uint32_t SegmentStopOffset(SegNo seg) const;
+  // Issues TRIM for segments freed since the last drain (cfg_.trim_on_free),
+  // called only after a checkpoint region made the frees durable. Failures
+  // are ignored: trim is advisory.
+  void TrimFreedSegments();
   std::set<SegNo> ChunkHostSegments() const;
   // Segments that must never be recycled right now: the active segment, the
   // hosts of current in-memory metadata chunks, and the hosts of chunks

@@ -34,26 +34,41 @@ std::vector<SegNo> LfsFileSystem::SelectSegmentsToClean(uint32_t max_segments) {
 
   // Pop candidates from the selection index in exact score order; it holds
   // every kDirty segment, so only the per-candidate filters remain here.
+  //
+  // In multi-log mode nearly full victims are declined (see
+  // multilog_victim_max_u) — with a no-wedge fallback: if the bar filtered
+  // everything out, re-select without it rather than refuse to clean while
+  // dead bytes exist.
   std::vector<SegNo> chosen;
-  uint64_t planned_live = 0;
-  VictimIndex::Cursor cursor =
-      usage_.SelectVictims(cfg_.policy == CleaningPolicy::kGreedy, now);
-  for (SegNo seg = cursor.Next();
-       seg != VictimIndex::kNone && chosen.size() < max_segments; seg = cursor.Next()) {
-    if (off_limits[seg]) {
-      continue;
+  bool decline_full = writer_.num_logs() > 1 && cfg_.multilog_victim_max_u < 1.0;
+  for (int attempt = 0; attempt < 2 && chosen.empty(); attempt++) {
+    bool bar_active = decline_full && attempt == 0;
+    uint64_t planned_live = 0;
+    VictimIndex::Cursor cursor =
+        usage_.SelectVictims(cfg_.policy == CleaningPolicy::kGreedy, now);
+    for (SegNo seg = cursor.Next();
+         seg != VictimIndex::kNone && chosen.size() < max_segments; seg = cursor.Next()) {
+      if (off_limits[seg]) {
+        continue;
+      }
+      // Never touch segments written after the last checkpoint: they are the
+      // roll-forward log tail and must survive until the next checkpoint.
+      if (usage_.write_seq(seg) >= ckpt_boundary_seq_) {
+        continue;
+      }
+      if (bar_active && usage_.Utilization(seg) >= cfg_.multilog_victim_max_u) {
+        continue;  // segregated-and-still-live: not worth re-copying
+      }
+      uint64_t live = usage_.Get(seg).live_bytes;
+      if (planned_live + live > budget) {
+        continue;  // try a smaller (likely emptier) candidate
+      }
+      planned_live += live;
+      chosen.push_back(seg);
     }
-    // Never touch segments written after the last checkpoint: they are the
-    // roll-forward log tail and must survive until the next checkpoint.
-    if (usage_.write_seq(seg) >= ckpt_boundary_seq_) {
-      continue;
+    if (!bar_active) {
+      break;
     }
-    uint64_t live = usage_.Get(seg).live_bytes;
-    if (planned_live + live > budget) {
-      continue;  // try a smaller (likely emptier) candidate
-    }
-    planned_live += live;
-    chosen.push_back(seg);
   }
 
   if (cfg_.verify_selection &&
@@ -105,17 +120,27 @@ std::vector<SegNo> LfsFileSystem::SelectSegmentsToCleanReference(uint32_t max_se
                         : 0;
   budget = budget > buffered ? budget - buffered : 0;
   std::vector<SegNo> chosen;
-  uint64_t planned_live = 0;
-  for (const Scored& s : scored) {
-    if (chosen.size() >= max_segments) {
+  bool decline_full = writer_.num_logs() > 1 && cfg_.multilog_victim_max_u < 1.0;
+  for (int attempt = 0; attempt < 2 && chosen.empty(); attempt++) {
+    bool bar_active = decline_full && attempt == 0;
+    uint64_t planned_live = 0;
+    for (const Scored& s : scored) {
+      if (chosen.size() >= max_segments) {
+        break;
+      }
+      if (bar_active && usage_.Utilization(s.seg) >= cfg_.multilog_victim_max_u) {
+        continue;
+      }
+      uint64_t live = usage_.Get(s.seg).live_bytes;
+      if (planned_live + live > budget) {
+        continue;  // try a smaller (likely emptier) candidate
+      }
+      planned_live += live;
+      chosen.push_back(s.seg);
+    }
+    if (!bar_active) {
       break;
     }
-    uint64_t live = usage_.Get(s.seg).live_bytes;
-    if (planned_live + live > budget) {
-      continue;  // try a smaller (likely emptier) candidate
-    }
-    planned_live += live;
-    chosen.push_back(s.seg);
   }
   return chosen;
 }
@@ -172,9 +197,16 @@ Status LfsFileSystem::MigrateLiveBlock(const SummaryEntry& entry, BlockNo addr,
     case BlockKind::kData: {
       LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(entry.ino));
       // The block keeps its original age so the age-sort and the segment's
-      // last-write time continue to reflect the data's coldness.
-      LFS_ASSIGN_OR_RETURN(BlockNo new_addr,
-                           writer_.Append(entry, std::move(content), entry.mtime, bs));
+      // last-write time continue to reflect the data's coldness. Surviving a
+      // cleaning pass also moves it one log colder than its source segment
+      // (the multi-log migration ladder; no-op with a single log): by being
+      // alive when its segment was reclaimed the block has proven itself
+      // longer-lived than its neighbors, and genuinely hot data dies before
+      // it can ratchet twice.
+      SegNo src_seg = static_cast<SegNo>((addr - sb_.seg_start) / sb_.segment_blocks);
+      uint32_t cold_hint = 2 + usage_.Get(src_seg).log_id;
+      LFS_ASSIGN_OR_RETURN(BlockNo new_addr, writer_.Append(entry, std::move(content),
+                                                            entry.mtime, bs, cold_hint));
       fm->blocks[entry.fbn] = new_addr;
       MarkIndirectDirty(fm, entry.fbn);
       dirty_inodes_.insert(entry.ino);
@@ -542,9 +574,15 @@ Status LfsFileSystem::MaybeClean() {
   bool checkpointed = false;
   if (!in_checkpoint_ && !in_recovery_) {
     uint32_t harvestable = usage_.zero_live_dirty_count();
-    const SegUsageEntry& cur = usage_.Get(writer_.current_segment());
-    if (cur.state == SegState::kDirty && cur.live_bytes == 0) {
-      harvestable--;
+    for (uint32_t log = 0; log < writer_.num_logs(); log++) {
+      SegNo seg = writer_.log_segment(log);
+      if (seg == kNilSeg) {
+        continue;
+      }
+      const SegUsageEntry& cur = usage_.Get(seg);
+      if (cur.state == SegState::kDirty && cur.live_bytes == 0) {
+        harvestable--;
+      }
     }
     if (harvestable > 0) {
       checkpointed = true;

@@ -91,8 +91,7 @@ Status LfsFileSystem::VerifyLogBlockCrcs(BlockNo addr, uint64_t count) const {
   const BlockNo base = sb_.SegmentBase(seg);
   const BlockNo lo = addr;
   const BlockNo hi = addr + count;
-  uint32_t stop = seg == writer_.current_segment() ? writer_.current_offset()
-                                                   : sb_.segment_blocks;
+  uint32_t stop = SegmentStopOffset(seg);
   // Walk the partial-write chain until it covers [lo, hi). Reads go straight
   // to the device (ReadLogBlock would recurse). If the chain is unreadable
   // or ends before reaching the target, nothing can be proven here — the

@@ -102,16 +102,33 @@ Status LfsFileSystem::RollForward(const Checkpoint& ck) {
   // not to the disk size (the property behind Table 3).
   std::vector<ParsedPartial> replay;
   std::vector<uint8_t> sum_block(bs);
-  {
-    LFS_ASSIGN_OR_RETURN(
-        std::vector<ParsedPartial> chain,
-        ParseSegmentChain(ck.cur_segment, ck.cur_offset, sb_.segment_blocks, start_seq));
+  // Every append point the checkpoint recorded can have a post-checkpoint
+  // tail: log 0 (cur_segment/cur_offset) and, in multi-log mode, each extra
+  // log's position.
+  std::vector<std::pair<SegNo, uint32_t>> tails;
+  tails.emplace_back(ck.cur_segment, ck.cur_offset);
+  for (const auto& [seg, off] : ck.extra_logs) {
+    if (seg != kNilSeg && seg < sb_.nsegments && off <= sb_.segment_blocks) {
+      tails.emplace_back(seg, off);
+    }
+  }
+  for (const auto& [seg, off] : tails) {
+    LFS_ASSIGN_OR_RETURN(std::vector<ParsedPartial> chain,
+                         ParseSegmentChain(seg, off, sb_.segment_blocks, start_seq));
     for (ParsedPartial& p : chain) {
       replay.push_back(std::move(p));
     }
   }
+  auto is_tail_segment = [&](SegNo seg) {
+    for (const auto& [tseg, toff] : tails) {
+      if (tseg == seg) {
+        return true;
+      }
+    }
+    return false;
+  };
   for (SegNo seg = 0; seg < sb_.nsegments; seg++) {
-    if (seg == ck.cur_segment || usage_.Get(seg).state != SegState::kClean) {
+    if (is_tail_segment(seg) || usage_.Get(seg).state != SegState::kClean) {
       continue;
     }
     if (!DeviceRead(sb_.SegmentBase(seg), 1, sum_block).ok()) {
@@ -151,11 +168,19 @@ Status LfsFileSystem::RollForward(const Checkpoint& ck) {
   const ParsedPartial& last = replay.back();
   uint32_t tail_offset =
       last.offset + 1 + static_cast<uint32_t>(last.summary.entries.size());
-  if (last.seg != writer_.current_segment()) {
-    usage_.SetState(writer_.current_segment(), SegState::kDirty);
-    if (usage_.Get(last.seg).state != SegState::kActive) {
-      usage_.SetState(last.seg, SegState::kActive);
+  // Recovery collapses every append point onto a single tail at the globally
+  // newest accepted partial. The other logs' abandoned segments become
+  // ordinary dirty segments; in multi-log mode the logs re-acquire clean
+  // segments on their next append.
+  for (uint32_t log = 0; log < writer_.num_logs(); log++) {
+    SegNo seg = writer_.log_segment(log);
+    if (seg != kNilSeg && seg != last.seg &&
+        usage_.Get(seg).state == SegState::kActive) {
+      usage_.SetState(seg, SegState::kDirty);
     }
+  }
+  if (usage_.Get(last.seg).state != SegState::kActive) {
+    usage_.SetState(last.seg, SegState::kActive);
   }
   writer_.Init(last.seg, tail_offset, last.summary.seq + 1);
 

@@ -66,11 +66,15 @@ void SegUsage::SetState(SegNo seg, SegState state) {
   SegUsageEntry& e = entries_[seg];
   if (e.state == SegState::kClean && state != SegState::kClean) {
     clean_count_--;
+    if (state == SegState::kActive) {
+      e.reuse_count++;  // one fill cycle: the segment's wear counter
+    }
   } else if (e.state != SegState::kClean && state == SegState::kClean) {
     clean_count_++;
     total_live_ -= e.live_bytes;
     e.live_bytes = 0;
     e.last_write = 0;
+    freed_.push_back(seg);  // TRIM candidate once a checkpoint covers the free
   }
   if (e.state != SegState::kQuarantined && state == SegState::kQuarantined) {
     quarantined_count_++;
@@ -80,6 +84,15 @@ void SegUsage::SetState(SegNo seg, SegState state) {
   e.state = state;
   MarkDirty(seg);
   SyncIndex(seg);
+}
+
+void SegUsage::SetLogId(SegNo seg, uint8_t log_id) {
+  assert(seg < entries_.size());
+  if (entries_[seg].log_id == log_id) {
+    return;
+  }
+  entries_[seg].log_id = log_id;
+  MarkDirty(seg);
 }
 
 SegNo SegUsage::PickClean() const {

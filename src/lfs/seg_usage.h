@@ -53,6 +53,21 @@ class SegUsage {
 
   void SetState(SegNo seg, SegState state);
 
+  // Tags the segment with the append point (log) that fills it — the
+  // persisted temperature label. Dirties the chunk only on change, so
+  // single-log filesystems (always log 0, the default) stay byte-identical.
+  void SetLogId(SegNo seg, uint8_t log_id);
+
+  // Segments that transitioned into kClean since the last TakeFreed() — the
+  // filesystem's TRIM feed. Drained after a checkpoint makes the frees
+  // durable; a segment reused (kClean -> kActive) before the drain is simply
+  // skipped by the caller's state re-check.
+  std::vector<SegNo> TakeFreed() {
+    std::vector<SegNo> out;
+    out.swap(freed_);
+    return out;
+  }
+
   // In-memory only: the newest log sequence number written to the segment.
   // The cleaner refuses to touch segments written after the last checkpoint
   // so that roll-forward's log tail can never be recycled underneath it.
@@ -117,6 +132,7 @@ class SegUsage {
   std::vector<uint64_t> write_seq_;
   std::vector<BlockNo> chunk_addrs_;
   std::set<uint32_t> dirty_chunks_;
+  std::vector<SegNo> freed_;  // became kClean since last TakeFreed()
   uint32_t clean_count_ = 0;
   uint32_t quarantined_count_ = 0;
   uint64_t total_live_ = 0;  // sum of live_bytes, maintained incrementally

@@ -9,16 +9,29 @@
 namespace lfs {
 
 void SegmentWriter::Init(SegNo segment, uint32_t offset, uint64_t next_seq) {
-  cur_seg_ = segment;
-  cur_offset_ = offset;
+  for (Log& log : logs_) {
+    log.cur_seg = kNilSeg;
+    log.cur_offset = 0;
+    log.pending.clear();
+    log.partial_youngest = 0;
+  }
+  logs_[0].cur_seg = segment;
+  logs_[0].cur_offset = offset;
   next_seq_ = next_seq;
-  pending_.clear();
-  partial_youngest_ = 0;
+  age_ewma_ = 0.0;
 }
 
-Status SegmentWriter::AdvanceSegment() {
-  if (cur_seg_ != kNilSeg) {
-    usage_->SetState(cur_seg_, SegState::kDirty);
+void SegmentWriter::InitLog(uint32_t log, SegNo segment, uint32_t offset) {
+  Log& l = logs_[log];
+  l.cur_seg = segment;
+  l.cur_offset = offset;
+  l.pending.clear();
+  l.partial_youngest = 0;
+}
+
+Status SegmentWriter::AdvanceSegment(Log& log, uint32_t log_index) {
+  if (log.cur_seg != kNilSeg) {
+    usage_->SetState(log.cur_seg, SegState::kDirty);
   }
   if (!cleaning_ && !privileged_ && usable_clean_segments() == 0) {
     return NoSpaceError("no clean segments available to the write path (clean=" +
@@ -30,49 +43,83 @@ Status SegmentWriter::AdvanceSegment() {
     return NoSpaceError("no clean segments at all; log is full");
   }
   usage_->SetState(next, SegState::kActive);
-  cur_seg_ = next;
-  cur_offset_ = 0;
+  usage_->SetLogId(next, static_cast<uint8_t>(log_index));
+  log.cur_seg = next;
+  log.cur_offset = 0;
   return OkStatus();
 }
 
-Status SegmentWriter::EnsureRoom() {
-  const uint32_t bs = sb_->block_size;
-  (void)bs;
-  if (!pending_.empty()) {
+Status SegmentWriter::EnsureRoom(Log& log, uint32_t log_index) {
+  if (!log.pending.empty()) {
     // Room inside the open partial: segment space and summary entry space.
-    uint32_t used = cur_offset_ + 1 + static_cast<uint32_t>(pending_.size());
+    uint32_t used = log.cur_offset + 1 + static_cast<uint32_t>(log.pending.size());
     bool segment_full = used >= sb_->segment_blocks;
-    bool summary_full = pending_.size() >= sb_->max_summary_entries();
+    bool summary_full = log.pending.size() >= sb_->max_summary_entries();
     if (!segment_full && !summary_full) {
       return OkStatus();
     }
-    LFS_RETURN_IF_ERROR(Flush());
+    LFS_RETURN_IF_ERROR(FlushLog(log));
   }
   // Open a new partial: need space for a summary block plus one payload
   // block in the current segment.
-  if (cur_seg_ == kNilSeg || cur_offset_ + 2 > sb_->segment_blocks) {
-    LFS_RETURN_IF_ERROR(AdvanceSegment());
+  if (log.cur_seg == kNilSeg || log.cur_offset + 2 > sb_->segment_blocks) {
+    LFS_RETURN_IF_ERROR(AdvanceSegment(log, log_index));
   }
   return OkStatus();
 }
 
+uint32_t SegmentWriter::ClassifyLog(const SummaryEntry& entry, uint64_t mtime,
+                                    uint32_t cold_hint) {
+  if (logs_.size() == 1) {
+    return 0;
+  }
+  // Metadata churns fast and dies fast: it always rides the hot log.
+  if (entry.kind != BlockKind::kData) {
+    return 0;
+  }
+  // Migration ladder: the cleaner has already decided where a migrated
+  // block belongs (cold_hint = 1 + target log); just clamp to the logs we
+  // actually have.
+  if (cold_hint > 0) {
+    return std::min(cold_hint - 1, static_cast<uint32_t>(logs_.size() - 1));
+  }
+  // Direct writes: an age heuristic against the live clock (timestamp_ only
+  // refreshes at mount and checkpoint, which would make everything look
+  // brand-new in between). The boundary adapts to the workload via a slow
+  // EWMA of observed data ages; fresh writes (age 0) keep it near zero, so
+  // demand a 4x margin over the mean before calling anything cold.
+  uint64_t now = clock_ != nullptr ? clock_->Now() : timestamp_;
+  uint64_t age = now > mtime ? now - mtime : 0;
+  age_ewma_ += (static_cast<double>(age) - age_ewma_) / 16.0;
+  uint32_t idx = 0;
+  double bound = std::max(age_ewma_, 1.0) * 4.0;
+  while (idx + 1 < logs_.size() && static_cast<double>(age) > bound) {
+    idx++;
+    bound *= 4.0;
+  }
+  return idx;
+}
+
 Result<BlockNo> SegmentWriter::Append(const SummaryEntry& entry, std::vector<uint8_t> data,
-                                      uint64_t mtime, uint32_t live_bytes) {
+                                      uint64_t mtime, uint32_t live_bytes,
+                                      uint32_t cold_hint) {
   if (data.size() != sb_->block_size) {
     return InvalidArgumentError("Append: payload must be exactly one block");
   }
-  LFS_RETURN_IF_ERROR(EnsureRoom());
-  BlockNo summary_addr = sb_->SegmentBase(cur_seg_) + cur_offset_;
-  BlockNo addr = summary_addr + 1 + pending_.size();
-  if (pending_.empty()) {
-    partial_youngest_ = 0;
+  uint32_t log_index = ClassifyLog(entry, mtime, cold_hint);
+  Log& log = logs_[log_index];
+  LFS_RETURN_IF_ERROR(EnsureRoom(log, log_index));
+  BlockNo summary_addr = sb_->SegmentBase(log.cur_seg) + log.cur_offset;
+  BlockNo addr = summary_addr + 1 + log.pending.size();
+  if (log.pending.empty()) {
+    log.partial_youngest = 0;
   }
-  partial_youngest_ = std::max(partial_youngest_, mtime);
+  log.partial_youngest = std::max(log.partial_youngest, mtime);
   Pending pending{entry, std::move(data)};
   pending.entry.mtime = mtime;  // per-block age travels in the summary
-  pending_.push_back(std::move(pending));
-  usage_->AddLive(cur_seg_, live_bytes, mtime);
-  usage_->SetWriteSeq(cur_seg_, next_seq_);
+  log.pending.push_back(std::move(pending));
+  usage_->AddLive(log.cur_seg, live_bytes, mtime);
+  usage_->SetWriteSeq(log.cur_seg, next_seq_);
 
   // Traffic accounting (Table 4 composition; write-cost numerator).
   const uint32_t bs = sb_->block_size;
@@ -88,32 +135,32 @@ Result<BlockNo> SegmentWriter::Append(const SummaryEntry& entry, std::vector<uin
   return addr;
 }
 
-Status SegmentWriter::Flush() {
-  if (pending_.empty()) {
+Status SegmentWriter::FlushLog(Log& log) {
+  if (log.pending.empty()) {
     return OkStatus();
   }
   const uint32_t bs = sb_->block_size;
-  const uint32_t n = static_cast<uint32_t>(pending_.size());
+  const uint32_t n = static_cast<uint32_t>(log.pending.size());
 
   // Assemble [summary | payload...] and issue as one sequential write.
   std::vector<uint8_t> io(size_t{1 + n} * bs);
   uint32_t crc = Crc32Init();
   for (uint32_t i = 0; i < n; i++) {
-    std::memcpy(io.data() + size_t{1 + i} * bs, pending_[i].data.data(), bs);
-    crc = Crc32Update(crc, pending_[i].data);
+    std::memcpy(io.data() + size_t{1 + i} * bs, log.pending[i].data.data(), bs);
+    crc = Crc32Update(crc, log.pending[i].data);
   }
   SegmentSummary summary;
   summary.seq = next_seq_++;
   summary.timestamp = timestamp_;
-  summary.youngest_mtime = partial_youngest_;
+  summary.youngest_mtime = log.partial_youngest;
   summary.payload_crc = Crc32Finish(crc);
   summary.entries.reserve(n);
-  for (const Pending& p : pending_) {
+  for (const Pending& p : log.pending) {
     summary.entries.push_back(p.entry);
   }
   summary.EncodeTo(std::span<uint8_t>(io.data(), bs));
 
-  BlockNo start = sb_->SegmentBase(cur_seg_) + cur_offset_;
+  BlockNo start = sb_->SegmentBase(log.cur_seg) + log.cur_offset;
   Status write_st = RetryWithBackoff(retry_, clock_, &stats_->io_retries,
                                      [&] { return device_->Write(start, 1 + n, io); });
   if (!write_st.ok()) {
@@ -127,28 +174,38 @@ Status SegmentWriter::Flush() {
     return write_st;
   }
   stats_->summary_bytes += bs;
-  usage_->SetWriteSeq(cur_seg_, summary.seq);
+  usage_->SetWriteSeq(log.cur_seg, summary.seq);
   LFS_TRACE(obs_ != nullptr ? obs_->tracer() : nullptr, obs::TraceEventType::kSegmentWrite,
-            obs::OpType::kNone, clock_ != nullptr ? clock_->Now() : 0, cur_seg_, 1 + n,
+            obs::OpType::kNone, clock_ != nullptr ? clock_->Now() : 0, log.cur_seg, 1 + n,
             device_->ModeledTime());
 
-  cur_offset_ += 1 + n;
-  pending_.clear();
-  partial_youngest_ = 0;
+  log.cur_offset += 1 + n;
+  log.pending.clear();
+  log.partial_youngest = 0;
+  return OkStatus();
+}
+
+Status SegmentWriter::Flush() {
+  for (Log& log : logs_) {
+    LFS_RETURN_IF_ERROR(FlushLog(log));
+  }
   return OkStatus();
 }
 
 bool SegmentWriter::ReadBuffered(BlockNo addr, std::span<uint8_t> out) const {
-  if (pending_.empty() || cur_seg_ == kNilSeg) {
-    return false;
+  for (const Log& log : logs_) {
+    if (log.pending.empty() || log.cur_seg == kNilSeg) {
+      continue;
+    }
+    BlockNo first = sb_->SegmentBase(log.cur_seg) + log.cur_offset + 1;
+    if (addr < first || addr >= first + log.pending.size()) {
+      continue;
+    }
+    const std::vector<uint8_t>& data = log.pending[addr - first].data;
+    std::memcpy(out.data(), data.data(), out.size());
+    return true;
   }
-  BlockNo first = sb_->SegmentBase(cur_seg_) + cur_offset_ + 1;
-  if (addr < first || addr >= first + pending_.size()) {
-    return false;
-  }
-  const std::vector<uint8_t>& data = pending_[addr - first].data;
-  std::memcpy(out.data(), data.data(), out.size());
-  return true;
+  return false;
 }
 
 }  // namespace lfs

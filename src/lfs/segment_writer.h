@@ -1,6 +1,6 @@
 // SegmentWriter: the log append path (Sections 3.2-3.3).
 //
-// Callers Append() blocks; the writer assigns each a disk address inside the
+// Callers Append() blocks; the writer assigns each a disk address inside an
 // active segment, buffers it, and emits *partial-segment writes* — one
 // summary block followed by the payload blocks, issued as a single
 // sequential device I/O. A partial write is emitted when the buffered batch
@@ -12,6 +12,18 @@
 // write path may not consume the last `reserve` clean segments; only the
 // cleaner (set_cleaning(true)) may, which guarantees the cleaner always has
 // room to compact into.
+//
+// Multi-log mode (num_logs > 1, the SSDFS-style flash optimization): the
+// writer keeps N independent append points and classifies each block by
+// temperature at write time — metadata and freshly written data go to log 0,
+// older data (whose age says it will live a while) to the cold logs. The
+// cleaner passes blocks through with their original mtimes, so survivors of
+// cleaning land in cold segments instead of remixing into hot ones; segment
+// populations separate by temperature and both the LFS cleaner and a flash
+// device's internal GC find near-uniform segments to reclaim. One global
+// summary sequence spans all logs, so roll-forward's contiguous-prefix rule
+// is unchanged. num_logs == 1 is byte-identical to the classic single-log
+// writer.
 
 #ifndef LFS_LFS_SEGMENT_WRITER_H_
 #define LFS_LFS_SEGMENT_WRITER_H_
@@ -35,7 +47,8 @@ class SegmentWriter {
   // partial-segment device write: retried with backoff modeled on the clock.
   SegmentWriter(BlockDevice* device, const Superblock* sb, SegUsage* usage, LfsStats* stats,
                 uint32_t reserve_segments, LogicalClock* clock = nullptr,
-                RetryPolicy retry = RetryPolicy{}, obs::FsObs* obs = nullptr)
+                RetryPolicy retry = RetryPolicy{}, obs::FsObs* obs = nullptr,
+                uint32_t num_logs = 1)
       : device_(device),
         sb_(sb),
         usage_(usage),
@@ -43,11 +56,18 @@ class SegmentWriter {
         reserve_segments_(reserve_segments),
         clock_(clock),
         retry_(retry),
-        obs_(obs) {}
+        obs_(obs),
+        logs_(num_logs == 0 ? 1 : num_logs) {}
 
   // Positions the log tail (mkfs / mount / recovery). The segment must
-  // already be marked kActive in the usage table.
+  // already be marked kActive in the usage table. Resets every other log to
+  // "no segment" — they re-acquire clean segments on first use (or are
+  // re-positioned with InitLog from the checkpoint's per-log records).
   void Init(SegNo segment, uint32_t offset, uint64_t next_seq);
+
+  // Positions one of the extra logs (mount path, from the checkpoint's
+  // per-log append-point records). The segment must be kActive.
+  void InitLog(uint32_t log, SegNo segment, uint32_t offset);
 
   // Appends one block to the log. `entry` identifies the block for the
   // summary; `mtime` is the modification time used for segment age tracking
@@ -57,18 +77,23 @@ class SegmentWriter {
   // inode blocks, 0 for dirlog blocks which are dead once checkpointed).
   // Returns the assigned disk address. The data is buffered; it is durable
   // only after the enclosing partial write is emitted.
+  //
+  // `cold_hint` (multi-log only) is the migration-ladder directive: the
+  // cleaner passes 1 + the log it wants the block in (clamped to the coldest
+  // log that exists). 0 means no hint — the age heuristic decides.
   Result<BlockNo> Append(const SummaryEntry& entry, std::vector<uint8_t> data, uint64_t mtime,
-                         uint32_t live_bytes);
+                         uint32_t live_bytes, uint32_t cold_hint = 0);
 
-  // Emits the buffered partial write, if any.
+  // Emits the buffered partial writes of every log, if any.
   Status Flush();
 
-  // Ensures the next Append has a destination (flushing/advancing segments
-  // as needed) WITHOUT appending anything. Afterwards current_segment() is
-  // where that append will land — callers that must account a block's
-  // effects in the block's own serialized contents (the segment-usage chunk
-  // covering the active segment) use this to pre-account before serializing.
-  Status PrepareAppend() { return EnsureRoom(); }
+  // Ensures the next metadata Append has a destination (flushing/advancing
+  // segments as needed) WITHOUT appending anything. Afterwards
+  // current_segment() is where that append will land — callers that must
+  // account a block's effects in the block's own serialized contents (the
+  // segment-usage chunk covering the active segment) use this to pre-account
+  // before serializing. Metadata always routes to log 0.
+  Status PrepareAppend() { return EnsureRoom(logs_[0], 0); }
 
   // Reads a not-yet-flushed block back by address (the read path must see
   // buffered log blocks). Returns false if the address is not buffered.
@@ -84,8 +109,20 @@ class SegmentWriter {
   // segments back into clean ones, so refusing them would deadlock the log.
   void set_privileged(bool privileged) { privileged_ = privileged; }
 
-  SegNo current_segment() const { return cur_seg_; }
-  uint32_t current_offset() const { return cur_offset_ + PendingBlocks(); }
+  // The metadata log's append point (log 0) — the position checkpoints and
+  // pre-accounting reason about.
+  SegNo current_segment() const { return logs_[0].cur_seg; }
+  uint32_t current_offset() const {
+    return logs_[0].cur_offset + PendingBlocks(logs_[0]);
+  }
+
+  // Per-log append points (log 0 == current_segment()/current_offset()).
+  uint32_t num_logs() const { return static_cast<uint32_t>(logs_.size()); }
+  SegNo log_segment(uint32_t log) const { return logs_[log].cur_seg; }
+  uint32_t log_offset(uint32_t log) const {
+    return logs_[log].cur_offset + PendingBlocks(logs_[log]);
+  }
+
   uint64_t next_seq() const { return next_seq_; }
   uint64_t timestamp() const { return timestamp_; }
   void set_timestamp(uint64_t t) { timestamp_ = t; }
@@ -102,14 +139,28 @@ class SegmentWriter {
     std::vector<uint8_t> data;
   };
 
-  uint32_t PendingBlocks() const {
-    return pending_.empty() ? 0 : static_cast<uint32_t>(pending_.size()) + 1;
+  // One append point: an active segment plus the open partial buffered into
+  // it. Log 0 carries metadata (and, in multi-log mode, hot data); higher
+  // logs carry progressively colder data.
+  struct Log {
+    SegNo cur_seg = kNilSeg;
+    uint32_t cur_offset = 0;  // next free block index within cur_seg
+    std::vector<Pending> pending;  // payload of the open partial (may be empty)
+    uint64_t partial_youngest = 0;
+  };
+
+  static uint32_t PendingBlocks(const Log& log) {
+    return log.pending.empty() ? 0 : static_cast<uint32_t>(log.pending.size()) + 1;
   }
+
+  // Write-time temperature classification: which log should hold this block.
+  uint32_t ClassifyLog(const SummaryEntry& entry, uint64_t mtime, uint32_t cold_hint);
 
   // Ensures an open partial with room for one more block; may flush and/or
   // advance to a new segment.
-  Status EnsureRoom();
-  Status AdvanceSegment();
+  Status EnsureRoom(Log& log, uint32_t log_index);
+  Status AdvanceSegment(Log& log, uint32_t log_index);
+  Status FlushLog(Log& log);
 
   BlockDevice* device_;
   const Superblock* sb_;
@@ -120,15 +171,16 @@ class SegmentWriter {
   RetryPolicy retry_;
   obs::FsObs* obs_;      // may be null: no trace events from the writer
 
-  SegNo cur_seg_ = kNilSeg;
-  uint32_t cur_offset_ = 0;  // next free block index within cur_seg_
-  uint64_t next_seq_ = 1;
-  uint64_t timestamp_ = 0;   // logical time stamped into summaries
+  std::vector<Log> logs_;
+  uint64_t next_seq_ = 1;   // ONE sequence across all logs (roll-forward order)
+  uint64_t timestamp_ = 0;  // logical time stamped into summaries
   bool cleaning_ = false;
   bool privileged_ = false;
 
-  std::vector<Pending> pending_;  // payload of the open partial (may be empty)
-  uint64_t partial_youngest_ = 0;
+  // Running mean of data-block ages seen at Append (logical-clock units);
+  // the hot/cold boundary. Freshly written data has age ~0 (hot); blocks the
+  // cleaner migrates keep their original mtime and look old (cold).
+  double age_ewma_ = 0.0;
 };
 
 }  // namespace lfs

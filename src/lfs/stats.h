@@ -50,6 +50,10 @@ struct LfsStats {
   Relaxed<uint64_t> superblock_fallbacks = 0;   // mounts served by the backup superblock
   Relaxed<uint64_t> degraded_entries = 0;       // transitions into degraded read-only mode
 
+  // Flash-era backend. Segments whose free was made durable by a checkpoint
+  // and then discarded via BlockDevice::Trim (cfg.trim_on_free).
+  Relaxed<uint64_t> segments_trimmed = 0;
+
   uint64_t total_log_written() const {
     uint64_t payload = 0;
     for (uint64_t b : log_bytes_by_kind) {

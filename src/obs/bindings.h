@@ -10,6 +10,7 @@
 
 #include "src/disk/fault_disk.h"
 #include "src/disk/sim_disk.h"
+#include "src/disk/ssd_disk.h"
 #include "src/ffs/ffs.h"
 #include "src/lfs/stats.h"
 #include "src/obs/metrics.h"
@@ -83,6 +84,26 @@ inline void BindFsObs(MetricsRegistry* r, const std::string& p, const FsObs& o) 
 #if LFS_TRACE_ENABLED
   r->AddCounter(p + "trace.emitted", o.trace.emitted());
 #endif
+}
+
+// Flash backend counters: the write-amplification and wear accounting the
+// SSD benches gate on. New benches only — not part of BindDiskStats, so the
+// rotating-disk bench schemas are untouched.
+inline void BindSsdDisk(MetricsRegistry* r, const std::string& p, const SsdDisk& d) {
+  SsdStats s = d.stats();
+  r->AddCounter(p + "reads", s.reads);
+  r->AddCounter(p + "writes", s.writes);
+  r->AddCounter(p + "trims", s.trims);
+  r->AddCounter(p + "bytes_read", s.bytes_read);
+  r->AddCounter(p + "bytes_written", s.bytes_written);
+  r->AddCounter(p + "pages_programmed_host", s.pages_programmed_host);
+  r->AddCounter(p + "pages_programmed_gc", s.pages_programmed_gc);
+  r->AddCounter(p + "pages_trimmed", s.pages_trimmed);
+  r->AddCounter(p + "erases", s.erases);
+  r->AddGauge(p + "busy_sec", s.busy_sec);
+  r->AddGauge(p + "write_amplification", s.WriteAmplification());
+  r->AddCounter(p + "erase_count_min", d.min_erase_count());
+  r->AddCounter(p + "erase_count_max", d.max_erase_count());
 }
 
 // Device-level service-time histograms from a SimDisk.

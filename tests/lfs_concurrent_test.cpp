@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,6 +44,11 @@ LfsConfig ConcurrentConfig() {
   cfg.segments_per_pass = 6;
   cfg.write_buffer_blocks = 32;
   cfg.concurrent = true;  // reader-writer locking + background cleaner
+  // CI's TSan job re-runs the whole suite with LFS_TEST_NUM_LOGS=2 so the
+  // multi-log append path races against the background cleaner too.
+  if (const char* logs = getenv("LFS_TEST_NUM_LOGS")) {
+    cfg.num_logs = static_cast<uint32_t>(std::max(1, atoi(logs)));
+  }
   return cfg;
 }
 

@@ -4,6 +4,8 @@
 //     super              the superblock / geometry
 //     checkpoints        both checkpoint regions
 //     segments           one line per segment (state, live bytes, age)
+//     logs               per-log append points, segment temperature tags,
+//                        and per-segment fill (reuse) counts
 //     segment <N>        the partial-write chain of segment N (with CRCs)
 //     crcs               per-segment summary/payload CRC validity + quarantine
 //     imap               allocated inode-map entries
@@ -181,6 +183,54 @@ void DumpSegments(const Image& img) {
   }
 }
 
+void DumpLogs(const Image& img) {
+  if (!img.have_ck) {
+    std::printf("no valid checkpoint; cannot locate append points\n");
+    return;
+  }
+  std::printf("append points (checkpoint seq %llu):\n",
+              static_cast<unsigned long long>(img.ck.ckpt_seq));
+  std::printf("  log 0 (hot+metadata): seg %u offset %u\n", img.ck.cur_segment,
+              img.ck.cur_offset);
+  for (size_t i = 0; i < img.ck.extra_logs.size(); i++) {
+    auto [seg, off] = img.ck.extra_logs[i];
+    if (seg == kNilSeg) {
+      std::printf("  log %zu (cold x%zu):      never opened\n", i + 1, i + 1);
+    } else {
+      std::printf("  log %zu (cold x%zu):      seg %u offset %u\n", i + 1, i + 1, seg, off);
+    }
+  }
+  if (img.ck.extra_logs.empty()) {
+    std::printf("  (single-log image: no multi-log checkpoint extension)\n");
+  }
+
+  std::vector<SegUsageEntry> usage = LoadUsageEntries(img);
+  std::printf("\n%-6s %-11s %5s %12s %8s\n", "seg", "state", "log", "live bytes", "fills");
+  struct PerLog {
+    uint32_t segments = 0;
+    uint64_t live = 0;
+  };
+  std::vector<PerLog> per_log;
+  for (SegNo seg = 0; seg < img.sb.nsegments; seg++) {
+    const SegUsageEntry& e = usage[seg];
+    if (e.state == SegState::kClean) {
+      continue;
+    }
+    std::printf("%-6u %-11s %5u %12u %8u\n", seg, StateName(e.state), e.log_id, e.live_bytes,
+                e.reuse_count);
+    if (per_log.size() <= e.log_id) {
+      per_log.resize(size_t{e.log_id} + 1);
+    }
+    per_log[e.log_id].segments++;
+    per_log[e.log_id].live += e.live_bytes;
+  }
+  std::printf("\nper-log populations (non-clean segments):\n");
+  for (size_t log = 0; log < per_log.size(); log++) {
+    std::printf("  log %zu: %u segments, %llu live bytes\n", log, per_log[log].segments,
+                static_cast<unsigned long long>(per_log[log].live));
+  }
+}
+
 void DumpSegmentChain(const Image& img, SegNo seg) {
   const uint32_t bs = img.sb.block_size;
   std::vector<uint8_t> block(bs);
@@ -355,7 +405,7 @@ void DumpInode(const Image& img, InodeNum ino) {
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s <image> super|checkpoints|segments|segment <N>|crcs|imap|inode <INO>\n",
+                 "usage: %s <image> super|checkpoints|segments|logs|segment <N>|crcs|imap|inode <INO>\n",
                  argv[0]);
     return 2;
   }
@@ -371,6 +421,8 @@ int main(int argc, char** argv) {
     DumpCheckpoints(*img);
   } else if (cmd == "segments") {
     DumpSegments(*img);
+  } else if (cmd == "logs") {
+    DumpLogs(*img);
   } else if (cmd == "segment" && argc >= 4) {
     SegNo seg = static_cast<SegNo>(std::atoi(argv[3]));
     if (seg >= img->sb.nsegments) {
