@@ -6,6 +6,7 @@ namespace lfs {
 
 Status CrashDisk::Write(BlockNo block, uint64_t count, std::span<const uint8_t> data) {
   LFS_RETURN_IF_ERROR(CheckRange(block, count, data.size()));
+  std::lock_guard<std::mutex> lock(mu_);
   writes_seen_++;
 
   if (crashed_) {
@@ -36,6 +37,7 @@ Status CrashDisk::Write(BlockNo block, uint64_t count, std::span<const uint8_t> 
 }
 
 Status CrashDisk::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
   flushes_seen_++;
   if (crashed_) {
     return OkStatus();  // the machine is down; the barrier never happens

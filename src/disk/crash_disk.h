@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <mutex>
 
 #include "src/disk/block_device.h"
 
@@ -42,6 +43,7 @@ class CrashDisk : public BlockDevice {
   // not consume the armed countdown: crash points are counted in writes and
   // flushes so existing crash-sweep tests keep their meaning.
   Status Trim(BlockNo block, uint64_t count) override {
+    std::lock_guard<std::mutex> lock(mu_);
     trims_seen_++;
     if (crashed_) {
       trims_dropped_++;
@@ -56,6 +58,7 @@ class CrashDisk : public BlockDevice {
   // operation is the crash point — a write is torn (its first `torn_blocks`
   // blocks persist, the rest do not), a flush simply never happens.
   void CrashAfterWrites(uint64_t n, uint64_t torn_blocks = 0) {
+    std::lock_guard<std::mutex> lock(mu_);
     writes_until_crash_ = n;
     torn_blocks_ = torn_blocks;
     armed_ = true;
@@ -63,27 +66,51 @@ class CrashDisk : public BlockDevice {
 
   // Immediate crash: all future writes discarded.
   void CrashNow() {
+    std::lock_guard<std::mutex> lock(mu_);
     crashed_ = true;
     armed_ = false;
   }
 
   // "Reboot": the machine is back; subsequent writes go through again.
   void ClearCrash() {
+    std::lock_guard<std::mutex> lock(mu_);
     crashed_ = false;
     armed_ = false;
   }
 
-  bool crashed() const { return crashed_; }
-  uint64_t writes_seen() const { return writes_seen_; }
-  uint64_t writes_dropped() const { return writes_dropped_; }
-  uint64_t flushes_seen() const { return flushes_seen_; }
-  uint64_t trims_seen() const { return trims_seen_; }
-  uint64_t trims_dropped() const { return trims_dropped_; }
+  bool crashed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return crashed_;
+  }
+  uint64_t writes_seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return writes_seen_;
+  }
+  uint64_t writes_dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return writes_dropped_;
+  }
+  uint64_t flushes_seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return flushes_seen_;
+  }
+  uint64_t trims_seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trims_seen_;
+  }
+  uint64_t trims_dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trims_dropped_;
+  }
 
   BlockDevice* backing() { return backing_.get(); }
 
  private:
   std::unique_ptr<BlockDevice> backing_;
+  // The concurrent crash tests drive one CrashDisk from many filesystem
+  // threads; the countdown/crash state and the counters serialize here.
+  // Reads pass through unlocked (the backing device orders them itself).
+  mutable std::mutex mu_;
   bool armed_ = false;
   bool crashed_ = false;
   uint64_t writes_until_crash_ = 0;

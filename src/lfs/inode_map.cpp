@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
+#include <string>
 
 namespace lfs {
 
@@ -12,6 +14,7 @@ void InodeMap::EnsureSize(InodeNum ino) {
 }
 
 Result<InodeNum> InodeMap::Allocate() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   InodeNum ino;
   if (!free_list_.empty()) {
     ino = free_list_.back();
@@ -36,6 +39,7 @@ Result<InodeNum> InodeMap::Allocate() {
 }
 
 void InodeMap::Free(InodeNum ino) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   EnsureSize(ino);
   entries_[ino].inode_block = kNilBlock;
   entries_[ino].slot = 0;
@@ -48,6 +52,7 @@ void InodeMap::Free(InodeNum ino) {
 }
 
 void InodeMap::SetLocation(InodeNum ino, BlockNo inode_block, uint16_t slot) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   EnsureSize(ino);
   entries_[ino].inode_block = inode_block;
   entries_[ino].slot = slot;
@@ -55,19 +60,27 @@ void InodeMap::SetLocation(InodeNum ino, BlockNo inode_block, uint16_t slot) {
 }
 
 void InodeMap::SetAtime(InodeNum ino, uint64_t atime) {
-  EnsureSize(ino);
+  // Shared: the entry array may be growing under a concurrent Allocate, but
+  // the entry itself exists (the caller is reading an allocated inode). The
+  // store is a relaxed atomic, so concurrent readers of the same entry are
+  // race-free.
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (ino >= entries_.size()) {
+    return;
+  }
   entries_[ino].atime = atime;  // relaxed atomic store
-  std::lock_guard<std::mutex> lock(atime_mu_);
   MarkDirty(ino);
 }
 
 void InodeMap::Restore(InodeNum ino, const ImapEntry& entry) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   EnsureSize(ino);
   entries_[ino] = entry;
   MarkDirty(ino);
 }
 
 void InodeMap::EncodeChunk(uint32_t chunk, std::span<uint8_t> block) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::memset(block.data(), 0, block.size());
   InodeNum base = chunk * entries_per_chunk_;
   for (uint32_t i = 0; i < entries_per_chunk_; i++) {
@@ -81,6 +94,7 @@ void InodeMap::EncodeChunk(uint32_t chunk, std::span<uint8_t> block) const {
 
 void InodeMap::LoadChunk(uint32_t chunk, std::span<const uint8_t> block,
                          uint32_t ninodes_limit) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   InodeNum base = chunk * entries_per_chunk_;
   for (uint32_t i = 0; i < entries_per_chunk_; i++) {
     InodeNum ino = base + i;
@@ -94,6 +108,7 @@ void InodeMap::LoadChunk(uint32_t chunk, std::span<const uint8_t> block,
 }
 
 void InodeMap::RebuildFreeList() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   free_list_.clear();
   allocated_count_ = 0;
   for (InodeNum ino = 1; ino < entries_.size(); ino++) {

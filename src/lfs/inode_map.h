@@ -11,16 +11,28 @@
 // whenever the file is deleted or truncated to length zero, so (ino,
 // version) uniquely identifies file contents and lets the cleaner discard
 // dead blocks without reading the inode (Section 3.3).
+//
+// Concurrency: the map synchronizes itself so the concurrent front-end can
+// call it under the filesystem's *shared* lock. An internal reader-writer
+// lock guards the entry array's structure (it grows with the allocation
+// high-water mark); lookups and the atime bump take it shared, every
+// structural mutator (Allocate/Free/SetLocation/Restore/LoadChunk) takes it
+// exclusive. Dirty-chunk tracking is a lock-free relaxed bitmap — hot read
+// paths mark atime chunks dirty without any mutex — harvested into an
+// ordered list by the checkpoint path, which runs under the filesystem's
+// exclusive lock.
 
 #ifndef LFS_LFS_INODE_MAP_H_
 #define LFS_LFS_INODE_MAP_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <mutex>
-#include <set>
+#include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "src/lfs/layout.h"
+#include "src/util/relaxed.h"
 #include "src/util/result.h"
 
 namespace lfs {
@@ -30,20 +42,29 @@ class InodeMap {
   InodeMap(uint32_t max_inodes, uint32_t entries_per_chunk)
       : max_inodes_(max_inodes),
         entries_per_chunk_(entries_per_chunk),
-        chunk_addrs_((max_inodes + entries_per_chunk - 1) / entries_per_chunk, kNilBlock) {}
+        chunk_addrs_((max_inodes + entries_per_chunk - 1) / entries_per_chunk, kNilBlock),
+        chunk_dirty_(chunk_addrs_.size()) {}
 
   // --- lookups ---------------------------------------------------------------
 
   bool IsAllocated(InodeNum ino) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return ino < entries_.size() && entries_[ino].allocated();
   }
   // Entry for an inode (zero entry for never-allocated numbers).
   ImapEntry Get(InodeNum ino) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return ino < entries_.size() ? entries_[ino] : ImapEntry{};
   }
-  uint32_t ninodes() const { return static_cast<uint32_t>(entries_.size()); }
+  uint32_t ninodes() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return static_cast<uint32_t>(entries_.size());
+  }
   uint32_t max_inodes() const { return max_inodes_; }
-  uint64_t allocated_count() const { return allocated_count_; }
+  uint64_t allocated_count() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return allocated_count_;
+  }
 
   // --- mutation ----------------------------------------------------------------
 
@@ -59,24 +80,39 @@ class InodeMap {
   void SetLocation(InodeNum ino, BlockNo inode_block, uint16_t slot);
 
   // Thread-safe under the filesystem's *shared* lock: the atime store is a
-  // relaxed atomic and the dirty-chunk insert is serialized by atime_mu_, so
-  // concurrent readers may bump access times without the exclusive lock.
-  // Every other mutator still requires exclusive ownership.
+  // relaxed atomic into an entry that structurally exists (the caller just
+  // read the inode), and the dirty mark is a relaxed bitmap store.
   void SetAtime(InodeNum ino, uint64_t atime);
 
   // Used by roll-forward: force an entry to a recovered state.
   void Restore(InodeNum ino, const ImapEntry& entry);
 
   // --- chunk persistence ---------------------------------------------------------
+  //
+  // The chunk-address table and dirty harvest are checkpoint-path state,
+  // called under the filesystem's exclusive lock (or a quiesced mount path).
 
   uint32_t chunk_count() const { return static_cast<uint32_t>(chunk_addrs_.size()); }
   uint32_t chunk_of(InodeNum ino) const { return ino / entries_per_chunk_; }
   BlockNo chunk_addr(uint32_t chunk) const { return chunk_addrs_[chunk]; }
   void set_chunk_addr(uint32_t chunk, BlockNo addr) { chunk_addrs_[chunk] = addr; }
 
-  const std::set<uint32_t>& dirty_chunks() const { return dirty_chunks_; }
-  void ClearDirty() { dirty_chunks_.clear(); }
-  void ClearDirtyChunk(uint32_t chunk) { dirty_chunks_.erase(chunk); }
+  // Chunks marked dirty since the last harvest, in ascending order.
+  std::vector<uint32_t> dirty_chunks() const {
+    std::vector<uint32_t> out;
+    for (uint32_t c = 0; c < chunk_dirty_.size(); c++) {
+      if (chunk_dirty_[c].load() != 0) {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+  void ClearDirty() {
+    for (auto& d : chunk_dirty_) {
+      d.store(0);
+    }
+  }
+  void ClearDirtyChunk(uint32_t chunk) { chunk_dirty_[chunk].store(0); }
 
   // Serializes one chunk into a block-sized buffer.
   void EncodeChunk(uint32_t chunk, std::span<uint8_t> block) const;
@@ -87,17 +123,119 @@ class InodeMap {
   void RebuildFreeList();
 
  private:
-  void EnsureSize(InodeNum ino);
-  void MarkDirty(InodeNum ino) { dirty_chunks_.insert(chunk_of(ino)); }
+  void EnsureSize(InodeNum ino);  // caller holds mu_ exclusive
+  void MarkDirty(InodeNum ino) { chunk_dirty_[chunk_of(ino)].store(1); }
 
   uint32_t max_inodes_;
   uint32_t entries_per_chunk_;
+  mutable std::shared_mutex mu_;        // entry-array structure + free list
   std::vector<ImapEntry> entries_;      // grows to the high-water mark
   std::vector<InodeNum> free_list_;     // freed numbers below the high-water mark
   std::vector<BlockNo> chunk_addrs_;    // current log address of each chunk
-  std::set<uint32_t> dirty_chunks_;
-  std::mutex atime_mu_;  // orders concurrent SetAtime dirty-chunk inserts
+  std::vector<Relaxed<uint8_t>> chunk_dirty_;  // lock-free dirty bitmap
   uint64_t allocated_count_ = 0;
+};
+
+// InodeLockTable: striped per-inode reader-writer locks for the concurrent
+// front-end. The stripe for an inode is ino % nstripes; colliding inodes
+// simply share a stripe (serialization, never incorrectness). Operations
+// that need several inodes (rename, link, unlink-into, ...) must acquire
+// stripes in ascending stripe order — InodeLockSet does exactly that — so
+// two ops locking overlapping inode sets can never deadlock.
+class InodeLockTable {
+ public:
+  explicit InodeLockTable(uint32_t stripes) {
+    // Power-of-two stripe count so StripeOf is a mask.
+    nstripes_ = 1;
+    while (nstripes_ < stripes && nstripes_ < (1u << 16)) {
+      nstripes_ <<= 1;
+    }
+    stripes_ = std::make_unique<std::shared_mutex[]>(nstripes_);
+  }
+
+  uint32_t StripeOf(InodeNum ino) const { return static_cast<uint32_t>(ino) & (nstripes_ - 1); }
+  std::shared_mutex& Stripe(uint32_t s) { return stripes_[s]; }
+  uint32_t nstripes() const { return nstripes_; }
+
+ private:
+  uint32_t nstripes_;
+  std::unique_ptr<std::shared_mutex[]> stripes_;
+};
+
+// RAII guard over up to four inode stripes (rename touches at most
+// from-dir, to-dir, the moved inode, and a replaced target). Stripes are
+// deduplicated and locked in ascending index order; all shared or all
+// exclusive. A null table makes the guard a no-op, which is how the
+// single-threaded regime compiles the locking out of its paths.
+class InodeLockSet {
+ public:
+  InodeLockSet() = default;
+  InodeLockSet(InodeLockTable* table, std::initializer_list<InodeNum> inos, bool exclusive)
+      : table_(table), exclusive_(exclusive) {
+    if (table_ == nullptr) {
+      return;
+    }
+    for (InodeNum ino : inos) {
+      uint32_t s = table_->StripeOf(ino);
+      bool dup = false;
+      for (int i = 0; i < n_; i++) {
+        dup = dup || stripes_[i] == s;
+      }
+      if (!dup) {
+        stripes_[n_++] = s;
+      }
+    }
+    std::sort(stripes_, stripes_ + n_);
+    for (int i = 0; i < n_; i++) {
+      if (exclusive_) {
+        table_->Stripe(stripes_[i]).lock();
+      } else {
+        table_->Stripe(stripes_[i]).lock_shared();
+      }
+    }
+    locked_ = true;
+  }
+
+  InodeLockSet(InodeLockSet&& o) noexcept { *this = std::move(o); }
+  InodeLockSet& operator=(InodeLockSet&& o) noexcept {
+    Release();
+    table_ = o.table_;
+    exclusive_ = o.exclusive_;
+    n_ = o.n_;
+    locked_ = o.locked_;
+    for (int i = 0; i < n_; i++) {
+      stripes_[i] = o.stripes_[i];
+    }
+    o.table_ = nullptr;
+    o.locked_ = false;
+    o.n_ = 0;
+    return *this;
+  }
+  InodeLockSet(const InodeLockSet&) = delete;
+  InodeLockSet& operator=(const InodeLockSet&) = delete;
+
+  ~InodeLockSet() { Release(); }
+
+  void Release() {
+    if (table_ == nullptr || !locked_) {
+      return;
+    }
+    for (int i = n_ - 1; i >= 0; i--) {
+      if (exclusive_) {
+        table_->Stripe(stripes_[i]).unlock();
+      } else {
+        table_->Stripe(stripes_[i]).unlock_shared();
+      }
+    }
+    locked_ = false;
+  }
+
+ private:
+  InodeLockTable* table_ = nullptr;
+  bool exclusive_ = false;
+  bool locked_ = false;
+  int n_ = 0;
+  uint32_t stripes_[4] = {0, 0, 0, 0};
 };
 
 }  // namespace lfs

@@ -19,19 +19,30 @@ LfsFileSystem::LfsFileSystem(BlockDevice* device, const LfsConfig& cfg, const Su
       usage_(sb.nsegments, sb.segment_bytes(), sb.usage_entries_per_chunk()),
       writer_(device, &sb_, &usage_, &stats_, cfg.reserve_segments, &clock_,
               retry_policy_, &obs_, cfg.num_logs),
-      debug_cleaner_(getenv("LFS_DEBUG_CLEANER") != nullptr) {}
+      ilocks_(cfg.inode_shards),
+      debug_cleaner_(getenv("LFS_DEBUG_CLEANER") != nullptr) {
+  // The in-memory tables shard to the stripe count in the concurrent regime;
+  // the single-threaded regime keeps one shard, i.e. the same two maps as
+  // before the sharding work.
+  uint32_t nshards = cfg_.concurrent ? ilocks_.nstripes() : 1;
+  shard_mask_ = nshards - 1;
+  itable_ = std::vector<InodeTableShard>(nshards);
+  dirty_shards_ = std::vector<DirtyShard>(nshards);
+  txn_.Configure(cfg_.txn_max_ops, cfg_.txn_max_staged_blocks != 0
+                                       ? cfg_.txn_max_staged_blocks
+                                       : 4 * cfg_.write_buffer_blocks);
+}
 
 LfsFileSystem::~LfsFileSystem() { StopCleanerThread(); }
 
 Status LfsFileSystem::DeviceRead(BlockNo block, uint64_t count,
                                  std::span<uint8_t> out) const {
-  uint64_t retries_before = stats_.io_retries;
+  RelaxedDelta<uint64_t> retries(stats_.io_retries);
   Status st = RetryWithBackoff(retry_policy_, &clock_, &stats_.io_retries,
                                [&] { return device_->Read(block, count, out); });
-  if (stats_.io_retries != retries_before) {
+  if (retries.changed()) {
     LFS_TRACE(obs_.tracer(), obs::TraceEventType::kIoRetry, obs::OpType::kNone,
-              clock_.Now(), block, stats_.io_retries - retries_before,
-              device_->ModeledTime());
+              clock_.Now(), block, retries.delta(), device_->ModeledTime());
   }
   if (!st.ok() && st.code() == StatusCode::kIoError) {
     stats_.io_retry_failures++;
@@ -44,13 +55,12 @@ Status LfsFileSystem::DeviceRead(BlockNo block, uint64_t count,
 
 Status LfsFileSystem::DeviceWrite(BlockNo block, uint64_t count,
                                   std::span<const uint8_t> data) {
-  uint64_t retries_before = stats_.io_retries;
+  RelaxedDelta<uint64_t> retries(stats_.io_retries);
   Status st = RetryWithBackoff(retry_policy_, &clock_, &stats_.io_retries,
                                [&] { return device_->Write(block, count, data); });
-  if (stats_.io_retries != retries_before) {
+  if (retries.changed()) {
     LFS_TRACE(obs_.tracer(), obs::TraceEventType::kIoRetry, obs::OpType::kNone,
-              clock_.Now(), block, stats_.io_retries - retries_before,
-              device_->ModeledTime());
+              clock_.Now(), block, retries.delta(), device_->ModeledTime());
   }
   if (!st.ok() && st.code() == StatusCode::kIoError) {
     stats_.io_retry_failures++;
@@ -76,6 +86,9 @@ void LfsFileSystem::EnterDegradedReadOnly(const char* why) {
 }
 
 LfsStatFs LfsFileSystem::StatFs() const {
+  if (cfg_.concurrent) {
+    txn_.WaitNotCommitting();
+  }
   std::shared_lock<std::shared_mutex> lock(fs_mu_);
   LfsStatFs out;
   out.total_bytes = uint64_t{sb_.nsegments} * sb_.segment_bytes();
@@ -125,9 +138,10 @@ Result<std::unique_ptr<LfsFileSystem>> LfsFileSystem::Mkfs(BlockDevice* device,
   root_fm.inode.version = fs->imap_.Get(kRootInode).version;
   root_fm.inode.mtime = fs->clock_.Tick();
   root_fm.inode_dirty = true;
-  fs->files_[kRootInode] = std::move(root_fm);
-  fs->dirs_[kRootInode] = DirCache{};
-  fs->dirty_inodes_.insert(kRootInode);
+  InodeTableShard& root_shard = fs->TableShard(kRootInode);
+  root_shard.files[kRootInode] = std::move(root_fm);
+  root_shard.dirs[kRootInode] = DirCache{};
+  fs->MarkInodeDirty(kRootInode);
 
   // Every usage chunk must exist on disk so the checkpoint region is fully
   // populated from the start.
@@ -334,7 +348,7 @@ Status LfsFileSystem::FlushMetadataChunks() {
 
   // Inode map chunks (Table 1 "Inode map"; Table 4 shows these dominate
   // metadata log bandwidth).
-  std::vector<uint32_t> imap_dirty(imap_.dirty_chunks().begin(), imap_.dirty_chunks().end());
+  std::vector<uint32_t> imap_dirty = imap_.dirty_chunks();
   for (uint32_t c : imap_dirty) {
     BlockNo old = imap_.chunk_addr(c);
     imap_.EncodeChunk(c, block);
@@ -549,7 +563,7 @@ void LfsFileSystem::SweepZeroLiveSegments() {
 }
 
 Status LfsFileSystem::WriteCheckpoint() {
-  std::unique_lock<std::shared_mutex> lock(fs_mu_);
+  ExclusiveSection sec(this);
   return WriteCheckpointImpl();
 }
 
@@ -595,7 +609,7 @@ Status LfsFileSystem::WriteCheckpointImpl() {
 }
 
 Status LfsFileSystem::LightCheckpoint() {
-  std::unique_lock<std::shared_mutex> lock(fs_mu_);
+  ExclusiveSection sec(this);
   return LightCheckpointImpl();
 }
 
@@ -687,7 +701,7 @@ Status LfsFileSystem::RecomputeSegmentUsage(SegNo seg, uint32_t stop_offset) {
 }
 
 Status LfsFileSystem::Sync() {
-  std::unique_lock<std::shared_mutex> lock(fs_mu_);
+  ExclusiveSection sec(this);
   if (read_only_) {
     return OkStatus();  // nothing can be dirty
   }
@@ -699,20 +713,22 @@ Status LfsFileSystem::Unmount() {
   // Stop the background cleaner before taking fs_mu_: the thread acquires
   // fs_mu_ to clean, so joining while holding it would deadlock.
   StopCleanerThread();
-  std::unique_lock<std::shared_mutex> lock(fs_mu_);
+  ExclusiveSection sec(this);
   if (read_only_) {
-    files_.clear();
-    dirs_.clear();
+    ClearInodeTables();
     return OkStatus();
   }
   LFS_RETURN_IF_ERROR(WriteCheckpointImpl());
-  files_.clear();
-  dirs_.clear();
+  ClearInodeTables();
   return OkStatus();
 }
 
 Result<FileStat> LfsFileSystem::Stat(InodeNum ino) {
+  if (cfg_.concurrent) {
+    txn_.WaitNotCommitting();
+  }
   std::shared_lock<std::shared_mutex> lock(fs_mu_);
+  InodeLockSet il(LockTable(), {ino}, /*exclusive=*/false);
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
   FileStat st;
   st.ino = ino;
@@ -725,7 +741,7 @@ Result<FileStat> LfsFileSystem::Stat(InodeNum ino) {
 }
 
 Result<uint32_t> LfsFileSystem::ForceClean() {
-  std::unique_lock<std::shared_mutex> lock(fs_mu_);
+  ExclusiveSection sec(this);
   LFS_RETURN_IF_ERROR(writer_.Flush());
   LFS_ASSIGN_OR_RETURN(uint32_t reclaimed, CleanerPass());
   // Checkpoint after reclaiming so the recovery scan filter (which probes
@@ -737,13 +753,17 @@ Result<uint32_t> LfsFileSystem::ForceClean() {
 }
 
 Result<std::vector<BlockNo>> LfsFileSystem::FileBlockAddresses(InodeNum ino) {
+  if (cfg_.concurrent) {
+    txn_.WaitNotCommitting();
+  }
   std::shared_lock<std::shared_mutex> lock(fs_mu_);
+  InodeLockSet il(LockTable(), {ino}, /*exclusive=*/false);
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
   return fm->blocks;
 }
 
 Result<std::array<uint64_t, 8>> LfsFileSystem::LiveBytesByKind() {
-  std::unique_lock<std::shared_mutex> lock(fs_mu_);
+  ExclusiveSection sec(this);
   LFS_RETURN_IF_ERROR(FlushDirtyData());
   LFS_RETURN_IF_ERROR(writer_.Flush());
   std::array<uint64_t, 8> live{};

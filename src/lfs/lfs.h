@@ -46,6 +46,7 @@
 #include "src/lfs/segment_writer.h"
 #include "src/lfs/stats.h"
 #include "src/obs/obs.h"
+#include "src/util/relaxed.h"
 #include "src/util/retry.h"
 
 namespace lfs {
@@ -100,21 +101,50 @@ class LfsFileSystem : public FileSystem {
 
   // --- threading model -----------------------------------------------------------
   //
-  // Every public operation takes fs_mu_: reads (ReadAt, Lookup, Stat,
-  // ReadDir, StatFs, FileBlockAddresses) shared, mutations exclusive. The
-  // lock is uncontended and cheap when cfg.concurrent is false, so the
-  // single-threaded paths are unchanged. Shared holders may still populate
-  // lazily built caches; those structures are guarded by the leaf mutexes
-  // files_mu_ / read_cache_mu_ (and InodeMap::atime_mu_). Lock order:
+  // Two regimes, selected by cfg.concurrent:
   //
+  // Single-threaded (concurrent == false): mutations take fs_mu_ exclusive,
+  // reads shared, exactly as before the group-commit work — every path,
+  // flush cadence, and on-disk byte is unchanged, keeping the figure
+  // benches deterministic. The per-inode lock guards compile to no-ops.
+  //
+  // Concurrent (concurrent == true): fs_mu_ is demoted to protecting only
+  // truly global transitions — batch commit, checkpointing, segment
+  // allocation/cleaning, mount/unmount — and *every* file operation runs
+  // under it SHARED. Isolation between operations comes from striped
+  // per-inode reader-writer locks (ilocks_): readers take their inode's
+  // stripe shared, mutators exclusive, and multi-inode ops (rename, link)
+  // acquire all involved stripes in ascending stripe order (InodeLockSet)
+  // so overlapping ops cannot deadlock. Mutators additionally join the open
+  // group-commit transaction (txn_, xv6-style BeginOp/EndOp): they reserve
+  // worst-case log space, stage dirty blocks into sharded write buffers,
+  // and the last op out of a transaction whose buffer crossed the flush
+  // threshold becomes the committer — CommitBatch() takes fs_mu_ exclusive
+  // and flushes the whole batch while the next transaction opens. Readers
+  // poll txn_.WaitNotCommitting() before locking so a committer is never
+  // starved. Shared in-memory state is sharded or internally synchronized:
+  // the inode table (loaded FileMaps/DirCaches) and the dirty-block buffer
+  // are sharded by inode, the inode map and segment-usage table carry
+  // internal locks, and counters are relaxed atomics. Lock order:
+  //
+  //   txn_ gate (never waited on while holding any lock below)
   //   cleaner_mu_ (never held while acquiring fs_mu_)
-  //   fs_mu_  ->  files_mu_ | read_cache_mu_ | InodeMap::atime_mu_
+  //   fs_mu_  ->  inode stripes (ascending) ->  itable/dirty shard mu |
+  //               dirty_inodes_mu_ | dirlog_mu_ | read_cache_mu_ |
+  //               InodeMap::mu_ | SegUsage::mu_ | SegmentWriter log mu
   //           ->  device mutexes (SimDisk / MemDisk / BlockCache shards)
+  //
+  // Path resolution in concurrent mode locks one directory stripe (shared)
+  // at a time and re-verifies the final components under the op's inode
+  // locks, retrying if a concurrent rename/unlink moved them — whole-path
+  // races keep POSIX last-writer-wins semantics.
   //
   // With cfg.concurrent set, Mkfs/Mount also start a background cleaner
   // thread; MaybeClean then only cleans synchronously below the critical
   // floor and otherwise kicks the thread (the paper's background cleaning
-  // "when the disk is idle", Section 4).
+  // "when the disk is idle", Section 4). The cleaner thread and every other
+  // exclusive section enter through the transaction gate (ExclusiveSection),
+  // so relocation never interleaves with a half-staged batch.
 
   // --- FileSystem interface ----------------------------------------------------
 
@@ -194,7 +224,7 @@ class LfsFileSystem : public FileSystem {
   LfsStatFs StatFs() const;
   uint32_t clean_segments() const { return usage_.clean_count(); }
   double disk_utilization() const { return usage_.DiskUtilization(); }
-  uint64_t dirty_buffered_blocks() const { return dirty_data_.size(); }
+  uint64_t dirty_buffered_blocks() const { return dirty_count_.load(); }
 
  private:
   LfsFileSystem(BlockDevice* device, const LfsConfig& cfg, const Superblock& sb);
@@ -308,15 +338,132 @@ class LfsFileSystem : public FileSystem {
   Status CheckWritable() const;      // kReadOnly on read-only mounts
   Status MaybeAutoCheckpoint();
   Status EnsureSpaceForWrite(uint64_t new_blocks);
-  Result<FileStat> StatLocked(InodeNum ino);
   uint64_t BlockCountFor(uint64_t size) const {
     return (size + sb_.block_size - 1) / sb_.block_size;
   }
+
+  // --- group commit / concurrent front-end (lfs_io.cpp) ---
+
+  // The per-inode lock table, compiled out of the single-threaded regime by
+  // handing InodeLockSet a null table.
+  InodeLockTable* LockTable() { return cfg_.concurrent ? &ilocks_ : nullptr; }
+  // The ISSUE's two-inode ordering helper: both stripes exclusive, ascending
+  // stripe order (rename/link paths; same-stripe pairs collapse to one).
+  InodeLockSet LockInodePair(InodeNum a, InodeNum b) {
+    return InodeLockSet(LockTable(), {a, b}, /*exclusive=*/true);
+  }
+  // RAII for global exclusive sections (commit, checkpoint, cleaner pass,
+  // unmount): closes the group-commit transaction gate — draining in-flight
+  // mutators and stopping new ones — before taking fs_mu_ exclusive, so the
+  // acquisition cannot be starved by the shared-mode operation stream.
+  class ExclusiveSection {
+   public:
+    explicit ExclusiveSection(LfsFileSystem* fs) : fs_(fs) {
+      if (fs_->cfg_.concurrent) {
+        fs_->txn_.BeginCommit();
+      }
+      lock_ = std::unique_lock<std::shared_mutex>(fs_->fs_mu_);
+    }
+    ~ExclusiveSection() {
+      lock_.unlock();
+      if (fs_->cfg_.concurrent) {
+        fs_->txn_.EndCommit();
+      }
+    }
+    ExclusiveSection(const ExclusiveSection&) = delete;
+    ExclusiveSection& operator=(const ExclusiveSection&) = delete;
+
+   private:
+    LfsFileSystem* fs_;
+    std::unique_lock<std::shared_mutex> lock_;
+  };
+  // The committer side of a transaction: called by the op that won the
+  // token from txn_.EndOp(). Flushes the staged batch (and possibly an
+  // automatic checkpoint) under fs_mu_ exclusive, then reopens the gate.
+  Status CommitBatch();
+  // Evicts clean FileMaps past the cache cap (caller holds fs_mu_ exclusive).
+  void TrimFileCache();
+  // Lock-free cleaner nudge for the concurrent mutation path (EndOp sites).
+  void MaybeKickCleaner();
+  // Stages one bounded slice of a write under fs_mu_ shared + the inode's
+  // stripe exclusive; never flushes (the group commit does).
+  Status WriteAtSlice(InodeNum ino, uint64_t offset, std::span<const uint8_t> data);
+  Status WriteAtConcurrent(InodeNum ino, uint64_t offset, std::span<const uint8_t> data);
+  // Truncate body without the flush tail, shared by both regimes.
+  Status TruncateLocked(InodeNum ino, uint64_t new_size);
+
+  // --- sharded in-memory tables ---
+
+  // Shard of the in-memory inode tables (loaded FileMaps + parsed
+  // directories). std::map nodes are stable, so handed-out pointers survive
+  // unrelated inserts/erases in the same shard; erasure of an inode's own
+  // state only happens under its stripe lock (or fs_mu_ exclusive).
+  struct InodeTableShard {
+    mutable std::mutex mu;
+    std::map<InodeNum, FileMap> files;
+    std::map<InodeNum, DirCache> dirs;
+  };
+  // Shard of the write buffer: staged dirty data blocks keyed (ino, fbn).
+  struct DirtyShard {
+    mutable std::mutex mu;
+    std::map<std::pair<InodeNum, uint64_t>, std::vector<uint8_t>> blocks;
+  };
+
+  uint32_t ShardOf(InodeNum ino) const { return static_cast<uint32_t>(ino) & shard_mask_; }
+  InodeTableShard& TableShard(InodeNum ino) { return itable_[ShardOf(ino)]; }
+  const InodeTableShard& TableShard(InodeNum ino) const { return itable_[ShardOf(ino)]; }
+  // Loaded-FileMap lookup without loading (nullptr if absent).
+  FileMap* FindFileMap(InodeNum ino);
+  DirCache* FindDirCache(InodeNum ino);
+  void EraseInodeState(InodeNum ino);  // drops files+dirs entries for ino
+  void ClearInodeTables();             // unmount/recovery reset
+  size_t LoadedFileMapCount() const;
+  // Dirty write-buffer accessors (shard mutex inside; dirty_count_ tracks
+  // the total so hot paths never sum shards).
+  bool CopyDirtyBlock(InodeNum ino, uint64_t fbn, std::span<uint8_t> out) const;
+  bool HaveDirtyBlock(InodeNum ino, uint64_t fbn) const;
+  void EraseDirtyBlock(InodeNum ino, uint64_t fbn);
+  // Merges all shards into one (ino, fbn)-ordered batch and empties them —
+  // the exact iteration order the unsharded buffer used to flush in.
+  std::map<std::pair<InodeNum, uint64_t>, std::vector<uint8_t>> TakeDirtyBatch();
+  void MarkInodeDirty(InodeNum ino);
+  // Snapshots-and-clears the dirty-inode set (flush path, fs_mu_ exclusive).
+  std::set<InodeNum> TakeDirtyInodes();
+
+  // Closes out a concurrent mutation: drops the op from the open transaction
+  // (EndOp), runs CommitBatch if this op drew the committer token, and nudges
+  // the background cleaner. Returns `st` unless the commit itself failed.
+  Status EndMutation(Status st);
 
   // --- namespace (lfs_namespace.cpp) ---
 
   Result<DirCache*> GetDirCache(InodeNum dir_ino);
   Result<InodeNum> LookupInDir(InodeNum dir_ino, std::string_view name);
+  // Concurrent-regime path resolution: walks one component at a time taking
+  // only that directory's stripe (shared) for the lookup, holding zero
+  // stripes between components — so resolution can never deadlock with an
+  // op's ordered multi-stripe acquisition. Callers re-verify the final
+  // component under their op's locks and retry if it moved (POSIX
+  // last-writer-wins for whole-path races).
+  Result<InodeNum> LookupInDirTransient(InodeNum dir_ino, std::string_view name);
+  Result<InodeNum> WalkPathConcurrent(std::string_view path);
+  Result<InodeNum> ResolveDirConcurrent(std::string_view path);
+  Result<std::pair<InodeNum, std::string>> ResolveParentConcurrent(std::string_view path);
+  // Namespace op tails, shared by both regimes. Single-threaded: caller
+  // holds fs_mu_ exclusive. Concurrent: caller holds fs_mu_ shared plus the
+  // involved inode stripes exclusive (ascending order), with the final
+  // path components re-verified under those stripes.
+  Result<InodeNum> CreateLocked(InodeNum dir_ino, const std::string& name,
+                                std::string_view path);
+  Status MkdirLocked(InodeNum dir_ino, const std::string& name, std::string_view path);
+  Status UnlinkLocked(InodeNum dir_ino, const std::string& name, InodeNum ino,
+                      std::string_view path);
+  Status RmdirLocked(InodeNum dir_ino, const std::string& name, InodeNum ino,
+                     std::string_view path);
+  Status LinkLocked(InodeNum ino, InodeNum dir_ino, const std::string& name,
+                    std::string_view link_path);
+  Status RenameLocked(InodeNum from_dir, const std::string& from_name, InodeNum ino,
+                      InodeNum to_dir, const std::string& to_name, std::string_view to);
   Status AddDirEntry(InodeNum dir_ino, const DirEntry& entry);
   Status RemoveDirEntry(InodeNum dir_ino, std::string_view name);
   Status WriteDirBlock(InodeNum dir_ino, uint64_t fbn);
@@ -400,11 +547,18 @@ class LfsFileSystem : public FileSystem {
   SegUsage usage_;
   SegmentWriter writer_;
 
-  std::map<InodeNum, FileMap> files_;          // loaded file maps
-  std::map<InodeNum, DirCache> dirs_;          // parsed directories
-  std::map<std::pair<InodeNum, uint64_t>, std::vector<uint8_t>> dirty_data_;
-  std::set<InodeNum> dirty_inodes_;
-  std::vector<DirLogRecord> pending_dirlog_;
+  // Group-commit transaction gate + striped per-inode locks (concurrent
+  // regime; the gate is configured but unused when concurrent == false).
+  GroupCommit txn_;
+  InodeLockTable ilocks_;
+  uint32_t shard_mask_ = 0;  // itable_/dirty_shards_ size - 1 (power of two)
+  std::vector<InodeTableShard> itable_;        // loaded file maps + directories
+  std::vector<DirtyShard> dirty_shards_;       // buffered dirty data blocks
+  Relaxed<uint64_t> dirty_count_{0};           // total staged blocks, all shards
+  std::set<InodeNum> dirty_inodes_;            // guarded by dirty_inodes_mu_
+  mutable std::mutex dirty_inodes_mu_;
+  std::vector<DirLogRecord> pending_dirlog_;   // guarded by dirlog_mu_
+  std::mutex dirlog_mu_;
 
   struct ReadCacheEntry {
     std::vector<uint8_t> data;
@@ -417,10 +571,8 @@ class LfsFileSystem : public FileSystem {
   // Reader-writer regime over all filesystem state (see the threading-model
   // note above); const read paths lock it shared, hence mutable.
   mutable std::shared_mutex fs_mu_;
-  // Leaf mutexes for caches that shared holders populate lazily: files_ and
-  // dirs_ insertion (std::map nodes are stable, so handed-out FileMap* and
-  // DirCache* stay valid), and the clean-block read cache's LRU state.
-  mutable std::mutex files_mu_;
+  // Leaf mutex for the clean-block read cache's map + LRU state, which
+  // shared holders mutate on every cached read.
   mutable std::mutex read_cache_mu_;
 
   // Background cleaner thread state (cfg_.concurrent only).

@@ -26,7 +26,7 @@ std::vector<SegNo> LfsFileSystem::SelectSegmentsToClean(uint32_t max_segments) {
   // Bound the pass so the rewritten live data — plus the buffered user data
   // the pass's final flush will push out — is guaranteed to fit in the clean
   // segments we currently have (the cleaner must never wedge itself).
-  uint64_t buffered = dirty_data_.size() * uint64_t{sb_.block_size};
+  uint64_t buffered = dirty_count_.load() * uint64_t{sb_.block_size};
   uint64_t budget = usage_.clean_count() > 1
                         ? (uint64_t{usage_.clean_count()} - 1) * sb_.segment_bytes()
                         : 0;
@@ -114,7 +114,7 @@ std::vector<SegNo> LfsFileSystem::SelectSegmentsToCleanReference(uint32_t max_se
     return a.seg < b.seg;
   });
 
-  uint64_t buffered = dirty_data_.size() * uint64_t{sb_.block_size};
+  uint64_t buffered = dirty_count_.load() * uint64_t{sb_.block_size};
   uint64_t budget = usage_.clean_count() > 1
                         ? (uint64_t{usage_.clean_count()} - 1) * sb_.segment_bytes()
                         : 0;
@@ -209,7 +209,7 @@ Status LfsFileSystem::MigrateLiveBlock(const SummaryEntry& entry, BlockNo addr,
                                                             entry.mtime, bs, cold_hint));
       fm->blocks[entry.fbn] = new_addr;
       MarkIndirectDirty(fm, entry.fbn);
-      dirty_inodes_.insert(entry.ino);
+      MarkInodeDirty(entry.ino);
       return OkStatus();
     }
     case BlockKind::kIndirect: {
@@ -219,14 +219,14 @@ Status LfsFileSystem::MigrateLiveBlock(const SummaryEntry& entry, BlockNo addr,
         fm->dind_dirty = true;
       }
       fm->inode_dirty = true;
-      dirty_inodes_.insert(entry.ino);
+      MarkInodeDirty(entry.ino);
       return OkStatus();
     }
     case BlockKind::kDoubleIndirect: {
       LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(entry.ino));
       fm->dind_dirty = true;
       fm->inode_dirty = true;
-      dirty_inodes_.insert(entry.ino);
+      MarkInodeDirty(entry.ino);
       return OkStatus();
     }
     case BlockKind::kInodeBlock: {
@@ -241,7 +241,7 @@ Status LfsFileSystem::MigrateLiveBlock(const SummaryEntry& entry, BlockNo addr,
         if (e.allocated() && e.inode_block == addr && e.slot == s) {
           LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino->ino));
           fm->inode_dirty = true;
-          dirty_inodes_.insert(ino->ino);
+          MarkInodeDirty(ino->ino);
         }
       }
       return OkStatus();
@@ -691,7 +691,9 @@ void LfsFileSystem::CleanerThreadMain() {
     cleaner_kick_ = false;
     lk.unlock();  // released before fs_mu_: see the lock-order note in lfs.h
     {
-      std::unique_lock<std::shared_mutex> fs_lock(fs_mu_);
+      // Enter through the transaction gate so the pass never interleaves
+      // with a half-staged batch (and cannot be starved by shared holders).
+      ExclusiveSection sec(this);
       if (!read_only_ && !degraded_ &&
           writer_.usable_clean_segments() < EffectiveCleanLo()) {
         // Failures flip the filesystem into degraded read-only inside the

@@ -5,6 +5,12 @@
 // dirlog records first, then data blocks, then the indirect blocks and
 // inodes that point at them. That ordering is what makes roll-forward sound:
 // an inode found in the log always describes data already in the log.
+//
+// Two mutation front-ends share that machinery (see the threading-model note
+// in lfs.h): the single-threaded regime stages and flushes inline under the
+// exclusive filesystem lock, while the concurrent regime stages under the
+// shared lock + per-inode stripes inside a group-commit transaction and
+// leaves flushing to the batch committer (CommitBatch).
 
 #include <algorithm>
 #include <cassert>
@@ -184,22 +190,138 @@ Result<Inode> LfsFileSystem::ReadInodeFromDisk(InodeNum ino) const {
   return inode;
 }
 
+// --- sharded in-memory tables --------------------------------------------------
+
+LfsFileSystem::FileMap* LfsFileSystem::FindFileMap(InodeNum ino) {
+  InodeTableShard& shard = TableShard(ino);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.files.find(ino);
+  return it == shard.files.end() ? nullptr : &it->second;
+}
+
+LfsFileSystem::DirCache* LfsFileSystem::FindDirCache(InodeNum ino) {
+  InodeTableShard& shard = TableShard(ino);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.dirs.find(ino);
+  return it == shard.dirs.end() ? nullptr : &it->second;
+}
+
+void LfsFileSystem::EraseInodeState(InodeNum ino) {
+  InodeTableShard& shard = TableShard(ino);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.files.erase(ino);
+  shard.dirs.erase(ino);
+}
+
+void LfsFileSystem::ClearInodeTables() {
+  for (InodeTableShard& shard : itable_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.files.clear();
+    shard.dirs.clear();
+  }
+}
+
+size_t LfsFileSystem::LoadedFileMapCount() const {
+  size_t total = 0;
+  for (const InodeTableShard& shard : itable_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.files.size();
+  }
+  return total;
+}
+
+bool LfsFileSystem::HaveDirtyBlock(InodeNum ino, uint64_t fbn) const {
+  if (dirty_count_.load() == 0) {
+    return false;  // nothing staged anywhere
+  }
+  const DirtyShard& shard = dirty_shards_[ShardOf(ino)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.blocks.count({ino, fbn}) != 0;
+}
+
+bool LfsFileSystem::CopyDirtyBlock(InodeNum ino, uint64_t fbn, std::span<uint8_t> out) const {
+  if (dirty_count_.load() == 0) {
+    return false;
+  }
+  const DirtyShard& shard = dirty_shards_[ShardOf(ino)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.blocks.find({ino, fbn});
+  if (it == shard.blocks.end()) {
+    return false;
+  }
+  std::memcpy(out.data(), it->second.data(), out.size());
+  return true;
+}
+
+void LfsFileSystem::EraseDirtyBlock(InodeNum ino, uint64_t fbn) {
+  DirtyShard& shard = dirty_shards_[ShardOf(ino)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.blocks.erase({ino, fbn}) != 0) {
+    dirty_count_--;
+  }
+}
+
+void LfsFileSystem::StoreDirtyBlock(InodeNum ino, uint64_t fbn, std::vector<uint8_t> data) {
+  assert(data.size() == sb_.block_size);
+  DirtyShard& shard = dirty_shards_[ShardOf(ino)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.blocks.find({ino, fbn});
+  if (it == shard.blocks.end()) {
+    shard.blocks.emplace(std::make_pair(ino, fbn), std::move(data));
+    dirty_count_++;
+  } else {
+    it->second = std::move(data);
+  }
+}
+
+std::map<std::pair<InodeNum, uint64_t>, std::vector<uint8_t>>
+LfsFileSystem::TakeDirtyBatch() {
+  // Merging the per-shard maps into one std::map restores the exact global
+  // (ino, fbn) iteration order the unsharded buffer used to flush in, so the
+  // log layout (and the paper's temporal locality) is unchanged by sharding.
+  std::map<std::pair<InodeNum, uint64_t>, std::vector<uint8_t>> out;
+  for (DirtyShard& shard : dirty_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (out.empty()) {
+      out = std::move(shard.blocks);
+    } else {
+      out.merge(shard.blocks);
+    }
+    shard.blocks.clear();
+  }
+  dirty_count_.store(0);
+  return out;
+}
+
+void LfsFileSystem::MarkInodeDirty(InodeNum ino) {
+  std::lock_guard<std::mutex> lock(dirty_inodes_mu_);
+  dirty_inodes_.insert(ino);
+}
+
+std::set<InodeNum> LfsFileSystem::TakeDirtyInodes() {
+  std::lock_guard<std::mutex> lock(dirty_inodes_mu_);
+  std::set<InodeNum> out;
+  out.swap(dirty_inodes_);
+  return out;
+}
+
 Result<LfsFileSystem::FileMap*> LfsFileSystem::GetFileMap(InodeNum ino) {
   // May run under the shared fs lock (ReadAt, Stat, lookups), so structural
-  // access to files_ is serialized by files_mu_; std::map node stability
-  // keeps the returned pointer valid after the mutex drops. Two shared
-  // holders may both load the map from disk; emplace keeps the first.
+  // access to the shard map is serialized by the shard mutex; std::map node
+  // stability keeps the returned pointer valid after the mutex drops. Two
+  // shared holders may both load the map from disk; emplace keeps the first.
+  InodeTableShard& shard = TableShard(ino);
   {
-    std::lock_guard<std::mutex> lock(files_mu_);
-    auto it = files_.find(ino);
-    if (it != files_.end()) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.files.find(ino);
+    if (it != shard.files.end()) {
       return &it->second;
     }
   }
   LFS_ASSIGN_OR_RETURN(Inode inode, ReadInodeFromDisk(ino));
   LFS_ASSIGN_OR_RETURN(FileMap fm, LoadFileMap(inode));
-  std::lock_guard<std::mutex> lock(files_mu_);
-  auto [pos, inserted] = files_.emplace(ino, std::move(fm));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [pos, inserted] = shard.files.emplace(ino, std::move(fm));
   (void)inserted;
   return &pos->second;
 }
@@ -282,7 +404,7 @@ Status LfsFileSystem::ShrinkFileMap(InodeNum ino, FileMap* fm, uint64_t new_bloc
     if (addr != kNilBlock && seg != kNilSeg) {
       usage_.SubLive(seg, bs);
     }
-    dirty_data_.erase({ino, fbn});
+    EraseDirtyBlock(ino, fbn);
   }
   fm->blocks.resize(new_block_count);
 
@@ -315,16 +437,9 @@ Status LfsFileSystem::ShrinkFileMap(InodeNum ino, FileMap* fm, uint64_t new_bloc
   return OkStatus();
 }
 
-void LfsFileSystem::StoreDirtyBlock(InodeNum ino, uint64_t fbn, std::vector<uint8_t> data) {
-  assert(data.size() == sb_.block_size);
-  dirty_data_[{ino, fbn}] = std::move(data);
-}
-
 Status LfsFileSystem::ReadFileBlock(FileMap* fm, InodeNum ino, uint64_t fbn,
                                     std::span<uint8_t> out) {
-  auto dirty = dirty_data_.find({ino, fbn});
-  if (dirty != dirty_data_.end()) {
-    std::memcpy(out.data(), dirty->second.data(), out.size());
+  if (CopyDirtyBlock(ino, fbn, out)) {
     return OkStatus();
   }
   if (fbn >= fm->blocks.size() || fm->blocks[fbn] == kNilBlock) {
@@ -349,7 +464,7 @@ Status LfsFileSystem::EnsureSpaceForWrite(uint64_t new_blocks) {
   usable_segments = std::min<uint64_t>(usable_segments, sb_.nsegments * 4 / 5);
   uint64_t usable_bytes = usable_segments * uint64_t{sb_.segment_bytes()};
   uint64_t committed = usage_.TotalLiveBytes() +
-                       (dirty_data_.size() + new_blocks) * uint64_t{sb_.block_size};
+                       (dirty_count_.load() + new_blocks) * uint64_t{sb_.block_size};
   if (committed > usable_bytes) {
     return NoSpaceError("filesystem full: " + std::to_string(committed) + " of " +
                         std::to_string(usable_bytes) + " usable bytes committed");
@@ -369,6 +484,9 @@ Status LfsFileSystem::CheckWritable() const {
 }
 
 Status LfsFileSystem::WriteAt(InodeNum ino, uint64_t offset, std::span<const uint8_t> data) {
+  if (cfg_.concurrent) {
+    return WriteAtConcurrent(ino, offset, data);
+  }
   std::unique_lock<std::shared_mutex> lock(fs_mu_);
   obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kWrite, device_, &clock_, ino);
   LFS_RETURN_IF_ERROR(CheckWritable());
@@ -390,7 +508,7 @@ Status LfsFileSystem::WriteAt(InodeNum ino, uint64_t offset, std::span<const uin
   // consider this file clean (and thus evictable) mid-write.
   fm->inode.mtime = clock_.Tick();
   fm->inode_dirty = true;
-  dirty_inodes_.insert(ino);
+  MarkInodeDirty(ino);
 
   uint64_t pos = offset;
   size_t src = 0;
@@ -416,9 +534,91 @@ Status LfsFileSystem::WriteAt(InodeNum ino, uint64_t offset, std::span<const uin
   return OkStatus();
 }
 
+// Stages one bounded slice of a write. Caller holds fs_mu_ shared, the
+// inode's stripe exclusive, and an open transaction (BeginOp).
+Status LfsFileSystem::WriteAtSlice(InodeNum ino, uint64_t offset,
+                                   std::span<const uint8_t> data) {
+  LFS_RETURN_IF_ERROR(CheckWritable());
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  if (fm->inode.type == FileType::kDirectory) {
+    return IsADirectoryError("cannot write directly to a directory");
+  }
+  const uint32_t bs = sb_.block_size;
+  uint64_t end = offset + data.size();
+  uint64_t old_blocks = fm->blocks.size();
+  uint64_t new_blocks_total = std::max(old_blocks, BlockCountFor(end));
+  LFS_RETURN_IF_ERROR(EnsureSpaceForWrite(new_blocks_total - old_blocks));
+  LFS_RETURN_IF_ERROR(GrowFileMap(fm, new_blocks_total));
+
+  fm->inode.mtime = clock_.Tick();
+  fm->inode_dirty = true;
+  MarkInodeDirty(ino);
+
+  uint64_t pos = offset;
+  size_t src = 0;
+  while (pos < end) {
+    uint64_t fbn = pos / bs;
+    uint32_t in_block = static_cast<uint32_t>(pos % bs);
+    uint32_t chunk = static_cast<uint32_t>(std::min<uint64_t>(bs - in_block, end - pos));
+    std::vector<uint8_t> block(bs);
+    if (chunk != bs) {
+      LFS_RETURN_IF_ERROR(ReadFileBlock(fm, ino, fbn, block));
+    }
+    std::memcpy(block.data() + in_block, data.data() + src, chunk);
+    StoreDirtyBlock(ino, fbn, std::move(block));
+    pos += chunk;
+    src += chunk;
+    fm->inode.size = std::max(fm->inode.size, pos);
+  }
+  return OkStatus();
+}
+
+Status LfsFileSystem::WriteAtConcurrent(InodeNum ino, uint64_t offset,
+                                        std::span<const uint8_t> data) {
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kWrite, device_, &clock_, ino);
+  if (data.empty()) {
+    txn_.WaitNotCommitting();
+    std::shared_lock<std::shared_mutex> lock(fs_mu_);
+    return CheckWritable();
+  }
+  const uint32_t bs = sb_.block_size;
+  // Slice large writes so one request never stages more than a buffer's
+  // worth of blocks while holding a transaction open; the group commit
+  // between slices is what lets a huge write stream through segment-sized
+  // batches, exactly like the single-threaded MaybeFlush cadence.
+  const uint64_t slice_bytes =
+      std::max<uint64_t>(uint64_t{cfg_.write_buffer_blocks} * bs, bs);
+  uint64_t pos = offset;
+  size_t src = 0;
+  while (src < data.size()) {
+    uint64_t chunk = std::min<uint64_t>(slice_bytes, data.size() - src);
+    // Worst-case log reservation: the slice's data blocks plus the indirect/
+    // inode touch-up the flush will add for them.
+    uint64_t reserve = ((pos % bs) + chunk + bs - 1) / bs + 2;
+    txn_.WaitNotCommitting();
+    txn_.BeginOp(reserve);
+    Status st;
+    {
+      std::shared_lock<std::shared_mutex> lock(fs_mu_);
+      InodeLockSet il(LockTable(), {ino}, /*exclusive=*/true);
+      st = WriteAtSlice(ino, pos, data.subspan(src, chunk));
+    }
+    LFS_RETURN_IF_ERROR(EndMutation(st));
+    pos += chunk;
+    src += chunk;
+  }
+  return OkStatus();
+}
+
 Result<uint64_t> LfsFileSystem::ReadAt(InodeNum ino, uint64_t offset, std::span<uint8_t> out) {
+  if (cfg_.concurrent) {
+    // Lock-free committer gate: keeps a continuous reader stream from
+    // starving a committer's exclusive acquisition.
+    txn_.WaitNotCommitting();
+  }
   std::shared_lock<std::shared_mutex> lock(fs_mu_);
   obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kRead, device_, &clock_, ino);
+  InodeLockSet il(LockTable(), {ino}, /*exclusive=*/false);
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
   if (offset >= fm->inode.size || out.empty()) {
     return uint64_t{0};
@@ -436,8 +636,7 @@ Result<uint64_t> LfsFileSystem::ReadAt(InodeNum ino, uint64_t offset, std::span<
     uint64_t fbn = pos / bs;
     uint32_t in_block = static_cast<uint32_t>(pos % bs);
     uint32_t chunk = static_cast<uint32_t>(std::min<uint64_t>(bs - in_block, want - done));
-    bool plain_disk_block = in_block == 0 && chunk == bs &&
-                            dirty_data_.find({ino, fbn}) == dirty_data_.end() &&
+    bool plain_disk_block = in_block == 0 && chunk == bs && !HaveDirtyBlock(ino, fbn) &&
                             fbn < fm->blocks.size() && fm->blocks[fbn] != kNilBlock;
     if (plain_disk_block) {
       // Extend the run of contiguous disk blocks.
@@ -445,7 +644,7 @@ Result<uint64_t> LfsFileSystem::ReadAt(InodeNum ino, uint64_t offset, std::span<
       while (done + run * bs + bs <= want) {
         uint64_t next_fbn = fbn + run;
         if (next_fbn >= fm->blocks.size() || fm->blocks[next_fbn] != fm->blocks[fbn] + run ||
-            dirty_data_.find({ino, next_fbn}) != dirty_data_.end()) {
+            HaveDirtyBlock(ino, next_fbn)) {
           break;
         }
         run++;
@@ -466,9 +665,10 @@ Result<uint64_t> LfsFileSystem::ReadAt(InodeNum ino, uint64_t offset, std::span<
   return want;
 }
 
-Status LfsFileSystem::Truncate(InodeNum ino, uint64_t new_size) {
-  std::unique_lock<std::shared_mutex> lock(fs_mu_);
-  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kTruncate, device_, &clock_, ino);
+// Truncate body shared by both regimes. Single-threaded: caller holds fs_mu_
+// exclusive. Concurrent: caller holds fs_mu_ shared, the inode's stripe
+// exclusive, and an open transaction.
+Status LfsFileSystem::TruncateLocked(InodeNum ino, uint64_t new_size) {
   LFS_RETURN_IF_ERROR(CheckWritable());
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
   if (fm->inode.type == FileType::kDirectory) {
@@ -505,14 +705,41 @@ Status LfsFileSystem::Truncate(InodeNum ino, uint64_t new_size) {
   fm->inode.size = new_size;
   fm->inode.mtime = clock_.Tick();
   fm->inode_dirty = true;
-  dirty_inodes_.insert(ino);
+  MarkInodeDirty(ino);
+  return OkStatus();
+}
+
+Status LfsFileSystem::Truncate(InodeNum ino, uint64_t new_size) {
+  if (cfg_.concurrent) {
+    obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kTruncate, device_, &clock_, ino);
+    txn_.WaitNotCommitting();
+    txn_.BeginOp(4);  // at most the boundary block + metadata touch-up
+    Status st;
+    {
+      std::shared_lock<std::shared_mutex> lock(fs_mu_);
+      InodeLockSet il(LockTable(), {ino}, /*exclusive=*/true);
+      st = TruncateLocked(ino, new_size);
+    }
+    return EndMutation(st);
+  }
+  std::unique_lock<std::shared_mutex> lock(fs_mu_);
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kTruncate, device_, &clock_, ino);
+  Status st = TruncateLocked(ino, new_size);
+  if (!st.ok()) {
+    return st;
+  }
   return MaybeFlush();
 }
 
 // --- flush machinery -----------------------------------------------------------
 
 Status LfsFileSystem::FlushDirLog() {
-  if (pending_dirlog_.empty()) {
+  std::vector<DirLogRecord> records;
+  {
+    std::lock_guard<std::mutex> lk(dirlog_mu_);
+    records.swap(pending_dirlog_);
+  }
+  if (records.empty()) {
     return OkStatus();
   }
   const uint32_t bs = sb_.block_size;
@@ -533,7 +760,7 @@ Status LfsFileSystem::FlushDirLog() {
     batch_bytes = header;
     return OkStatus();
   };
-  for (DirLogRecord& rec : pending_dirlog_) {
+  for (DirLogRecord& rec : records) {
     size_t rs = DirLogRecordEncodedSize(rec);
     if (batch_bytes + rs > bs) {
       LFS_RETURN_IF_ERROR(emit());
@@ -541,23 +768,22 @@ Status LfsFileSystem::FlushDirLog() {
     batch_bytes += rs;
     batch.push_back(std::move(rec));
   }
-  LFS_RETURN_IF_ERROR(emit());
-  pending_dirlog_.clear();
-  return OkStatus();
+  return emit();
 }
 
 Status LfsFileSystem::FlushFileMetadata() {
   const uint32_t bs = sb_.block_size;
   const uint32_t ppb = sb_.pointers_per_block();
+  const std::set<InodeNum> dirty = TakeDirtyInodes();
 
   // Pass 1: indirect blocks (and double-indirect roots), so the inodes
   // written in pass 2 carry final pointers.
-  for (InodeNum ino : dirty_inodes_) {
-    auto it = files_.find(ino);
-    if (it == files_.end()) {
+  for (InodeNum ino : dirty) {
+    FileMap* fmp = FindFileMap(ino);
+    if (fmp == nullptr) {
       continue;  // deleted before the flush
     }
-    FileMap& fm = it->second;
+    FileMap& fm = *fmp;
     for (uint32_t ind : fm.dirty_ind) {
       std::vector<uint8_t> block;
       block.reserve(bs);
@@ -607,9 +833,9 @@ Status LfsFileSystem::FlushFileMetadata() {
   // Pass 2: pack dirty inodes into inode blocks (several per block; Figure 1
   // shows inodes written adjacent to the data they describe).
   std::vector<InodeNum> todo;
-  todo.reserve(dirty_inodes_.size());
-  for (InodeNum ino : dirty_inodes_) {
-    if (files_.find(ino) != files_.end()) {
+  todo.reserve(dirty.size());
+  for (InodeNum ino : dirty) {
+    if (FindFileMap(ino) != nullptr) {
       todo.push_back(ino);
     }
   }
@@ -619,7 +845,7 @@ Status LfsFileSystem::FlushFileMetadata() {
     std::vector<uint8_t> block(bs, 0);
     uint64_t mtime = 0;
     for (size_t s = 0; s < group; s++) {
-      FileMap& fm = files_.at(todo[i + s]);
+      FileMap& fm = *FindFileMap(todo[i + s]);
       fm.inode.EncodeTo(std::span<uint8_t>(block).subspan(s * kInodeSlotSize, kInodeSlotSize));
       mtime = std::max(mtime, fm.inode.mtime);
     }
@@ -636,10 +862,9 @@ Status LfsFileSystem::FlushFileMetadata() {
         usage_.SubLive(old_seg, kInodeSlotSize);
       }
       imap_.SetLocation(ino, addr, static_cast<uint16_t>(s));
-      files_.at(ino).inode_dirty = false;
+      FindFileMap(ino)->inode_dirty = false;
     }
   }
-  dirty_inodes_.clear();
   return OkStatus();
 }
 
@@ -657,8 +882,7 @@ Status LfsFileSystem::FlushDirtyDataInner() {
   uint64_t flushed = 0;
   // Snapshot the batch so nothing that re-enters (checkpoints, cleaning) can
   // invalidate the iteration.
-  auto batch = std::move(dirty_data_);
-  dirty_data_.clear();
+  auto batch = TakeDirtyBatch();
   // std::map ordering gives (ino, fbn) order: blocks of a file, and files
   // created together, land adjacently in the log — the paper's temporal
   // locality.
@@ -675,7 +899,7 @@ Status LfsFileSystem::FlushDirtyDataInner() {
     }
     fm->blocks[fbn] = addr;
     MarkIndirectDirty(fm, fbn);
-    dirty_inodes_.insert(ino);
+    MarkInodeDirty(ino);
     flushed++;
   }
   LFS_RETURN_IF_ERROR(FlushFileMetadata());
@@ -685,26 +909,94 @@ Status LfsFileSystem::FlushDirtyDataInner() {
 }
 
 Status LfsFileSystem::MaybeFlush() {
-  if (dirty_data_.size() < cfg_.write_buffer_blocks) {
+  if (dirty_count_.load() < cfg_.write_buffer_blocks) {
     return OkStatus();
   }
   LFS_RETURN_IF_ERROR(FlushDirtyData());
   LFS_RETURN_IF_ERROR(MaybeAutoCheckpoint());
+  TrimFileCache();
+  return OkStatus();
+}
 
+void LfsFileSystem::TrimFileCache() {
   // Trim clean cached file maps and directories; dirty state always stays.
-  if (files_.size() > kFileCacheCap) {
-    for (auto it = files_.begin(); it != files_.end();) {
-      const FileMap& fm = it->second;
-      bool clean = !fm.inode_dirty && fm.dirty_ind.empty() && !fm.dind_dirty &&
-                   dirty_inodes_.count(it->first) == 0 && it->first != kRootInode &&
-                   dirs_.find(it->first) == dirs_.end();
-      it = clean ? files_.erase(it) : ++it;
-      if (files_.size() <= kFileCacheCap / 2) {
-        break;
-      }
+  // Candidates are visited in ascending inode order across shards — the
+  // iteration order of the old unsharded map. Caller holds fs_mu_ exclusive.
+  size_t total = LoadedFileMapCount();
+  if (total <= kFileCacheCap) {
+    return;
+  }
+  std::vector<InodeNum> inos;
+  inos.reserve(total);
+  for (InodeTableShard& shard : itable_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [ino, fm] : shard.files) {
+      inos.push_back(ino);
     }
   }
-  return OkStatus();
+  std::sort(inos.begin(), inos.end());
+  for (InodeNum ino : inos) {
+    InodeTableShard& shard = TableShard(ino);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.files.find(ino);
+    if (it == shard.files.end()) {
+      continue;
+    }
+    const FileMap& fm = it->second;
+    bool clean = !fm.inode_dirty && fm.dirty_ind.empty() && !fm.dind_dirty &&
+                 dirty_inodes_.count(ino) == 0 && ino != kRootInode &&
+                 shard.dirs.find(ino) == shard.dirs.end();
+    if (clean) {
+      shard.files.erase(it);
+      total--;
+    }
+    if (total <= kFileCacheCap / 2) {
+      break;
+    }
+  }
+}
+
+Status LfsFileSystem::CommitBatch() {
+  // Caller holds the committer token (txn_.EndOp returned true, or an
+  // equivalent external BeginCommit): new BeginOp/reader arrivals are gated,
+  // so the exclusive acquisition below only waits for in-flight shared
+  // holders to drain.
+  Status st;
+  {
+    std::unique_lock<std::shared_mutex> lock(fs_mu_);
+    st = FlushDirtyData();
+    if (st.ok()) {
+      st = MaybeAutoCheckpoint();
+    }
+    TrimFileCache();
+  }
+  txn_.EndCommit();
+  return st;
+}
+
+Status LfsFileSystem::EndMutation(Status st) {
+  // The commit trigger is the staged-block count crossing the same
+  // threshold the single-threaded MaybeFlush uses; EndOp also latches a
+  // commit when the transaction's own space budget is exhausted.
+  if (txn_.EndOp(dirty_count_.load() >= cfg_.write_buffer_blocks)) {
+    Status cst = CommitBatch();
+    if (st.ok()) {
+      st = cst;
+    }
+  }
+  MaybeKickCleaner();
+  return st;
+}
+
+void LfsFileSystem::MaybeKickCleaner() {
+  if (!cfg_.concurrent || !cleaner_running_.load()) {
+    return;
+  }
+  // Lock-free peek at the clean-segment count; the cleaner thread re-checks
+  // thresholds under the exclusive lock, so a stale read only costs a kick.
+  if (usage_.clean_count() < EffectiveCleanLo()) {
+    KickCleaner();
+  }
 }
 
 Status LfsFileSystem::MaybeAutoCheckpoint() {

@@ -5,6 +5,15 @@
 // lookups. Every namespace mutation appends a directory-operation-log record
 // (Section 4.2) before the affected directory block and inodes reach the
 // log, which is what lets roll-forward restore entry/refcount consistency.
+//
+// Each public operation has two front-ends (threading-model note in lfs.h):
+// the single-threaded regime resolves and mutates under the exclusive
+// filesystem lock exactly as before; the concurrent regime resolves with
+// transient per-directory stripe locks, then acquires every involved inode's
+// stripe in ascending order (InodeLockSet), re-verifies the final
+// components under those locks — retrying if a concurrent rename/unlink
+// moved them — and runs the same *Locked tail inside a group-commit
+// transaction.
 
 #include <algorithm>
 #include <cassert>
@@ -14,15 +23,26 @@
 
 namespace lfs {
 
+namespace {
+// Worst-case log-space reservation (blocks) for one namespace mutation: a
+// dirlog block, a directory data block, an indirect touch-up, and an inode
+// block for each of the up-to-two affected inodes.
+constexpr uint64_t kNamespaceOpReserve = 8;
+// Lock-and-verify retry cap; exceeding it means a racing writer kept moving
+// the entry, and the freshest lookup outcome is returned instead.
+constexpr int kVerifyRetries = 64;
+}  // namespace
+
 Result<LfsFileSystem::DirCache*> LfsFileSystem::GetDirCache(InodeNum dir_ino) {
   // May run under the shared fs lock (lookups, ReadDir), so structural
-  // access to dirs_ goes through files_mu_. std::map nodes are stable:
+  // access to the shard goes through its mutex. std::map nodes are stable:
   // the returned pointer outlives the lock. Two shared holders may both
   // parse the directory; emplace keeps the first copy.
+  InodeTableShard& shard = TableShard(dir_ino);
   {
-    std::lock_guard<std::mutex> lock(files_mu_);
-    auto it = dirs_.find(dir_ino);
-    if (it != dirs_.end()) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.dirs.find(dir_ino);
+    if (it != shard.dirs.end()) {
       return &it->second;
     }
   }
@@ -44,8 +64,8 @@ Result<LfsFileSystem::DirCache*> LfsFileSystem::GetDirCache(InodeNum dir_ino) {
     cache.blocks.push_back(std::move(entries));
     cache.used_bytes.push_back(used);
   }
-  std::lock_guard<std::mutex> lock(files_mu_);
-  auto [pos, inserted] = dirs_.emplace(dir_ino, std::move(cache));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [pos, inserted] = shard.dirs.emplace(dir_ino, std::move(cache));
   (void)inserted;
   return &pos->second;
 }
@@ -60,8 +80,39 @@ Result<InodeNum> LfsFileSystem::LookupInDir(InodeNum dir_ino, std::string_view n
                        std::to_string(dir_ino));
 }
 
+Result<InodeNum> LfsFileSystem::LookupInDirTransient(InodeNum dir_ino, std::string_view name) {
+  InodeLockSet il(LockTable(), {dir_ino}, /*exclusive=*/false);
+  return LookupInDir(dir_ino, name);
+}
+
+Result<InodeNum> LfsFileSystem::WalkPathConcurrent(std::string_view path) {
+  LFS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  InodeNum ino = kRootInode;
+  for (const std::string& comp : parts) {
+    LFS_ASSIGN_OR_RETURN(ino, LookupInDirTransient(ino, comp));
+  }
+  return ino;
+}
+
+Result<InodeNum> LfsFileSystem::ResolveDirConcurrent(std::string_view path) {
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, WalkPathConcurrent(path));
+  InodeLockSet il(LockTable(), {ino}, /*exclusive=*/false);
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  if (fm->inode.type != FileType::kDirectory) {
+    return NotADirectoryError(std::string(path));
+  }
+  return ino;
+}
+
+Result<std::pair<InodeNum, std::string>> LfsFileSystem::ResolveParentConcurrent(
+    std::string_view path) {
+  LFS_ASSIGN_OR_RETURN(auto split, SplitParent(path));
+  LFS_ASSIGN_OR_RETURN(InodeNum parent, ResolveDirConcurrent(split.first));
+  return std::make_pair(parent, split.second);
+}
+
 Status LfsFileSystem::WriteDirBlock(InodeNum dir_ino, uint64_t fbn) {
-  DirCache& cache = dirs_.at(dir_ino);
+  DirCache& cache = *FindDirCache(dir_ino);
   StoreDirtyBlock(dir_ino, fbn, EncodeDirBlock(cache.blocks[fbn], sb_.block_size));
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(dir_ino));
   uint64_t new_size = uint64_t{cache.blocks.size()} * sb_.block_size;
@@ -69,7 +120,7 @@ Status LfsFileSystem::WriteDirBlock(InodeNum dir_ino, uint64_t fbn) {
   fm->inode.size = std::max(fm->inode.size, new_size);
   fm->inode.mtime = clock_.Tick();
   fm->inode_dirty = true;
-  dirty_inodes_.insert(dir_ino);
+  MarkInodeDirty(dir_ino);
   return OkStatus();
 }
 
@@ -128,6 +179,12 @@ Result<std::pair<InodeNum, std::string>> LfsFileSystem::ResolveParent(std::strin
 }
 
 Result<InodeNum> LfsFileSystem::Lookup(std::string_view path) {
+  if (cfg_.concurrent) {
+    txn_.WaitNotCommitting();
+    std::shared_lock<std::shared_mutex> lock(fs_mu_);
+    obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kLookup, device_, &clock_);
+    return WalkPathConcurrent(path);
+  }
   std::shared_lock<std::shared_mutex> lock(fs_mu_);
   return LookupImpl(path);
 }
@@ -146,15 +203,14 @@ void LfsFileSystem::LogDirOp(DirLogRecord record) {
   if (in_recovery_) {
     return;  // recovery repairs are themselves checkpointed, not re-logged
   }
+  std::lock_guard<std::mutex> lock(dirlog_mu_);
   pending_dirlog_.push_back(std::move(record));
 }
 
-Result<InodeNum> LfsFileSystem::Create(std::string_view path) {
-  std::unique_lock<std::shared_mutex> lock(fs_mu_);
-  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kCreate, device_, &clock_);
-  LFS_RETURN_IF_ERROR(CheckWritable());
-  LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
-  auto [dir_ino, name] = parent;
+// --- create / mkdir ------------------------------------------------------------
+
+Result<InodeNum> LfsFileSystem::CreateLocked(InodeNum dir_ino, const std::string& name,
+                                             std::string_view path) {
   if (LookupInDir(dir_ino, name).ok()) {
     return AlreadyExistsError(std::string(path));
   }
@@ -168,8 +224,12 @@ Result<InodeNum> LfsFileSystem::Create(std::string_view path) {
   fm.inode.version = imap_.Get(ino).version;
   fm.inode.mtime = clock_.Tick();
   fm.inode_dirty = true;
-  files_[ino] = std::move(fm);
-  dirty_inodes_.insert(ino);
+  {
+    InodeTableShard& shard = TableShard(ino);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.files[ino] = std::move(fm);
+  }
+  MarkInodeDirty(ino);
 
   DirLogRecord rec;
   rec.op = DirOp::kCreate;
@@ -182,16 +242,40 @@ Result<InodeNum> LfsFileSystem::Create(std::string_view path) {
   LogDirOp(std::move(rec));
 
   LFS_RETURN_IF_ERROR(AddDirEntry(dir_ino, DirEntry{name, ino, FileType::kRegular}));
+  return ino;
+}
+
+Result<InodeNum> LfsFileSystem::Create(std::string_view path) {
+  if (cfg_.concurrent) {
+    obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kCreate, device_, &clock_);
+    txn_.WaitNotCommitting();
+    txn_.BeginOp(kNamespaceOpReserve);
+    Result<InodeNum> result = [&]() -> Result<InodeNum> {
+      std::shared_lock<std::shared_mutex> lock(fs_mu_);
+      LFS_RETURN_IF_ERROR(CheckWritable());
+      LFS_ASSIGN_OR_RETURN(auto parent, ResolveParentConcurrent(path));
+      auto [dir_ino, name] = parent;
+      InodeLockSet il(LockTable(), {dir_ino}, /*exclusive=*/true);
+      return CreateLocked(dir_ino, name, path);
+    }();
+    Status st = EndMutation(result.status());
+    if (!st.ok()) {
+      return st;
+    }
+    return result;
+  }
+  std::unique_lock<std::shared_mutex> lock(fs_mu_);
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kCreate, device_, &clock_);
+  LFS_RETURN_IF_ERROR(CheckWritable());
+  LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+  auto [dir_ino, name] = parent;
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, CreateLocked(dir_ino, name, path));
   LFS_RETURN_IF_ERROR(MaybeFlush());
   return ino;
 }
 
-Status LfsFileSystem::Mkdir(std::string_view path) {
-  std::unique_lock<std::shared_mutex> lock(fs_mu_);
-  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kMkdir, device_, &clock_);
-  LFS_RETURN_IF_ERROR(CheckWritable());
-  LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
-  auto [dir_ino, name] = parent;
+Status LfsFileSystem::MkdirLocked(InodeNum dir_ino, const std::string& name,
+                                  std::string_view path) {
   if (LookupInDir(dir_ino, name).ok()) {
     return AlreadyExistsError(std::string(path));
   }
@@ -205,9 +289,13 @@ Status LfsFileSystem::Mkdir(std::string_view path) {
   fm.inode.version = imap_.Get(ino).version;
   fm.inode.mtime = clock_.Tick();
   fm.inode_dirty = true;
-  files_[ino] = std::move(fm);
-  dirs_[ino] = DirCache{};
-  dirty_inodes_.insert(ino);
+  {
+    InodeTableShard& shard = TableShard(ino);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.files[ino] = std::move(fm);
+    shard.dirs[ino] = DirCache{};
+  }
+  MarkInodeDirty(ino);
 
   DirLogRecord rec;
   rec.op = DirOp::kCreate;
@@ -219,9 +307,34 @@ Status LfsFileSystem::Mkdir(std::string_view path) {
   rec.target_type = FileType::kDirectory;
   LogDirOp(std::move(rec));
 
-  LFS_RETURN_IF_ERROR(AddDirEntry(dir_ino, DirEntry{name, ino, FileType::kDirectory}));
+  return AddDirEntry(dir_ino, DirEntry{name, ino, FileType::kDirectory});
+}
+
+Status LfsFileSystem::Mkdir(std::string_view path) {
+  if (cfg_.concurrent) {
+    obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kMkdir, device_, &clock_);
+    txn_.WaitNotCommitting();
+    txn_.BeginOp(kNamespaceOpReserve);
+    Status st = [&]() -> Status {
+      std::shared_lock<std::shared_mutex> lock(fs_mu_);
+      LFS_RETURN_IF_ERROR(CheckWritable());
+      LFS_ASSIGN_OR_RETURN(auto parent, ResolveParentConcurrent(path));
+      auto [dir_ino, name] = parent;
+      InodeLockSet il(LockTable(), {dir_ino}, /*exclusive=*/true);
+      return MkdirLocked(dir_ino, name, path);
+    }();
+    return EndMutation(st);
+  }
+  std::unique_lock<std::shared_mutex> lock(fs_mu_);
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kMkdir, device_, &clock_);
+  LFS_RETURN_IF_ERROR(CheckWritable());
+  LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+  auto [dir_ino, name] = parent;
+  LFS_RETURN_IF_ERROR(MkdirLocked(dir_ino, name, path));
   return MaybeFlush();
 }
+
+// --- unlink / rmdir ------------------------------------------------------------
 
 Status LfsFileSystem::DeleteFileContents(InodeNum ino) {
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
@@ -232,19 +345,16 @@ Status LfsFileSystem::DeleteFileContents(InodeNum ino) {
     usage_.SubLive(old_seg, kInodeSlotSize);
   }
   imap_.Free(ino);
-  dirty_inodes_.erase(ino);
-  files_.erase(ino);
-  dirs_.erase(ino);
+  {
+    std::lock_guard<std::mutex> lock(dirty_inodes_mu_);
+    dirty_inodes_.erase(ino);
+  }
+  EraseInodeState(ino);
   return OkStatus();
 }
 
-Status LfsFileSystem::Unlink(std::string_view path) {
-  std::unique_lock<std::shared_mutex> lock(fs_mu_);
-  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kUnlink, device_, &clock_);
-  LFS_RETURN_IF_ERROR(CheckWritable());
-  LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
-  auto [dir_ino, name] = parent;
-  LFS_ASSIGN_OR_RETURN(InodeNum ino, LookupInDir(dir_ino, name));
+Status LfsFileSystem::UnlinkLocked(InodeNum dir_ino, const std::string& name, InodeNum ino,
+                                   std::string_view path) {
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
   if (fm->inode.type == FileType::kDirectory) {
     return IsADirectoryError(std::string(path) + " (use Rmdir)");
@@ -267,17 +377,52 @@ Status LfsFileSystem::Unlink(std::string_view path) {
   } else {
     fm->inode.mtime = clock_.Tick();
     fm->inode_dirty = true;
-    dirty_inodes_.insert(ino);
+    MarkInodeDirty(ino);
   }
-  return MaybeFlush();
+  return OkStatus();
 }
 
-Status LfsFileSystem::Rmdir(std::string_view path) {
+Status LfsFileSystem::Unlink(std::string_view path) {
+  if (cfg_.concurrent) {
+    obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kUnlink, device_, &clock_);
+    txn_.WaitNotCommitting();
+    txn_.BeginOp(kNamespaceOpReserve);
+    Status st = [&]() -> Status {
+      std::shared_lock<std::shared_mutex> lock(fs_mu_);
+      LFS_RETURN_IF_ERROR(CheckWritable());
+      LFS_ASSIGN_OR_RETURN(auto parent, ResolveParentConcurrent(path));
+      auto [dir_ino, name] = parent;
+      // Lock-and-verify: the target's stripe can only be chosen after the
+      // lookup, so lock {dir, target} in order and re-check the entry still
+      // names that target; retry if a racing op moved it.
+      for (int attempt = 0; attempt < kVerifyRetries; attempt++) {
+        LFS_ASSIGN_OR_RETURN(InodeNum ino, LookupInDirTransient(dir_ino, name));
+        InodeLockSet il = LockInodePair(dir_ino, ino);
+        Result<InodeNum> now = LookupInDir(dir_ino, name);
+        if (!now.ok()) {
+          return now.status();
+        }
+        if (now.value() != ino) {
+          continue;
+        }
+        return UnlinkLocked(dir_ino, name, ino, path);
+      }
+      return NotFoundError("unlink '" + std::string(path) + "' kept racing with renames");
+    }();
+    return EndMutation(st);
+  }
   std::unique_lock<std::shared_mutex> lock(fs_mu_);
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kUnlink, device_, &clock_);
   LFS_RETURN_IF_ERROR(CheckWritable());
   LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
   auto [dir_ino, name] = parent;
   LFS_ASSIGN_OR_RETURN(InodeNum ino, LookupInDir(dir_ino, name));
+  LFS_RETURN_IF_ERROR(UnlinkLocked(dir_ino, name, ino, path));
+  return MaybeFlush();
+}
+
+Status LfsFileSystem::RmdirLocked(InodeNum dir_ino, const std::string& name, InodeNum ino,
+                                  std::string_view path) {
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
   if (fm->inode.type != FileType::kDirectory) {
     return NotADirectoryError(std::string(path));
@@ -300,20 +445,51 @@ Status LfsFileSystem::Rmdir(std::string_view path) {
   LogDirOp(std::move(rec));
 
   LFS_RETURN_IF_ERROR(RemoveDirEntry(dir_ino, name));
-  LFS_RETURN_IF_ERROR(DeleteFileContents(ino));
+  return DeleteFileContents(ino);
+}
+
+Status LfsFileSystem::Rmdir(std::string_view path) {
+  if (cfg_.concurrent) {
+    txn_.WaitNotCommitting();
+    txn_.BeginOp(kNamespaceOpReserve);
+    Status st = [&]() -> Status {
+      std::shared_lock<std::shared_mutex> lock(fs_mu_);
+      LFS_RETURN_IF_ERROR(CheckWritable());
+      LFS_ASSIGN_OR_RETURN(auto parent, ResolveParentConcurrent(path));
+      auto [dir_ino, name] = parent;
+      for (int attempt = 0; attempt < kVerifyRetries; attempt++) {
+        LFS_ASSIGN_OR_RETURN(InodeNum ino, LookupInDirTransient(dir_ino, name));
+        InodeLockSet il = LockInodePair(dir_ino, ino);
+        Result<InodeNum> now = LookupInDir(dir_ino, name);
+        if (!now.ok()) {
+          return now.status();
+        }
+        if (now.value() != ino) {
+          continue;
+        }
+        return RmdirLocked(dir_ino, name, ino, path);
+      }
+      return NotFoundError("rmdir '" + std::string(path) + "' kept racing with renames");
+    }();
+    return EndMutation(st);
+  }
+  std::unique_lock<std::shared_mutex> lock(fs_mu_);
+  LFS_RETURN_IF_ERROR(CheckWritable());
+  LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+  auto [dir_ino, name] = parent;
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, LookupInDir(dir_ino, name));
+  LFS_RETURN_IF_ERROR(RmdirLocked(dir_ino, name, ino, path));
   return MaybeFlush();
 }
 
-Status LfsFileSystem::Link(std::string_view existing, std::string_view link_path) {
-  std::unique_lock<std::shared_mutex> lock(fs_mu_);
-  LFS_RETURN_IF_ERROR(CheckWritable());
-  LFS_ASSIGN_OR_RETURN(InodeNum ino, LookupImpl(existing));
+// --- link / rename -------------------------------------------------------------
+
+Status LfsFileSystem::LinkLocked(InodeNum ino, InodeNum dir_ino, const std::string& name,
+                                 std::string_view link_path) {
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
   if (fm->inode.type == FileType::kDirectory) {
     return IsADirectoryError("hard links to directories are not allowed");
   }
-  LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(link_path));
-  auto [dir_ino, name] = parent;
   if (LookupInDir(dir_ino, name).ok()) {
     return AlreadyExistsError(std::string(link_path));
   }
@@ -332,30 +508,45 @@ Status LfsFileSystem::Link(std::string_view existing, std::string_view link_path
   fm->inode.nlink++;
   fm->inode.mtime = clock_.Tick();
   fm->inode_dirty = true;
-  dirty_inodes_.insert(ino);
+  MarkInodeDirty(ino);
+  return OkStatus();
+}
+
+Status LfsFileSystem::Link(std::string_view existing, std::string_view link_path) {
+  if (cfg_.concurrent) {
+    txn_.WaitNotCommitting();
+    txn_.BeginOp(kNamespaceOpReserve);
+    Status st = [&]() -> Status {
+      std::shared_lock<std::shared_mutex> lock(fs_mu_);
+      LFS_RETURN_IF_ERROR(CheckWritable());
+      LFS_ASSIGN_OR_RETURN(InodeNum ino, WalkPathConcurrent(existing));
+      LFS_ASSIGN_OR_RETURN(auto parent, ResolveParentConcurrent(link_path));
+      auto [dir_ino, name] = parent;
+      // Two-inode ordering helper (ISSUE): target + destination directory,
+      // both exclusive, ascending stripe order.
+      InodeLockSet il = LockInodePair(ino, dir_ino);
+      return LinkLocked(ino, dir_ino, name, link_path);
+    }();
+    return EndMutation(st);
+  }
+  std::unique_lock<std::shared_mutex> lock(fs_mu_);
+  LFS_RETURN_IF_ERROR(CheckWritable());
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, LookupImpl(existing));
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  if (fm->inode.type == FileType::kDirectory) {
+    return IsADirectoryError("hard links to directories are not allowed");
+  }
+  LFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(link_path));
+  auto [dir_ino, name] = parent;
+  LFS_RETURN_IF_ERROR(LinkLocked(ino, dir_ino, name, link_path));
   return MaybeFlush();
 }
 
-Status LfsFileSystem::Rename(std::string_view from, std::string_view to) {
-  std::unique_lock<std::shared_mutex> lock(fs_mu_);
-  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kRename, device_, &clock_);
-  LFS_RETURN_IF_ERROR(CheckWritable());
-  if (from == to) {
-    return OkStatus();
-  }
-  // Reject moving a directory into its own subtree.
-  if (to.size() > from.size() && to.substr(0, from.size()) == from &&
-      to[from.size()] == '/') {
-    return InvalidArgumentError("cannot move a directory into itself");
-  }
-  LFS_ASSIGN_OR_RETURN(auto src, ResolveParent(from));
-  auto [from_dir, from_name] = src;
-  LFS_ASSIGN_OR_RETURN(InodeNum ino, LookupInDir(from_dir, from_name));
+Status LfsFileSystem::RenameLocked(InodeNum from_dir, const std::string& from_name,
+                                   InodeNum ino, InodeNum to_dir, const std::string& to_name,
+                                   std::string_view to) {
   LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
   FileType type = fm->inode.type;
-
-  LFS_ASSIGN_OR_RETURN(auto dst, ResolveParent(to));
-  auto [to_dir, to_name] = dst;
 
   InodeNum replaced = kNilInode;
   uint16_t replaced_nlink = 0;
@@ -385,29 +576,110 @@ Status LfsFileSystem::Rename(std::string_view from, std::string_view to) {
 
   if (replaced != kNilInode) {
     LFS_RETURN_IF_ERROR(RemoveDirEntry(to_dir, to_name));
-    FileMap* rfm = files_.count(replaced) ? &files_.at(replaced) : nullptr;
+    FileMap* rfm = FindFileMap(replaced);
     if (rfm != nullptr) {
       rfm->inode.nlink--;
       if (rfm->inode.nlink == 0) {
         LFS_RETURN_IF_ERROR(DeleteFileContents(replaced));
       } else {
         rfm->inode_dirty = true;
-        dirty_inodes_.insert(replaced);
+        MarkInodeDirty(replaced);
       }
     }
   }
   LFS_RETURN_IF_ERROR(RemoveDirEntry(from_dir, from_name));
   LFS_RETURN_IF_ERROR(AddDirEntry(to_dir, DirEntry{to_name, ino, type}));
-  fm = &files_.at(ino);  // re-fetch: DeleteFileContents may have touched maps
+  fm = FindFileMap(ino);  // re-fetch: DeleteFileContents may have touched maps
   fm->inode.mtime = clock_.Tick();
   fm->inode_dirty = true;
-  dirty_inodes_.insert(ino);
+  MarkInodeDirty(ino);
+  return OkStatus();
+}
+
+Status LfsFileSystem::Rename(std::string_view from, std::string_view to) {
+  if (cfg_.concurrent) {
+    obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kRename, device_, &clock_);
+    if (from == to) {
+      return OkStatus();
+    }
+    if (to.size() > from.size() && to.substr(0, from.size()) == from &&
+        to[from.size()] == '/') {
+      return InvalidArgumentError("cannot move a directory into itself");
+    }
+    txn_.WaitNotCommitting();
+    txn_.BeginOp(kNamespaceOpReserve);
+    Status st = [&]() -> Status {
+      std::shared_lock<std::shared_mutex> lock(fs_mu_);
+      LFS_RETURN_IF_ERROR(CheckWritable());
+      LFS_ASSIGN_OR_RETURN(auto src, ResolveParentConcurrent(from));
+      auto [from_dir, from_name] = src;
+      LFS_ASSIGN_OR_RETURN(auto dst, ResolveParentConcurrent(to));
+      auto [to_dir, to_name] = dst;
+      // Lock-and-verify over up to four stripes: both directories, the moved
+      // inode, and any replaced target — all exclusive, ascending stripe
+      // order (InodeLockSet), so crossing renames cannot deadlock.
+      for (int attempt = 0; attempt < kVerifyRetries; attempt++) {
+        LFS_ASSIGN_OR_RETURN(InodeNum ino, LookupInDirTransient(from_dir, from_name));
+        Result<InodeNum> target = LookupInDirTransient(to_dir, to_name);
+        InodeNum replaced = target.ok() ? target.value() : kNilInode;
+        InodeLockSet il(LockTable(),
+                        {from_dir, to_dir, ino, replaced != kNilInode ? replaced : ino},
+                        /*exclusive=*/true);
+        Result<InodeNum> now_src = LookupInDir(from_dir, from_name);
+        if (!now_src.ok()) {
+          return now_src.status();
+        }
+        Result<InodeNum> now_dst = LookupInDir(to_dir, to_name);
+        InodeNum now_replaced = now_dst.ok() ? now_dst.value() : kNilInode;
+        if (now_src.value() != ino || now_replaced != replaced) {
+          continue;
+        }
+        return RenameLocked(from_dir, from_name, ino, to_dir, to_name, to);
+      }
+      return NotFoundError("rename '" + std::string(from) + "' kept racing with renames");
+    }();
+    return EndMutation(st);
+  }
+  std::unique_lock<std::shared_mutex> lock(fs_mu_);
+  obs::ScopedOpTimer op_timer(&obs_, obs::OpType::kRename, device_, &clock_);
+  LFS_RETURN_IF_ERROR(CheckWritable());
+  if (from == to) {
+    return OkStatus();
+  }
+  // Reject moving a directory into its own subtree.
+  if (to.size() > from.size() && to.substr(0, from.size()) == from &&
+      to[from.size()] == '/') {
+    return InvalidArgumentError("cannot move a directory into itself");
+  }
+  LFS_ASSIGN_OR_RETURN(auto src, ResolveParent(from));
+  auto [from_dir, from_name] = src;
+  LFS_ASSIGN_OR_RETURN(InodeNum ino, LookupInDir(from_dir, from_name));
+  LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+  (void)fm;  // type and replaced-target checks run in RenameLocked
+  LFS_ASSIGN_OR_RETURN(auto dst, ResolveParent(to));
+  auto [to_dir, to_name] = dst;
+  LFS_RETURN_IF_ERROR(RenameLocked(from_dir, from_name, ino, to_dir, to_name, to));
   return MaybeFlush();
 }
 
 Result<std::vector<DirEntry>> LfsFileSystem::ReadDir(std::string_view path) {
+  if (cfg_.concurrent) {
+    txn_.WaitNotCommitting();
+  }
   std::shared_lock<std::shared_mutex> lock(fs_mu_);
-  LFS_ASSIGN_OR_RETURN(InodeNum ino, ResolveDir(path));
+  InodeNum ino;
+  if (cfg_.concurrent) {
+    LFS_ASSIGN_OR_RETURN(ino, WalkPathConcurrent(path));
+  } else {
+    LFS_ASSIGN_OR_RETURN(ino, ResolveDir(path));
+  }
+  InodeLockSet il(LockTable(), {ino}, /*exclusive=*/false);
+  if (cfg_.concurrent) {
+    LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(ino));
+    if (fm->inode.type != FileType::kDirectory) {
+      return NotADirectoryError(std::string(path));
+    }
+  }
   LFS_ASSIGN_OR_RETURN(DirCache * cache, GetDirCache(ino));
   std::vector<DirEntry> out;
   for (const auto& entries : cache->blocks) {

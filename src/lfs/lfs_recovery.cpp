@@ -185,8 +185,7 @@ Status LfsFileSystem::RollForward(const Checkpoint& ck) {
   writer_.Init(last.seg, tail_offset, last.summary.seq + 1);
 
   // --- 2. structural replay: newest inode copies win ---------------------------
-  files_.clear();
-  dirs_.clear();
+  ClearInodeTables();
   std::map<InodeNum, ImapEntry> first_touch;  // pre-replay imap state per inode
   std::vector<DirLogRecord> dirops;
   for (const ParsedPartial& p : replay) {
@@ -212,8 +211,7 @@ Status LfsFileSystem::RollForward(const Checkpoint& ck) {
             e.slot = static_cast<uint16_t>(s);
             e.version = ino->version;
             imap_.Restore(ino->ino, e);
-            files_.erase(ino->ino);
-            dirs_.erase(ino->ino);
+            EraseInodeState(ino->ino);
           }
           break;
         }
@@ -363,7 +361,7 @@ Status LfsFileSystem::ApplyDirLogFix(const DirLogRecord& rec) {
     if (fm->inode.nlink != nlink) {
       fm->inode.nlink = nlink;
       fm->inode_dirty = true;
-      dirty_inodes_.insert(ino);
+      MarkInodeDirty(ino);
     }
     return OkStatus();
   };

@@ -39,6 +39,7 @@ void SegUsage::AppendZeroLiveDirty(std::vector<SegNo>* out) const {
 
 void SegUsage::AddLive(SegNo seg, uint32_t bytes, uint64_t mtime) {
   assert(seg < entries_.size());
+  std::lock_guard<std::mutex> lock(mu_);
   SegUsageEntry& e = entries_[seg];
   e.live_bytes += bytes;
   total_live_ += bytes;
@@ -50,6 +51,7 @@ void SegUsage::AddLive(SegNo seg, uint32_t bytes, uint64_t mtime) {
 
 void SegUsage::SubLive(SegNo seg, uint32_t bytes) {
   assert(seg < entries_.size());
+  std::lock_guard<std::mutex> lock(mu_);
   SegUsageEntry& e = entries_[seg];
   // Clamp rather than assert: after crash recovery the counts for pre-crash
   // segments are best-effort (Section 4.2's adjustments), so a decrement can
@@ -63,6 +65,7 @@ void SegUsage::SubLive(SegNo seg, uint32_t bytes) {
 
 void SegUsage::SetState(SegNo seg, SegState state) {
   assert(seg < entries_.size());
+  std::lock_guard<std::mutex> lock(mu_);
   SegUsageEntry& e = entries_[seg];
   if (e.state == SegState::kClean && state != SegState::kClean) {
     clean_count_--;
@@ -88,6 +91,7 @@ void SegUsage::SetState(SegNo seg, SegState state) {
 
 void SegUsage::SetLogId(SegNo seg, uint8_t log_id) {
   assert(seg < entries_.size());
+  std::lock_guard<std::mutex> lock(mu_);
   if (entries_[seg].log_id == log_id) {
     return;
   }
@@ -122,6 +126,7 @@ void SegUsage::EncodeChunk(uint32_t chunk, std::span<uint8_t> block) const {
 }
 
 void SegUsage::LoadChunk(uint32_t chunk, std::span<const uint8_t> block) {
+  std::lock_guard<std::mutex> lock(mu_);
   SegNo base = chunk * entries_per_chunk_;
   for (uint32_t i = 0; i < entries_per_chunk_; i++) {
     SegNo seg = base + i;
@@ -137,15 +142,18 @@ void SegUsage::LoadChunk(uint32_t chunk, std::span<const uint8_t> block) {
 }
 
 void SegUsage::RecountClean() {
-  clean_count_ = 0;
-  quarantined_count_ = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t clean = 0;
+  uint32_t quarantined = 0;
   for (const SegUsageEntry& e : entries_) {
     if (e.state == SegState::kClean) {
-      clean_count_++;
+      clean++;
     } else if (e.state == SegState::kQuarantined) {
-      quarantined_count_++;
+      quarantined++;
     }
   }
+  clean_count_ = clean;
+  quarantined_count_ = quarantined;
 }
 
 }  // namespace lfs

@@ -11,15 +11,28 @@
 // Like the inode map, the table lives in memory, is chunked, and dirty
 // chunks are logged at checkpoint time with their addresses recorded in the
 // checkpoint region.
+//
+// Concurrency: mutators (AddLive/SubLive/SetState/...) serialize on an
+// internal mutex so the concurrent front-end may call them under the
+// filesystem's *shared* lock (truncate and unlink subtract live bytes while
+// other ops run). The hot read-path fields are lock-free relaxed atomics:
+// per-segment write sequences (checked on every cached read) and the
+// aggregate counters (clean/quarantined/total-live, read by space checks and
+// StatFs). Everything that returns references into the table — Get,
+// victim-selection cursors, chunk encode/dirty harvest — is checkpoint- or
+// cleaner-path state and requires the filesystem's exclusive lock (or a
+// quiesced mount path).
 
 #ifndef LFS_LFS_SEG_USAGE_H_
 #define LFS_LFS_SEG_USAGE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <set>
 #include <vector>
 
 #include "src/lfs/layout.h"
+#include "src/util/relaxed.h"
 #include "src/util/victim_index.h"
 
 namespace lfs {
@@ -71,6 +84,8 @@ class SegUsage {
   // In-memory only: the newest log sequence number written to the segment.
   // The cleaner refuses to touch segments written after the last checkpoint
   // so that roll-forward's log tail can never be recycled underneath it.
+  // Relaxed atomics: the read-cache validity check loads these on every
+  // cached read, concurrently with appends.
   void SetWriteSeq(SegNo seg, uint64_t seq) { write_seq_[seg] = seq; }
   uint64_t write_seq(SegNo seg) const { return write_seq_[seg]; }
 
@@ -105,14 +120,26 @@ class SegUsage {
   BlockNo chunk_addr(uint32_t chunk) const { return chunk_addrs_[chunk]; }
   void set_chunk_addr(uint32_t chunk, BlockNo addr) { chunk_addrs_[chunk] = addr; }
 
+  // Read under the filesystem's exclusive lock: shared-mode mutators insert
+  // via MarkDirty under mu_, and the rwlock hand-off orders those inserts
+  // before the checkpoint's harvest.
   const std::set<uint32_t>& dirty_chunks() const { return dirty_chunks_; }
-  void MarkChunkDirty(uint32_t chunk) { dirty_chunks_.insert(chunk); }
-  void ClearDirty() { dirty_chunks_.clear(); }
+  void MarkChunkDirty(uint32_t chunk) {
+    std::lock_guard<std::mutex> lock(mu_);
+    dirty_chunks_.insert(chunk);
+  }
+  void ClearDirty() {
+    std::lock_guard<std::mutex> lock(mu_);
+    dirty_chunks_.clear();
+  }
   // Clears one chunk's dirty flag. Checkpointing must use this (not
   // ClearDirty): serializing chunks itself dirties entries, and wiping the
   // whole set would lose that dirtiness and leave stale values on disk
   // forever.
-  void ClearDirtyChunk(uint32_t chunk) { dirty_chunks_.erase(chunk); }
+  void ClearDirtyChunk(uint32_t chunk) {
+    std::lock_guard<std::mutex> lock(mu_);
+    dirty_chunks_.erase(chunk);
+  }
 
   void EncodeChunk(uint32_t chunk, std::span<uint8_t> block) const;
   void LoadChunk(uint32_t chunk, std::span<const uint8_t> block);
@@ -121,25 +148,27 @@ class SegUsage {
   void RecountClean();
 
  private:
-  void MarkDirty(SegNo seg) { dirty_chunks_.insert(chunk_of(seg)); }
+  void MarkDirty(SegNo seg) { dirty_chunks_.insert(chunk_of(seg)); }  // caller holds mu_
   // Re-syncs the selection index and zero-live set with entries_[seg]; must
   // run after every mutation of a segment's state or live-byte count.
+  // Caller holds mu_.
   void SyncIndex(SegNo seg);
 
   uint32_t segment_bytes_;
   uint32_t entries_per_chunk_;
+  mutable std::mutex mu_;  // serializes mutators called under the shared fs lock
   std::vector<SegUsageEntry> entries_;
-  std::vector<uint64_t> write_seq_;
+  std::vector<Relaxed<uint64_t>> write_seq_;
   std::vector<BlockNo> chunk_addrs_;
   std::set<uint32_t> dirty_chunks_;
   std::vector<SegNo> freed_;  // became kClean since last TakeFreed()
-  uint32_t clean_count_ = 0;
-  uint32_t quarantined_count_ = 0;
-  uint64_t total_live_ = 0;  // sum of live_bytes, maintained incrementally
+  Relaxed<uint32_t> clean_count_{0};
+  Relaxed<uint32_t> quarantined_count_{0};
+  Relaxed<uint64_t> total_live_{0};  // sum of live_bytes, maintained incrementally
 
   VictimIndex victim_index_;               // kDirty segments only
   std::vector<uint64_t> zero_live_words_;  // bitmap: kDirty && live_bytes == 0
-  uint32_t zero_live_dirty_count_ = 0;
+  Relaxed<uint32_t> zero_live_dirty_count_{0};
 };
 
 }  // namespace lfs

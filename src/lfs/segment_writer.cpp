@@ -10,19 +10,24 @@ namespace lfs {
 
 void SegmentWriter::Init(SegNo segment, uint32_t offset, uint64_t next_seq) {
   for (Log& log : logs_) {
+    std::lock_guard<std::mutex> lk(log.mu);
     log.cur_seg = kNilSeg;
     log.cur_offset = 0;
     log.pending.clear();
     log.partial_youngest = 0;
   }
-  logs_[0].cur_seg = segment;
-  logs_[0].cur_offset = offset;
+  {
+    std::lock_guard<std::mutex> lk(logs_[0].mu);
+    logs_[0].cur_seg = segment;
+    logs_[0].cur_offset = offset;
+  }
   next_seq_ = next_seq;
   age_ewma_ = 0.0;
 }
 
 void SegmentWriter::InitLog(uint32_t log, SegNo segment, uint32_t offset) {
   Log& l = logs_[log];
+  std::lock_guard<std::mutex> lk(l.mu);
   l.cur_seg = segment;
   l.cur_offset = offset;
   l.pending.clear();
@@ -88,11 +93,11 @@ uint32_t SegmentWriter::ClassifyLog(const SummaryEntry& entry, uint64_t mtime,
   // brand-new in between). The boundary adapts to the workload via a slow
   // EWMA of observed data ages; fresh writes (age 0) keep it near zero, so
   // demand a 4x margin over the mean before calling anything cold.
-  uint64_t now = clock_ != nullptr ? clock_->Now() : timestamp_;
+  uint64_t now = clock_ != nullptr ? clock_->Now() : timestamp_.load();
   uint64_t age = now > mtime ? now - mtime : 0;
   age_ewma_ += (static_cast<double>(age) - age_ewma_) / 16.0;
   uint32_t idx = 0;
-  double bound = std::max(age_ewma_, 1.0) * 4.0;
+  double bound = std::max(age_ewma_.load(), 1.0) * 4.0;
   while (idx + 1 < logs_.size() && static_cast<double>(age) > bound) {
     idx++;
     bound *= 4.0;
@@ -108,6 +113,9 @@ Result<BlockNo> SegmentWriter::Append(const SummaryEntry& entry, std::vector<uin
   }
   uint32_t log_index = ClassifyLog(entry, mtime, cold_hint);
   Log& log = logs_[log_index];
+  // Per-log append lock: concurrent appends to distinct logs stay safe with
+  // respect to each other (multi-log under the concurrent front-end).
+  std::lock_guard<std::mutex> lk(log.mu);
   LFS_RETURN_IF_ERROR(EnsureRoom(log, log_index));
   BlockNo summary_addr = sb_->SegmentBase(log.cur_seg) + log.cur_offset;
   BlockNo addr = summary_addr + 1 + log.pending.size();
@@ -119,7 +127,7 @@ Result<BlockNo> SegmentWriter::Append(const SummaryEntry& entry, std::vector<uin
   pending.entry.mtime = mtime;  // per-block age travels in the summary
   log.pending.push_back(std::move(pending));
   usage_->AddLive(log.cur_seg, live_bytes, mtime);
-  usage_->SetWriteSeq(log.cur_seg, next_seq_);
+  usage_->SetWriteSeq(log.cur_seg, next_seq_.load());
 
   // Traffic accounting (Table 4 composition; write-cost numerator).
   const uint32_t bs = sb_->block_size;
@@ -187,6 +195,7 @@ Status SegmentWriter::FlushLog(Log& log) {
 
 Status SegmentWriter::Flush() {
   for (Log& log : logs_) {
+    std::lock_guard<std::mutex> lk(log.mu);
     LFS_RETURN_IF_ERROR(FlushLog(log));
   }
   return OkStatus();

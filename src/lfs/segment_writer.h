@@ -28,7 +28,9 @@
 #ifndef LFS_LFS_SEGMENT_WRITER_H_
 #define LFS_LFS_SEGMENT_WRITER_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "src/disk/block_device.h"
@@ -37,9 +39,123 @@
 #include "src/lfs/seg_usage.h"
 #include "src/lfs/stats.h"
 #include "src/obs/obs.h"
+#include "src/util/relaxed.h"
 #include "src/util/retry.h"
 
 namespace lfs {
+
+// GroupCommit: xv6-style transaction counting (kernel/log.c begin_op/end_op)
+// for the concurrent front-end. Mutators join the open transaction with
+// BeginOp(), reserving their worst-case staged log blocks, stage their dirty
+// blocks under the filesystem's *shared* lock, and leave with EndOp(). When a
+// leaving op asks for a commit (write buffer full) the *last op out* of the
+// transaction wins the committer token: EndOp returns true exactly once, the
+// winner flushes the whole batch to the segment writer under the exclusive
+// filesystem lock, and EndCommit() opens the next transaction. While a commit
+// is in flight BeginOp blocks, so relocation/checkpointing never interleaves
+// with a half-staged batch; readers poll WaitNotCommitting() before taking
+// the shared lock so the committer's exclusive acquisition cannot be starved
+// by a continuous reader stream.
+//
+// External exclusive sections (checkpoint, cleaner pass, unmount) use
+// BeginCommit()/EndCommit() directly: BeginCommit closes the transaction to
+// new ops and waits for in-flight ones to drain before the caller takes the
+// filesystem lock exclusively.
+class GroupCommit {
+ public:
+  // `max_ops` bounds how many mutators share one open transaction;
+  // `max_staged_blocks` bounds the transaction's total worst-case reserved
+  // log blocks before further BeginOps wait for a commit.
+  void Configure(uint32_t max_ops, uint64_t max_staged_blocks) {
+    max_ops_ = max_ops == 0 ? 1 : max_ops;
+    max_staged_ = max_staged_blocks == 0 ? 1 : max_staged_blocks;
+  }
+
+  // Joins the open transaction, reserving `blocks` worst-case staged blocks.
+  // Blocks while a commit is in flight, the transaction is at its op cap, or
+  // the reservation budget is exhausted (a lone op is always admitted so an
+  // oversized reservation cannot deadlock).
+  void BeginOp(uint64_t blocks) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] {
+      return !committing_ && outstanding_ < max_ops_ &&
+             (outstanding_ == 0 || reserved_ + blocks <= max_staged_);
+    });
+    outstanding_++;
+    reserved_ += blocks;
+  }
+
+  // Leaves the transaction. `want_commit` requests a batch commit (typically:
+  // the write buffer crossed its flush threshold); the request is sticky and
+  // the last op out of the transaction wins the committer token. Returns true
+  // iff the caller became the committer and MUST call Commit-flush work
+  // followed by EndCommit().
+  bool EndOp(bool want_commit) {
+    std::lock_guard<std::mutex> lk(mu_);
+    outstanding_--;
+    if (want_commit || reserved_ >= max_staged_) {
+      commit_requested_ = true;
+    }
+    if (outstanding_ == 0 && commit_requested_ && !committing_) {
+      set_committing(true);  // token handed to this caller atomically
+      commit_requested_ = false;
+      return true;
+    }
+    cv_.notify_all();
+    return false;
+  }
+
+  // Claims the committer token from outside the op path (checkpoint, sync,
+  // cleaner thread, unmount): waits out any in-flight commit, closes the
+  // transaction to new ops, and drains the in-flight ones.
+  void BeginCommit() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return !committing_; });
+    set_committing(true);
+    cv_.wait(lk, [&] { return outstanding_ == 0; });
+  }
+
+  // Releases the committer token and opens the next transaction. The staged
+  // reservation resets: every exclusive section flushes the staged batch.
+  void EndCommit() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      set_committing(false);
+      commit_requested_ = false;
+      reserved_ = 0;
+    }
+    cv_.notify_all();
+  }
+
+  // Cheap reader-side gate (lock-free fast path): spins down into a cv wait
+  // only while a commit is in flight. Readers call this *before* taking the
+  // filesystem shared lock, never while holding it.
+  void WaitNotCommitting() const {
+    if (!committing_flag_.load()) {
+      return;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return !committing_; });
+  }
+
+ private:
+  // committing_ is authoritative under mu_; committing_flag_ mirrors it for
+  // the lock-free reader gate.
+  void set_committing(bool v) {
+    committing_ = v;
+    committing_flag_.store(v);
+  }
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  uint32_t max_ops_ = 64;
+  uint64_t max_staged_ = 1024;
+  uint32_t outstanding_ = 0;   // ops inside the open transaction
+  uint64_t reserved_ = 0;      // worst-case staged blocks of the transaction
+  bool committing_ = false;
+  bool commit_requested_ = false;
+  Relaxed<bool> committing_flag_{false};
+};
 
 class SegmentWriter {
  public:
@@ -93,7 +209,10 @@ class SegmentWriter {
   // account a block's effects in the block's own serialized contents (the
   // segment-usage chunk covering the active segment) use this to pre-account
   // before serializing. Metadata always routes to log 0.
-  Status PrepareAppend() { return EnsureRoom(logs_[0], 0); }
+  Status PrepareAppend() {
+    std::lock_guard<std::mutex> lk(logs_[0].mu);
+    return EnsureRoom(logs_[0], 0);
+  }
 
   // Reads a not-yet-flushed block back by address (the read path must see
   // buffered log blocks). Returns false if the address is not buffered.
@@ -142,11 +261,20 @@ class SegmentWriter {
   // One append point: an active segment plus the open partial buffered into
   // it. Log 0 carries metadata (and, in multi-log mode, hot data); higher
   // logs carry progressively colder data.
+  //
+  // Concurrency: `mu` is the per-log append lock — Append/Flush serialize on
+  // the log they touch, so concurrent appends to *distinct* logs are safe
+  // with respect to each other (num_logs > 1 under LfsConfig::concurrent).
+  // Lock-free readers of the append point (ReadBuffered, log_offset) are
+  // instead fenced by the filesystem rwlock: appends only ever run under the
+  // exclusive filesystem lock (group commit, cleaner, checkpoint), readers
+  // under the shared one.
   struct Log {
     SegNo cur_seg = kNilSeg;
     uint32_t cur_offset = 0;  // next free block index within cur_seg
     std::vector<Pending> pending;  // payload of the open partial (may be empty)
     uint64_t partial_youngest = 0;
+    mutable std::mutex mu;
   };
 
   static uint32_t PendingBlocks(const Log& log) {
@@ -157,7 +285,8 @@ class SegmentWriter {
   uint32_t ClassifyLog(const SummaryEntry& entry, uint64_t mtime, uint32_t cold_hint);
 
   // Ensures an open partial with room for one more block; may flush and/or
-  // advance to a new segment.
+  // advance to a new segment. These three run with the log's append lock
+  // (log.mu) held by the caller.
   Status EnsureRoom(Log& log, uint32_t log_index);
   Status AdvanceSegment(Log& log, uint32_t log_index);
   Status FlushLog(Log& log);
@@ -172,15 +301,20 @@ class SegmentWriter {
   obs::FsObs* obs_;      // may be null: no trace events from the writer
 
   std::vector<Log> logs_;
-  uint64_t next_seq_ = 1;   // ONE sequence across all logs (roll-forward order)
-  uint64_t timestamp_ = 0;  // logical time stamped into summaries
-  bool cleaning_ = false;
-  bool privileged_ = false;
+  // ONE sequence across all logs (roll-forward order); atomic so concurrent
+  // flushes of distinct logs draw unique seqs. FlushLog rolls it back on a
+  // failed device write while still holding that log's append lock.
+  std::atomic<uint64_t> next_seq_{1};
+  Relaxed<uint64_t> timestamp_{0};  // logical time stamped into summaries
+  Relaxed<bool> cleaning_{false};
+  Relaxed<bool> privileged_{false};
 
   // Running mean of data-block ages seen at Append (logical-clock units);
   // the hot/cold boundary. Freshly written data has age ~0 (hot); blocks the
-  // cleaner migrates keep their original mtime and look old (cold).
-  double age_ewma_ = 0.0;
+  // cleaner migrates keep their original mtime and look old (cold). Updated
+  // with plain relaxed load/store — a lost update under concurrent appends
+  // only nudges a heuristic.
+  Relaxed<double> age_ewma_{0.0};
 };
 
 }  // namespace lfs

@@ -87,6 +87,25 @@ inline double Relaxed<double>::fetch_add(double d) {
   return cur;
 }
 
+// RelaxedDelta<T>: snapshot a Relaxed counter and report how much it moved.
+// Replaces the hand-rolled "uint64_t before = ctr; ... if (ctr != before)"
+// idiom that grew a copy at every retry/trace site; one helper instead of a
+// per-call-site variant.
+template <typename T>
+class RelaxedDelta {
+ public:
+  explicit RelaxedDelta(const Relaxed<T>& counter)
+      : counter_(counter), before_(counter.load()) {}
+
+  // Counter movement since construction (callers only ever bump forward).
+  T delta() const { return static_cast<T>(counter_.load() - before_); }
+  bool changed() const { return counter_.load() != before_; }
+
+ private:
+  const Relaxed<T>& counter_;
+  T before_;
+};
+
 }  // namespace lfs
 
 #endif  // LFS_UTIL_RELAXED_H_

@@ -4,6 +4,7 @@ against checked-in baselines.
 
     compare_bench.py BASELINE_DIR CURRENT_DIR [--tolerance=0.05]
                      [--require=bench1,bench2,...]
+                     [--ratio=bench:metricA/metricB>=MIN ...]
 
 For every BENCH_*.json in BASELINE_DIR, the same file must exist in
 CURRENT_DIR and agree on every metric within the relative tolerance.
@@ -22,6 +23,14 @@ Rules, matching the BenchReport contract (bench/bench_common.h):
 
 --require lists bench names that must be present in CURRENT_DIR even if no
 baseline exists yet (so adding a bench to CI without a baseline is loud).
+
+--ratio asserts metricA / metricB >= MIN inside CURRENT_DIR's report for
+`bench` (repeatable). Unlike the baseline diff, a ratio gate MAY reference
+"wall." metrics: a ratio of two wall-clock numbers measured in the same run
+on the same machine cancels out absolute machine speed, which is exactly how
+the multi-thread scaling gate works (wall.threads_4.ops_per_sec vs
+wall.threads_1.ops_per_sec). Both metrics must exist and the denominator
+must be positive.
 
 Exit status: 0 clean, 1 on any regression/missing file/malformed report.
 Only the Python standard library is used.
@@ -97,15 +106,52 @@ def compare_reports(base_path, cur_path, tol):
     return problems
 
 
+def parse_ratio(spec):
+    """'bench:metA/metB>=MIN' -> (bench, metA, metB, MIN); raises ValueError."""
+    bench, rest = spec.split(":", 1)
+    expr, minimum = rest.split(">=", 1)
+    num, den = expr.split("/", 1)
+    if not (bench and num and den):
+        raise ValueError(f"malformed ratio spec: {spec}")
+    return bench, num, den, float(minimum)
+
+
+def check_ratio(current_dir, bench, num, den, minimum):
+    """Returns a problem string, or None if the ratio gate holds."""
+    path = os.path.join(current_dir, f"BENCH_{bench}.json")
+    try:
+        metrics = load(path).get("metrics", {})
+    except (OSError, json.JSONDecodeError) as e:
+        return f"ratio {bench}: report unreadable: {e}"
+    for key in (num, den):
+        if not isinstance(metrics.get(key), (int, float)):
+            return f"ratio {bench}: metric missing or non-numeric: {key}"
+    if not metrics[den] > 0:
+        return f"ratio {bench}: denominator {den} = {metrics[den]} (not positive)"
+    ratio = metrics[num] / metrics[den]
+    if ratio < minimum:
+        return (f"ratio {bench}: {num}/{den} = {ratio:.3f} < required {minimum}"
+                f" ({num}={metrics[num]}, {den}={metrics[den]})")
+    print(f"OK   ratio {bench}: {num}/{den} = {ratio:.3f} >= {minimum}")
+    return None
+
+
 def main(argv):
     tol = 0.05
     require = []
+    ratios = []
     dirs = []
     for arg in argv[1:]:
         if arg.startswith("--tolerance="):
             tol = float(arg.split("=", 1)[1])
         elif arg.startswith("--require="):
             require = [b for b in arg.split("=", 1)[1].split(",") if b]
+        elif arg.startswith("--ratio="):
+            try:
+                ratios.append(parse_ratio(arg.split("=", 1)[1]))
+            except ValueError as e:
+                print(f"compare_bench: {e}", file=sys.stderr)
+                return 2
         else:
             dirs.append(arg)
     if len(dirs) != 2:
@@ -139,6 +185,12 @@ def main(argv):
         name = f"BENCH_{bench}.json"
         if not os.path.exists(os.path.join(current_dir, name)):
             print(f"FAIL {name}: required bench report missing from {current_dir}")
+            failed = True
+
+    for bench, num, den, minimum in ratios:
+        problem = check_ratio(current_dir, bench, num, den, minimum)
+        if problem is not None:
+            print(f"FAIL {problem}")
             failed = True
 
     return 1 if failed else 0
