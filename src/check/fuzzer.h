@@ -1,0 +1,32 @@
+// Seeded workload fuzzer for the crash-point explorer.
+//
+// FuzzWorkload(seed) deterministically expands a 64-bit seed into an op
+// script mixing the shapes that historically break crash consistency:
+// rename cycles, hard-link webs, truncate/extend interleavings, holes,
+// sync/no-sync stretches, forced cleaner passes mid-trace, and (for a third
+// of the seeds) the two-log append path. The generator tracks its own view
+// of the namespace so most ops are valid, while the reference model still
+// adjudicates every op during recording — any divergence fails the run.
+//
+// CI smoke explores the seeds checked into tests/seeds/; a failing seed's
+// script round-trips through Workload::ToText so it can be attached as an
+// artifact and shrunk by the minimizer.
+
+#ifndef LFS_CHECK_FUZZER_H_
+#define LFS_CHECK_FUZZER_H_
+
+#include <cstdint>
+
+#include "src/check/workload.h"
+
+namespace lfs::check {
+
+struct FuzzOptions {
+  uint32_t num_ops = 50;
+};
+
+Workload FuzzWorkload(uint64_t seed, const FuzzOptions& options = {});
+
+}  // namespace lfs::check
+
+#endif  // LFS_CHECK_FUZZER_H_

@@ -1,0 +1,66 @@
+#include "src/check/minimize.h"
+
+#include <algorithm>
+
+namespace lfs::check {
+
+Result<MinimizeResult> MinimizeWorkload(const Workload& workload,
+                                        const MinimizeOptions& options) {
+  MinimizeResult result;
+  result.workload = workload;
+
+  // A candidate "fails" when it records cleanly and exploration reports at
+  // least one failure. A record divergence means the candidate is a
+  // different bug (or an over-aggressive cut) — not kept.
+  auto fails = [&](const Workload& cand, ExploreReport* out) {
+    if (result.probes >= options.max_probes) {
+      return false;
+    }
+    result.probes++;
+    Result<ExploreReport> r = ExploreWorkload(cand, options.explore);
+    if (!r.ok() || r->failures.empty()) {
+      return false;
+    }
+    *out = std::move(*r);
+    return true;
+  };
+
+  if (!fails(workload, &result.report)) {
+    return InvalidArgumentError("workload does not fail exploration; nothing to minimize");
+  }
+
+  // ddmin over the op list: try dropping each of n chunks (complement kept);
+  // on success restart coarse, otherwise refine granularity.
+  size_t n = 2;
+  while (result.workload.ops.size() >= 2 && result.probes < options.max_probes) {
+    const std::vector<Op>& ops = result.workload.ops;
+    size_t chunk = (ops.size() + n - 1) / n;
+    bool reduced = false;
+    for (size_t start = 0; start < ops.size(); start += chunk) {
+      Workload cand = result.workload;
+      cand.ops.erase(cand.ops.begin() + start,
+                     cand.ops.begin() + std::min(ops.size(), start + chunk));
+      if (cand.ops.empty()) {
+        continue;
+      }
+      ExploreReport rep;
+      if (fails(cand, &rep)) {
+        result.workload = std::move(cand);
+        result.report = std::move(rep);
+        n = std::max<size_t>(2, n - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (reduced) {
+      continue;
+    }
+    if (n >= result.workload.ops.size()) {
+      break;  // singleton granularity exhausted: locally minimal
+    }
+    n = std::min(result.workload.ops.size(), n * 2);
+  }
+  return result;
+}
+
+}  // namespace lfs::check

@@ -1,0 +1,40 @@
+// Trace minimization: shrink a failing workload to a minimal reproducer.
+//
+// Delta debugging (ddmin) over the op list: repeatedly re-record and
+// re-explore candidate subsets, keeping any subset that still produces at
+// least one oracle failure, until no single op can be removed. The explore
+// options — including a journal mutator that induced the original failure —
+// are carried through every probe, so mutation-seeded bugs shrink exactly
+// like organic ones.
+
+#ifndef LFS_CHECK_MINIMIZE_H_
+#define LFS_CHECK_MINIMIZE_H_
+
+#include <cstdint>
+
+#include "src/check/explorer.h"
+#include "src/check/workload.h"
+
+namespace lfs::check {
+
+struct MinimizeOptions {
+  ExploreOptions explore;
+  // Hard cap on record+explore probes; minimization returns the best
+  // reduction found so far when it trips.
+  uint32_t max_probes = 150;
+};
+
+struct MinimizeResult {
+  Workload workload;     // the minimized failing script
+  ExploreReport report;  // its exploration (failures describe the crash point)
+  uint32_t probes = 0;   // explorations spent
+};
+
+// Fails with InvalidArgument when `workload` does not fail exploration under
+// the given options in the first place.
+Result<MinimizeResult> MinimizeWorkload(const Workload& workload,
+                                        const MinimizeOptions& options = {});
+
+}  // namespace lfs::check
+
+#endif  // LFS_CHECK_MINIMIZE_H_

@@ -1,0 +1,351 @@
+#include "src/check/ref_model.h"
+
+#include <algorithm>
+
+namespace lfs::check {
+
+std::string RefModel::ParentOf(const std::string& path) const {
+  size_t pos = path.rfind('/');
+  if (pos == 0) {
+    return "/";
+  }
+  return path.substr(0, pos);
+}
+
+void RefModel::Bind(const std::string& path, int node, int64_t op) {
+  bindings_[path].push_back(BindEvent{op, node});
+  if (node < 0) {
+    live_.erase(path);
+  } else {
+    live_[path] = node;
+  }
+}
+
+int RefModel::LiveNode(const std::string& path) const {
+  auto it = live_.find(path);
+  return it == live_.end() ? -1 : it->second;
+}
+
+bool RefModel::Exists(const std::string& path) const {
+  return path == "/" || LiveNode(path) >= 0;
+}
+
+bool RefModel::IsDirPath(const std::string& path) const {
+  if (path == "/") {
+    return true;
+  }
+  int nd = LiveNode(path);
+  return nd >= 0 && nodes_[nd].is_dir;
+}
+
+bool RefModel::DirEmpty(const std::string& path) const {
+  std::string prefix = path == "/" ? "/" : path + "/";
+  for (const auto& [p, nd] : live_) {
+    if (p.size() > prefix.size() && p.compare(0, prefix.size(), prefix) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const std::vector<uint8_t>* RefModel::Data(const std::string& path) const {
+  int nd = LiveNode(path);
+  if (nd < 0 || nodes_[nd].is_dir) {
+    return nullptr;
+  }
+  return &nodes_[nd].versions.back().data;
+}
+
+std::vector<std::string> RefModel::LivePaths() const {
+  std::vector<std::string> out;
+  out.reserve(live_.size());
+  for (const auto& [p, nd] : live_) {
+    out.push_back(p);
+  }
+  return out;  // std::map iteration is already sorted
+}
+
+bool RefModel::Apply(const Op& op, int64_t index) {
+  switch (op.kind) {
+    case OpKind::kCreate:
+    case OpKind::kMkdir: {
+      const std::string& p = op.a;
+      if (p == "/" || Exists(p) || !IsDirPath(ParentOf(p))) {
+        return false;
+      }
+      int nd = static_cast<int>(nodes_.size());
+      Node node;
+      node.is_dir = op.kind == OpKind::kMkdir;
+      if (!node.is_dir) {
+        Version v;
+        v.op = index;
+        node.versions.push_back(std::move(v));
+      }
+      nodes_.push_back(std::move(node));
+      Bind(p, nd, index);
+      return true;
+    }
+    case OpKind::kUnlink: {
+      int nd = LiveNode(op.a);
+      if (nd < 0 || nodes_[nd].is_dir) {
+        return false;
+      }
+      Bind(op.a, -1, index);
+      return true;
+    }
+    case OpKind::kRmdir: {
+      if (op.a == "/") {
+        return false;
+      }
+      int nd = LiveNode(op.a);
+      if (nd < 0 || !nodes_[nd].is_dir || !DirEmpty(op.a)) {
+        return false;
+      }
+      Bind(op.a, -1, index);
+      return true;
+    }
+    case OpKind::kLink: {
+      int nd = LiveNode(op.a);
+      if (nd < 0 || nodes_[nd].is_dir || op.b == "/" || Exists(op.b) ||
+          !IsDirPath(ParentOf(op.b))) {
+        return false;
+      }
+      Bind(op.b, nd, index);
+      return true;
+    }
+    case OpKind::kRename: {
+      // The model handles regular-file renames only (the FileSystem contract
+      // replaces regular-file targets; directory renames are out of scope).
+      if (op.a == op.b || op.b == "/") {
+        return false;
+      }
+      int nd = LiveNode(op.a);
+      if (nd < 0 || nodes_[nd].is_dir || !IsDirPath(ParentOf(op.b))) {
+        return false;
+      }
+      int tgt = LiveNode(op.b);
+      if (tgt >= 0 && nodes_[tgt].is_dir) {
+        return false;
+      }
+      if (tgt >= 0) {
+        // Record the replaced target's unbinding as its own event: a crash
+        // mid-rename may legally surface the target-gone-new-not-yet-linked
+        // intermediate (roll-forward then removes the dangling entry).
+        Bind(op.b, -1, index);
+      }
+      Bind(op.b, nd, index);
+      Bind(op.a, -1, index);
+      return true;
+    }
+    case OpKind::kWrite: {
+      int nd = LiveNode(op.a);
+      if (nd < 0 || nodes_[nd].is_dir) {
+        return false;
+      }
+      if (op.length == 0) {
+        return true;
+      }
+      Node& node = nodes_[nd];
+      std::vector<uint8_t> next = node.versions.back().data;
+      if (next.size() < op.offset + op.length) {
+        next.resize(op.offset + op.length, 0);
+      }
+      std::vector<uint8_t> payload = DeterministicContent(op.seed, op.length);
+      std::copy(payload.begin(), payload.end(), next.begin() + op.offset);
+      Version v;
+      v.op = index;
+      v.data = std::move(next);
+      v.from_write = true;
+      v.w_off = op.offset;
+      v.w_len = op.length;
+      v.w_seed = op.seed;
+      node.versions.push_back(std::move(v));
+      return true;
+    }
+    case OpKind::kTruncate: {
+      int nd = LiveNode(op.a);
+      if (nd < 0 || nodes_[nd].is_dir) {
+        return false;
+      }
+      Node& node = nodes_[nd];
+      std::vector<uint8_t> next = node.versions.back().data;
+      next.resize(op.length, 0);
+      Version v;
+      v.op = index;
+      v.data = std::move(next);
+      node.versions.push_back(std::move(v));
+      return true;
+    }
+    case OpKind::kSync:
+      syncs_.push_back(index);
+      return true;
+    case OpKind::kClean:
+      return true;
+  }
+  return false;
+}
+
+bool RefModel::ContentAcceptable(const Node& node, const std::vector<uint8_t>& content,
+                                 int64_t c, int64_t i) const {
+  const std::vector<Version>& vs = node.versions;
+  if (vs.empty()) {
+    return content.empty();
+  }
+  // The committed floor: the last version forced out by a completed Sync.
+  // Older versions are not acceptable — recovery must never regress below
+  // the last checkpoint.
+  size_t lo = 0;
+  for (size_t vi = 0; vi < vs.size(); vi++) {
+    if (vs[vi].op <= c) {
+      lo = vi;
+    }
+  }
+  for (size_t vi = lo; vi < vs.size() && vs[vi].op <= i; vi++) {
+    const Version& v = vs[vi];
+    if (content == v.data) {
+      return true;
+    }
+    // A crash mid-WriteAt legally serializes a block-aligned prefix of the
+    // write applied to the previous version: the writer stages dirty blocks
+    // in ascending file-block order, bumping the inode size as it goes, so
+    // any buffer flush inside the loop snapshots exactly such a prefix.
+    if (v.from_write && v.op > c && vi > 0 && v.w_len > 0) {
+      const std::vector<uint8_t>& prev = vs[vi - 1].data;
+      const uint64_t bs = block_size_;
+      uint64_t first = v.w_off / bs;
+      uint64_t last = (v.w_off + v.w_len - 1) / bs;
+      uint64_t n = last - first + 1;
+      std::vector<uint8_t> payload;
+      for (uint64_t t = 1; t < n; t++) {
+        uint64_t upto = std::min<uint64_t>(v.w_off + v.w_len, (first + t) * bs);
+        uint64_t size = std::max<uint64_t>(prev.size(), upto);
+        if (content.size() != size) {
+          continue;
+        }
+        if (payload.empty()) {
+          payload = DeterministicContent(v.w_seed, v.w_len);
+        }
+        std::vector<uint8_t> cand = prev;
+        cand.resize(size, 0);
+        std::copy(payload.begin(), payload.begin() + (upto - v.w_off),
+                  cand.begin() + v.w_off);
+        if (content == cand) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+Status RefModel::VerifyRecovered(FileSystem* fs, int64_t crash_op) const {
+  // Walk the recovered namespace.
+  std::map<std::string, RecoveredNode> recovered;
+  std::vector<std::string> stack = {"/"};
+  while (!stack.empty()) {
+    std::string dir = std::move(stack.back());
+    stack.pop_back();
+    Result<std::vector<DirEntry>> entries = fs->ReadDir(dir);
+    if (!entries.ok()) {
+      return InternalError("recovered walk: ReadDir(" + dir +
+                           "): " + entries.status().ToString());
+    }
+    for (const DirEntry& e : *entries) {
+      if (e.name == "." || e.name == "..") {
+        continue;
+      }
+      std::string full = (dir == "/" ? "/" : dir + "/") + e.name;
+      RecoveredNode rn;
+      rn.is_dir = e.type == FileType::kDirectory;
+      if (rn.is_dir) {
+        stack.push_back(full);
+      } else {
+        Result<std::vector<uint8_t>> data = fs->ReadFile(full);
+        if (!data.ok()) {
+          return InternalError("recovered walk: ReadFile(" + full +
+                               "): " + data.status().ToString());
+        }
+        rn.data = std::move(*data);
+      }
+      recovered.emplace(std::move(full), std::move(rn));
+    }
+  }
+
+  // Committed floor: the last Sync that completed strictly before the
+  // crashing op (syncs_ is ascending).
+  int64_t c = -1;
+  for (int64_t s : syncs_) {
+    if (s < crash_op) {
+      c = s;
+    }
+  }
+
+  // Every name the workload ever touched must be in its legal window.
+  for (const auto& [name, events] : bindings_) {
+    bool absent_ok = false;
+    std::vector<int> cands;
+    int floor_node = -1;
+    bool have_floor = false;
+    for (const BindEvent& e : events) {
+      if (e.op <= c) {
+        floor_node = e.node;
+        have_floor = true;
+      }
+    }
+    if (!have_floor || floor_node < 0) {
+      absent_ok = true;  // unbound (or never bound) at the committed floor
+    } else {
+      cands.push_back(floor_node);
+    }
+    for (const BindEvent& e : events) {
+      if (e.op > c && e.op <= crash_op) {
+        if (e.node < 0) {
+          absent_ok = true;
+        } else {
+          cands.push_back(e.node);
+        }
+      }
+    }
+
+    auto it = recovered.find(name);
+    if (it == recovered.end()) {
+      if (!absent_ok) {
+        return InternalError("oracle: '" + name +
+                             "' missing after recovery but durably committed "
+                             "(crash op " + std::to_string(crash_op) +
+                             ", floor op " + std::to_string(c) + ")");
+      }
+      continue;
+    }
+    bool ok = false;
+    for (int nd : cands) {
+      const Node& node = nodes_[nd];
+      if (node.is_dir != it->second.is_dir) {
+        continue;
+      }
+      if (node.is_dir || ContentAcceptable(node, it->second.data, c, crash_op)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      return InternalError("oracle: '" + name + "' recovered with " +
+                           (it->second.is_dir
+                                ? std::string("directory type")
+                                : std::to_string(it->second.data.size()) + " bytes") +
+                           " matching no legal version (crash op " +
+                           std::to_string(crash_op) + ", floor op " + std::to_string(c) +
+                           ", " + std::to_string(cands.size()) + " candidate bindings)");
+    }
+  }
+
+  // No phantoms: recovery must not invent names the workload never created.
+  for (const auto& [name, rn] : recovered) {
+    if (bindings_.find(name) == bindings_.end()) {
+      return InternalError("oracle: phantom name '" + name + "' after recovery");
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace lfs::check

@@ -1,0 +1,120 @@
+// RefModel: in-memory reference filesystem with crash-window semantics.
+//
+// This is the differential-test model (tests/differential_test.cpp,
+// tests/lfs_fault_test.cpp) extracted and extended for the crash-point
+// explorer. It serves two roles:
+//
+//  1. Functional model: Apply() predicts whether each operation succeeds and
+//     tracks the resulting namespace and file contents, so a live filesystem
+//     can be checked op-by-op (the differential tests) or after a quiesce
+//     (the fault matrix).
+//
+//  2. Crash oracle: the model keeps the *history* of every name binding and
+//     every file-content version, tagged with the op index that produced it,
+//     plus the indices of completed Sync()s. VerifyRecovered() then decides
+//     whether a recovered image is legal for a crash during op i:
+//
+//     - committed floor: let c be the last Sync that completed strictly
+//       before op i. Everything visible at op c is durable — recovery may
+//       never regress below it.
+//     - legally lost: effects of ops in (c, i] were not yet forced; recovery
+//       may surface any prefix of them. Because inode blocks reach the log
+//       in flush order, not op order, the window is judged *per name* and
+//       *per file*: each name must hold one of its bindings from the window
+//       [state-at-c .. state-after-i], and each recovered file's bytes must
+//       equal one of the bound node's in-window versions — or a block-level
+//       prefix of an in-window WriteAt (the segment writer flushes a write's
+//       dirty blocks in ascending order, so a mid-write crash legally
+//       serializes a block-aligned prefix with the matching intermediate
+//       size).
+//     - never allowed: names the model has never seen (phantoms), contents
+//       matching no version, regressions below the committed floor.
+//
+// The model is deliberately independent of src/lfs internals: it speaks the
+// FileSystem interface only, so it can adjudicate FFS in the differential
+// tests and LFS in the crash explorer with the same code.
+
+#ifndef LFS_CHECK_REF_MODEL_H_
+#define LFS_CHECK_REF_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/check/workload.h"
+#include "src/fs/file_system.h"
+#include "src/util/result.h"
+
+namespace lfs::check {
+
+class RefModel {
+ public:
+  // block_size governs the granularity of legal torn-write prefixes.
+  explicit RefModel(uint32_t block_size = 1024) : block_size_(block_size) {}
+
+  // --- functional model -----------------------------------------------------
+
+  // Applies op #index. Returns whether the op should succeed on a real
+  // filesystem; the model state changes only when it succeeds.
+  bool Apply(const Op& op, int64_t index);
+
+  bool Exists(const std::string& path) const;
+  bool IsDirPath(const std::string& path) const;
+  bool DirEmpty(const std::string& path) const;
+  // Current bytes of a live regular file; nullptr otherwise.
+  const std::vector<uint8_t>* Data(const std::string& path) const;
+  // All live paths (files and directories), sorted.
+  std::vector<std::string> LivePaths() const;
+
+  // --- crash oracle ---------------------------------------------------------
+
+  // Checks a recovered, mounted filesystem against the recorded histories.
+  // crash_op is the index of the op in flight at the crash (-1: before any
+  // op ran). Returns Ok when every name and every content is inside its
+  // legal window; otherwise an error naming the first violation.
+  Status VerifyRecovered(FileSystem* fs, int64_t crash_op) const;
+
+ private:
+  struct Version {
+    int64_t op = -1;
+    std::vector<uint8_t> data;
+    // Set when this version came from a WriteAt; enables torn-prefix
+    // acceptance against the previous version.
+    bool from_write = false;
+    uint64_t w_off = 0;
+    uint64_t w_len = 0;
+    uint64_t w_seed = 0;
+  };
+  struct Node {
+    bool is_dir = false;
+    std::vector<Version> versions;  // op-ordered; dirs keep none
+  };
+  struct BindEvent {
+    int64_t op = -1;
+    int node = -1;  // -1: the name became unbound
+  };
+  struct RecoveredNode {
+    bool is_dir = false;
+    std::vector<uint8_t> data;
+  };
+
+  std::string ParentOf(const std::string& path) const;
+  void Bind(const std::string& path, int node, int64_t op);
+  int LiveNode(const std::string& path) const;  // -1 when absent
+
+  // True when `content` is a legal recovery of `node` for a crash at op i
+  // with committed floor c.
+  bool ContentAcceptable(const Node& node, const std::vector<uint8_t>& content, int64_t c,
+                         int64_t i) const;
+
+  uint32_t block_size_;
+  std::vector<Node> nodes_;
+  std::map<std::string, int> live_;                          // path -> node
+  std::map<std::string, std::vector<BindEvent>> bindings_;   // full history
+  std::vector<int64_t> syncs_;                               // completed Sync op indices
+};
+
+}  // namespace lfs::check
+
+#endif  // LFS_CHECK_REF_MODEL_H_

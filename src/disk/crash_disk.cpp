@@ -19,20 +19,38 @@ Status CrashDisk::Write(BlockNo block, uint64_t count, std::span<const uint8_t> 
 
   if (armed_) {
     if (writes_until_crash_ == 0) {
-      // The torn write: a prefix of whole blocks persists.
-      uint64_t keep = std::min(torn_blocks_, count);
       crashed_ = true;
       armed_ = false;
+      writes_dropped_++;
+      if (capture_) {
+        // Hold the in-flight payload; ApplyTornPrefix() persists prefixes on
+        // demand so a sweep reuses this one armed run for every torn length.
+        in_flight_valid_ = true;
+        in_flight_block_ = block;
+        in_flight_count_ = count;
+        in_flight_data_.assign(data.begin(), data.end());
+        return OkStatus();
+      }
+      // The torn write: a prefix of whole blocks persists.
+      uint64_t keep = std::min(torn_blocks_, count);
       if (keep > 0) {
         LFS_RETURN_IF_ERROR(
             backing_->Write(block, keep, data.subspan(0, keep * block_size())));
       }
-      writes_dropped_++;
       return OkStatus();
     }
     writes_until_crash_--;
   }
 
+  if (recording_) {
+    CrashEdge edge;
+    edge.kind = CrashEdge::Kind::kWrite;
+    edge.block = block;
+    edge.count = count;
+    edge.op = op_marker_;
+    edge.data.assign(data.begin(), data.end());
+    journal_.push_back(std::move(edge));
+  }
   return backing_->Write(block, count, data);
 }
 
@@ -45,14 +63,53 @@ Status CrashDisk::Flush() {
   if (armed_) {
     if (writes_until_crash_ == 0) {
       // Crash at the barrier itself: every completed write already reached
-      // the backing store, but the flush is lost. Nothing to tear.
+      // the backing store, but the flush is lost. Nothing to tear (and in
+      // capture mode nothing to capture).
       crashed_ = true;
       armed_ = false;
       return OkStatus();
     }
     writes_until_crash_--;
   }
+  if (recording_) {
+    CrashEdge edge;
+    edge.kind = CrashEdge::Kind::kFlush;
+    edge.op = op_marker_;
+    journal_.push_back(std::move(edge));
+  }
   return backing_->Flush();
+}
+
+Status CrashDisk::Trim(BlockNo block, uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trims_seen_++;
+  if (crashed_) {
+    trims_dropped_++;
+    return OkStatus();
+  }
+  if (recording_) {
+    CrashEdge edge;
+    edge.kind = CrashEdge::Kind::kTrim;
+    edge.block = block;
+    edge.count = count;
+    edge.op = op_marker_;
+    journal_.push_back(std::move(edge));
+  }
+  return backing_->Trim(block, count);
+}
+
+Status CrashDisk::ApplyTornPrefix(uint64_t blocks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!in_flight_valid_) {
+    return InvalidArgumentError("no captured in-flight write to tear");
+  }
+  uint64_t keep = std::min(blocks, in_flight_count_);
+  if (keep == 0) {
+    return OkStatus();
+  }
+  return backing_->Write(in_flight_block_, keep,
+                         std::span<const uint8_t>(in_flight_data_)
+                             .subspan(0, keep * block_size()));
 }
 
 }  // namespace lfs

@@ -11,7 +11,20 @@
 // *between* a write and its barrier — the window where an I/O is issued but
 // not yet durable. A crash at a flush tears nothing (no blocks in flight).
 //
-// Used by recovery tests (crash-point sweeps) and the Table 3 benchmark.
+// Two facilities serve the exhaustive crash-point explorer (src/check/):
+//
+//  - Recording mode journals every edge that reaches the device — writes
+//    (with payload), flushes, and trims — tagged with a caller-provided op
+//    marker, so a workload can be executed once and every surviving crash
+//    image reconstructed offline by replaying a journal prefix.
+//
+//  - Capture mode (CrashAfterWritesCapture) holds the in-flight write at the
+//    crash point instead of persisting a fixed torn prefix; ApplyTornPrefix()
+//    then persists any prefix length on demand, so a sweep over every torn
+//    prefix of one write needs one armed run instead of one per prefix.
+//
+// Used by recovery tests (crash-point sweeps), the crash-consistency model
+// checker, and the Table 3 benchmark.
 
 #ifndef LFS_DISK_CRASH_DISK_H_
 #define LFS_DISK_CRASH_DISK_H_
@@ -20,10 +33,21 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "src/disk/block_device.h"
 
 namespace lfs {
+
+// One journaled device operation from CrashDisk's recording mode.
+struct CrashEdge {
+  enum class Kind : uint8_t { kWrite, kFlush, kTrim };
+  Kind kind = Kind::kWrite;
+  BlockNo block = 0;          // write/trim target
+  uint64_t count = 0;         // write/trim block count
+  int64_t op = -1;            // SetOpMarker() value when the edge was issued
+  std::vector<uint8_t> data;  // write payload (empty for flush/trim)
+};
 
 class CrashDisk : public BlockDevice {
  public:
@@ -42,15 +66,7 @@ class CrashDisk : public BlockDevice {
   // (the dead machine's discard commands never reach the device). Trims do
   // not consume the armed countdown: crash points are counted in writes and
   // flushes so existing crash-sweep tests keep their meaning.
-  Status Trim(BlockNo block, uint64_t count) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    trims_seen_++;
-    if (crashed_) {
-      trims_dropped_++;
-      return OkStatus();
-    }
-    return backing_->Trim(block, count);
-  }
+  Status Trim(BlockNo block, uint64_t count) override;
 
   double ModeledTime() const override { return backing_->ModeledTime(); }
 
@@ -61,8 +77,43 @@ class CrashDisk : public BlockDevice {
     std::lock_guard<std::mutex> lock(mu_);
     writes_until_crash_ = n;
     torn_blocks_ = torn_blocks;
+    capture_ = false;
     armed_ = true;
   }
+
+  // Like CrashAfterWrites, but when the crash point lands on a write, no
+  // torn prefix is persisted; the in-flight payload is captured instead.
+  // ApplyTornPrefix(t) then persists the first t blocks to the backing
+  // store — callable repeatedly with increasing t, so one armed run serves
+  // an exhaustive sweep over every torn-prefix length of that write.
+  void CrashAfterWritesCapture(uint64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    writes_until_crash_ = n;
+    torn_blocks_ = 0;
+    capture_ = true;
+    armed_ = true;
+    in_flight_valid_ = false;
+  }
+
+  // True if the crash point landed on a write (not a flush) while capture
+  // mode was armed; its geometry is then available below.
+  bool has_in_flight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return in_flight_valid_;
+  }
+  BlockNo in_flight_block() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return in_flight_block_;
+  }
+  uint64_t in_flight_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return in_flight_count_;
+  }
+
+  // Persists the first `blocks` blocks of the captured in-flight write.
+  // Because a longer prefix strictly extends a shorter one, calling with
+  // t = 1, 2, ... n walks every torn image without re-running the workload.
+  Status ApplyTornPrefix(uint64_t blocks);
 
   // Immediate crash: all future writes discarded.
   void CrashNow() {
@@ -76,6 +127,46 @@ class CrashDisk : public BlockDevice {
     std::lock_guard<std::mutex> lock(mu_);
     crashed_ = false;
     armed_ = false;
+  }
+
+  // --- recording mode (crash-point explorer) -------------------------------
+
+  // Begins journaling every edge that reaches the backing device. Edges
+  // issued while crashed are not recorded (they never reach the platter).
+  void StartRecording() {
+    std::lock_guard<std::mutex> lock(mu_);
+    recording_ = true;
+    journal_.clear();
+  }
+
+  // Stops recording and hands the journal to the caller.
+  std::vector<CrashEdge> TakeRecording() {
+    std::lock_guard<std::mutex> lock(mu_);
+    recording_ = false;
+    return std::move(journal_);
+  }
+
+  bool recording() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return recording_;
+  }
+
+  // Tags subsequent journaled edges with the caller's operation index so a
+  // crash point can be attributed to the workload op that issued it.
+  void SetOpMarker(int64_t op) {
+    std::lock_guard<std::mutex> lock(mu_);
+    op_marker_ = op;
+  }
+
+  // Zeroes the writes/flushes/trims counters (crash state is untouched), so
+  // sweeps can measure per-phase edge counts without rebuilding the device.
+  void ResetCounters() {
+    std::lock_guard<std::mutex> lock(mu_);
+    writes_seen_ = 0;
+    writes_dropped_ = 0;
+    flushes_seen_ = 0;
+    trims_seen_ = 0;
+    trims_dropped_ = 0;
   }
 
   bool crashed() const {
@@ -113,6 +204,7 @@ class CrashDisk : public BlockDevice {
   mutable std::mutex mu_;
   bool armed_ = false;
   bool crashed_ = false;
+  bool capture_ = false;
   uint64_t writes_until_crash_ = 0;
   uint64_t torn_blocks_ = 0;
   uint64_t writes_seen_ = 0;
@@ -120,6 +212,15 @@ class CrashDisk : public BlockDevice {
   uint64_t flushes_seen_ = 0;
   uint64_t trims_seen_ = 0;
   uint64_t trims_dropped_ = 0;
+
+  bool recording_ = false;
+  int64_t op_marker_ = -1;
+  std::vector<CrashEdge> journal_;
+
+  bool in_flight_valid_ = false;
+  BlockNo in_flight_block_ = 0;
+  uint64_t in_flight_count_ = 0;
+  std::vector<uint8_t> in_flight_data_;
 };
 
 }  // namespace lfs

@@ -1,5 +1,6 @@
 #include "src/lfs/check.h"
 
+#include <cstdio>
 #include <map>
 #include <set>
 #include <string>
@@ -19,16 +20,18 @@ class Checker {
   Result<CheckReport> Run();
 
  private:
-  void Error(const std::string& msg) {
+  void Error(const std::string& invariant, const std::string& msg) {
     report_.errors++;
     if (report_.messages.size() < options_.max_messages) {
       report_.messages.push_back("ERROR: " + msg);
+      report_.findings.push_back({invariant, /*error=*/true, msg});
     }
   }
-  void Warn(const std::string& msg) {
+  void Warn(const std::string& invariant, const std::string& msg) {
     report_.warnings++;
     if (report_.messages.size() < options_.max_messages) {
       report_.messages.push_back("warning: " + msg);
+      report_.findings.push_back({invariant, /*error=*/false, msg});
     }
   }
 
@@ -103,7 +106,7 @@ Status Checker::LoadCheckpoint() {
   } else {
     LFS_RETURN_IF_ERROR(ReadBlock(device_->block_count() - 1, &block));
     LFS_ASSIGN_OR_RETURN(sb_, Superblock::DecodeFrom(block));
-    Warn("primary superblock bad (" + primary.status().ToString() +
+    Warn("superblock.backup_used", "primary superblock bad (" + primary.status().ToString() +
          "); using the backup copy");
   }
   if (sb_.total_blocks > device_->block_count() || sb_.block_size != device_->block_size()) {
@@ -132,18 +135,18 @@ Status Checker::LoadCheckpoint() {
     return CorruptionError("no valid checkpoint region");
   }
   if (valid_regions == 1) {
-    Warn("only one checkpoint region is valid (normal right after mkfs, "
+    Warn("checkpoint.single_region", "only one checkpoint region is valid (normal right after mkfs, "
          "suspicious otherwise)");
   }
   if (ck_.cur_segment >= sb_.nsegments || ck_.cur_offset > sb_.segment_blocks) {
-    Error("checkpoint log tail out of range: segment " + std::to_string(ck_.cur_segment));
+    Error("checkpoint.tail_range", "checkpoint log tail out of range: segment " + std::to_string(ck_.cur_segment));
   }
   for (const auto& [seg, off] : ck_.extra_logs) {
     if (seg == kNilSeg) {
       continue;  // the log had not opened a segment yet
     }
     if (seg >= sb_.nsegments || off > sb_.segment_blocks) {
-      Error("checkpoint extra log tail out of range: segment " + std::to_string(seg));
+      Error("checkpoint.tail_range", "checkpoint extra log tail out of range: segment " + std::to_string(seg));
     }
   }
   return OkStatus();
@@ -186,7 +189,7 @@ Status Checker::LoadTables() {
     }
     BlockNo addr = ck_.imap_chunk_addr[c];
     if (addr == kNilBlock || addr >= device_->block_count()) {
-      Error("imap chunk " + std::to_string(c) + " address invalid");
+      Error("imap.chunk_addr", "imap chunk " + std::to_string(c) + " address invalid");
       continue;
     }
     LFS_RETURN_IF_ERROR(ReadBlock(addr, &block));
@@ -227,21 +230,21 @@ void Checker::Claim(BlockNo addr, const std::string& owner) {
     return;
   }
   if (addr >= device_->block_count()) {
-    Error(owner + " points past the device: block " + std::to_string(addr));
+    Error("blocktree.out_of_range", owner + " points past the device: block " + std::to_string(addr));
     return;
   }
   SegNo seg = sb_.SegOf(addr);
   if (seg == kNilSeg) {
-    Error(owner + " points into the fixed area: block " + std::to_string(addr));
+    Error("blocktree.fixed_area", owner + " points into the fixed area: block " + std::to_string(addr));
     return;
   }
   if (usage_[seg].state == SegState::kClean) {
-    Error(owner + " lives in segment " + std::to_string(seg) +
+    Error("blocktree.clean_segment", owner + " lives in segment " + std::to_string(seg) +
           " which the usage table marks CLEAN");
   }
   auto [it, inserted] = claimed_.emplace(addr, owner);
   if (!inserted) {
-    Error("block " + std::to_string(addr) + " claimed twice: by " + it->second + " and " +
+    Error("blocktree.double_claim", "block " + std::to_string(addr) + " claimed twice: by " + it->second + " and " +
           owner);
   }
 }
@@ -267,28 +270,28 @@ Status Checker::CheckInodesAndFiles() {
     std::string who = "inode " + std::to_string(ino);
     SegNo iseg = sb_.SegOf(e.inode_block);
     if (iseg == kNilSeg) {
-      Error(who + ": imap points outside the segment area");
+      Error("inode.imap_outside", who + ": imap points outside the segment area");
       continue;
     }
     if (usage_[iseg].state == SegState::kClean) {
-      Error(who + ": inode block is in a CLEAN segment");
+      Error("inode.clean_segment", who + ": inode block is in a CLEAN segment");
     }
     Result<Inode> inode_r = ReadInode(ino);
     if (!inode_r.ok()) {
-      Error(who + ": unreadable (" + inode_r.status().ToString() + ")");
+      Error("inode.unreadable", who + ": unreadable (" + inode_r.status().ToString() + ")");
       continue;
     }
     const Inode& inode = *inode_r;
     if (inode.ino != ino) {
-      Error(who + ": slot holds inode " + std::to_string(inode.ino));
+      Error("inode.slot_mismatch", who + ": slot holds inode " + std::to_string(inode.ino));
       continue;
     }
     if (inode.version != e.version) {
-      Error(who + ": version " + std::to_string(inode.version) + " != imap version " +
+      Error("inode.version_mismatch", who + ": version " + std::to_string(inode.version) + " != imap version " +
             std::to_string(e.version));
     }
     if (inode.type != FileType::kRegular && inode.type != FileType::kDirectory) {
-      Error(who + ": invalid type " + std::to_string(static_cast<int>(inode.type)));
+      Error("inode.bad_type", who + ": invalid type " + std::to_string(static_cast<int>(inode.type)));
       continue;
     }
     recomputed_live_[iseg] += kInodeSlotSize;
@@ -350,7 +353,7 @@ Status Checker::CheckInodesAndFiles() {
     for (uint64_t fbn = 0; fbn < nblocks; fbn++) {
       Result<BlockNo> addr = data_addr(fbn, ind_cache);
       if (!addr.ok()) {
-        Error(who + ": unreadable indirect block");
+        Error("inode.indirect_unreadable", who + ": unreadable indirect block");
         break;
       }
       if (*addr == kNilBlock) {
@@ -373,7 +376,7 @@ Status Checker::CheckDirectoryTree() {
   std::set<InodeNum> visited;
   std::vector<InodeNum> queue = {kRootInode};
   if (imap_.size() <= kRootInode || !imap_[kRootInode].allocated()) {
-    Error("root inode is not allocated");
+    Error("dirtree.root_missing", "root inode is not allocated");
     return OkStatus();
   }
   refs[kRootInode]++;  // the root references itself
@@ -381,7 +384,7 @@ Status Checker::CheckDirectoryTree() {
     InodeNum dir = queue.back();
     queue.pop_back();
     if (!visited.insert(dir).second) {
-      Error("directory cycle involving inode " + std::to_string(dir));
+      Error("dirtree.cycle", "directory cycle involving inode " + std::to_string(dir));
       continue;
     }
     Result<Inode> inode = ReadInode(dir);
@@ -404,7 +407,7 @@ Status Checker::CheckDirectoryTree() {
         dec.Skip((fbn - kNumDirect) * 8);
         addr = dec.GetU64();
       } else {
-        Warn("directory " + std::to_string(dir) + " larger than checker walks");
+        Warn("dirtree.oversize", "directory " + std::to_string(dir) + " larger than checker walks");
         break;
       }
       if (addr == kNilBlock) {
@@ -414,19 +417,19 @@ Status Checker::CheckDirectoryTree() {
       LFS_RETURN_IF_ERROR(ReadBlock(addr, &block));
       Result<std::vector<DirEntry>> entries = DecodeDirBlock(block);
       if (!entries.ok()) {
-        Error("directory " + std::to_string(dir) + " block " + std::to_string(fbn) +
+        Error("dirtree.block_undecodable", "directory " + std::to_string(dir) + " block " + std::to_string(fbn) +
               " undecodable");
         continue;
       }
       for (const DirEntry& e : *entries) {
         if (e.ino >= imap_.size() || !imap_[e.ino].allocated()) {
-          Error("dangling entry '" + e.name + "' in directory " + std::to_string(dir));
+          Error("dirtree.dangling_entry", "dangling entry '" + e.name + "' in directory " + std::to_string(dir));
           continue;
         }
         refs[e.ino]++;
         Result<Inode> target = ReadInode(e.ino);
         if (target.ok() && target->type != e.type) {
-          Error("entry '" + e.name + "' type disagrees with inode " + std::to_string(e.ino));
+          Error("dirtree.type_mismatch", "entry '" + e.name + "' type disagrees with inode " + std::to_string(e.ino));
         }
         if (e.type == FileType::kDirectory) {
           queue.push_back(e.ino);
@@ -444,11 +447,11 @@ Status Checker::CheckDirectoryTree() {
       continue;
     }
     if (refs[ino] == 0) {
-      Warn("inode " + std::to_string(ino) + " is allocated but unreachable (orphan)");
+      Warn("dirtree.orphan", "inode " + std::to_string(ino) + " is allocated but unreachable (orphan)");
       continue;
     }
     if (inode->nlink != refs[ino]) {
-      Error("inode " + std::to_string(ino) + " nlink " + std::to_string(inode->nlink) +
+      Error("dirtree.nlink", "inode " + std::to_string(ino) + " nlink " + std::to_string(inode->nlink) +
             " != directory references " + std::to_string(refs[ino]));
     }
   }
@@ -488,10 +491,10 @@ Status Checker::CheckSegmentChains() {
         if (!device_->Read(sb_.SegmentBase(seg) + offset + 1, sum->entries.size(), payload)
                  .ok()) {
           if (quarantined) {
-            Warn("quarantined segment " + std::to_string(seg) +
+            Warn("segchain.quarantined", "quarantined segment " + std::to_string(seg) +
                  ": unreadable payload at offset " + std::to_string(offset));
           } else {
-            Error("segment " + std::to_string(seg) + ": unreadable payload at offset " +
+            Error("segchain.payload_unreadable", "segment " + std::to_string(seg) + ": unreadable payload at offset " +
                   std::to_string(offset));
           }
           break;
@@ -499,12 +502,22 @@ Status Checker::CheckSegmentChains() {
         if (Crc32(payload) != sum->payload_crc) {
           // Only the log tail may legitimately hold a torn partial write.
           if (IsTailSegment(seg) && offset >= TailOffset(seg)) {
-            Warn("torn partial write in the log tail (recoverable)");
+            Warn("segchain.torn_tail", "torn partial write in the log tail (recoverable)");
+          } else if (sum->seq >= ck_.next_summary_seq) {
+            // A post-checkpoint sequence number marks an in-flight write the
+            // crash tore — e.g. a checkpoint's own chunk appends into a
+            // swept segment whose region write never landed. Roll-forward
+            // rejects the partial at the sequence gap, so the state is
+            // recoverable by contract; only pre-checkpoint payloads are held
+            // to the hard corruption standard.
+            Warn("segchain.torn_inflight", "segment " + std::to_string(seg) +
+                 ": torn in-flight write at offset " + std::to_string(offset) +
+                 " (recoverable)");
           } else if (quarantined) {
-            Warn("quarantined segment " + std::to_string(seg) +
+            Warn("segchain.quarantined", "quarantined segment " + std::to_string(seg) +
                  ": payload CRC mismatch at offset " + std::to_string(offset));
           } else {
-            Error("segment " + std::to_string(seg) + ": payload CRC mismatch at offset " +
+            Error("segchain.payload_crc", "segment " + std::to_string(seg) + ": payload CRC mismatch at offset " +
                   std::to_string(offset));
           }
           break;
@@ -521,7 +534,7 @@ void Checker::CheckUsageTable() {
     if (usage_[seg].state == SegState::kClean) {
       if (recomputed_live_[seg] != 0) {
         // Already reported block-by-block via Claim(); summarize anyway.
-        Error("segment " + std::to_string(seg) + " is CLEAN but holds " +
+        Error("usage.clean_live", "segment " + std::to_string(seg) + " is CLEAN but holds " +
               std::to_string(recomputed_live_[seg]) + " live bytes");
       }
       continue;
@@ -535,11 +548,11 @@ void Checker::CheckUsageTable() {
       // to walk. Everything else should match what the checkpoint recorded.
       if (IsTailSegment(seg) || usage_[seg].state == SegState::kQuarantined) {
         const char* kind = IsTailSegment(seg) ? "active" : "quarantined";
-        Warn(std::string(kind) + " segment " + std::to_string(seg) +
+        Warn("usage.tail_drift", std::string(kind) + " segment " + std::to_string(seg) +
              " live bytes: table " + std::to_string(table) + " vs actual " +
              std::to_string(actual));
       } else {
-        Error("segment " + std::to_string(seg) + " live bytes: table " +
+        Error("usage.mismatch", "segment " + std::to_string(seg) + " live bytes: table " +
               std::to_string(table) + " vs recomputed " + std::to_string(actual));
       }
     }
@@ -570,6 +583,53 @@ std::string CheckReport::Summary() const {
     out += ", " + std::to_string(quarantined_segments) + " quarantined";
   }
   out += ")";
+  return out;
+}
+
+std::string CheckReport::ToJson() const {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  };
+  std::string out = "{";
+  out += "\"ok\":" + std::string(ok() ? "true" : "false");
+  out += ",\"errors\":" + std::to_string(errors);
+  out += ",\"warnings\":" + std::to_string(warnings);
+  out += ",\"files\":" + std::to_string(files);
+  out += ",\"directories\":" + std::to_string(directories);
+  out += ",\"live_data_blocks\":" + std::to_string(live_data_blocks);
+  out += ",\"segments_scanned\":" + std::to_string(segments_scanned);
+  out += ",\"partial_writes\":" + std::to_string(partial_writes);
+  out += ",\"clean_segments\":" + std::to_string(clean_segments);
+  out += ",\"quarantined_segments\":" + std::to_string(quarantined_segments);
+  out += ",\"findings\":[";
+  for (size_t i = 0; i < findings.size(); i++) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += "{\"invariant\":\"" + escape(findings[i].invariant) + "\",\"severity\":\"" +
+           (findings[i].error ? "error" : "warning") + "\",\"message\":\"" +
+           escape(findings[i].message) + "\"}";
+  }
+  out += "]}";
   return out;
 }
 

@@ -32,10 +32,20 @@
 
 namespace lfs {
 
+// One finding, tagged with a stable invariant slug (e.g. "segchain.payload_crc")
+// so machine consumers — the crash-point explorer, CI — can match on the
+// violated invariant instead of scraping message text.
+struct CheckFinding {
+  std::string invariant;
+  bool error = false;  // otherwise a warning
+  std::string message;
+};
+
 struct CheckReport {
   uint64_t errors = 0;
   uint64_t warnings = 0;
-  std::vector<std::string> messages;  // first kMaxMessages findings
+  std::vector<std::string> messages;           // first max_messages findings, rendered
+  std::vector<CheckFinding> findings;          // same findings, structured
 
   // Inventory.
   uint64_t files = 0;
@@ -48,6 +58,8 @@ struct CheckReport {
 
   bool ok() const { return errors == 0; }
   std::string Summary() const;
+  // Machine-readable report: counters, inventory, and per-invariant findings.
+  std::string ToJson() const;
 };
 
 struct CheckOptions {

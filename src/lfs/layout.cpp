@@ -420,7 +420,7 @@ Result<std::vector<DirEntry>> DecodeDirBlock(std::span<const uint8_t> block) {
 // --- directory operation log --------------------------------------------------------
 
 size_t DirLogRecordEncodedSize(const DirLogRecord& rec) {
-  return 1 + 4 + (2 + rec.name.size()) + 4 + 4 + 2 + 1 + 4 + (2 + rec.name2.size()) + 4 + 2;
+  return 1 + 4 + (2 + rec.name.size()) + 4 + 4 + 2 + 1 + 4 + (2 + rec.name2.size()) + 4 + 4 + 2;
 }
 
 std::vector<uint8_t> EncodeDirLogBlock(const std::vector<DirLogRecord>& records,
@@ -441,6 +441,7 @@ std::vector<uint8_t> EncodeDirLogBlock(const std::vector<DirLogRecord>& records,
     enc.PutU32(r.dir2_ino);
     enc.PutLengthPrefixedString(r.name2);
     enc.PutU32(r.replaced_ino);
+    enc.PutU32(r.replaced_version);
     enc.PutU16(r.replaced_nlink);
   }
   enc.PadTo(block_size);
@@ -467,6 +468,7 @@ Result<std::vector<DirLogRecord>> DecodeDirLogBlock(std::span<const uint8_t> blo
     r.dir2_ino = dec.GetU32();
     r.name2 = dec.GetLengthPrefixedString();
     r.replaced_ino = dec.GetU32();
+    r.replaced_version = dec.GetU32();
     r.replaced_nlink = dec.GetU16();
     if (!dec.ok()) {
       return CorruptionError("dirlog block: truncated record");

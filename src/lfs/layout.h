@@ -271,6 +271,7 @@ struct DirLogRecord {
   InodeNum dir2_ino = kNilInode;   // rename only
   std::string name2;               // rename only
   InodeNum replaced_ino = kNilInode;  // rename only
+  uint32_t replaced_version = 0;      // replaced target's version at log time
   uint16_t replaced_nlink = 0;        // replaced target's count after rename
 };
 

@@ -481,7 +481,8 @@ Status LfsFileSystem::WriteCheckpointRegion() {
   cr_hosts_[wrote_region] = ChunkHostSegments();
   cr_next_ = 1 - wrote_region;
   ckpt_boundary_seq_ = ck.next_summary_seq;
-  TrimFreedSegments();  // the frees are durable now
+  usage_.MarkFreesDurable();  // freed segments become pickable again
+  TrimFreedSegments();        // the frees are durable now
   LFS_TRACE(obs_.tracer(), obs::TraceEventType::kCheckpointEnd, obs::OpType::kNone,
             clock_.Now(), wrote_region, 1, device_->ModeledTime());
   return OkStatus();

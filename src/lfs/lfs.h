@@ -530,7 +530,11 @@ class LfsFileSystem : public FileSystem {
                                                        uint64_t min_seq,
                                                        ChainStatus* chain_status = nullptr);
   Status RollForward(const Checkpoint& ck);
-  Status ApplyDirLogFix(const DirLogRecord& rec);
+  // alloc_versions: per-inode versions observed at allocation (kCreate
+  // records) within the replay window, used to tell apart generations of a
+  // reused inode number.
+  Status ApplyDirLogFix(const DirLogRecord& rec,
+                        const std::map<InodeNum, std::vector<uint32_t>>& alloc_versions);
 
   // --- state ---
 

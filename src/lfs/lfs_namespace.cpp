@@ -549,6 +549,7 @@ Status LfsFileSystem::RenameLocked(InodeNum from_dir, const std::string& from_na
   FileType type = fm->inode.type;
 
   InodeNum replaced = kNilInode;
+  uint32_t replaced_version = 0;
   uint16_t replaced_nlink = 0;
   Result<InodeNum> existing = LookupInDir(to_dir, to_name);
   if (existing.ok()) {
@@ -557,6 +558,7 @@ Status LfsFileSystem::RenameLocked(InodeNum from_dir, const std::string& from_na
     if (rfm->inode.type == FileType::kDirectory) {
       return IsADirectoryError("rename target '" + std::string(to) + "' is a directory");
     }
+    replaced_version = rfm->inode.version;
     replaced_nlink = static_cast<uint16_t>(rfm->inode.nlink - 1);
   }
 
@@ -566,11 +568,16 @@ Status LfsFileSystem::RenameLocked(InodeNum from_dir, const std::string& from_na
   rec.name = from_name;
   rec.target_ino = ino;
   rec.target_version = fm->inode.version;
-  rec.new_nlink = fm->inode.nlink;
+  // Post-operation link count: replacing a name that already pointed at the
+  // moved inode itself (rename onto one's own hard link) drops one of its
+  // own links, and replay asserts this value as the final state.
+  rec.new_nlink = replaced == ino ? static_cast<uint16_t>(fm->inode.nlink - 1)
+                                  : fm->inode.nlink;
   rec.target_type = type;
   rec.dir2_ino = to_dir;
   rec.name2 = to_name;
   rec.replaced_ino = replaced;
+  rec.replaced_version = replaced_version;
   rec.replaced_nlink = replaced_nlink;
   LogDirOp(std::move(rec));
 

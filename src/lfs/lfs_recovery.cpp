@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <set>
 
 #include "src/lfs/lfs.h"
 #include "src/util/crc32.h"
@@ -112,6 +113,9 @@ Status LfsFileSystem::RollForward(const Checkpoint& ck) {
       tails.emplace_back(seg, off);
     }
   }
+  // Every segment the scan touches, with its scan-start offset: used below to
+  // scrub stale chain remnants out of segments that stop being append points.
+  std::vector<std::pair<SegNo, uint32_t>> scanned = tails;
   for (const auto& [seg, off] : tails) {
     LFS_ASSIGN_OR_RETURN(std::vector<ParsedPartial> chain,
                          ParseSegmentChain(seg, off, sb_.segment_blocks, start_seq));
@@ -140,6 +144,7 @@ Status LfsFileSystem::RollForward(const Checkpoint& ck) {
     }
     LFS_ASSIGN_OR_RETURN(std::vector<ParsedPartial> chain,
                          ParseSegmentChain(seg, 0, sb_.segment_blocks, start_seq));
+    scanned.emplace_back(seg, 0);
     for (ParsedPartial& p : chain) {
       replay.push_back(std::move(p));
     }
@@ -183,6 +188,38 @@ Status LfsFileSystem::RollForward(const Checkpoint& ck) {
     usage_.SetState(last.seg, SegState::kActive);
   }
   writer_.Init(last.seg, tail_offset, last.summary.seq + 1);
+
+  // Segments other than the surviving tail stop being append points, so
+  // nothing will ever overwrite what sits past their accepted records — but a
+  // torn partial (or a valid record rejected for a sequence gap) may have
+  // left a decodable post-checkpoint summary there, dangling beyond the
+  // recovered chain of an ordinary dirty segment. Zero that one summary block
+  // so the chain ends cleanly. Idempotent across a crash during recovery: the
+  // scrubbed record was rejected by this scan and would be again.
+  for (const auto& [seg, scan_start] : scanned) {
+    if (seg == last.seg) {
+      continue;  // the resumed tail; new appends overwrite it
+    }
+    uint32_t acc_end = scan_start;
+    for (const ParsedPartial& p : replay) {
+      if (p.seg == seg) {
+        acc_end = std::max(
+            acc_end, p.offset + 1 + static_cast<uint32_t>(p.summary.entries.size()));
+      }
+    }
+    if (acc_end + 1 >= sb_.segment_blocks) {
+      continue;
+    }
+    if (!DeviceRead(sb_.SegmentBase(seg) + acc_end, 1, sum_block).ok()) {
+      continue;
+    }
+    Result<SegmentSummary> stale = SegmentSummary::DecodeFrom(sum_block);
+    if (stale.ok() && stale->seq >= start_seq) {
+      std::fill(sum_block.begin(), sum_block.end(), uint8_t{0});
+      LFS_RETURN_IF_ERROR(DeviceWrite(sb_.SegmentBase(seg) + acc_end, 1, sum_block));
+      stats_.rollforward_scrubbed++;
+    }
+  }
 
   // --- 2. structural replay: newest inode copies win ---------------------------
   ClearInodeTables();
@@ -310,8 +347,85 @@ Status LfsFileSystem::RollForward(const Checkpoint& ck) {
   }
 
   // --- 4. directory operation log: restore entry/refcount consistency ----------
+  // Pre-scan for allocation events: every create/mkdir logs the version the
+  // inode number carried at allocation. These versions partition the replay
+  // window into generations of a reused inode number, letting the replay
+  // tell "this record talks about the file that currently owns ino" from
+  // "this record talks about a predecessor that was freed and reused".
+  std::map<InodeNum, std::vector<uint32_t>> alloc_versions;
   for (const DirLogRecord& rec : dirops) {
-    LFS_RETURN_IF_ERROR(ApplyDirLogFix(rec));
+    if (rec.op == DirOp::kCreate) {
+      alloc_versions[rec.target_ino].push_back(rec.target_version);
+    }
+  }
+  for (const DirLogRecord& rec : dirops) {
+    LFS_RETURN_IF_ERROR(ApplyDirLogFix(rec, alloc_versions));
+  }
+
+  // --- 5. reconcile link counts for inodes the dirlog touched ------------------
+  // Per-record fixes assert each operation's logged final state, but compound
+  // outcomes — a rename whose destination directory never survived, a link
+  // chain where only some entries landed — can leave nlink out of step with
+  // the entries that actually exist. Ground truth is the directory tree
+  // itself: recount references and make nlink match. A touched file with no
+  // surviving entry is an orphan (e.g. moved into a directory that was never
+  // durably created) and is removed, completing the "entry will be removed"
+  // rule transitively.
+  std::set<InodeNum> touched;
+  for (const DirLogRecord& rec : dirops) {
+    if (rec.target_ino != kNilInode) {
+      touched.insert(rec.target_ino);
+    }
+    if (rec.replaced_ino != kNilInode) {
+      touched.insert(rec.replaced_ino);
+    }
+  }
+  touched.erase(kRootInode);
+  if (!touched.empty()) {
+    std::map<InodeNum, uint32_t> refs;
+    std::set<InodeNum> visited;
+    std::vector<InodeNum> dir_queue = {kRootInode};
+    while (!dir_queue.empty()) {
+      InodeNum dir = dir_queue.back();
+      dir_queue.pop_back();
+      if (!visited.insert(dir).second || !imap_.IsAllocated(dir)) {
+        continue;
+      }
+      Result<DirCache*> cache = GetDirCache(dir);
+      if (!cache.ok()) {
+        continue;
+      }
+      for (const std::vector<DirEntry>& blk : (*cache)->blocks) {
+        for (const DirEntry& e : blk) {
+          refs[e.ino]++;
+          if (e.type == FileType::kDirectory) {
+            dir_queue.push_back(e.ino);
+          }
+        }
+      }
+    }
+    for (InodeNum ino : touched) {
+      if (!imap_.IsAllocated(ino)) {
+        continue;
+      }
+      Result<FileMap*> fm = GetFileMap(ino);
+      if (!fm.ok()) {
+        continue;
+      }
+      auto it = refs.find(ino);
+      uint32_t n = it == refs.end() ? 0 : it->second;
+      if (n == 0) {
+        if ((*fm)->inode.type == FileType::kRegular) {
+          LFS_RETURN_IF_ERROR(DeleteFileContents(ino));
+        }
+        continue;
+      }
+      if ((*fm)->inode.nlink != n) {
+        (*fm)->inode.nlink = static_cast<uint16_t>(n);
+        (*fm)->inode_dirty = true;
+        MarkInodeDirty(ino);
+      }
+    }
   }
 
   in_recovery_ = false;
@@ -327,7 +441,9 @@ Status LfsFileSystem::RollForward(const Checkpoint& ck) {
   return OkStatus();
 }
 
-Status LfsFileSystem::ApplyDirLogFix(const DirLogRecord& rec) {
+Status LfsFileSystem::ApplyDirLogFix(
+    const DirLogRecord& rec,
+    const std::map<InodeNum, std::vector<uint32_t>>& alloc_versions) {
   // All fixes are defensive: they assert the operation's final state on
   // whatever survived, and skip when the containing directory itself did not
   // survive.
@@ -366,15 +482,41 @@ Status LfsFileSystem::ApplyDirLogFix(const DirLogRecord& rec) {
     return OkStatus();
   };
 
-  // "Alive" is a plain allocation check, NOT a version match. Records are
-  // replayed in log order over a flushed PREFIX of operations, so any
-  // version skew (a truncate-to-zero bumped the version before or after the
-  // record, but its inode write was or wasn't flushed) still refers to the
-  // same file; and an inode number freed and reused within the window is
-  // always preceded by its unlink record in the prefix, which frees it
-  // before the stale record could touch the successor. Version equality
-  // here would instead orphan files whose create/rename raced a truncate.
-  bool target_alive = imap_.IsAllocated(rec.target_ino);
+  // "Alive" means: the inode is allocated AND the record speaks about the
+  // generation of the inode number that currently owns the slot. A plain
+  // allocation check is not enough — an inode number freed and reused inside
+  // the replay window leaves stale records from the dead predecessor, and
+  // completing one of them (worst case: an unlink's DeleteFileContents)
+  // would destroy the successor. Exact version equality is too strict the
+  // other way: truncate-to-zero bumps the version without changing identity,
+  // so a create whose inode flushed after an in-window truncate would be
+  // orphaned. The dividing events are allocations; every allocation in the
+  // window logged its version via kCreate (dirlog records flush with the
+  // batch, so if a stale record made it into the window, the successor's
+  // create record did too). Two versions denote the same generation iff no
+  // logged allocation version lies strictly between them (half-open toward
+  // the newer side: the allocation version itself starts the new
+  // generation).
+  auto same_gen = [&](InodeNum ino, uint32_t v_rec) {
+    uint32_t v_slot = imap_.Get(ino).version;
+    if (v_rec == v_slot) {
+      return true;
+    }
+    auto it = alloc_versions.find(ino);
+    if (it == alloc_versions.end()) {
+      return true;
+    }
+    uint32_t lo = std::min(v_rec, v_slot);
+    uint32_t hi = std::max(v_rec, v_slot);
+    for (uint32_t v_alloc : it->second) {
+      if (v_alloc > lo && v_alloc <= hi) {
+        return false;
+      }
+    }
+    return true;
+  };
+  bool target_alive =
+      imap_.IsAllocated(rec.target_ino) && same_gen(rec.target_ino, rec.target_version);
 
   switch (rec.op) {
     case DirOp::kCreate:
@@ -412,17 +554,29 @@ Status LfsFileSystem::ApplyDirLogFix(const DirLogRecord& rec) {
         LFS_RETURN_IF_ERROR(ensure_absent(rec.dir_ino, rec.name));
       }
       if (rec.replaced_ino != kNilInode && imap_.IsAllocated(rec.replaced_ino) &&
-          rec.replaced_ino != rec.target_ino) {
+          rec.replaced_ino != rec.target_ino &&
+          same_gen(rec.replaced_ino, rec.replaced_version)) {
         if (rec.replaced_nlink == 0) {
           LFS_RETURN_IF_ERROR(DeleteFileContents(rec.replaced_ino));
         } else {
           LFS_RETURN_IF_ERROR(set_nlink(rec.replaced_ino, rec.replaced_nlink));
         }
       }
-      if (target_alive && dir_ok(rec.dir2_ino)) {
-        LFS_RETURN_IF_ERROR(ensure_present(rec.dir2_ino, rec.name2, rec.target_ino,
-                                           rec.target_type));
-        LFS_RETURN_IF_ERROR(set_nlink(rec.target_ino, rec.new_nlink));
+      if (dir_ok(rec.dir2_ino)) {
+        if (target_alive) {
+          LFS_RETURN_IF_ERROR(ensure_present(rec.dir2_ino, rec.name2, rec.target_ino,
+                                             rec.target_type));
+          LFS_RETURN_IF_ERROR(set_nlink(rec.target_ino, rec.new_nlink));
+        } else {
+          // The rename can't be completed (the moved inode never reached the
+          // log, or its number now belongs to a successor generation), so the
+          // destination name must not keep ANY binding this record made
+          // obsolete: the dead target itself, or the replaced file whose
+          // unlink-half was already asserted above. Records are replayed in
+          // log order, so a later operation that rebinds the name re-asserts
+          // it afterwards — removal here is always safe.
+          LFS_RETURN_IF_ERROR(ensure_absent(rec.dir2_ino, rec.name2));
+        }
       }
       return OkStatus();
     }

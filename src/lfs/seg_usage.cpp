@@ -69,6 +69,7 @@ void SegUsage::SetState(SegNo seg, SegState state) {
   SegUsageEntry& e = entries_[seg];
   if (e.state == SegState::kClean && state != SegState::kClean) {
     clean_count_--;
+    pending_reuse_.erase(seg);
     if (state == SegState::kActive) {
       e.reuse_count++;  // one fill cycle: the segment's wear counter
     }
@@ -77,7 +78,8 @@ void SegUsage::SetState(SegNo seg, SegState state) {
     total_live_ -= e.live_bytes;
     e.live_bytes = 0;
     e.last_write = 0;
-    freed_.push_back(seg);  // TRIM candidate once a checkpoint covers the free
+    freed_.push_back(seg);        // TRIM candidate once a checkpoint covers the free
+    pending_reuse_.insert(seg);   // unpickable until then (see PickClean)
   }
   if (e.state != SegState::kQuarantined && state == SegState::kQuarantined) {
     quarantined_count_++;
@@ -99,13 +101,20 @@ void SegUsage::SetLogId(SegNo seg, uint8_t log_id) {
   MarkDirty(seg);
 }
 
-SegNo SegUsage::PickClean() const {
+SegNo SegUsage::PickClean(bool include_pending) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (SegNo seg = 0; seg < entries_.size(); seg++) {
-    if (entries_[seg].state == SegState::kClean) {
+    if (entries_[seg].state == SegState::kClean &&
+        (include_pending || pending_reuse_.count(seg) == 0)) {
       return seg;
     }
   }
   return kNilSeg;
+}
+
+void SegUsage::MarkFreesDurable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_reuse_.clear();
 }
 
 double SegUsage::DiskUtilization() const {

@@ -90,7 +90,21 @@ class SegUsage {
   uint64_t write_seq(SegNo seg) const { return write_seq_[seg]; }
 
   // Next clean segment to fill (lowest-numbered), or kNilSeg if none.
-  SegNo PickClean() const;
+  // Segments freed since the last checkpoint are held back: recovery only
+  // scans checkpoint-clean segments (plus the recorded append points) for
+  // the post-crash log tail, so a write into a checkpoint-dirty segment
+  // would be invisible to roll-forward and read as corruption by the
+  // checker. The barrier lifts when a checkpoint records the free. The
+  // checkpoint's own appends (include_pending) are exempt: a swept segment's
+  // clean state becomes durable with the very CR write those appends
+  // precede, and if that write tears, roll-forward stops at the sequence
+  // gap before the first append into the still-dirty segment — everything
+  // flushed earlier is already in scannable territory.
+  SegNo PickClean(bool include_pending = false) const;
+
+  // Lifts the reuse barrier: every segment freed so far is now recorded
+  // clean by a durable checkpoint and may be picked for new writes.
+  void MarkFreesDurable();
 
   // --- victim selection --------------------------------------------------------
 
@@ -161,7 +175,8 @@ class SegUsage {
   std::vector<Relaxed<uint64_t>> write_seq_;
   std::vector<BlockNo> chunk_addrs_;
   std::set<uint32_t> dirty_chunks_;
-  std::vector<SegNo> freed_;  // became kClean since last TakeFreed()
+  std::vector<SegNo> freed_;      // became kClean since last TakeFreed()
+  std::set<SegNo> pending_reuse_; // became kClean since last checkpoint
   Relaxed<uint32_t> clean_count_{0};
   Relaxed<uint32_t> quarantined_count_{0};
   Relaxed<uint64_t> total_live_{0};  // sum of live_bytes, maintained incrementally

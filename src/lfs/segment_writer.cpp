@@ -43,7 +43,7 @@ Status SegmentWriter::AdvanceSegment(Log& log, uint32_t log_index) {
                         std::to_string(usage_->clean_count()) + " reserve=" +
                         std::to_string(reserve_segments_) + ")");
   }
-  SegNo next = usage_->PickClean();
+  SegNo next = usage_->PickClean(/*include_pending=*/privileged_);
   if (next == kNilSeg) {
     return NoSpaceError("no clean segments at all; log is full");
   }
@@ -112,6 +112,20 @@ Result<BlockNo> SegmentWriter::Append(const SummaryEntry& entry, std::vector<uin
     return InvalidArgumentError("Append: payload must be exactly one block");
   }
   uint32_t log_index = ClassifyLog(entry, mtime, cold_hint);
+  // Log-order barrier for recovery: a metadata block (inode, imap/usage
+  // chunk, dirlog) incorporates every data block flushed before it, so the
+  // partial carrying it must carry a HIGHER sequence number than any partial
+  // holding data it references. Metadata rides log 0; data buffered in the
+  // cold logs would otherwise flush after it (and with a higher seq) at the
+  // batch-closing Flush. Push the cold logs out first so their data
+  // sequences below the metadata — then a crash between the two makes
+  // roll-forward's contiguous-prefix rule drop the metadata, not the data.
+  if (log_index == 0 && entry.kind != BlockKind::kData && logs_.size() > 1) {
+    for (size_t i = 1; i < logs_.size(); i++) {
+      std::lock_guard<std::mutex> cold_lk(logs_[i].mu);
+      LFS_RETURN_IF_ERROR(FlushLog(logs_[i]));
+    }
+  }
   Log& log = logs_[log_index];
   // Per-log append lock: concurrent appends to distinct logs stay safe with
   // respect to each other (multi-log under the concurrent front-end).
@@ -194,7 +208,12 @@ Status SegmentWriter::FlushLog(Log& log) {
 }
 
 Status SegmentWriter::Flush() {
-  for (Log& log : logs_) {
+  // Cold logs first, the metadata log (0) last: log 0's open partial may end
+  // with inode/imap blocks that reference data buffered in the cold logs,
+  // and recovery only accepts a contiguous sequence prefix — the metadata
+  // must take the highest sequence number of the batch.
+  for (size_t i = logs_.size(); i-- > 0;) {
+    Log& log = logs_[i];
     std::lock_guard<std::mutex> lk(log.mu);
     LFS_RETURN_IF_ERROR(FlushLog(log));
   }

@@ -38,6 +38,7 @@ struct LfsStats {
   Relaxed<double> sum_cleaned_utilization = 0.0; // over non-empty cleaned segments
   Relaxed<uint64_t> checkpoints = 0;
   Relaxed<uint64_t> rollforward_partials = 0;    // partial writes replayed at recovery
+  Relaxed<uint64_t> rollforward_scrubbed = 0;    // stale summaries zeroed at recovery
   Relaxed<uint64_t> selection_mismatches = 0;    // indexed vs reference victim order
                                                  // divergences (verify_selection)
 

@@ -9,6 +9,7 @@
 
 #include "src/disk/crash_disk.h"
 #include "src/lfs/check.h"
+#include "src/util/json.h"
 #include "tests/test_util.h"
 
 namespace lfs {
@@ -84,6 +85,44 @@ TEST_F(CheckTest, RepeatedCheckpointsConvergeToZeroWarnings) {
   ASSERT_OK_AND_ASSIGN(CheckReport report, CheckLfsImage(disk_.get()));
   EXPECT_EQ(report.errors, 0u) << report.Summary();
   EXPECT_EQ(report.warnings, 0u) << report.Summary();
+}
+
+TEST_F(CheckTest, ToJsonIsParseableAndCarriesFindings) {
+  ChurnAndUnmount();
+  // Clean image first: valid JSON, ok=true, inventory matches the report.
+  ASSERT_OK_AND_ASSIGN(CheckReport clean, CheckLfsImage(disk_.get()));
+  ASSERT_OK_AND_ASSIGN(json::Value doc, json::Parse(clean.ToJson()));
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.Find("ok"), nullptr);
+  EXPECT_TRUE(doc.Find("ok")->as_bool());
+  EXPECT_EQ(doc.Find("errors")->as_number(), 0.0);
+  EXPECT_EQ(doc.Find("files")->as_number(), static_cast<double>(clean.files));
+  ASSERT_NE(doc.Find("findings"), nullptr);
+  ASSERT_TRUE(doc.Find("findings")->is_array());
+
+  // Smash a log block: the findings array must carry structured entries.
+  auto raw = disk_->raw();
+  std::vector<uint8_t> block(cfg_.block_size);
+  ASSERT_TRUE(disk_->Read(0, 1, block).ok());
+  ASSERT_OK_AND_ASSIGN(Superblock sb, Superblock::DecodeFrom(block));
+  std::fill(raw.begin() + static_cast<long>((sb.seg_start + 1) * cfg_.block_size),
+            raw.begin() + static_cast<long>((sb.seg_start + 2) * cfg_.block_size), 0xFF);
+  ASSERT_OK_AND_ASSIGN(CheckReport bad, CheckLfsImage(disk_.get()));
+  ASSERT_GT(bad.findings.size(), 0u);
+  ASSERT_OK_AND_ASSIGN(json::Value bad_doc, json::Parse(bad.ToJson()));
+  const json::Value* findings = bad_doc.Find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_EQ(findings->as_array().size(), bad.findings.size());
+  for (const json::Value& f : findings->as_array()) {
+    ASSERT_TRUE(f.is_object());
+    ASSERT_NE(f.Find("invariant"), nullptr);
+    EXPECT_FALSE(f.Find("invariant")->as_string().empty());
+    ASSERT_NE(f.Find("severity"), nullptr);
+    const std::string& sev = f.Find("severity")->as_string();
+    EXPECT_TRUE(sev == "error" || sev == "warning") << sev;
+    ASSERT_NE(f.Find("message"), nullptr);
+    EXPECT_FALSE(f.Find("message")->as_string().empty());
+  }
 }
 
 TEST_F(CheckTest, DetectsCorruptedInodeBlock) {

@@ -2,6 +2,7 @@
 // timing model (including its calibration to the spec-sheet average seek),
 // SimDisk accounting, CrashDisk fault semantics, and FileDisk persistence.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -194,6 +195,82 @@ TEST(CrashDiskTest, FlushIsACrashPoint) {
   EXPECT_TRUE(disk.crashed());
   ASSERT_TRUE(disk.Read(5, 1, r).ok());
   EXPECT_EQ(r[0], 0);
+}
+
+TEST(CrashDiskTest, RecordingJournalsEveryEdgeWithOpMarkers) {
+  CrashDisk disk(std::make_unique<MemDisk>(512, 64));
+  std::vector<uint8_t> ones(512, 1);
+  ASSERT_TRUE(disk.Write(0, 1, ones).ok());  // before recording: not journaled
+  disk.StartRecording();
+  EXPECT_TRUE(disk.recording());
+  disk.SetOpMarker(7);
+  std::vector<uint8_t> twos(512 * 2, 2);
+  ASSERT_TRUE(disk.Write(3, 2, twos).ok());
+  ASSERT_TRUE(disk.Flush().ok());
+  disk.SetOpMarker(8);
+  ASSERT_TRUE(disk.Trim(10, 4).ok());
+  std::vector<CrashEdge> edges = disk.TakeRecording();
+  EXPECT_FALSE(disk.recording());
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0].kind, CrashEdge::Kind::kWrite);
+  EXPECT_EQ(edges[0].block, 3u);
+  EXPECT_EQ(edges[0].count, 2u);
+  EXPECT_EQ(edges[0].op, 7);
+  EXPECT_EQ(edges[0].data, twos);
+  EXPECT_EQ(edges[1].kind, CrashEdge::Kind::kFlush);
+  EXPECT_EQ(edges[1].op, 7);
+  EXPECT_EQ(edges[2].kind, CrashEdge::Kind::kTrim);
+  EXPECT_EQ(edges[2].block, 10u);
+  EXPECT_EQ(edges[2].count, 4u);
+  EXPECT_EQ(edges[2].op, 8);
+}
+
+TEST(CrashDiskTest, ResetCountersZeroesTalliesButKeepsCrashState) {
+  CrashDisk disk(std::make_unique<MemDisk>(512, 64));
+  std::vector<uint8_t> buf(512, 5);
+  ASSERT_TRUE(disk.Write(0, 1, buf).ok());
+  ASSERT_TRUE(disk.Flush().ok());
+  disk.CrashNow();
+  ASSERT_TRUE(disk.Write(1, 1, buf).ok());  // dropped
+  EXPECT_EQ(disk.writes_seen(), 2u);
+  EXPECT_EQ(disk.flushes_seen(), 1u);
+  EXPECT_EQ(disk.writes_dropped(), 1u);
+  disk.ResetCounters();
+  EXPECT_EQ(disk.writes_seen(), 0u);
+  EXPECT_EQ(disk.flushes_seen(), 0u);
+  EXPECT_EQ(disk.writes_dropped(), 0u);
+  EXPECT_TRUE(disk.crashed());  // crash state survives the reset
+}
+
+TEST(CrashDiskTest, CaptureModeSweepsTornPrefixesWithoutRerunning) {
+  CrashDisk disk(std::make_unique<MemDisk>(512, 64));
+  std::vector<uint8_t> zeros(512 * 3, 0);
+  ASSERT_TRUE(disk.Write(0, 3, zeros).ok());
+  disk.CrashAfterWritesCapture(0);
+  std::vector<uint8_t> payload(512 * 3);
+  for (int i = 0; i < 3; i++) {
+    std::fill(payload.begin() + i * 512, payload.begin() + (i + 1) * 512,
+              static_cast<uint8_t>(i + 1));
+  }
+  ASSERT_TRUE(disk.Write(0, 3, payload).ok());  // the captured crash point
+  EXPECT_TRUE(disk.crashed());
+  ASSERT_TRUE(disk.has_in_flight());
+  EXPECT_EQ(disk.in_flight_block(), 0u);
+  EXPECT_EQ(disk.in_flight_count(), 3u);
+
+  // t = 0: nothing persisted yet.
+  std::vector<uint8_t> r(512 * 3);
+  ASSERT_TRUE(disk.Read(0, 3, r).ok());
+  EXPECT_EQ(r, zeros);
+  // Walk t = 1, 2, 3: each call extends the durable prefix by one block.
+  for (uint64_t t = 1; t <= 3; t++) {
+    ASSERT_TRUE(disk.ApplyTornPrefix(t).ok());
+    ASSERT_TRUE(disk.Read(0, 3, r).ok());
+    for (uint64_t b = 0; b < 3; b++) {
+      EXPECT_EQ(r[b * 512], b < t ? static_cast<uint8_t>(b + 1) : 0)
+          << "t=" << t << " block " << b;
+    }
+  }
 }
 
 TEST(FaultDiskTest, TransientReadFaultClearsAfterNAttempts) {

@@ -11,6 +11,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -268,14 +269,18 @@ TEST(FaultInjectionTest, MountFallsBackToBackupSuperblock) {
 // The fault matrix: every operation races a seeded rain of transient read
 // and write faults. The retry layer must absorb all of it — the filesystem
 // may never diverge from the in-memory model, and the image must check
-// clean after a remount.
-class FaultMatrixTest : public ::testing::TestWithParam<uint64_t> {};
+// clean after a remount. Each seed runs in both locking regimes (the bool
+// parameter selects cfg.concurrent), so the sharded-lock front-end faces the
+// same matrix the single-lock survivors passed.
+class FaultMatrixTest : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
 
 TEST_P(FaultMatrixTest, SeededTransientStressZeroDivergence) {
+  const auto [seed, concurrent] = GetParam();
   LfsConfig cfg = SmallConfig();
-  FaultDisk disk(std::make_unique<MemDisk>(cfg.block_size, 8192), GetParam());
+  cfg.concurrent = concurrent;
+  FaultDisk disk(std::make_unique<MemDisk>(cfg.block_size, 8192), seed);
   auto fs = std::move(LfsFileSystem::Mkfs(&disk, cfg)).value();
-  Rng rng(GetParam() * 31 + 7);
+  Rng rng(seed * 31 + 7);
 
   disk.SetTransientReadFaultRate(0.02);
   disk.SetTransientWriteFaultRate(0.02);
@@ -287,7 +292,7 @@ TEST_P(FaultMatrixTest, SeededTransientStressZeroDivergence) {
     std::string path = "/m" + std::to_string(rng.NextBelow(20));
     if (op < 50) {
       std::vector<uint8_t> content =
-          TestContent(GetParam() * 100000 + static_cast<uint64_t>(i),
+          TestContent(seed * 100000 + static_cast<uint64_t>(i),
                       1 + rng.NextBelow(12 * cfg.block_size));
       if (model.count(path)) {
         ASSERT_OK_AND_ASSIGN(InodeNum ino, fs->Lookup(path));
@@ -343,7 +348,9 @@ TEST_P(FaultMatrixTest, SeededTransientStressZeroDivergence) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FaultMatrixTest, ::testing::Values(17, 58, 4242));
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultMatrixTest,
+                         ::testing::Combine(::testing::Values(17, 58, 4242),
+                                            ::testing::Bool()));
 
 }  // namespace
 }  // namespace lfs
