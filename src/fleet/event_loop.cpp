@@ -1,0 +1,207 @@
+#include "src/fleet/event_loop.h"
+
+#include <algorithm>
+
+namespace lfs::fleet {
+
+void EventLoop::At(double when, Fn fn) {
+  heap_.push(Event{std::max(when, now_), seq_++, std::move(fn)});
+}
+
+void EventLoop::Run() {
+  while (!heap_.empty()) {
+    // The heap's top is const; copy the (cheap) header, steal the callback
+    // via const_cast before pop — standard priority_queue move-out idiom.
+    Event ev;
+    ev.when = heap_.top().when;
+    ev.fn = std::move(const_cast<Event&>(heap_.top()).fn);
+    heap_.pop();
+    now_ = std::max(now_, ev.when);
+    events_run_++;
+    ev.fn();
+  }
+}
+
+const char* OpClassName(OpClass cls) {
+  switch (cls) {
+    case OpClass::kCreate:
+      return "create";
+    case OpClass::kSmallWrite:
+      return "small_write";
+    case OpClass::kSmallRead:
+      return "small_read";
+    case OpClass::kLargeWrite:
+      return "large_write";
+    case OpClass::kNamespace:
+      return "namespace";
+    case OpClass::kUnlink:
+      return "unlink";
+    case OpClass::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+FleetScheduler::FleetScheduler(Fleet* fleet, SchedulerOptions opts)
+    : fleet_(fleet), opts_(opts) {
+  vols_.resize(fleet->num_volumes());
+  for (const std::string& name : fleet->tenant_names()) {
+    tenant_lat_.emplace(name, obs::LatencyHistogram{});
+  }
+}
+
+const obs::LatencyHistogram* FleetScheduler::tenant_latency(std::string_view tenant) const {
+  auto it = tenant_lat_.find(tenant);
+  return it == tenant_lat_.end() ? nullptr : &it->second;
+}
+
+double FleetScheduler::busy_fraction(uint32_t volume) const {
+  if (volume >= vols_.size() || loop_.now() <= 0.0) {
+    return 0.0;
+  }
+  return vols_[volume].busy_sec / loop_.now();
+}
+
+void FleetScheduler::Submit(double when, Op op) {
+  loop_.At(when, [this, op = std::move(op)]() mutable {
+    double now = loop_.now();
+    TenantState* t = fleet_->tenant(op.tenant);
+    if (t == nullptr) {
+      if (op.done) {
+        op.done(now, NotFoundError("unknown tenant '" + op.tenant + "'"));
+      }
+      return;
+    }
+    // Backpressure: past the tenant's queue-depth bound the pipeline sheds
+    // load immediately instead of growing an unbounded admission queue.
+    if (t->queued.load() >= t->config().max_queue_depth) {
+      ops_rejected_++;
+      t->ops_rejected.fetch_add(1);
+      if (op.done) {
+        op.done(now, BusyError("tenant '" + op.tenant + "' queue full"));
+      }
+      return;
+    }
+    t->queued.fetch_add(1);
+    ops_outstanding_++;
+    // Reserve an admission slot: the bucket goes (possibly) negative and the
+    // op starts when its reservation matures — per-tenant FIFO by
+    // construction, since each later reservation matures strictly later.
+    double delay = t->bucket().DelayUntilAvailable(now, 1.0);
+    t->bucket().ConsumeAt(now, 1.0);
+    PendingOp pending;
+    pending.op = std::move(op);
+    pending.tenant = t;
+    pending.submit_time = now;
+    loop_.At(now + delay, [this, p = std::move(pending)]() mutable {
+      EnqueueOnVolume(std::move(p));
+    });
+    ScheduleCleanRound();
+  });
+}
+
+void FleetScheduler::EnqueueOnVolume(PendingOp pending) {
+  uint32_t v = pending.tenant->config().volume;
+  VolumeQueue& vq = vols_[v];
+  vq.q.push_back(std::move(pending));
+  if (!vq.busy) {
+    ServeNext(v);
+  }
+}
+
+void FleetScheduler::ServeNext(uint32_t v) {
+  VolumeQueue& vq = vols_[v];
+  if (vq.q.empty()) {
+    vq.busy = false;
+    return;
+  }
+  vq.busy = true;
+  PendingOp pending = std::move(vq.q.front());
+  vq.q.pop_front();
+
+  FleetVolume* vol = fleet_->volume(v);
+  double service;
+  Status st;
+  if (pending.forced_service >= 0.0) {
+    // Synthetic job (cleaner round charge): occupies the worker, no body.
+    service = pending.forced_service;
+    st = OkStatus();
+  } else {
+    double disk0 = vol->disk()->ModeledTime();
+    st = pending.op.body ? pending.op.body() : OkStatus();
+    double disk_delta = vol->disk()->ModeledTime() - disk0;
+    double cpu = opts_.cpu_per_op_sec +
+                 opts_.cpu_per_byte_sec * static_cast<double>(pending.op.bytes);
+    // LFS overlaps CPU with asynchronous log writes (bench_common's model).
+    service = std::max(cpu, disk_delta);
+  }
+  vq.busy_sec += service;
+  loop_.At(loop_.now() + service,
+           [this, v, p = std::move(pending), st, service]() mutable {
+             Complete(std::move(p), st, service);
+             ServeNext(v);
+           });
+}
+
+void FleetScheduler::Complete(PendingOp pending, Status st, double service_sec) {
+  (void)service_sec;
+  if (pending.tenant == nullptr) {
+    return;  // synthetic cleaner charge
+  }
+  double now = loop_.now();
+  double latency_us = (now - pending.submit_time) * 1e6;
+  class_lat_[static_cast<size_t>(pending.op.cls)].RecordUs(
+      static_cast<uint64_t>(latency_us + 0.5));
+  auto it = tenant_lat_.find(pending.tenant->config().name);
+  if (it != tenant_lat_.end()) {
+    it->second.RecordUs(static_cast<uint64_t>(latency_us + 0.5));
+  }
+  pending.tenant->queued.fetch_add(static_cast<uint64_t>(-1));
+  ops_outstanding_--;
+  ops_done_++;
+  if (pending.op.done) {
+    pending.op.done(now, st);
+  }
+}
+
+void FleetScheduler::ScheduleCleanRound() {
+  if (opts_.clean_interval_sec <= 0.0 || clean_round_scheduled_) {
+    return;
+  }
+  clean_round_scheduled_ = true;
+  loop_.At(loop_.now() + opts_.clean_interval_sec, [this]() {
+    clean_round_scheduled_ = false;
+    // Run the coordinator round now (state effects are immediate) and charge
+    // each volume's cleaning I/O to its worker timeline as a synthetic job,
+    // so queued foreground ops wait behind the compaction they benefit from.
+    std::vector<double> disk0(vols_.size());
+    for (uint32_t v = 0; v < vols_.size(); v++) {
+      FleetVolume* vol = fleet_->volume(v);
+      disk0[v] = vol->mounted() ? vol->disk()->ModeledTime() : 0.0;
+    }
+    fleet_->FairShareCleanRound();
+    for (uint32_t v = 0; v < vols_.size(); v++) {
+      FleetVolume* vol = fleet_->volume(v);
+      if (!vol->mounted()) {
+        continue;
+      }
+      double delta = vol->disk()->ModeledTime() - disk0[v];
+      if (delta > 0.0) {
+        PendingOp charge;
+        charge.forced_service = delta;
+        vols_[v].q.push_front(std::move(charge));
+        if (!vols_[v].busy) {
+          ServeNext(v);
+        }
+      }
+    }
+    // Keep the cadence while client work is still in flight.
+    if (ops_outstanding_ > 0) {
+      ScheduleCleanRound();
+    }
+  });
+}
+
+void FleetScheduler::Run() { loop_.Run(); }
+
+}  // namespace lfs::fleet

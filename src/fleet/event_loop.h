@@ -1,0 +1,173 @@
+// Deterministic asynchronous request pipeline over simulated time.
+//
+// EventLoop is a discrete-event scheduler: a min-heap of (time, seq)
+// callbacks with FIFO tie-breaking, so a run is a pure function of the
+// submitted events — no host clocks, no threads, byte-identical reports.
+// Tens of thousands of simulated clients are just tens of thousands of
+// closed-loop callback chains on one heap.
+//
+// FleetScheduler layers the fleet front door on it:
+//
+//   client Submit ── backpressure check (queue depth; reject kBusy)
+//       └─ admission delay (token bucket reservation, per-tenant FIFO)
+//            └─ per-volume worker queue (single server, FIFO)
+//                 └─ execute against the volume; service time =
+//                    max(cpu model, modeled disk delta)  [LFS overlaps them]
+//                      └─ completion callback at submit-to-done latency
+//
+// Op latency is completion - submit, in *simulated* seconds: it includes
+// admission wait, queueing behind other tenants on the volume, the op's own
+// service time, and any foreground cleaning the op triggered — which is
+// exactly the tail the fleet's fair-share cleaner exists to shave.
+//
+// The fair-share cleaner coordinator runs as a recurring event: each round's
+// cleaning I/O is charged to the owning volume's timeline, so background
+// compaction delays foreground ops (honestly) without inflating their
+// individual service times.
+
+#ifndef LFS_FLEET_EVENT_LOOP_H_
+#define LFS_FLEET_EVENT_LOOP_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/fleet/fleet.h"
+#include "src/obs/latency.h"
+
+namespace lfs::fleet {
+
+class EventLoop {
+ public:
+  using Fn = std::function<void()>;
+
+  double now() const { return now_; }
+
+  // Schedules fn at simulated time `when` (clamped to now). Events at equal
+  // times run in submission order.
+  void At(double when, Fn fn);
+
+  // Runs events in time order until the heap is empty.
+  void Run();
+
+  uint64_t events_run() const { return events_run_; }
+
+ private:
+  struct Event {
+    double when;
+    uint64_t seq;
+    Fn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_ = 0.0;
+  uint64_t seq_ = 0;
+  uint64_t events_run_ = 0;
+};
+
+// Operation classes the scheduler tracks separate latency tails for.
+enum class OpClass : uint8_t {
+  kCreate = 0,
+  kSmallWrite,
+  kSmallRead,
+  kLargeWrite,
+  kNamespace,  // mkdir/rename/readdir-style metadata traffic
+  kUnlink,
+  kCount,
+};
+const char* OpClassName(OpClass cls);
+
+struct SchedulerOptions {
+  // CPU cost charged per op and per byte, overlapped with disk time the way
+  // the bench layer models LFS (elapsed = max(cpu, disk)).
+  double cpu_per_op_sec = 50e-6;
+  double cpu_per_byte_sec = 2e-9;
+
+  // Fair-share cleaner cadence (simulated seconds); 0 disables coordinator
+  // rounds (volumes then clean only in their own foreground paths).
+  double clean_interval_sec = 0.25;
+};
+
+class FleetScheduler {
+ public:
+  // One tenant operation. `body` runs against the fleet at dispatch time;
+  // `done` fires at the op's simulated completion (or immediate rejection).
+  struct Op {
+    std::string tenant;
+    OpClass cls = OpClass::kSmallWrite;
+    uint64_t bytes = 0;  // payload size, for the CPU cost model
+    std::function<Status()> body;
+    std::function<void(double now, const Status& st)> done;  // may be null
+  };
+
+  FleetScheduler(Fleet* fleet, SchedulerOptions opts);
+
+  EventLoop& loop() { return loop_; }
+  double now() const { return loop_.now(); }
+
+  // Submits an op at simulated time `when`. Backpressure (tenant queue
+  // depth) rejects immediately with kBusy; otherwise the op is reserved an
+  // admission slot (token bucket, per-tenant FIFO) and queued on its
+  // volume's worker.
+  void Submit(double when, Op op);
+
+  // Runs the pipeline until every submitted op completed.
+  void Run();
+
+  // --- results -------------------------------------------------------------------
+
+  const obs::LatencyHistogram& class_latency(OpClass cls) const {
+    return class_lat_[static_cast<size_t>(cls)];
+  }
+  // Per-tenant all-class latency (keyed as fleet tenants are).
+  const obs::LatencyHistogram* tenant_latency(std::string_view tenant) const;
+
+  uint64_t ops_done() const { return ops_done_; }
+  uint64_t ops_rejected() const { return ops_rejected_; }
+  double busy_fraction(uint32_t volume) const;  // volume busy / sim elapsed
+
+ private:
+  struct PendingOp {
+    Op op;
+    TenantState* tenant = nullptr;  // null for synthetic cleaner charges
+    double submit_time = 0.0;
+    // >= 0: a synthetic job occupying the worker for exactly this long
+    // (cleaner-round I/O charged to the volume's timeline); no body, no
+    // latency sample.
+    double forced_service = -1.0;
+  };
+  struct VolumeQueue {
+    std::deque<PendingOp> q;
+    bool busy = false;
+    double busy_sec = 0.0;  // total simulated service time charged
+  };
+
+  void EnqueueOnVolume(PendingOp pending);
+  void ServeNext(uint32_t volume);
+  void Complete(PendingOp pending, Status st, double service_sec);
+  void ScheduleCleanRound();
+
+  Fleet* fleet_;
+  SchedulerOptions opts_;
+  EventLoop loop_;
+  std::vector<VolumeQueue> vols_;
+  std::array<obs::LatencyHistogram, static_cast<size_t>(OpClass::kCount)> class_lat_;
+  std::map<std::string, obs::LatencyHistogram, std::less<>> tenant_lat_;
+  uint64_t ops_outstanding_ = 0;
+  uint64_t ops_done_ = 0;
+  uint64_t ops_rejected_ = 0;
+  bool clean_round_scheduled_ = false;
+};
+
+}  // namespace lfs::fleet
+
+#endif  // LFS_FLEET_EVENT_LOOP_H_

@@ -1,0 +1,404 @@
+#include "src/fleet/fleet.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace lfs::fleet {
+
+namespace {
+double HostNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+FleetConfig UniformFleetConfig(uint32_t n, uint64_t bytes, const LfsConfig& lfs) {
+  FleetConfig cfg;
+  cfg.volumes.resize(n);
+  for (auto& v : cfg.volumes) {
+    v.disk_bytes = bytes;
+    v.lfs = lfs;
+  }
+  return cfg;
+}
+
+Result<std::unique_ptr<Fleet>> Fleet::Create(const FleetConfig& cfg) {
+  if (cfg.volumes.empty()) {
+    return InvalidArgumentError("fleet needs at least one volume");
+  }
+  auto fleet = std::unique_ptr<Fleet>(new Fleet(cfg));
+  if (!fleet->cfg_.now_fn) {
+    fleet->cfg_.now_fn = HostNowSeconds;
+  }
+  fleet->volumes_.reserve(cfg.volumes.size());
+  for (uint32_t i = 0; i < cfg.volumes.size(); i++) {
+    auto vol = FleetVolume::Format(i, cfg.volumes[i]);
+    if (!vol.ok()) {
+      return vol.status();
+    }
+    fleet->volumes_.push_back(std::move(vol).value());
+  }
+  return fleet;
+}
+
+Status Fleet::AddTenant(const TenantConfig& tcfg) {
+  if (tcfg.name.empty() || tcfg.name.find('/') != std::string::npos) {
+    return InvalidArgumentError("tenant name must be a single non-empty component");
+  }
+  if (tcfg.volume >= volumes_.size()) {
+    return InvalidArgumentError("tenant '" + tcfg.name + "' names volume " +
+                                std::to_string(tcfg.volume) + " of " +
+                                std::to_string(volumes_.size()));
+  }
+  if (tenants_.count(tcfg.name) != 0) {
+    return AlreadyExistsError("tenant '" + tcfg.name + "' already registered");
+  }
+  FleetVolume* vol = volumes_[tcfg.volume].get();
+  if (!vol->mounted()) {
+    return InvalidArgumentError("tenant '" + tcfg.name + "' volume not mounted");
+  }
+  LFS_RETURN_IF_ERROR(vol->fs()->Mkdir("/" + tcfg.name));
+  tenants_.emplace(tcfg.name, std::make_unique<TenantState>(tcfg));
+  return OkStatus();
+}
+
+TenantState* Fleet::tenant(std::string_view name) {
+  auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Fleet::tenant_names() const {
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, state] : tenants_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Result<Fleet::Routed> Fleet::Route(std::string_view name) {
+  TenantState* t = tenant(name);
+  if (t == nullptr) {
+    return NotFoundError("unknown tenant '" + std::string(name) + "'");
+  }
+  FleetVolume* vol = volumes_[t->config().volume].get();
+  if (!vol->mounted()) {
+    return ReadOnlyError("tenant '" + std::string(name) + "' volume is unmounted");
+  }
+  return Routed{t, vol, vol->fs()};
+}
+
+Result<Fleet::Routed> Fleet::Admit(std::string_view name) {
+  Result<Routed> r = Route(name);
+  if (!r.ok()) {
+    return r;
+  }
+  if (cfg_.front_door_admission && !r->tenant->bucket().TryConsume(Now(), 1.0)) {
+    r->tenant->ops_rejected.fetch_add(1);
+    return BusyError("tenant '" + std::string(name) + "' over admission rate");
+  }
+  r->tenant->ops_admitted.fetch_add(1);
+  r->volume->foreground_ops.fetch_add(1);
+  return r;
+}
+
+std::string Fleet::VolumePath(const TenantState& t, std::string_view path) const {
+  std::string full = "/" + t.config().name;
+  if (path != "/") {
+    full.append(path);
+  }
+  return full;
+}
+
+uint64_t Fleet::BlocksFor(const LfsFileSystem* fs, uint64_t bytes) {
+  uint32_t bs = fs->config().block_size;
+  return (bytes + bs - 1) / bs;
+}
+
+Result<InodeNum> Fleet::Create(std::string_view tenant, std::string_view path) {
+  Result<Routed> r = Admit(tenant);
+  if (!r.ok()) {
+    return r.status();
+  }
+  LFS_RETURN_IF_ERROR(r->tenant->ChargeInode());
+  Result<InodeNum> ino = r->fs->Create(VolumePath(*r->tenant, path));
+  if (!ino.ok()) {
+    r->tenant->CreditInode();
+    r->tenant->ops_failed.fetch_add(1);
+    return ino;
+  }
+  r->tenant->ops_completed.fetch_add(1);
+  return ino;
+}
+
+Status Fleet::Mkdir(std::string_view tenant, std::string_view path) {
+  Result<Routed> r = Admit(tenant);
+  if (!r.ok()) {
+    return r.status();
+  }
+  LFS_RETURN_IF_ERROR(r->tenant->ChargeInode());
+  Status st = r->fs->Mkdir(VolumePath(*r->tenant, path));
+  if (!st.ok()) {
+    r->tenant->CreditInode();
+    r->tenant->ops_failed.fetch_add(1);
+    return st;
+  }
+  r->tenant->ops_completed.fetch_add(1);
+  return st;
+}
+
+Status Fleet::Unlink(std::string_view tenant, std::string_view path) {
+  Result<Routed> r = Admit(tenant);
+  if (!r.ok()) {
+    return r.status();
+  }
+  std::string vpath = VolumePath(*r->tenant, path);
+  // Snapshot the victim's size/links first so the quota credit is exact for
+  // last-link unlinks. Races with other writers to the same file are the
+  // caller's problem (same contract as POSIX unlink vs write).
+  uint64_t credit_blocks = 0;
+  bool credit_inode = false;
+  Result<FileStat> st_before = r->fs->StatPath(vpath);
+  if (st_before.ok() && st_before->type == FileType::kRegular) {
+    if (st_before->nlink <= 1) {
+      credit_blocks = BlocksFor(r->fs, st_before->size);
+      credit_inode = true;
+    }
+  }
+  Status st = r->fs->Unlink(vpath);
+  if (!st.ok()) {
+    r->tenant->ops_failed.fetch_add(1);
+    return st;
+  }
+  r->tenant->CreditBlocks(credit_blocks);
+  if (credit_inode) {
+    r->tenant->CreditInode();
+  }
+  r->tenant->ops_completed.fetch_add(1);
+  return st;
+}
+
+Status Fleet::Rename(std::string_view tenant, std::string_view from, std::string_view to) {
+  Result<Routed> r = Admit(tenant);
+  if (!r.ok()) {
+    return r.status();
+  }
+  std::string vfrom = VolumePath(*r->tenant, from);
+  std::string vto = VolumePath(*r->tenant, to);
+  // A rename that replaces an existing regular file frees its blocks+inode.
+  uint64_t credit_blocks = 0;
+  bool credit_inode = false;
+  Result<FileStat> target = r->fs->StatPath(vto);
+  if (target.ok() && target->type == FileType::kRegular && target->nlink <= 1) {
+    credit_blocks = BlocksFor(r->fs, target->size);
+    credit_inode = true;
+  }
+  Status st = r->fs->Rename(vfrom, vto);
+  if (!st.ok()) {
+    r->tenant->ops_failed.fetch_add(1);
+    return st;
+  }
+  r->tenant->CreditBlocks(credit_blocks);
+  if (credit_inode) {
+    r->tenant->CreditInode();
+  }
+  r->tenant->ops_completed.fetch_add(1);
+  return st;
+}
+
+Result<InodeNum> Fleet::Lookup(std::string_view tenant, std::string_view path) {
+  Result<Routed> r = Route(tenant);
+  if (!r.ok()) {
+    return r.status();
+  }
+  return r->fs->Lookup(VolumePath(*r->tenant, path));
+}
+
+Result<FileStat> Fleet::Stat(std::string_view tenant, InodeNum ino) {
+  Result<Routed> r = Route(tenant);
+  if (!r.ok()) {
+    return r.status();
+  }
+  return r->fs->Stat(ino);
+}
+
+Status Fleet::WriteAt(std::string_view tenant, InodeNum ino, uint64_t offset,
+                      std::span<const uint8_t> data) {
+  Result<Routed> r = Admit(tenant);
+  if (!r.ok()) {
+    return r.status();
+  }
+  Result<FileStat> st_before = r->fs->Stat(ino);
+  if (!st_before.ok()) {
+    r->tenant->ops_failed.fetch_add(1);
+    return st_before.status();
+  }
+  uint64_t old_blocks = BlocksFor(r->fs, st_before->size);
+  uint64_t new_size = std::max<uint64_t>(st_before->size, offset + data.size());
+  uint64_t new_blocks = BlocksFor(r->fs, new_size);
+  uint64_t charged = new_blocks > old_blocks ? new_blocks - old_blocks : 0;
+  LFS_RETURN_IF_ERROR(r->tenant->ChargeBlocks(charged));
+  Status st = r->fs->WriteAt(ino, offset, data);
+  if (!st.ok()) {
+    r->tenant->CreditBlocks(charged);
+    r->tenant->ops_failed.fetch_add(1);
+    return st;
+  }
+  r->tenant->bytes_written.fetch_add(data.size());
+  r->tenant->ops_completed.fetch_add(1);
+  return st;
+}
+
+Result<uint64_t> Fleet::ReadAt(std::string_view tenant, InodeNum ino, uint64_t offset,
+                               std::span<uint8_t> out) {
+  Result<Routed> r = Admit(tenant);
+  if (!r.ok()) {
+    return r.status();
+  }
+  Result<uint64_t> got = r->fs->ReadAt(ino, offset, out);
+  if (!got.ok()) {
+    r->tenant->ops_failed.fetch_add(1);
+    return got;
+  }
+  r->tenant->bytes_read.fetch_add(*got);
+  r->tenant->ops_completed.fetch_add(1);
+  return got;
+}
+
+Status Fleet::Truncate(std::string_view tenant, InodeNum ino, uint64_t new_size) {
+  Result<Routed> r = Admit(tenant);
+  if (!r.ok()) {
+    return r.status();
+  }
+  Result<FileStat> st_before = r->fs->Stat(ino);
+  if (!st_before.ok()) {
+    r->tenant->ops_failed.fetch_add(1);
+    return st_before.status();
+  }
+  uint64_t old_blocks = BlocksFor(r->fs, st_before->size);
+  uint64_t new_blocks = BlocksFor(r->fs, new_size);
+  uint64_t charged = new_blocks > old_blocks ? new_blocks - old_blocks : 0;
+  LFS_RETURN_IF_ERROR(r->tenant->ChargeBlocks(charged));
+  Status st = r->fs->Truncate(ino, new_size);
+  if (!st.ok()) {
+    r->tenant->CreditBlocks(charged);
+    r->tenant->ops_failed.fetch_add(1);
+    return st;
+  }
+  if (new_blocks < old_blocks) {
+    r->tenant->CreditBlocks(old_blocks - new_blocks);
+  }
+  r->tenant->ops_completed.fetch_add(1);
+  return st;
+}
+
+Status Fleet::SyncAll() {
+  for (auto& vol : volumes_) {
+    if (vol->mounted()) {
+      LFS_RETURN_IF_ERROR(vol->fs()->Sync());
+    }
+  }
+  return OkStatus();
+}
+
+Status Fleet::UnmountAll() {
+  Status first;
+  for (auto& vol : volumes_) {
+    Status st = vol->Unmount();
+    if (!st.ok() && first.ok()) {
+      first = st;
+    }
+  }
+  return first;
+}
+
+Status Fleet::MountAll() {
+  for (auto& vol : volumes_) {
+    LFS_RETURN_IF_ERROR(vol->Mount());
+  }
+  return OkStatus();
+}
+
+uint32_t Fleet::FairShareCleanRound() {
+  clean_rounds_.fetch_add(1);
+  // Drain each volume's foreground-pressure counter for this round.
+  std::vector<uint64_t> pressure(volumes_.size(), 0);
+  for (size_t i = 0; i < volumes_.size(); i++) {
+    pressure[i] = volumes_[i]->foreground_ops.load();
+    volumes_[i]->foreground_ops.store(0);
+  }
+  std::vector<bool> eligible(volumes_.size(), true);
+  uint32_t reclaimed_total = 0;
+  uint32_t budget = cfg_.clean_passes_per_round;
+  while (budget > 0) {
+    // Score = deficit discounted by foreground pressure; a volume at its
+    // critical floor (the writer's hard reserve nearly gone) outranks any
+    // pressure, since stalling it stalls its tenants entirely.
+    double best_score = 0.0;
+    int best = -1;
+    for (size_t i = 0; i < volumes_.size(); i++) {
+      FleetVolume* vol = volumes_[i].get();
+      if (!eligible[i] || !vol->mounted()) {
+        continue;
+      }
+      uint32_t deficit = vol->CleanDeficit();
+      if (deficit == 0) {
+        continue;
+      }
+      double score = static_cast<double>(deficit) /
+                     (1.0 + static_cast<double>(pressure[i]) * cfg_.pressure_discount);
+      uint32_t critical_floor = vol->config().lfs.reserve_segments + 2;
+      if (vol->fs()->clean_segments() <= critical_floor) {
+        score += 1e9;
+      }
+      if (best < 0 || score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) {
+      break;
+    }
+    Result<uint32_t> got = volumes_[best]->CleanBudgeted(1);
+    budget--;
+    if (!got.ok() || *got == 0) {
+      // Nothing reclaimable (or the pass failed): don't re-grant this round.
+      eligible[best] = false;
+      continue;
+    }
+    reclaimed_total += *got;
+  }
+  clean_segments_total_.fetch_add(reclaimed_total);
+  return reclaimed_total;
+}
+
+void Fleet::BindMetrics(obs::MetricsRegistry* reg, const std::string& prefix) const {
+  reg->AddCounter(prefix + "clean_rounds", clean_rounds_.load());
+  reg->AddCounter(prefix + "clean_segments_total", clean_segments_total_.load());
+  for (const auto& [name, t] : tenants_) {
+    std::string p = prefix + "tenant." + name + ".";
+    reg->AddCounter(p + "ops_admitted", t->ops_admitted.load());
+    reg->AddCounter(p + "ops_completed", t->ops_completed.load());
+    reg->AddCounter(p + "ops_rejected", t->ops_rejected.load());
+    reg->AddCounter(p + "ops_quota_denied", t->ops_quota_denied.load());
+    reg->AddCounter(p + "ops_failed", t->ops_failed.load());
+    reg->AddCounter(p + "bytes_written", t->bytes_written.load());
+    reg->AddCounter(p + "bytes_read", t->bytes_read.load());
+    reg->AddCounter(p + "blocks_used", t->blocks_used());
+    reg->AddCounter(p + "inodes_used", t->inodes_used());
+  }
+  for (const auto& vol : volumes_) {
+    std::string p = prefix + "volume" + std::to_string(vol->index()) + ".";
+    reg->AddCounter(p + "cleaner_passes", vol->cleaner_passes.load());
+    reg->AddCounter(p + "cleaner_segments_reclaimed",
+                    vol->cleaner_segments_reclaimed.load());
+    if (vol->mounted()) {
+      reg->AddCounter(p + "clean_segments", vol->fs()->clean_segments());
+      reg->AddGauge(p + "disk_utilization", vol->fs()->disk_utilization());
+      reg->AddGauge(p + "disk_busy_sec", vol->disk()->ModeledTime());
+    }
+  }
+}
+
+}  // namespace lfs::fleet

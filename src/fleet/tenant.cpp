@@ -1,0 +1,91 @@
+#include "src/fleet/tenant.h"
+
+#include <algorithm>
+
+namespace lfs::fleet {
+
+void TokenBucket::RefillLocked(double now) {
+  if (now > last_) {
+    tokens_ = std::min(burst_, tokens_ + (now - last_) * rate_);
+    last_ = now;
+  }
+}
+
+bool TokenBucket::TryConsume(double now, double cost) {
+  if (rate_ <= 0.0) {
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  RefillLocked(now);
+  if (tokens_ < cost) {
+    return false;
+  }
+  tokens_ -= cost;
+  return true;
+}
+
+double TokenBucket::DelayUntilAvailable(double now, double cost) {
+  if (rate_ <= 0.0) {
+    return 0.0;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  RefillLocked(now);
+  if (tokens_ >= cost) {
+    return 0.0;
+  }
+  return (cost - tokens_) / rate_;
+}
+
+void TokenBucket::ConsumeAt(double now, double cost) {
+  if (rate_ <= 0.0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  RefillLocked(now);
+  tokens_ -= cost;
+}
+
+Status TenantState::ChargeBlocks(uint64_t blocks) {
+  if (blocks == 0) {
+    return OkStatus();
+  }
+  std::lock_guard<std::mutex> lock(quota_mu_);
+  uint64_t used = blocks_used_.load();
+  if (cfg_.max_blocks != 0 && used + blocks > cfg_.max_blocks) {
+    ops_quota_denied.fetch_add(1);
+    return NoSpaceError("tenant '" + cfg_.name + "' block quota exceeded (" +
+                        std::to_string(used) + "+" + std::to_string(blocks) + " > " +
+                        std::to_string(cfg_.max_blocks) + ")");
+  }
+  blocks_used_.store(used + blocks);
+  return OkStatus();
+}
+
+void TenantState::CreditBlocks(uint64_t blocks) {
+  if (blocks == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(quota_mu_);
+  uint64_t used = blocks_used_.load();
+  blocks_used_.store(used >= blocks ? used - blocks : 0);
+}
+
+Status TenantState::ChargeInode() {
+  std::lock_guard<std::mutex> lock(quota_mu_);
+  uint32_t used = inodes_used_.load();
+  if (cfg_.max_inodes != 0 && used + 1 > cfg_.max_inodes) {
+    ops_quota_denied.fetch_add(1);
+    return NoSpaceError("tenant '" + cfg_.name + "' inode quota exceeded (" +
+                        std::to_string(cfg_.max_inodes) + " inodes)");
+  }
+  inodes_used_.store(used + 1);
+  return OkStatus();
+}
+
+void TenantState::CreditInode() {
+  std::lock_guard<std::mutex> lock(quota_mu_);
+  uint32_t used = inodes_used_.load();
+  inodes_used_.store(used > 0 ? used - 1 : 0);
+}
+
+}  // namespace lfs::fleet

@@ -1,0 +1,131 @@
+// Tenant identity, quotas, and admission control for the fleet layer.
+//
+// A tenant is a named namespace bound to exactly one volume of the fleet.
+// Every operation a tenant submits passes two gates before it reaches the
+// volume's filesystem:
+//
+//   1. Admission: a token bucket refilled in *simulated* (or modeled) time.
+//      An empty bucket means the tenant is over its provisioned op rate; the
+//      caller either waits for the refill (backpressure, bounded by the
+//      per-tenant queue depth) or is rejected outright (kBusy, the EAGAIN
+//      analogue) once the backlog bound is hit.
+//
+//   2. Quota: block and inode budgets charged/credited as the tenant's files
+//      grow and shrink. Exceeding a budget fails the op with kNoSpace (the
+//      ENOSPC analogue) without touching the volume, so one tenant filling
+//      its quota can never eat the log headroom other tenants rely on.
+//
+// All time parameters are explicit (`now` in seconds) so the deterministic
+// event-loop scheduler and the threaded front door share one implementation;
+// internal state is mutex-guarded for the threaded case.
+
+#ifndef LFS_FLEET_TENANT_H_
+#define LFS_FLEET_TENANT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "src/util/relaxed.h"
+#include "src/util/status.h"
+
+namespace lfs::fleet {
+
+// Deterministic token bucket over an externally supplied clock. Capacity and
+// refill rate are in operations; fractional tokens accumulate so low rates
+// still make progress.
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  // Consumes `cost` tokens if available at time `now`; returns true on
+  // success. `now` must be monotone per bucket (late calls clamp).
+  bool TryConsume(double now, double cost);
+
+  // Seconds after `now` until `cost` tokens will be available (0 when they
+  // already are). Does not consume.
+  double DelayUntilAvailable(double now, double cost);
+
+  // Unconditionally removes `cost` tokens (may go negative): used when the
+  // scheduler has already committed to running the op at a future time.
+  void ConsumeAt(double now, double cost);
+
+  double rate_per_sec() const { return rate_; }
+
+ private:
+  void RefillLocked(double now);
+
+  std::mutex mu_;
+  double rate_ = 0.0;   // tokens per second; <= 0 disables admission control
+  double burst_ = 0.0;  // bucket capacity
+  double tokens_ = 0.0;
+  double last_ = 0.0;   // last refill time
+};
+
+// Static description of one tenant.
+struct TenantConfig {
+  std::string name;
+  uint32_t volume = 0;  // index into the fleet's volume array
+
+  // Quotas; 0 = unlimited.
+  uint64_t max_blocks = 0;
+  uint32_t max_inodes = 0;
+
+  // Admission control; rate <= 0 = unlimited.
+  double ops_per_sec = 0.0;
+  double burst_ops = 32.0;
+
+  // Backpressure bound: ops the tenant may have queued awaiting admission or
+  // service. Past this the front door rejects with kBusy instead of queueing.
+  uint32_t max_queue_depth = 256;
+};
+
+// Live accounting for one tenant: quota usage, admission counters, and the
+// token bucket. Counters are relaxed atomics so the threaded front door and
+// metric exporters never race; quota charge/credit uses a mutex so the
+// check-and-update is atomic.
+class TenantState {
+ public:
+  explicit TenantState(const TenantConfig& cfg)
+      : cfg_(cfg), bucket_(cfg.ops_per_sec, cfg.burst_ops) {}
+
+  const TenantConfig& config() const { return cfg_; }
+  TokenBucket& bucket() { return bucket_; }
+
+  // Quota gates. Charge fails with kNoSpace (blocks) / kNoInodes-style
+  // kNoSpace (inodes) when the budget would be exceeded; credit never fails
+  // and clamps at zero (defensive: double-credits indicate a bug upstream
+  // but must not wrap the counter).
+  Status ChargeBlocks(uint64_t blocks);
+  void CreditBlocks(uint64_t blocks);
+  Status ChargeInode();
+  void CreditInode();
+
+  uint64_t blocks_used() const { return blocks_used_.load(); }
+  uint32_t inodes_used() const { return inodes_used_.load(); }
+
+  // Counters, bumped by the front door / scheduler.
+  Relaxed<uint64_t> ops_admitted{0};
+  Relaxed<uint64_t> ops_completed{0};
+  Relaxed<uint64_t> ops_rejected{0};      // backpressure (kBusy)
+  Relaxed<uint64_t> ops_quota_denied{0};  // quota (kNoSpace)
+  Relaxed<uint64_t> ops_failed{0};        // volume returned an error
+  Relaxed<uint64_t> bytes_written{0};
+  Relaxed<uint64_t> bytes_read{0};
+
+  // In-flight + admission-queued ops (backpressure bookkeeping).
+  Relaxed<uint64_t> queued{0};
+
+ private:
+  TenantConfig cfg_;
+  TokenBucket bucket_;
+  std::mutex quota_mu_;
+  Relaxed<uint64_t> blocks_used_{0};
+  Relaxed<uint32_t> inodes_used_{0};
+};
+
+}  // namespace lfs::fleet
+
+#endif  // LFS_FLEET_TENANT_H_

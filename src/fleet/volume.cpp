@@ -1,0 +1,72 @@
+#include "src/fleet/volume.h"
+
+namespace lfs::fleet {
+
+Result<std::unique_ptr<FleetVolume>> FleetVolume::Format(uint32_t index,
+                                                         const VolumeConfig& cfg) {
+  auto vol = std::unique_ptr<FleetVolume>(new FleetVolume(index, cfg));
+  uint64_t blocks = cfg.disk_bytes / cfg.lfs.block_size;
+  vol->disk_ = std::make_unique<SimDisk>(
+      std::make_unique<MemDisk>(cfg.lfs.block_size, blocks), cfg.disk_model);
+  auto fs = LfsFileSystem::Mkfs(vol->disk_.get(), cfg.lfs);
+  if (!fs.ok()) {
+    return fs.status();
+  }
+  vol->fs_ = std::move(fs).value();
+  return vol;
+}
+
+Status FleetVolume::Unmount() {
+  if (fs_ == nullptr) {
+    return OkStatus();
+  }
+  Status st = fs_->Unmount();
+  fs_.reset();  // drop the instance even if the checkpoint failed (degraded)
+  return st;
+}
+
+Status FleetVolume::Mount() {
+  if (fs_ != nullptr) {
+    return OkStatus();
+  }
+  auto fs = LfsFileSystem::Mount(disk_.get(), cfg_.lfs);
+  if (!fs.ok()) {
+    return fs.status();
+  }
+  fs_ = std::move(fs).value();
+  return OkStatus();
+}
+
+uint32_t FleetVolume::CleanDeficit() const {
+  if (fs_ == nullptr) {
+    return 0;
+  }
+  uint32_t clean = fs_->clean_segments();
+  uint32_t want = cfg_.lfs.clean_hi;
+  return clean >= want ? 0 : want - clean;
+}
+
+Result<uint32_t> FleetVolume::CleanBudgeted(uint32_t max_passes) {
+  if (fs_ == nullptr || max_passes == 0) {
+    return 0u;
+  }
+  uint32_t reclaimed = 0;
+  for (uint32_t pass = 0; pass < max_passes; pass++) {
+    if (CleanDeficit() == 0) {
+      break;
+    }
+    Result<uint32_t> got = fs_->ForceClean();
+    if (!got.ok()) {
+      return got.status();
+    }
+    cleaner_passes.fetch_add(1);
+    cleaner_segments_reclaimed.fetch_add(*got);
+    reclaimed += *got;
+    if (*got == 0) {
+      break;  // nothing cleanable right now; don't spin
+    }
+  }
+  return reclaimed;
+}
+
+}  // namespace lfs::fleet

@@ -1,0 +1,78 @@
+// FleetVolume: one independent LFS volume of the fleet — its own in-memory
+// platter, timing-modeled disk, and mounted filesystem.
+//
+// The volume owns the full device stack (MemDisk -> SimDisk) separately from
+// the filesystem so the filesystem can be unmounted and remounted over the
+// same media (lifecycle tests, crash drills) and so offline tools (lfsck)
+// can read the image while no filesystem is mounted. Each volume keeps its
+// own cleaner state; the fleet-level coordinator (fleet.h) decides *when*
+// each volume gets to clean.
+
+#ifndef LFS_FLEET_VOLUME_H_
+#define LFS_FLEET_VOLUME_H_
+
+#include <memory>
+#include <string>
+
+#include "src/disk/disk_model.h"
+#include "src/disk/mem_disk.h"
+#include "src/disk/sim_disk.h"
+#include "src/lfs/lfs.h"
+#include "src/util/relaxed.h"
+#include "src/util/result.h"
+
+namespace lfs::fleet {
+
+struct VolumeConfig {
+  uint64_t disk_bytes = 64ull * 1024 * 1024;
+  LfsConfig lfs;
+  DiskModelParams disk_model = DiskModelParams::WrenIV();
+};
+
+class FleetVolume {
+ public:
+  // Creates the device stack and formats the filesystem.
+  static Result<std::unique_ptr<FleetVolume>> Format(uint32_t index, const VolumeConfig& cfg);
+
+  // Clean unmount (checkpoints). Idempotent; the media survives.
+  Status Unmount();
+  // Remounts over the existing media after Unmount().
+  Status Mount();
+
+  bool mounted() const { return fs_ != nullptr; }
+  uint32_t index() const { return index_; }
+  LfsFileSystem* fs() { return fs_.get(); }
+  SimDisk* disk() { return disk_.get(); }
+  // The raw platter, for offline checking (lfsck) past the timing wrapper.
+  BlockDevice* raw_device() { return disk_ ? disk_->backing() : nullptr; }
+  const VolumeConfig& config() const { return cfg_; }
+
+  // --- fair-share cleaning inputs -----------------------------------------------
+  //
+  // Dirtiness: how far below its clean-segment comfort zone the volume is
+  // (0 = enough clean segments). The coordinator budgets passes by this.
+  uint32_t CleanDeficit() const;
+  // Foreground pressure: ops dispatched to this volume since the counter was
+  // last drained; the coordinator deprioritizes busy volumes unless their
+  // deficit is critical.
+  Relaxed<uint64_t> foreground_ops{0};
+  // Cleaning work actually granted/performed (for metrics and fairness).
+  Relaxed<uint64_t> cleaner_passes{0};
+  Relaxed<uint64_t> cleaner_segments_reclaimed{0};
+
+  // Runs up to `max_passes` cleaning passes if the volume is below its
+  // comfort zone; returns segments reclaimed. No-op on unmounted volumes.
+  Result<uint32_t> CleanBudgeted(uint32_t max_passes);
+
+ private:
+  FleetVolume(uint32_t index, const VolumeConfig& cfg) : index_(index), cfg_(cfg) {}
+
+  uint32_t index_;
+  VolumeConfig cfg_;
+  std::unique_ptr<SimDisk> disk_;  // owns the MemDisk backing
+  std::unique_ptr<LfsFileSystem> fs_;
+};
+
+}  // namespace lfs::fleet
+
+#endif  // LFS_FLEET_VOLUME_H_

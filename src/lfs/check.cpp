@@ -178,7 +178,13 @@ Status Checker::LoadTables() {
         report_.quarantined_segments++;
       }
     }
-    Claim(addr, "usage chunk " + std::to_string(c));
+  }
+  // Claim the chunk blocks only after the whole table is loaded: a chunk's
+  // hosting segment may be covered by a chunk that loads later, and judging
+  // it against the default-initialized entry (state 0 = clean) would report
+  // phantom "chunk lives in a clean segment" corruption.
+  for (uint32_t c = 0; c < ck_.usage_chunk_addr.size(); c++) {
+    Claim(ck_.usage_chunk_addr[c], "usage chunk " + std::to_string(c));
   }
 
   imap_.resize(ck_.ninodes);

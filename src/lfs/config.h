@@ -134,6 +134,13 @@ struct LfsConfig {
   // Worst-case staged log blocks one open transaction may reserve before
   // further BeginOp calls wait for a commit. 0 means 4 * write_buffer_blocks.
   uint32_t txn_max_staged_blocks = 0;
+
+  // Stripe count for the clean-block read cache (rounded up to a power of
+  // two). Each stripe is an independent LRU behind its own mutex, selected
+  // by block address, so concurrent read traffic doesn't funnel through one
+  // cache lock. The single-threaded regime always uses one stripe, keeping
+  // its lookup and eviction order byte-identical to the unsharded cache.
+  uint32_t read_cache_shards = 16;
 };
 
 }  // namespace lfs

@@ -28,6 +28,16 @@ LfsFileSystem::LfsFileSystem(BlockDevice* device, const LfsConfig& cfg, const Su
   shard_mask_ = nshards - 1;
   itable_ = std::vector<InodeTableShard>(nshards);
   dirty_shards_ = std::vector<DirtyShard>(nshards);
+  uint32_t rc_nshards = 1;
+  if (cfg_.concurrent) {
+    rc_nshards = std::max<uint32_t>(1, cfg_.read_cache_shards);
+    while (rc_nshards & (rc_nshards - 1)) ++rc_nshards;
+  }
+  rc_shard_mask_ = rc_nshards - 1;
+  rc_shard_cap_ = cfg_.read_cache_blocks == 0
+                      ? 0
+                      : std::max<uint32_t>(1, cfg_.read_cache_blocks / rc_nshards);
+  read_cache_shards_ = std::vector<ReadCacheShard>(rc_nshards);
   txn_.Configure(cfg_.txn_max_ops, cfg_.txn_max_staged_blocks != 0
                                        ? cfg_.txn_max_staged_blocks
                                        : 4 * cfg_.write_buffer_blocks);
@@ -375,48 +385,123 @@ Status LfsFileSystem::FlushMetadataChunks() {
       usage_.MarkChunkDirty(usage_.chunk_of(seg));
     }
   }
-  std::set<uint32_t> subbed;
-  for (;;) {
-    bool progress = false;
-    std::vector<uint32_t> dirty(usage_.dirty_chunks().begin(), usage_.dirty_chunks().end());
-    for (uint32_t c : dirty) {
-      if (subbed.count(c) != 0) {
+
+  // States each usage chunk's latest serialized copy recorded this flush.
+  // Empty = not serialized this flush. Such a chunk was necessarily clean
+  // when the dirty set was harvested (every chunk dirty at that point gets
+  // encoded), so its on-disk copy records exactly the states captured in
+  // start_state below — any later transition would have dirtied it.
+  std::vector<std::vector<SegState>> enc_state(usage_.chunk_count());
+  std::vector<SegState> start_state(sb_.nsegments);
+  for (uint32_t s = 0; s < sb_.nsegments; s++) {
+    start_state[s] = usage_.Get(s).state;
+  }
+
+  auto serialize_dirty = [&]() -> Status {
+    std::set<uint32_t> subbed;
+    for (;;) {
+      bool progress = false;
+      std::vector<uint32_t> dirty(usage_.dirty_chunks().begin(), usage_.dirty_chunks().end());
+      for (uint32_t c : dirty) {
+        if (subbed.count(c) != 0) {
+          continue;
+        }
+        subbed.insert(c);
+        progress = true;
+        BlockNo old = usage_.chunk_addr(c);
+        SegNo old_seg = sb_.SegOf(old);
+        if (old != kNilBlock && old_seg != kNilSeg) {
+          usage_.SubLive(old_seg, sb_.block_size);
+        }
+      }
+      if (!progress) {
+        break;
+      }
+    }
+    // Serialize the chunk covering the active segment last so its contents
+    // are as fresh as possible.
+    std::vector<uint32_t> order(usage_.dirty_chunks().begin(), usage_.dirty_chunks().end());
+    uint32_t active_chunk = usage_.chunk_of(writer_.current_segment());
+    std::stable_partition(order.begin(), order.end(),
+                          [active_chunk](uint32_t c) { return c != active_chunk; });
+    for (uint32_t c : order) {
+      // Pre-account the chunk block itself at its (reserved) destination, so
+      // the serialized contents already include it — without this, the chunk
+      // covering the active segment would always under-report by its own
+      // pending append and the on-disk count could never converge.
+      LFS_RETURN_IF_ERROR(writer_.PrepareAppend());
+      usage_.AddLive(writer_.current_segment(), sb_.block_size, clock_.Now());
+      // Clear the flag before serializing: dirtiness created after this point
+      // (by later chunks' appends) must survive into the next checkpoint.
+      usage_.ClearDirtyChunk(c);
+      usage_.EncodeChunk(c, block);
+      uint32_t lo = c * usage_.entries_per_chunk();
+      uint32_t hi = std::min<uint32_t>(lo + usage_.entries_per_chunk(), sb_.nsegments);
+      enc_state[c].resize(hi - lo);
+      for (uint32_t s = lo; s < hi; s++) {
+        enc_state[c][s - lo] = usage_.Get(s).state;
+      }
+      SummaryEntry entry{BlockKind::kUsageChunk, kNilInode, c, 0};
+      LFS_ASSIGN_OR_RETURN(BlockNo addr,
+                           writer_.Append(entry, std::vector<uint8_t>(block), clock_.Now(),
+                                          /*live_bytes=*/0));
+      usage_.set_chunk_addr(c, addr);
+    }
+    return OkStatus();
+  };
+  LFS_RETURN_IF_ERROR(serialize_dirty());
+
+  // A serialization append can cross into a fresh segment AFTER that
+  // segment's covering chunk was already encoded. The persisted table would
+  // then call a chunk-hosting (or log-head) segment clean — mount trusts
+  // clean states enough never to repair them (RecomputeSegmentUsage skips
+  // clean segments), a later allocation could overwrite the live chunks, and
+  // the offline checker rightly calls the image corrupt. Detect exactly that
+  // staleness and re-serialize the affected chunks; a round whose appends
+  // stay within the active segment leaves nothing stale, so this converges
+  // in one or two extra rounds (each a handful of blocks) in the rare
+  // checkpoints that straddle a segment boundary.
+  for (int round = 0; round < 8; round++) {
+    std::vector<SegNo> hosts;
+    for (uint32_t c = 0; c < imap_.chunk_count(); c++) {
+      if (imap_.chunk_addr(c) != kNilBlock) {
+        hosts.push_back(sb_.SegOf(imap_.chunk_addr(c)));
+      }
+    }
+    for (uint32_t c = 0; c < usage_.chunk_count(); c++) {
+      if (usage_.chunk_addr(c) != kNilBlock) {
+        hosts.push_back(sb_.SegOf(usage_.chunk_addr(c)));
+      }
+    }
+    for (uint32_t log = 0; log < writer_.num_logs(); log++) {
+      hosts.push_back(writer_.log_segment(log));
+    }
+    bool stale = false;
+    for (SegNo s : hosts) {
+      if (s == kNilSeg || s >= sb_.nsegments) {
         continue;
       }
-      subbed.insert(c);
-      progress = true;
-      BlockNo old = usage_.chunk_addr(c);
-      SegNo old_seg = sb_.SegOf(old);
-      if (old != kNilBlock && old_seg != kNilSeg) {
-        usage_.SubLive(old_seg, sb_.block_size);
+      uint32_t cs = usage_.chunk_of(s);
+      const std::vector<SegState>& st = enc_state[cs];
+      if (st.empty()) {
+        // The covering chunk was not serialized this flush, so its on-disk
+        // copy records start_state. If that says clean, one of this flush's
+        // own appends rolled into the fresh segment afterwards and made it a
+        // host — the persisted "clean" would license reuse of a segment
+        // holding live metadata. Re-serialize the covering chunk.
+        if (start_state[s] == SegState::kClean) {
+          usage_.MarkChunkDirty(cs);
+          stale = true;
+        }
+      } else if (st[s - cs * usage_.entries_per_chunk()] == SegState::kClean) {
+        usage_.MarkChunkDirty(cs);
+        stale = true;
       }
     }
-    if (!progress) {
+    if (!stale) {
       break;
     }
-  }
-  // Serialize the chunk covering the active segment last so its contents are
-  // as fresh as possible.
-  std::vector<uint32_t> order(usage_.dirty_chunks().begin(), usage_.dirty_chunks().end());
-  uint32_t active_chunk = usage_.chunk_of(writer_.current_segment());
-  std::stable_partition(order.begin(), order.end(),
-                        [active_chunk](uint32_t c) { return c != active_chunk; });
-  for (uint32_t c : order) {
-    // Pre-account the chunk block itself at its (reserved) destination, so
-    // the serialized contents already include it — without this, the chunk
-    // covering the active segment would always under-report by its own
-    // pending append and the on-disk count could never converge.
-    LFS_RETURN_IF_ERROR(writer_.PrepareAppend());
-    usage_.AddLive(writer_.current_segment(), sb_.block_size, clock_.Now());
-    // Clear the flag before serializing: dirtiness created after this point
-    // (by later chunks' appends) must survive into the next checkpoint.
-    usage_.ClearDirtyChunk(c);
-    usage_.EncodeChunk(c, block);
-    SummaryEntry entry{BlockKind::kUsageChunk, kNilInode, c, 0};
-    LFS_ASSIGN_OR_RETURN(BlockNo addr,
-                         writer_.Append(entry, std::vector<uint8_t>(block), clock_.Now(),
-                                        /*live_bytes=*/0));
-    usage_.set_chunk_addr(c, addr);
+    LFS_RETURN_IF_ERROR(serialize_dirty());
   }
   return OkStatus();
 }

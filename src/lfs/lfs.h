@@ -130,7 +130,7 @@ class LfsFileSystem : public FileSystem {
   //   txn_ gate (never waited on while holding any lock below)
   //   cleaner_mu_ (never held while acquiring fs_mu_)
   //   fs_mu_  ->  inode stripes (ascending) ->  itable/dirty shard mu |
-  //               dirty_inodes_mu_ | dirlog_mu_ | read_cache_mu_ |
+  //               dirty_inodes_mu_ | dirlog_mu_ | read-cache shard mu |
   //               InodeMap::mu_ | SegUsage::mu_ | SegmentWriter log mu
   //           ->  device mutexes (SimDisk / MemDisk / BlockCache shards)
   //
@@ -569,15 +569,27 @@ class LfsFileSystem : public FileSystem {
     uint64_t gen = 0;  // usage_.write_seq of the segment at insert time
     std::list<BlockNo>::iterator lru_it;
   };
-  mutable std::unordered_map<BlockNo, ReadCacheEntry> read_cache_;
-  mutable std::list<BlockNo> read_cache_lru_;  // front = most recent
+  // The clean-block read cache is striped: each shard is an independent
+  // LRU (map + recency list) behind its own leaf mutex, selected by block
+  // address, so concurrent readers on different stripes never contend on
+  // one cache lock. The single-threaded regime uses exactly one shard with
+  // the full capacity — the identical map, identical eviction order, and
+  // identical device-read sequence as the pre-sharding cache.
+  struct ReadCacheShard {
+    mutable std::mutex mu;
+    std::unordered_map<BlockNo, ReadCacheEntry> map;
+    std::list<BlockNo> lru;  // front = most recent
+  };
+  ReadCacheShard& ReadCacheShardFor(BlockNo addr) const {
+    return read_cache_shards_[static_cast<uint32_t>(addr) & rc_shard_mask_];
+  }
+  mutable std::vector<ReadCacheShard> read_cache_shards_;
+  uint32_t rc_shard_mask_ = 0;  // shard count - 1 (power of two)
+  uint32_t rc_shard_cap_ = 0;   // per-shard block capacity
 
   // Reader-writer regime over all filesystem state (see the threading-model
   // note above); const read paths lock it shared, hence mutable.
   mutable std::shared_mutex fs_mu_;
-  // Leaf mutex for the clean-block read cache's map + LRU state, which
-  // shared holders mutate on every cached read.
-  mutable std::mutex read_cache_mu_;
 
   // Background cleaner thread state (cfg_.concurrent only).
   std::thread cleaner_thread_;

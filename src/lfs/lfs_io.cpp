@@ -30,21 +30,22 @@ constexpr size_t kFileCacheCap = 16384;
 
 bool LfsFileSystem::ReadCacheGet(BlockNo addr, std::span<uint8_t> out) const {
   // Called under the shared fs lock too (reads populate the cache), so the
-  // LRU bookkeeping is serialized by its own leaf mutex.
-  std::lock_guard<std::mutex> lock(read_cache_mu_);
-  auto it = read_cache_.find(addr);
-  if (it == read_cache_.end()) {
+  // LRU bookkeeping is serialized by the stripe's own leaf mutex.
+  ReadCacheShard& shard = ReadCacheShardFor(addr);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(addr);
+  if (it == shard.map.end()) {
     return false;
   }
   SegNo seg = sb_.SegOf(addr);
   if (seg == kNilSeg || usage_.write_seq(seg) != it->second.gen) {
     // The segment was recycled (or appended to) since caching: drop.
-    read_cache_lru_.erase(it->second.lru_it);
-    read_cache_.erase(it);
+    shard.lru.erase(it->second.lru_it);
+    shard.map.erase(it);
     return false;
   }
   std::memcpy(out.data(), it->second.data.data(), out.size());
-  read_cache_lru_.splice(read_cache_lru_.begin(), read_cache_lru_, it->second.lru_it);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
   return true;
 }
 
@@ -56,21 +57,22 @@ void LfsFileSystem::ReadCachePut(BlockNo addr, std::span<const uint8_t> data) co
   if (seg == kNilSeg) {
     return;  // fixed-area blocks are not cached
   }
-  std::lock_guard<std::mutex> lock(read_cache_mu_);
-  if (read_cache_.count(addr) != 0) {
+  ReadCacheShard& shard = ReadCacheShardFor(addr);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.count(addr) != 0) {
     return;
   }
-  while (read_cache_.size() >= cfg_.read_cache_blocks && !read_cache_lru_.empty()) {
-    BlockNo victim = read_cache_lru_.back();
-    read_cache_lru_.pop_back();
-    read_cache_.erase(victim);
+  while (shard.map.size() >= rc_shard_cap_ && !shard.lru.empty()) {
+    BlockNo victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.map.erase(victim);
   }
-  read_cache_lru_.push_front(addr);
+  shard.lru.push_front(addr);
   ReadCacheEntry entry;
   entry.data.assign(data.begin(), data.end());
   entry.gen = usage_.write_seq(seg);
-  entry.lru_it = read_cache_lru_.begin();
-  read_cache_.emplace(addr, std::move(entry));
+  entry.lru_it = shard.lru.begin();
+  shard.map.emplace(addr, std::move(entry));
 }
 
 Status LfsFileSystem::ReadLogBlock(BlockNo addr, std::span<uint8_t> out) const {

@@ -344,12 +344,15 @@ Status LfsFileSystem::DeleteFileContents(InodeNum ino) {
   if (old.allocated() && old_seg != kNilSeg) {
     usage_.SubLive(old_seg, kInodeSlotSize);
   }
-  imap_.Free(ino);
   {
     std::lock_guard<std::mutex> lock(dirty_inodes_mu_);
     dirty_inodes_.erase(ino);
   }
   EraseInodeState(ino);
+  // Free the number strictly last: Free makes it immediately reusable by a
+  // concurrent Create on another stripe, and the teardown above must not be
+  // able to destroy the new owner's freshly inserted state.
+  imap_.Free(ino);
   return OkStatus();
 }
 

@@ -131,6 +131,7 @@ class SegUsage {
 
   uint32_t chunk_count() const { return static_cast<uint32_t>(chunk_addrs_.size()); }
   uint32_t chunk_of(SegNo seg) const { return seg / entries_per_chunk_; }
+  uint32_t entries_per_chunk() const { return entries_per_chunk_; }
   BlockNo chunk_addr(uint32_t chunk) const { return chunk_addrs_[chunk]; }
   void set_chunk_addr(uint32_t chunk, BlockNo addr) { chunk_addrs_[chunk] = addr; }
 

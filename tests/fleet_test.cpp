@@ -1,0 +1,566 @@
+// Fleet service-layer tests: multi-volume lifecycle, tenant isolation
+// (quota and admission), deterministic backpressure ordering through the
+// event-loop pipeline, fair-share cleaning, and a seeded concurrent storm
+// with a per-tenant differential oracle and per-volume lfsck on teardown.
+//
+// The storm runs under ThreadSanitizer in CI. The nightly fleet-soak job
+// re-runs it with LFS_FLEET_SOAK_OPS / LFS_FLEET_SEED cranked up; when a
+// run fails, the test writes a reproducer config (seed, op count, tenant
+// layout) into $LFS_FLEET_ARTIFACTS so the failure travels as an artifact.
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/fleet/event_loop.h"
+#include "src/fleet/fleet.h"
+#include "src/lfs/check.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace lfs::fleet {
+namespace {
+
+using ::lfs::testing::SmallConfig;
+
+// Storm knobs, overridable by the nightly soak job.
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* v = getenv(name);
+  return v != nullptr ? static_cast<uint64_t>(atoll(v)) : fallback;
+}
+
+FleetConfig SmallFleet(uint32_t volumes, bool concurrent = false,
+                       uint64_t disk_bytes = 8ull * 1024 * 1024) {
+  LfsConfig lfs = SmallConfig();
+  if (concurrent) {
+    lfs.segment_blocks = 32;
+    lfs.clean_lo = 6;
+    lfs.clean_hi = 10;
+    lfs.segments_per_pass = 6;
+    lfs.write_buffer_blocks = 32;
+    lfs.concurrent = true;
+  }
+  return UniformFleetConfig(volumes, disk_bytes, lfs);
+}
+
+TenantConfig Tenant(const std::string& name, uint32_t volume,
+                    uint64_t max_blocks = 0, uint32_t max_inodes = 0) {
+  TenantConfig tc;
+  tc.name = name;
+  tc.volume = volume;
+  tc.max_blocks = max_blocks;
+  tc.max_inodes = max_inodes;
+  return tc;
+}
+
+std::vector<uint8_t> Bytes(size_t n, uint8_t fill) {
+  return std::vector<uint8_t>(n, fill);
+}
+
+// ---------------------------------------------------------------------------
+// Token bucket
+
+TEST(TokenBucketTest, RefillsDeterministicallyInProvidedTime) {
+  TokenBucket bucket(10.0, 2.0);  // 10 tokens/sec, burst 2
+  EXPECT_TRUE(bucket.TryConsume(0.0, 1.0));
+  EXPECT_TRUE(bucket.TryConsume(0.0, 1.0));
+  EXPECT_FALSE(bucket.TryConsume(0.0, 1.0));  // burst exhausted
+  // 0.1 sec refills exactly one token.
+  EXPECT_NEAR(bucket.DelayUntilAvailable(0.0, 1.0), 0.1, 1e-9);
+  EXPECT_TRUE(bucket.TryConsume(0.1, 1.0));
+  EXPECT_FALSE(bucket.TryConsume(0.1, 1.0));
+  // Reservations may drive the balance negative; later ops queue behind.
+  bucket.ConsumeAt(0.1, 1.0);
+  EXPECT_NEAR(bucket.DelayUntilAvailable(0.1, 1.0), 0.2, 1e-9);
+}
+
+TEST(TokenBucketTest, NonPositiveRateDisablesAdmission) {
+  TokenBucket bucket(0.0, 0.0);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_TRUE(bucket.TryConsume(0.0, 1.0));
+  }
+  EXPECT_EQ(bucket.DelayUntilAvailable(0.0, 1.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+TEST(FleetLifecycleTest, MountUnmountRemountPreservesDataAndPassesLfsck) {
+  auto fleet = std::move(Fleet::Create(SmallFleet(2))).value();
+  ASSERT_TRUE(fleet->AddTenant(Tenant("alpha", 0)).ok());
+  ASSERT_TRUE(fleet->AddTenant(Tenant("beta", 1)).ok());
+
+  auto data_a = Bytes(3000, 0xAA);
+  auto data_b = Bytes(5000, 0xBB);
+  auto ino_a = fleet->Create("alpha", "/file");
+  ASSERT_TRUE(ino_a.ok()) << ino_a.status().ToString();
+  ASSERT_TRUE(fleet->WriteAt("alpha", *ino_a, 0, data_a).ok());
+  auto ino_b = fleet->Create("beta", "/file");
+  ASSERT_TRUE(ino_b.ok());
+  ASSERT_TRUE(fleet->WriteAt("beta", *ino_b, 0, data_b).ok());
+
+  ASSERT_TRUE(fleet->SyncAll().ok());
+  ASSERT_TRUE(fleet->UnmountAll().ok());
+
+  // Offline oracle over the raw media while nothing is mounted.
+  for (uint32_t v = 0; v < fleet->num_volumes(); v++) {
+    auto report = CheckLfsImage(fleet->volume(v)->raw_device());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->ok()) << "volume " << v << ": " << report->Summary();
+  }
+
+  // Unmounted volumes reject tenant traffic with a clear error.
+  EXPECT_EQ(fleet->Lookup("alpha", "/file").status().code(),
+            StatusCode::kReadOnly);
+
+  ASSERT_TRUE(fleet->MountAll().ok());
+  auto found = fleet->Lookup("alpha", "/file");
+  ASSERT_TRUE(found.ok());
+  std::vector<uint8_t> got(data_a.size());
+  auto n = fleet->ReadAt("alpha", *found, 0, got);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, data_a.size());
+  EXPECT_EQ(got, data_a);
+
+  auto found_b = fleet->Lookup("beta", "/file");
+  ASSERT_TRUE(found_b.ok());
+  std::vector<uint8_t> got_b(data_b.size());
+  ASSERT_TRUE(fleet->ReadAt("beta", *found_b, 0, got_b).ok());
+  EXPECT_EQ(got_b, data_b);
+
+  // Unmount is idempotent.
+  ASSERT_TRUE(fleet->UnmountAll().ok());
+  ASSERT_TRUE(fleet->UnmountAll().ok());
+}
+
+TEST(FleetLifecycleTest, TenantRegistrationValidation) {
+  auto fleet = std::move(Fleet::Create(SmallFleet(1))).value();
+  ASSERT_TRUE(fleet->AddTenant(Tenant("a", 0)).ok());
+  EXPECT_EQ(fleet->AddTenant(Tenant("a", 0)).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(fleet->AddTenant(Tenant("b", 7)).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fleet->AddTenant(Tenant("", 0)).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fleet->AddTenant(Tenant("x/y", 0)).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fleet->Create("ghost", "/f").status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Quota isolation
+
+TEST(FleetQuotaTest, OneTenantsExhaustionNeverFailsItsNeighbor) {
+  auto fleet = std::move(Fleet::Create(SmallFleet(1))).value();
+  // Both tenants share volume 0. "hog" may hold 8 blocks (8 KB at the
+  // 1-KB test block size); "calm" is unlimited.
+  ASSERT_TRUE(fleet->AddTenant(Tenant("hog", 0, /*max_blocks=*/8)).ok());
+  ASSERT_TRUE(fleet->AddTenant(Tenant("calm", 0)).ok());
+
+  auto hog_ino = std::move(fleet->Create("hog", "/f")).value();
+  // 8 blocks fit...
+  ASSERT_TRUE(fleet->WriteAt("hog", hog_ino, 0, Bytes(8 * 1024, 1)).ok());
+  // ...the 9th does not: ENOSPC-style denial before the volume is touched.
+  Status over = fleet->WriteAt("hog", hog_ino, 8 * 1024, Bytes(1024, 2));
+  EXPECT_EQ(over.code(), StatusCode::kNoSpace) << over.ToString();
+  EXPECT_GE(fleet->tenant("hog")->ops_quota_denied.load(), 1u);
+
+  // The neighbor is untouched by hog's exhaustion.
+  auto calm_ino = std::move(fleet->Create("calm", "/f")).value();
+  EXPECT_TRUE(fleet->WriteAt("calm", calm_ino, 0, Bytes(64 * 1024, 3)).ok());
+  EXPECT_EQ(fleet->tenant("calm")->ops_quota_denied.load(), 0u);
+  EXPECT_EQ(fleet->tenant("calm")->ops_failed.load(), 0u);
+
+  // Freeing space restores the hog's budget: unlink credits the blocks.
+  ASSERT_TRUE(fleet->Unlink("hog", "/f").ok());
+  EXPECT_EQ(fleet->tenant("hog")->blocks_used(), 0u);
+  auto again = fleet->Create("hog", "/g");
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(fleet->WriteAt("hog", *again, 0, Bytes(4 * 1024, 4)).ok());
+
+  // Truncate credits shrinkage too.
+  ASSERT_TRUE(fleet->Truncate("hog", *again, 1024).ok());
+  EXPECT_EQ(fleet->tenant("hog")->blocks_used(), 1u);
+}
+
+TEST(FleetQuotaTest, InodeQuotaBoundsNamespaceGrowth) {
+  auto fleet = std::move(Fleet::Create(SmallFleet(1))).value();
+  ASSERT_TRUE(fleet->AddTenant(Tenant("t", 0, 0, /*max_inodes=*/2)).ok());
+  ASSERT_TRUE(fleet->Create("t", "/a").ok());
+  ASSERT_TRUE(fleet->Create("t", "/b").ok());
+  EXPECT_EQ(fleet->Create("t", "/c").status().code(), StatusCode::kNoSpace);
+  // Unlinking one frees the slot.
+  ASSERT_TRUE(fleet->Unlink("t", "/a").ok());
+  EXPECT_TRUE(fleet->Create("t", "/c").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic pipeline: admission FIFO + backpressure shedding
+
+TEST(FleetSchedulerTest, AdmissionIsFifoAndBackpressureShedsExcess) {
+  FleetConfig cfg = SmallFleet(1);
+  cfg.front_door_admission = false;  // the scheduler reserves admission
+  EventLoop* loop_ptr = nullptr;
+  cfg.now_fn = [&loop_ptr]() { return loop_ptr ? loop_ptr->now() : 0.0; };
+  auto fleet = std::move(Fleet::Create(cfg)).value();
+
+  TenantConfig tc = Tenant("t", 0);
+  tc.ops_per_sec = 10.0;  // one admission every 100 ms
+  tc.burst_ops = 1.0;
+  tc.max_queue_depth = 4;
+  ASSERT_TRUE(fleet->AddTenant(tc).ok());
+
+  FleetScheduler sched(fleet.get(), SchedulerOptions{});
+  loop_ptr = &sched.loop();
+
+  struct Done {
+    int id;
+    double at;
+    StatusCode code;
+  };
+  std::vector<Done> done;
+  for (int i = 0; i < 6; i++) {
+    FleetScheduler::Op op;
+    op.tenant = "t";
+    op.cls = OpClass::kCreate;
+    op.body = [&fleet, i]() {
+      return fleet->Create("t", "/f" + std::to_string(i)).status();
+    };
+    op.done = [&done, i](double now, const Status& st) {
+      done.push_back({i, now, st.code()});
+    };
+    sched.Submit(0.0, std::move(op));
+  }
+  sched.Run();
+
+  ASSERT_EQ(done.size(), 6u);
+  // Ops 4 and 5 found the tenant queue full (depth 4) and were shed
+  // immediately with kBusy, before any admission wait.
+  EXPECT_EQ(done[0].id, 4);
+  EXPECT_EQ(done[0].code, StatusCode::kBusy);
+  EXPECT_EQ(done[1].id, 5);
+  EXPECT_EQ(done[1].code, StatusCode::kBusy);
+  EXPECT_EQ(done[0].at, 0.0);
+  EXPECT_EQ(sched.ops_rejected(), 2u);
+
+  // The four admitted ops completed in submission order (token-bucket
+  // reservations mature FIFO), spaced ~one refill (100 ms) apart.
+  for (int i = 0; i < 4; i++) {
+    EXPECT_EQ(done[2 + i].id, i);
+    EXPECT_EQ(done[2 + i].code, StatusCode::kOk);
+  }
+  for (int i = 0; i < 3; i++) {
+    double gap = done[3 + i].at - done[2 + i].at;
+    EXPECT_NEAR(gap, 0.1, 0.05) << "admission spacing between op " << i
+                                << " and " << i + 1;
+  }
+  EXPECT_EQ(sched.ops_done(), 4u);
+  EXPECT_EQ(fleet->tenant("t")->queued.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fair-share cleaning
+
+TEST(FleetCleanTest, CoordinatorGrantsPassesToTheDirtyVolumeOnly) {
+  // Tiny volumes (32 segments of 16 KB) so churn actually erodes the clean
+  // pool below clean_hi and opens a deficit the coordinator must notice.
+  auto fleet = std::move(
+      Fleet::Create(SmallFleet(2, false, 512ull * 1024)))
+                   .value();
+  ASSERT_TRUE(fleet->AddTenant(Tenant("busy", 0)).ok());
+  ASSERT_TRUE(fleet->AddTenant(Tenant("idle", 1)).ok());
+
+  // Fragment volume 0: waves of small files where only every 4th survives,
+  // leaving partially-live segments the checkpoint harvest (which reclaims
+  // only fully-dead segments for free) cannot touch. The per-wave SyncAll
+  // also moves the roll-forward protection boundary past each wave, so the
+  // fragmented segments are selectable victims. Volume 1 stays untouched.
+  auto data = Bytes(4 * 1024, 0x5A);
+  int file_id = 0;
+  for (int wave = 0; wave < 40 && fleet->volume(0)->CleanDeficit() == 0;
+       wave++) {
+    for (int j = 0; j < 8; j++, file_id++) {
+      std::string name = "/f" + std::to_string(file_id);
+      auto ino = fleet->Create("busy", name);
+      ASSERT_TRUE(ino.ok()) << ino.status().ToString();
+      ASSERT_TRUE(fleet->WriteAt("busy", *ino, 0, data).ok());
+      if (j % 4 != 0) {
+        ASSERT_TRUE(fleet->Unlink("busy", name).ok());
+      }
+    }
+    ASSERT_TRUE(fleet->SyncAll().ok());
+  }
+  ASSERT_GT(fleet->volume(0)->CleanDeficit(), 0u);
+  ASSERT_EQ(fleet->volume(1)->CleanDeficit(), 0u);
+
+  uint32_t reclaimed = fleet->FairShareCleanRound();
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_GT(fleet->volume(0)->cleaner_passes.load(), 0u);
+  EXPECT_EQ(fleet->volume(1)->cleaner_passes.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded concurrent storm + differential oracle + lfsck
+
+// Verification reads go through the same admitted front door as the storm,
+// so an admission-tight tenant can answer kBusy; the fleet's default clock
+// is host-monotonic, so waiting genuinely refills the bucket.
+Result<uint64_t> ReadRetryBusy(Fleet* fleet, const std::string& tenant,
+                               InodeNum ino, std::span<uint8_t> out) {
+  for (int attempt = 0; attempt < 5000; attempt++) {
+    auto n = fleet->ReadAt(tenant, ino, 0, out);
+    if (n.ok() || n.status().code() != StatusCode::kBusy) {
+      return n;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return BusyError("verification retry budget exhausted");
+}
+
+struct StormParams {
+  uint64_t seed = 42;
+  uint64_t ops_per_tenant = 120;
+  uint32_t volumes = 2;
+  uint32_t tenants = 4;
+};
+
+// Writes a reproducer config for a failed storm so the nightly soak job can
+// upload it as an artifact (path from $LFS_FLEET_ARTIFACTS, default skipped).
+void WriteStormRepro(const StormParams& p, const std::string& why) {
+  const char* dir = getenv("LFS_FLEET_ARTIFACTS");
+  if (dir == nullptr || *dir == '\0') {
+    return;
+  }
+  std::string path =
+      std::string(dir) + "/fleet_storm_repro_seed" + std::to_string(p.seed) + ".txt";
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return;
+  }
+  fprintf(f,
+          "# fleet storm failure reproducer\n"
+          "# rerun: LFS_FLEET_SEED=%" PRIu64 " LFS_FLEET_SOAK_OPS=%" PRIu64
+          " ./fleet_test --gtest_filter='*SeededStorm*'\n"
+          "seed=%" PRIu64 "\nops_per_tenant=%" PRIu64
+          "\nvolumes=%u\ntenants=%u\nfailure=%s\n",
+          p.seed, p.ops_per_tenant, p.seed, p.ops_per_tenant, p.volumes,
+          p.tenants, why.c_str());
+  fclose(f);
+}
+
+TEST(FleetStormTest, SeededStormSurvivesOracleAndLfsck) {
+  StormParams p;
+  p.seed = EnvOr("LFS_FLEET_SEED", 42);
+  p.ops_per_tenant = EnvOr("LFS_FLEET_SOAK_OPS", 120);
+
+  FleetConfig cfg = SmallFleet(p.volumes, /*concurrent=*/true);
+  auto fleet = std::move(Fleet::Create(cfg)).value();
+  for (uint32_t t = 0; t < p.tenants; t++) {
+    TenantConfig tc = Tenant("t" + std::to_string(t), t % p.volumes);
+    if (t == 0) {
+      // One quota-tight tenant: its threads hit kNoSpace and recover by
+      // unlinking, churning the charge/credit path under contention.
+      tc.max_blocks = 64;
+      tc.max_inodes = 8;
+    }
+    if (t == 1) {
+      // One admission-tight tenant: its thread sees kBusy under the host
+      // clock and retries, churning the token bucket under contention.
+      tc.ops_per_sec = 2000.0;
+      tc.burst_ops = 16.0;
+    }
+    ASSERT_TRUE(fleet->AddTenant(tc).ok());
+  }
+
+  // One thread per tenant; each owns its namespace outright, so an exact
+  // in-memory reference model needs no cross-thread coordination while the
+  // volumes underneath (log, cleaner, shared by two tenants each) race.
+  struct FileModel {
+    InodeNum ino = 0;
+    std::vector<uint8_t> content;
+  };
+  std::vector<std::map<std::string, FileModel>> models(p.tenants);
+  std::vector<uint64_t> busy_seen(p.tenants, 0), nospace_seen(p.tenants, 0);
+
+  auto worker = [&](uint32_t t) {
+    std::string tenant = "t" + std::to_string(t);
+    Rng rng(p.seed * 7919 + t);
+    auto& model = models[t];
+    for (uint64_t i = 0; i < p.ops_per_tenant; i++) {
+      double dice = rng.NextDouble();
+      if (dice < 0.35 || model.empty()) {
+        // Create a file and write a random-sized payload.
+        std::string name = "/f" + std::to_string(rng.NextBelow(32));
+        if (model.count(name) != 0) {
+          continue;
+        }
+        auto ino = fleet->Create(tenant, name);
+        if (!ino.ok()) {
+          if (ino.status().code() == StatusCode::kNoSpace) nospace_seen[t]++;
+          if (ino.status().code() == StatusCode::kBusy) busy_seen[t]++;
+          continue;
+        }
+        size_t size = 512 + rng.NextBelow(8 * 1024);
+        std::vector<uint8_t> data(size);
+        for (auto& b : data) b = static_cast<uint8_t>(rng.NextU64());
+        Status st = fleet->WriteAt(tenant, *ino, 0, data);
+        if (st.ok()) {
+          model[name] = FileModel{*ino, std::move(data)};
+        } else {
+          if (st.code() == StatusCode::kNoSpace) nospace_seen[t]++;
+          if (st.code() == StatusCode::kBusy) busy_seen[t]++;
+          // The file exists but is empty (the write never landed).
+          model[name] = FileModel{*ino, {}};
+        }
+      } else if (dice < 0.55) {
+        // Overwrite a random prefix of an existing file.
+        auto it = model.begin();
+        std::advance(it, rng.NextBelow(model.size()));
+        size_t size = 1 + rng.NextBelow(2 * 1024);
+        std::vector<uint8_t> data(size);
+        for (auto& b : data) b = static_cast<uint8_t>(rng.NextU64());
+        Status st = fleet->WriteAt(tenant, it->second.ino, 0, data);
+        if (st.ok()) {
+          if (it->second.content.size() < size) it->second.content.resize(size);
+          std::copy(data.begin(), data.end(), it->second.content.begin());
+        } else {
+          if (st.code() == StatusCode::kNoSpace) nospace_seen[t]++;
+          if (st.code() == StatusCode::kBusy) busy_seen[t]++;
+        }
+      } else if (dice < 0.7) {
+        // Read back a file and verify against the model immediately.
+        auto it = model.begin();
+        std::advance(it, rng.NextBelow(model.size()));
+        std::vector<uint8_t> got(it->second.content.size());
+        if (got.empty()) {
+          continue;
+        }
+        auto n = fleet->ReadAt(tenant, it->second.ino, 0, got);
+        if (n.ok()) {
+          EXPECT_EQ(*n, got.size()) << tenant << it->first;
+          EXPECT_EQ(got, it->second.content) << tenant << it->first;
+        } else if (n.status().code() == StatusCode::kBusy) {
+          busy_seen[t]++;
+        }
+      } else if (dice < 0.85) {
+        // Rename within the namespace.
+        auto it = model.begin();
+        std::advance(it, rng.NextBelow(model.size()));
+        std::string to = "/r" + std::to_string(rng.NextBelow(32));
+        if (model.count(to) != 0) {
+          continue;  // keep the model simple: no replacing renames
+        }
+        Status st = fleet->Rename(tenant, it->first, to);
+        if (st.ok()) {
+          model[to] = std::move(it->second);
+          model.erase(it);
+        } else if (st.code() == StatusCode::kBusy) {
+          busy_seen[t]++;
+        }
+      } else {
+        // Unlink.
+        auto it = model.begin();
+        std::advance(it, rng.NextBelow(model.size()));
+        Status st = fleet->Unlink(tenant, it->first);
+        if (st.ok()) {
+          model.erase(it);
+        } else if (st.code() == StatusCode::kBusy) {
+          busy_seen[t]++;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < p.tenants; t++) {
+    threads.emplace_back(worker, t);
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  if (getenv("LFS_DBG_NSCHECK") != nullptr) {
+    // Debug probe: walk every tenant dir in the mounted (in-memory) state and
+    // stat every entry; a failure here means namespace state is already
+    // inconsistent before any checkpoint serialization runs.
+    for (uint32_t v = 0; v < fleet->num_volumes(); v++) {
+      LfsFileSystem* fs = fleet->volume(v)->fs();
+      auto root = fs->ReadDir("/");
+      ASSERT_TRUE(root.ok());
+      for (const auto& de : *root) {
+        auto sub = fs->ReadDir("/" + de.name);
+        ASSERT_TRUE(sub.ok()) << de.name;
+        for (const auto& fe : *sub) {
+          auto st = fs->Stat(fe.ino);
+          EXPECT_TRUE(st.ok()) << "IN-MEMORY dangling: vol " << v << " dir "
+                               << de.name << " entry " << fe.name << " ino "
+                               << fe.ino << ": " << st.status().ToString();
+        }
+      }
+    }
+  }
+
+  // The quota-tight tenant must actually have hit its quota (the storm is
+  // supposed to exercise exhaustion, not dodge it).
+  EXPECT_GT(nospace_seen[0] + fleet->tenant("t0")->ops_quota_denied.load(), 0u);
+
+  // Differential oracle: every surviving file reads back exactly as its
+  // owner's model says, and per-tenant block accounting matches the model.
+  for (uint32_t t = 0; t < p.tenants; t++) {
+    std::string tenant = "t" + std::to_string(t);
+    uint64_t expect_blocks = 0;
+    for (const auto& [name, fm] : models[t]) {
+      auto found = fleet->Lookup(tenant, name);
+      ASSERT_TRUE(found.ok()) << tenant << name << ": " << found.status().ToString();
+      EXPECT_EQ(*found, fm.ino) << tenant << name;
+      std::vector<uint8_t> got(fm.content.size());
+      if (!got.empty()) {
+        auto n = ReadRetryBusy(fleet.get(), tenant, fm.ino, got);
+        ASSERT_TRUE(n.ok()) << tenant << name << ": " << n.status().ToString();
+        EXPECT_EQ(got, fm.content) << tenant << name;
+      }
+      uint32_t bs = cfg.volumes[0].lfs.block_size;
+      expect_blocks += (fm.content.size() + bs - 1) / bs;
+    }
+    EXPECT_EQ(fleet->tenant(tenant)->blocks_used(), expect_blocks) << tenant;
+    EXPECT_EQ(fleet->tenant(tenant)->inodes_used(), models[t].size()) << tenant;
+  }
+
+  // Teardown oracle: clean unmount, offline lfsck per volume, remount, and
+  // spot-check contents survived.
+  ASSERT_TRUE(fleet->SyncAll().ok());
+  ASSERT_TRUE(fleet->UnmountAll().ok());
+  for (uint32_t v = 0; v < fleet->num_volumes(); v++) {
+    auto report = CheckLfsImage(fleet->volume(v)->raw_device());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    std::string detail;
+    for (const auto& m : report->messages) detail += "\n  " + m;
+    EXPECT_TRUE(report->ok())
+        << "volume " << v << ": " << report->Summary() << detail;
+  }
+  ASSERT_TRUE(fleet->MountAll().ok());
+  for (uint32_t t = 0; t < p.tenants; t++) {
+    std::string tenant = "t" + std::to_string(t);
+    for (const auto& [name, fm] : models[t]) {
+      auto found = fleet->Lookup(tenant, name);
+      ASSERT_TRUE(found.ok()) << tenant << name;
+      std::vector<uint8_t> got(fm.content.size());
+      if (!got.empty()) {
+        ASSERT_TRUE(ReadRetryBusy(fleet.get(), tenant, fm.ino, got).ok())
+            << tenant << name;
+        EXPECT_EQ(got, fm.content) << tenant << name;
+      }
+    }
+  }
+
+  if (::testing::Test::HasFailure()) {
+    WriteStormRepro(p, "storm oracle or lfsck failure");
+  }
+}
+
+}  // namespace
+}  // namespace lfs::fleet

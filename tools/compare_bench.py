@@ -32,7 +32,15 @@ the multi-thread scaling gate works (wall.threads_4.ops_per_sec vs
 wall.threads_1.ops_per_sec). Both metrics must exist and the denominator
 must be positive.
 
-Exit status: 0 clean, 1 on any regression/missing file/malformed report.
+Exit status:
+  0  clean
+  1  numeric regression / malformed report / failed ratio gate
+  2  usage error
+  3  schema drift: a key (metric, histogram, or whole report) present in the
+     baseline is missing from the current report, or present in the current
+     report with no baseline. Drift is distinct from a regression because the
+     fix is different: regenerate the checked-in baseline rather than chase a
+     performance delta. Drift and regressions together still exit 3.
 Only the Python standard library is used.
 """
 
@@ -56,20 +64,23 @@ def close(base, cur, tol):
 
 
 def compare_reports(base_path, cur_path, tol):
-    """Returns a list of human-readable problem strings (empty = clean)."""
+    """Returns (problems, drift): human-readable problem strings (empty =
+    clean) and whether any problem is schema drift (a key present on only
+    one side) rather than a numeric regression."""
     problems = []
+    drift = False
     try:
         base = load(base_path)
     except (OSError, json.JSONDecodeError) as e:
-        return [f"baseline unreadable: {e}"]
+        return [f"baseline unreadable: {e}"], False
     try:
         cur = load(cur_path)
     except (OSError, json.JSONDecodeError) as e:
-        return [f"current unreadable: {e}"]
+        return [f"current unreadable: {e}"], False
 
     if base.get("smoke") != cur.get("smoke"):
         return [f"smoke flag mismatch (baseline={base.get('smoke')}, "
-                f"current={cur.get('smoke')}): refusing to compare"]
+                f"current={cur.get('smoke')}): refusing to compare"], False
 
     bm = base.get("metrics", {})
     cm = cur.get("metrics", {})
@@ -78,10 +89,13 @@ def compare_reports(base_path, cur_path, tol):
         if not gated(key):
             continue
         if key not in cm:
-            problems.append(f"metric dropped: {key} (baseline {bm[key]})")
+            problems.append(f"schema drift: metric missing from current "
+                            f"report: {key} (baseline {bm[key]})")
+            drift = True
         elif key not in bm:
-            problems.append(f"metric added without baseline: {key} = {cm[key]}"
-                            " (regenerate the baseline)")
+            problems.append(f"schema drift: metric added without baseline: "
+                            f"{key} = {cm[key]} (regenerate the baseline)")
+            drift = True
         elif not (isinstance(bm[key], (int, float)) and isinstance(cm[key], (int, float))
                   and math.isfinite(bm[key]) and math.isfinite(cm[key])):
             problems.append(f"non-finite metric: {key}")
@@ -93,17 +107,21 @@ def compare_reports(base_path, cur_path, tol):
     ch = cur.get("histograms", {})
     for name in sorted(set(bh) | set(ch)):
         if name not in ch:
-            problems.append(f"histogram dropped: {name}")
+            problems.append(f"schema drift: histogram missing from current "
+                            f"report: {name}")
+            drift = True
             continue
         if name not in bh:
-            problems.append(f"histogram added without baseline: {name}")
+            problems.append(f"schema drift: histogram added without "
+                            f"baseline: {name} (regenerate the baseline)")
+            drift = True
             continue
         for field in HIST_FIELDS:
             b, c = bh[name].get(field), ch[name].get(field)
             if b is None or c is None or not close(b, c, tol):
                 problems.append(f"histogram regressed: {name}.{field} "
                                 f"baseline={b} current={c}")
-    return problems
+    return problems, drift
 
 
 def parse_ratio(spec):
@@ -165,16 +183,21 @@ def main(argv):
         return 1
 
     failed = False
+    drifted = False
     for base_path in baselines:
         name = os.path.basename(base_path)
         cur_path = os.path.join(current_dir, name)
         if not os.path.exists(cur_path):
-            print(f"FAIL {name}: missing from {current_dir}")
+            print(f"FAIL {name}: schema drift: baseline report missing from "
+                  f"{current_dir} (bench not run, or renamed without "
+                  f"updating the baseline)")
             failed = True
+            drifted = True
             continue
-        problems = compare_reports(base_path, cur_path, tol)
+        problems, drift = compare_reports(base_path, cur_path, tol)
         if problems:
             failed = True
+            drifted = drifted or drift
             print(f"FAIL {name}:")
             for p in problems:
                 print(f"  {p}")
@@ -193,6 +216,12 @@ def main(argv):
             print(f"FAIL {problem}")
             failed = True
 
+    if drifted:
+        print("compare_bench: schema drift detected — baseline and current "
+              "reports disagree on which keys exist; regenerate the "
+              "checked-in baseline if the change is intentional",
+              file=sys.stderr)
+        return 3
     return 1 if failed else 0
 
 

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Self-test for compare_bench.py's exit-code contract.
+
+CI runs this before trusting the regression gate: a gate whose failure modes
+are themselves untested can silently pass regressions (exit 0 on a diff) or
+mislabel them (schema drift reported as a numeric regression, sending the
+investigator chasing a performance delta that is actually a renamed metric).
+
+Covers:  0 = clean,  1 = numeric regression / failed ratio,  2 = usage,
+         3 = schema drift (key present on only one side).
+
+Only the Python standard library is used.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)), "compare_bench.py")
+
+REPORT = {
+    "schema_version": 1,
+    "bench": "selftest",
+    "smoke": True,
+    "metrics": {
+        "ops": 1000,
+        "elapsed_sec": 2.5,
+        "wall.run_sec": 0.1,
+    },
+    "histograms": {
+        "op": {"count": 1000, "mean_us": 10.0, "p50_us": 8.0, "p90_us": 20.0,
+               "p95_us": 30.0, "p99_us": 50.0, "min_us": 1, "max_us": 80},
+    },
+}
+
+
+def write_report(directory, report):
+    path = os.path.join(directory, f"BENCH_{report['bench']}.json")
+    with open(path, "w") as f:
+        json.dump(report, f)
+    return path
+
+
+def run(args):
+    proc = subprocess.run([sys.executable, TOOL] + args,
+                          capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def expect(name, got_code, want_code, output, want_substr=None):
+    ok = got_code == want_code and (want_substr is None or want_substr in output)
+    status = "ok" if ok else "FAIL"
+    print(f"{status:4} {name}: exit {got_code} (want {want_code})")
+    if not ok:
+        print(output)
+    return ok
+
+
+def main():
+    results = []
+    with tempfile.TemporaryDirectory() as tmp:
+        base_dir = os.path.join(tmp, "base")
+        cur_dir = os.path.join(tmp, "cur")
+        os.makedirs(base_dir)
+        os.makedirs(cur_dir)
+        write_report(base_dir, REPORT)
+
+        # Identical reports (modulo wall.*, which must be ignored): clean.
+        cur = copy.deepcopy(REPORT)
+        cur["metrics"]["wall.run_sec"] = 99.0
+        write_report(cur_dir, cur)
+        code, out = run([base_dir, cur_dir])
+        results.append(expect("identical (wall.* ignored)", code, 0, out))
+
+        # Numeric regression beyond tolerance: exit 1.
+        cur = copy.deepcopy(REPORT)
+        cur["metrics"]["ops"] = 800
+        write_report(cur_dir, cur)
+        code, out = run([base_dir, cur_dir])
+        results.append(expect("metric regressed", code, 1, out,
+                              "metric regressed"))
+
+        # Baseline metric missing from the current report: schema drift, 3.
+        cur = copy.deepcopy(REPORT)
+        del cur["metrics"]["ops"]
+        write_report(cur_dir, cur)
+        code, out = run([base_dir, cur_dir])
+        results.append(expect("metric dropped", code, 3, out,
+                              "metric missing from current report"))
+
+        # New metric with no baseline: drift in the other direction, 3.
+        cur = copy.deepcopy(REPORT)
+        cur["metrics"]["new_metric"] = 7
+        write_report(cur_dir, cur)
+        code, out = run([base_dir, cur_dir])
+        results.append(expect("metric added", code, 3, out,
+                              "regenerate the baseline"))
+
+        # Baseline histogram missing from the current report: drift, 3.
+        cur = copy.deepcopy(REPORT)
+        del cur["histograms"]["op"]
+        write_report(cur_dir, cur)
+        code, out = run([base_dir, cur_dir])
+        results.append(expect("histogram dropped", code, 3, out,
+                              "histogram missing from current report"))
+
+        # Drift wins over a co-occurring numeric regression (the fix for
+        # drift — regenerate the baseline — subsumes re-judging the number).
+        cur = copy.deepcopy(REPORT)
+        del cur["metrics"]["ops"]
+        cur["metrics"]["elapsed_sec"] = 100.0
+        write_report(cur_dir, cur)
+        code, out = run([base_dir, cur_dir])
+        results.append(expect("drift + regression", code, 3, out))
+
+        # Whole report missing from the current dir: drift, 3.
+        empty = os.path.join(tmp, "empty")
+        os.makedirs(empty)
+        code, out = run([base_dir, empty])
+        results.append(expect("report missing", code, 3, out,
+                              "baseline report missing"))
+
+        # Smoke-flag mismatch refuses to compare: exit 1, not drift.
+        cur = copy.deepcopy(REPORT)
+        cur["smoke"] = False
+        write_report(cur_dir, cur)
+        code, out = run([base_dir, cur_dir])
+        results.append(expect("smoke mismatch", code, 1, out,
+                              "refusing to compare"))
+
+        # Ratio gate failure: exit 1.
+        write_report(cur_dir, copy.deepcopy(REPORT))
+        code, out = run([base_dir, cur_dir,
+                         "--ratio=selftest:ops/elapsed_sec>=1000"])
+        results.append(expect("ratio violated", code, 1, out, "ratio"))
+
+        # Ratio gate holds: exit 0.
+        code, out = run([base_dir, cur_dir,
+                         "--ratio=selftest:ops/elapsed_sec>=100"])
+        results.append(expect("ratio holds", code, 0, out))
+
+        # Usage error: exit 2.
+        code, out = run([base_dir])
+        results.append(expect("usage error", code, 2, out))
+
+        # --require for a bench that was never run: exit 1.
+        code, out = run([base_dir, cur_dir, "--require=not_a_bench"])
+        results.append(expect("required bench missing", code, 1, out,
+                              "required bench report missing"))
+
+    if not all(results):
+        print("test_compare_bench: FAILED")
+        return 1
+    print(f"test_compare_bench: all {len(results)} cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
