@@ -60,8 +60,15 @@ int main() {
   };
 
   BenchReport bench_report("table2_cleaning_stats");
+  // Two extra columns over the paper's table: which ordering policy each
+  // reclaimed victim was charged to (greedy/cost-benefit — all cost-benefit
+  // unless adaptive_cleaning is on), and how many victims were drained
+  // incrementally versus round-tripped whole (all full unless
+  // partial_compaction is on). They pin the fine-grained reclamation
+  // accounting to the classic workloads: knobs off, the new counters must
+  // reproduce the legacy totals exactly.
   Table table({"File system", "Disk", "Avg file", "In use", "Cleaned", "Empty",
-               "u (non-empty)", "Write cost"});
+               "u (non-empty)", "Write cost", "g/cb", "part/full"});
   for (Run& run : runs) {
     if (SmokeMode()) {
       run.params.churn_multiplier = 1.0;
@@ -76,7 +83,11 @@ int main() {
                   Table::FmtPercent(inst.fs->disk_utilization()),
                   std::to_string(st.segments_cleaned),
                   Table::FmtPercent(st.EmptyCleanedFraction()),
-                  Table::Fmt(st.AvgCleanedUtilization(), 3), Table::Fmt(st.WriteCost(), 2)});
+                  Table::Fmt(st.AvgCleanedUtilization(), 3), Table::Fmt(st.WriteCost(), 2),
+                  std::to_string(st.segments_cleaned_by_policy[0].load()) + "/" +
+                      std::to_string(st.segments_cleaned_by_policy[1].load()),
+                  std::to_string(st.partial_compactions.load()) + "/" +
+                      std::to_string(st.full_compactions.load())});
     // Strip the leading '/' so the metric name reads "user6.write_cost".
     std::string p = run.params.name.substr(1) + ".";
     for (char& c : p) {
@@ -88,6 +99,18 @@ int main() {
     bench_report.AddScalar(p + "empty_cleaned_fraction", st.EmptyCleanedFraction());
     bench_report.AddScalar(p + "avg_cleaned_utilization", st.AvgCleanedUtilization());
     bench_report.AddScalar(p + "disk_utilization", inst.fs->disk_utilization());
+    bench_report.AddScalar(p + "cleaned_greedy",
+                           static_cast<double>(st.segments_cleaned_by_policy[0]));
+    bench_report.AddScalar(p + "cleaned_costbenefit",
+                           static_cast<double>(st.segments_cleaned_by_policy[1]));
+    bench_report.AddScalar(p + "copy_bytes_greedy",
+                           static_cast<double>(st.copy_bytes_by_policy[0]));
+    bench_report.AddScalar(p + "copy_bytes_costbenefit",
+                           static_cast<double>(st.copy_bytes_by_policy[1]));
+    bench_report.AddScalar(p + "partial_compactions",
+                           static_cast<double>(st.partial_compactions));
+    bench_report.AddScalar(p + "full_compactions",
+                           static_cast<double>(st.full_compactions));
   }
 
   std::printf("=== Table 2: cleaning statistics, measured on synthetic production workloads ===\n\n");

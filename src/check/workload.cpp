@@ -83,6 +83,13 @@ LfsConfig Workload::Config() const {
   cfg.write_buffer_blocks = write_buffer_blocks;
   cfg.num_logs = num_logs;
   cfg.read_cache_blocks = 256;
+  if (partial_compaction != 0) {
+    // A tiny drain budget relative to the 16-block segments forces multi-pass
+    // drains, putting crash points between slices of the same victim.
+    cfg.partial_compaction = true;
+    cfg.partial_compaction_min_u = 0.3;
+    cfg.partial_compaction_max_blocks = 4;
+  }
   return cfg;
 }
 
@@ -92,6 +99,11 @@ std::string Workload::ToText() const {
   out += "disk_blocks " + std::to_string(disk_blocks) + "\n";
   out += "num_logs " + std::to_string(num_logs) + "\n";
   out += "write_buffer_blocks " + std::to_string(write_buffer_blocks) + "\n";
+  if (partial_compaction != 0) {
+    // Only emitted when set, so pre-existing seed scripts round-trip
+    // unchanged.
+    out += "partial_compaction " + std::to_string(partial_compaction) + "\n";
+  }
   for (const Op& op : ops) {
     out += "op ";
     out += KindName(op.kind);
@@ -143,7 +155,8 @@ Result<Workload> Workload::FromText(std::string_view text) {
         return fail("expected 'workload <name>'");
       }
       w.name = toks[1];
-    } else if (kw == "disk_blocks" || kw == "num_logs" || kw == "write_buffer_blocks") {
+    } else if (kw == "disk_blocks" || kw == "num_logs" || kw == "write_buffer_blocks" ||
+               kw == "partial_compaction") {
       if (toks.size() != 2) {
         return fail("expected '" + kw + " <n>'");
       }
@@ -152,6 +165,8 @@ Result<Workload> Workload::FromText(std::string_view text) {
         w.disk_blocks = v;
       } else if (kw == "num_logs") {
         w.num_logs = static_cast<uint32_t>(v);
+      } else if (kw == "partial_compaction") {
+        w.partial_compaction = static_cast<uint32_t>(v);
       } else {
         w.write_buffer_blocks = static_cast<uint32_t>(v);
       }

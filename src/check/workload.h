@@ -60,6 +60,10 @@ struct Workload {
   uint64_t disk_blocks = 2048;
   uint32_t num_logs = 1;
   uint32_t write_buffer_blocks = 16;
+  // When nonzero, `op clean` passes drain high-utilization victims
+  // incrementally (cfg.partial_compaction with a small per-pass block budget)
+  // so exploration covers crashes between drain slices.
+  uint32_t partial_compaction = 0;
   std::vector<Op> ops;
 
   // Small geometry so exhaustive exploration stays tractable: 1-KB blocks,

@@ -31,9 +31,16 @@ Result<std::unique_ptr<Fleet>> Fleet::Create(const FleetConfig& cfg) {
   if (!fleet->cfg_.now_fn) {
     fleet->cfg_.now_fn = HostNowSeconds;
   }
+  if (fleet->cfg_.fine_grained_reclamation) {
+    for (auto& v : fleet->cfg_.volumes) {
+      v.lfs.adaptive_cleaning = true;
+      v.lfs.partial_compaction = true;
+      v.lfs.cleaner_qos_bytes_per_sec = fleet->cfg_.cleaner_qos_bytes_per_sec;
+    }
+  }
   fleet->volumes_.reserve(cfg.volumes.size());
   for (uint32_t i = 0; i < cfg.volumes.size(); i++) {
-    auto vol = FleetVolume::Format(i, cfg.volumes[i]);
+    auto vol = FleetVolume::Format(i, fleet->cfg_.volumes[i]);
     if (!vol.ok()) {
       return vol.status();
     }
@@ -397,6 +404,12 @@ void Fleet::BindMetrics(obs::MetricsRegistry* reg, const std::string& prefix) co
       reg->AddCounter(p + "clean_segments", vol->fs()->clean_segments());
       reg->AddGauge(p + "disk_utilization", vol->fs()->disk_utilization());
       reg->AddGauge(p + "disk_busy_sec", vol->disk()->ModeledTime());
+      const LfsStats& st = vol->fs()->stats();
+      reg->AddCounter(p + "partial_compactions", st.partial_compactions.load());
+      reg->AddCounter(p + "governor_switches", st.governor_switches.load());
+      reg->AddCounter(p + "qos_deferrals", st.qos_deferrals.load());
+      reg->AddCounter(p + "qos_escalations", st.qos_escalations.load());
+      reg->AddCounter(p + "qos_charged_bytes", st.qos_charged_bytes.load());
     }
   }
 }

@@ -58,6 +58,14 @@ struct FleetConfig {
   // set by the event-loop scheduler, which reserves admission slots itself
   // in simulated time so waits are modeled instead of rejected.
   bool front_door_admission = true;
+
+  // Fleet-wide fine-grained reclamation override: when true, every volume's
+  // LfsConfig gets adaptive cleaning + partial compaction, and (when the
+  // rate is nonzero) a cleaner QoS token bucket, applied at Create time on
+  // top of whatever the per-volume configs say. Off by default so existing
+  // fleets keep their exact per-volume settings.
+  bool fine_grained_reclamation = false;
+  double cleaner_qos_bytes_per_sec = 0.0;
 };
 
 // Uniform fleet: `n` volumes of `bytes` each with the same LfsConfig.

@@ -1,0 +1,84 @@
+// CleanerQos: a token bucket bounding the cleaner's copy I/O against the
+// modeled disk clock.
+//
+// The cleaner's cost is the bytes it moves (segment reads + live-block
+// rewrites). Foreground latency at high utilization is dominated by cleaning
+// passes that run synchronously inside a write's flush, so the bucket meters
+// those bytes: tokens accrue at `bytes_per_sec` of modeled device time, a
+// pass charges what it actually moved, and a discretionary pass defers when
+// the bucket is dry. The one exception is wedge avoidance: when clean
+// segments fall to the critical floor the cleaner runs anyway and the bucket
+// goes negative (a deficit, "borrowed" from foreground traffic); refills pay
+// the deficit back before discretionary cleaning resumes, so a burst of
+// emergency copying is followed by an enforced quiet period rather than by
+// more discretionary copying on top.
+//
+// Charging happens after the pass (the cost is only known then); the deficit
+// semantics make that sound — an over-budget pass just pushes the bucket
+// further negative. All arithmetic is plain doubles off the deterministic
+// modeled clock: single-threaded runs stay byte-reproducible. Calls are made
+// under the filesystem's exclusive lock (cleaner paths only), so no internal
+// synchronization is needed.
+
+#ifndef LFS_LFS_CLEANER_QOS_H_
+#define LFS_LFS_CLEANER_QOS_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace lfs {
+
+class CleanerQos {
+ public:
+  void Configure(double bytes_per_sec, double burst_sec) {
+    rate_ = bytes_per_sec > 0.0 ? bytes_per_sec : 0.0;
+    burst_bytes_ = rate_ * std::max(burst_sec, 0.0);
+    tokens_ = burst_bytes_;  // start full: mount-time cleaning is never penalized
+    primed_ = false;
+  }
+
+  bool enabled() const { return rate_ > 0.0; }
+
+  // Accrues tokens for the modeled time elapsed since the last refill. The
+  // first call only anchors the clock (mount may start at an arbitrary
+  // modeled time).
+  void Refill(double now_sec) {
+    if (!enabled()) {
+      return;
+    }
+    if (!primed_) {
+      primed_ = true;
+      last_refill_sec_ = now_sec;
+      return;
+    }
+    if (now_sec > last_refill_sec_) {
+      tokens_ = std::min(tokens_ + (now_sec - last_refill_sec_) * rate_, burst_bytes_);
+      last_refill_sec_ = now_sec;
+    }
+  }
+
+  // May a discretionary pass run? (Escalated passes ignore this.)
+  bool HasTokens() const { return !enabled() || tokens_ > 0.0; }
+
+  // Debits the copy bytes a pass actually moved; may push the bucket
+  // negative (deficit) when the pass was escalated or ran over.
+  void Charge(uint64_t bytes) {
+    if (enabled()) {
+      tokens_ -= static_cast<double>(bytes);
+    }
+  }
+
+  double tokens() const { return tokens_; }
+  double deficit_bytes() const { return tokens_ < 0.0 ? -tokens_ : 0.0; }
+
+ private:
+  double rate_ = 0.0;         // bytes of cleaner I/O per modeled second
+  double burst_bytes_ = 0.0;  // bucket capacity
+  double tokens_ = 0.0;
+  double last_refill_sec_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace lfs
+
+#endif  // LFS_LFS_CLEANER_QOS_H_

@@ -72,6 +72,44 @@ struct LfsConfig {
   // lets an SSD backend drop dead flash pages instead of copying them in GC.
   bool trim_on_free = true;
 
+  // --- fine-grained reclamation (all off by default: the legacy whole-
+  // segment cost-benefit cleaner stays byte-identical) ------------------------
+
+  // Adaptive policy switching: a governor watches the live-utilization
+  // histogram the selection index maintains and picks greedy vs cost-benefit
+  // per pass (and per log with num_logs > 1: the hot log follows the
+  // histogram, colder logs always use cost-benefit, whose age term is what
+  // makes cold-segment cleaning rational). Overrides `policy`; disables the
+  // verify_selection cross-check (the reference implements a fixed policy).
+  bool adaptive_cleaning = false;
+
+  // The governor calls a dirty population "emptied out" when at least this
+  // fraction of dirty segments sits below `governor_low_u` utilization; an
+  // emptied-out population makes greedy optimal (the cheapest victims are
+  // nearly free and age adds nothing), anything else keeps cost-benefit.
+  double governor_greedy_fraction = 0.35;
+  double governor_low_u = 0.25;
+
+  // Partial-segment compaction (Lomet & Luo): victims at or above
+  // `partial_compaction_min_u` utilization are drained incrementally — at
+  // most `partial_compaction_max_blocks` live blocks relocated per victim
+  // per pass, with a per-segment resume cursor — instead of round-tripping
+  // the whole segment. Live bytes are debited off the victim exactly as
+  // blocks move, so a fully drained victim is reclaimed either at pass end
+  // or for free by the zero-live checkpoint sweep.
+  bool partial_compaction = false;
+  double partial_compaction_min_u = 0.5;
+  uint32_t partial_compaction_max_blocks = 64;
+
+  // Cleaner QoS: a token bucket over the modeled disk clock bounding the
+  // cleaner's copy I/O (read + write bytes per cleaning pass). 0 disables
+  // throttling. When the bucket is empty a discretionary pass defers;
+  // below the critical clean floor the cleaner escalates and overdraws the
+  // bucket (deficit), repaying it before discretionary cleaning resumes —
+  // the no-wedge guarantee is never traded for smoothness.
+  double cleaner_qos_bytes_per_sec = 0.0;
+  double cleaner_qos_burst_sec = 0.25;
+
   // Dirty file data is buffered in memory and written in segment-sized
   // batches (Section 2.1's write buffering). A flush is forced once this
   // many dirty blocks accumulate.

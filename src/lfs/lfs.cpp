@@ -41,6 +41,8 @@ LfsFileSystem::LfsFileSystem(BlockDevice* device, const LfsConfig& cfg, const Su
   txn_.Configure(cfg_.txn_max_ops, cfg_.txn_max_staged_blocks != 0
                                        ? cfg_.txn_max_staged_blocks
                                        : 4 * cfg_.write_buffer_blocks);
+  governor_.Configure(cfg_);
+  qos_.Configure(cfg_.cleaner_qos_bytes_per_sec, cfg_.cleaner_qos_burst_sec);
 }
 
 LfsFileSystem::~LfsFileSystem() { StopCleanerThread(); }

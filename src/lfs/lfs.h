@@ -39,6 +39,8 @@
 #include "src/disk/block_device.h"
 #include "src/fs/clock.h"
 #include "src/fs/file_system.h"
+#include "src/lfs/cleaner_governor.h"
+#include "src/lfs/cleaner_qos.h"
 #include "src/lfs/config.h"
 #include "src/lfs/inode_map.h"
 #include "src/lfs/layout.h"
@@ -201,6 +203,10 @@ class LfsFileSystem : public FileSystem {
   // Neither mutates filesystem state.
   std::vector<SegNo> SelectSegmentsToClean(uint32_t max_segments);
   std::vector<SegNo> SelectSegmentsToCleanReference(uint32_t max_segments, uint64_t now);
+
+  // Fine-grained reclamation introspection (tests/benches).
+  const CleanerGovernor& cleaner_governor() const { return governor_; }
+  const CleanerQos& cleaner_qos() const { return qos_; }
 
   const Superblock& superblock() const { return sb_; }
   const LfsConfig& config() const { return cfg_; }
@@ -493,15 +499,28 @@ class LfsFileSystem : public FileSystem {
   uint32_t EffectiveCleanLo() const;
   uint32_t EffectiveCleanHi() const;
   Result<uint32_t> CleanerPass();    // returns source segments reclaimed
+  // Adaptive victim selection (governor-driven): one cursor per log, each
+  // using that log's policy, candidates interleaved round-robin across logs
+  // (deterministically). num_logs == 1 degenerates to a single cursor under
+  // the governor's hot policy. Same per-candidate filters and no-wedge
+  // fallback as SelectSegmentsToClean.
+  std::vector<SegNo> SelectSegmentsToCleanAdaptive(uint32_t max_segments, uint64_t now,
+                                                   const GovernorDecision& decision);
   Result<bool> IsLiveBlock(const SummaryEntry& entry, BlockNo addr,
                            std::span<const uint8_t> content);
+  // `drain_src` != kNilSeg marks a partial-compaction relocation: the moved
+  // bytes are debited off that victim immediately (kData and the metadata
+  // chunks; indirect/inode rewrites already debit their old addresses in
+  // FlushFileMetadata), since the victim stays kDirty instead of being
+  // zeroed wholesale by a clean transition.
   Status MigrateLiveBlock(const SummaryEntry& entry, BlockNo addr,
-                          std::vector<uint8_t> content);
+                          std::vector<uint8_t> content, SegNo drain_src = kNilSeg);
   // One live block queued for rewriting at the log head.
   struct LiveBlock {
     SummaryEntry entry;
     BlockNo addr = kNilBlock;
     std::vector<uint8_t> content;
+    SegNo drain_src = kNilSeg;  // partial compaction: debit this victim on move
   };
   // Collects a segment's live blocks, either by reading the whole segment
   // (the paper's conservative default) or by reading summaries first and
@@ -511,6 +530,13 @@ class LfsFileSystem : public FileSystem {
   // recovered before the damage are still appended to `out`.
   Status CollectLiveBlocksWhole(SegNo seg, std::vector<LiveBlock>* out, bool* media_damage);
   Status CollectLiveBlocksSparse(SegNo seg, std::vector<LiveBlock>* out, bool* media_damage);
+  // Partial compaction: resumes the summary-chain walk at the victim's
+  // compact cursor, collects at most `max_blocks` live blocks (coalesced run
+  // reads, as the sparse path), advances the cursor, and reports whether the
+  // chain was fully walked (`exhausted`).
+  Status CollectLiveBlocksPartial(SegNo seg, uint32_t max_blocks,
+                                  std::vector<LiveBlock>* out, bool* media_damage,
+                                  bool* exhausted);
 
   // --- recovery (lfs_recovery.cpp) ---
 
@@ -550,6 +576,8 @@ class LfsFileSystem : public FileSystem {
   InodeMap imap_;
   SegUsage usage_;
   SegmentWriter writer_;
+  CleanerGovernor governor_;  // adaptive policy switching (cfg.adaptive_cleaning)
+  CleanerQos qos_;            // cleaner copy-I/O token bucket (cfg.cleaner_qos_*)
 
   // Group-commit transaction gate + striped per-inode locks (concurrent
   // regime; the gate is configured but unused when concurrent == false).

@@ -191,7 +191,7 @@ Result<bool> LfsFileSystem::IsLiveBlock(const SummaryEntry& entry, BlockNo addr,
 }
 
 Status LfsFileSystem::MigrateLiveBlock(const SummaryEntry& entry, BlockNo addr,
-                                       std::vector<uint8_t> content) {
+                                       std::vector<uint8_t> content, SegNo drain_src) {
   const uint32_t bs = sb_.block_size;
   switch (entry.kind) {
     case BlockKind::kData: {
@@ -210,8 +210,17 @@ Status LfsFileSystem::MigrateLiveBlock(const SummaryEntry& entry, BlockNo addr,
       fm->blocks[entry.fbn] = new_addr;
       MarkIndirectDirty(fm, entry.fbn);
       MarkInodeDirty(entry.ino);
+      if (drain_src != kNilSeg) {
+        // Partial compaction: the victim stays kDirty, so debit the moved
+        // bytes now instead of relying on a wholesale clean transition.
+        usage_.SubLive(drain_src, bs);
+      }
       return OkStatus();
     }
+    // Indirect, double-indirect, and inode blocks are rewritten by the
+    // deferred FlushFileMetadata path, which debits their OLD addresses as it
+    // appends the fresh copies — so a partial-compaction drain needs no extra
+    // accounting for these kinds; drain_src is intentionally unused.
     case BlockKind::kIndirect: {
       LFS_ASSIGN_OR_RETURN(FileMap * fm, GetFileMap(entry.ino));
       fm->dirty_ind.insert(static_cast<uint32_t>(entry.fbn));
@@ -254,10 +263,18 @@ Status LfsFileSystem::MigrateLiveBlock(const SummaryEntry& entry, BlockNo addr,
       LFS_ASSIGN_OR_RETURN(BlockNo new_addr,
                            writer_.Append(e, std::move(fresh), clock_.Now(), bs));
       imap_.set_chunk_addr(chunk, new_addr);
+      if (drain_src != kNilSeg) {
+        usage_.SubLive(drain_src, bs);
+      }
       return OkStatus();
     }
     case BlockKind::kUsageChunk: {
       uint32_t chunk = static_cast<uint32_t>(entry.fbn);
+      // Partial compaction debits the victim BEFORE serializing, so if this
+      // chunk covers the victim the logged copy carries the drained count.
+      if (drain_src != kNilSeg) {
+        usage_.SubLive(drain_src, bs);
+      }
       // Pre-account the new copy so the serialized contents include it (see
       // FlushMetadataChunks).
       LFS_RETURN_IF_ERROR(writer_.PrepareAppend());
@@ -408,6 +425,182 @@ Status LfsFileSystem::CollectLiveBlocksSparse(SegNo seg, std::vector<LiveBlock>*
   return OkStatus();
 }
 
+Status LfsFileSystem::CollectLiveBlocksPartial(SegNo seg, uint32_t max_blocks,
+                                               std::vector<LiveBlock>* out,
+                                               bool* media_damage, bool* exhausted) {
+  // Partial-segment compaction (Lomet & Luo): drain a high-utilization victim
+  // a bounded slice at a time instead of round-tripping it. The walk is the
+  // sparse path's summary-chain scan, but it resumes at the victim's compact
+  // cursor, stops once ~max_blocks live blocks are gathered (rounding up to a
+  // partial-write boundary so the cursor always lands between partials), and
+  // tags every candidate with drain_src so migration debits the victim
+  // exactly as bytes move. A fully walked chain (*exhausted) means every
+  // remaining live block is in `out`; anything less leaves the victim kDirty
+  // with its cursor advanced for the next pass.
+  const uint32_t bs = sb_.block_size;
+  const BlockNo base = sb_.SegmentBase(seg);
+  std::vector<uint8_t> sum_block(bs);
+  std::vector<LiveBlock> candidates;
+  std::vector<size_t> inode_block_idx;  // candidates needing a content check
+  *exhausted = false;
+
+  uint32_t offset = usage_.compact_cursor(seg);
+  uint64_t prev_seq = 0;
+  while (offset + 1 < sb_.segment_blocks) {
+    if (candidates.size() >= max_blocks) {
+      break;  // slice full; cursor stays at this partial boundary
+    }
+    if (!DeviceRead(base + offset, 1, sum_block).ok()) {
+      *media_damage = true;
+      break;
+    }
+    stats_.clean_read_bytes += bs;
+    Result<SegmentSummary> sum = SegmentSummary::DecodeFrom(sum_block);
+    if (!sum.ok() || (prev_seq != 0 && sum->seq <= prev_seq) || sum->entries.empty() ||
+        offset + 1 + sum->entries.size() > sb_.segment_blocks) {
+      *exhausted = true;  // legitimate chain end
+      break;
+    }
+    prev_seq = sum->seq;
+    for (size_t i = 0; i < sum->entries.size(); i++) {
+      const SummaryEntry& entry = sum->entries[i];
+      BlockNo addr = base + offset + 1 + i;
+      if (entry.kind == BlockKind::kDirLog) {
+        continue;
+      }
+      if (entry.kind == BlockKind::kInodeBlock) {
+        inode_block_idx.push_back(candidates.size());
+        candidates.push_back(LiveBlock{entry, addr, {}, seg});
+        continue;
+      }
+      LFS_ASSIGN_OR_RETURN(bool live, IsLiveBlock(entry, addr, {}));
+      if (live) {
+        candidates.push_back(LiveBlock{entry, addr, {}, seg});
+      }
+    }
+    offset += 1 + static_cast<uint32_t>(sum->entries.size());
+    if (offset + 1 >= sb_.segment_blocks) {
+      *exhausted = true;
+    }
+  }
+  // Remember where to resume. An exhausted walk resets to 0: if the victim
+  // drains fully the clean transition clears the cursor anyway, and if it
+  // somehow retains live bytes a future pass must rescan rather than skip
+  // them forever.
+  usage_.set_compact_cursor(seg, *exhausted ? 0 : offset);
+
+  // Fetch the slice in coalesced address runs, exactly as the sparse path;
+  // unreadable runs are media damage — those blocks stay behind in the
+  // soon-to-be-quarantined victim.
+  std::vector<uint8_t> drop(candidates.size(), 0);
+  for (size_t i = 0; i < candidates.size();) {
+    size_t j = i + 1;
+    while (j < candidates.size() && candidates[j].addr == candidates[j - 1].addr + 1) {
+      j++;
+    }
+    uint64_t run = j - i;
+    std::vector<uint8_t> buf(run * bs);
+    if (!DeviceRead(candidates[i].addr, run, buf).ok()) {
+      *media_damage = true;
+      for (size_t k = i; k < j; k++) {
+        drop[k] = 1;
+      }
+      i = j;
+      continue;
+    }
+    stats_.clean_read_bytes += run * bs;
+    for (size_t k = i; k < j; k++) {
+      candidates[k].content.assign(buf.begin() + static_cast<long>((k - i) * bs),
+                                   buf.begin() + static_cast<long>((k - i + 1) * bs));
+    }
+    i = j;
+  }
+
+  for (size_t idx : inode_block_idx) {
+    if (drop[idx]) {
+      continue;
+    }
+    LFS_ASSIGN_OR_RETURN(
+        bool live, IsLiveBlock(candidates[idx].entry, candidates[idx].addr,
+                               candidates[idx].content));
+    if (!live) {
+      drop[idx] = 1;
+    }
+  }
+  for (size_t i = 0; i < candidates.size(); i++) {
+    if (!drop[i]) {
+      out->push_back(std::move(candidates[i]));
+    }
+  }
+  return OkStatus();
+}
+
+std::vector<SegNo> LfsFileSystem::SelectSegmentsToCleanAdaptive(
+    uint32_t max_segments, uint64_t now, const GovernorDecision& decision) {
+  std::vector<uint8_t> off_limits = ProtectedSegmentBitmap();
+  uint64_t buffered = dirty_count_.load() * uint64_t{sb_.block_size};
+  uint64_t budget = usage_.clean_count() > 1
+                        ? (uint64_t{usage_.clean_count()} - 1) * sb_.segment_bytes()
+                        : 0;
+  budget = budget > buffered ? budget - buffered : 0;
+
+  const uint32_t nlogs = writer_.num_logs();
+  std::vector<SegNo> chosen;
+  bool decline_full = nlogs > 1 && cfg_.multilog_victim_max_u < 1.0;
+  for (int attempt = 0; attempt < 2 && chosen.empty(); attempt++) {
+    bool bar_active = decline_full && attempt == 0;
+    uint64_t planned_live = 0;
+    // One cursor per log, each under that log's policy; candidates pop
+    // round-robin across the logs so no population starves. A cursor walks
+    // the whole index, so each log filters down to its own segments by the
+    // persisted log_id tag. With one log this is exactly one cursor under
+    // the governor's hot policy.
+    std::vector<VictimIndex::Cursor> cursors;
+    cursors.reserve(nlogs);
+    for (uint32_t log = 0; log < nlogs; log++) {
+      CleaningPolicy pol = log == 0 ? decision.hot_policy : decision.cold_policy;
+      cursors.push_back(usage_.SelectVictims(pol == CleaningPolicy::kGreedy, now));
+    }
+    std::vector<uint8_t> done(nlogs, 0);
+    uint32_t remaining = nlogs;
+    while (remaining > 0 && chosen.size() < max_segments) {
+      for (uint32_t log = 0; log < nlogs && chosen.size() < max_segments; log++) {
+        if (done[log]) {
+          continue;
+        }
+        for (;;) {
+          SegNo seg = cursors[log].Next();
+          if (seg == VictimIndex::kNone) {
+            done[log] = 1;
+            remaining--;
+            break;
+          }
+          if (usage_.Get(seg).log_id != log || off_limits[seg]) {
+            continue;
+          }
+          if (usage_.write_seq(seg) >= ckpt_boundary_seq_) {
+            continue;
+          }
+          if (bar_active && usage_.Utilization(seg) >= cfg_.multilog_victim_max_u) {
+            continue;
+          }
+          uint64_t live = usage_.Get(seg).live_bytes;
+          if (planned_live + live > budget) {
+            continue;  // try a smaller (likely emptier) candidate
+          }
+          planned_live += live;
+          chosen.push_back(seg);
+          break;
+        }
+      }
+    }
+    if (!bar_active) {
+      break;
+    }
+  }
+  return chosen;
+}
+
 Result<uint32_t> LfsFileSystem::CleanerPass() {
   if (in_cleaner_) {
     return uint32_t{0};
@@ -429,7 +622,39 @@ Result<uint32_t> LfsFileSystem::CleanerPass() {
   if (!st.ok()) {
     return cleanup(Result<uint32_t>(st));
   }
-  std::vector<SegNo> chosen = SelectSegmentsToClean(cfg_.segments_per_pass);
+
+  // Cleaner QoS (ISSUE 10): meter cleaner copy I/O against a token bucket
+  // refilled on the modeled disk clock. A discretionary pass (clean pool
+  // above the critical floor) defers when the bucket is dry — foreground
+  // writes keep the disk — but once the pool reaches the floor the pass runs
+  // anyway and drives the bucket into deficit (paid off by future refills),
+  // so throttling can never wedge the filesystem.
+  if (qos_.enabled()) {
+    qos_.Refill(device_->ModeledTime());
+    if (!qos_.HasTokens()) {
+      if (writer_.usable_clean_segments() > CriticalCleanFloor()) {
+        stats_.qos_deferrals++;
+        return cleanup(Result<uint32_t>(uint32_t{0}));
+      }
+      stats_.qos_escalations++;
+    }
+  }
+  RelaxedDelta<uint64_t> qos_reads(stats_.clean_read_bytes);
+  RelaxedDelta<uint64_t> qos_writes(stats_.clean_write_bytes);
+
+  // Adaptive policy + partial compaction only engage when configured; the
+  // legacy selection and accounting below are byte-for-byte unchanged
+  // otherwise.
+  GovernorDecision decision;
+  const bool fine_grained = governor_.enabled() || cfg_.partial_compaction;
+  if (fine_grained) {
+    decision = governor_.Decide(usage_.UtilizationHistogram());
+    stats_.governor_switches = governor_.switches();
+  }
+  std::vector<SegNo> chosen =
+      governor_.enabled()
+          ? SelectSegmentsToCleanAdaptive(cfg_.segments_per_pass, clock_.Now(), decision)
+          : SelectSegmentsToClean(cfg_.segments_per_pass);
   if (chosen.empty()) {
     return cleanup(Result<uint32_t>(uint32_t{0}));
   }
@@ -442,17 +667,68 @@ Result<uint32_t> LfsFileSystem::CleanerPass() {
   // that were recycled as cleaning output mid-pass.
   const uint64_t pass_start_seq = writer_.next_seq();
 
+  // Per-victim plan: which ordering policy picked it (for the per-policy
+  // Table 2 columns) and whether it is drained incrementally (partial) or
+  // round-tripped whole.
+  struct VictimPlan {
+    SegNo seg = 0;
+    uint64_t live_before = 0;
+    double u_before = 0.0;
+    CleaningPolicy policy = CleaningPolicy::kCostBenefit;
+    bool partial = false;
+    bool quarantined = false;
+    uint64_t blocks_moved = 0;  // partial only: live blocks drained this pass
+  };
+  std::vector<VictimPlan> plans;
+  plans.reserve(chosen.size());
+
   std::vector<LiveBlock> live_blocks;
   uint32_t quarantined_this_pass = 0;
   for (SegNo seg : chosen) {
-    uint32_t live_before = usage_.Get(seg).live_bytes;
+    VictimPlan plan;
+    plan.seg = seg;
+    plan.live_before = usage_.Get(seg).live_bytes;
+    plan.u_before = usage_.Utilization(seg);
+    plan.policy = governor_.enabled()
+                      ? (usage_.Get(seg).log_id == 0 ? decision.hot_policy
+                                                     : decision.cold_policy)
+                      : cfg_.policy;
+    // Drain high-utilization victims incrementally: relocating a bounded run
+    // of live blocks costs a fraction of a full round-trip, and the freed
+    // bytes raise (1-u) for the next selection instead of being hostage to a
+    // whole-segment copy.
+    plan.partial = decision.partial && plan.live_before > 0 &&
+                   plan.u_before >= cfg_.partial_compaction_min_u;
+    if (plan.partial) {
+      size_t before = live_blocks.size();
+      bool media_damage = false;
+      bool exhausted = false;
+      Status collect = CollectLiveBlocksPartial(seg, cfg_.partial_compaction_max_blocks,
+                                                &live_blocks, &media_damage, &exhausted);
+      if (!collect.ok()) {
+        return cleanup(Result<uint32_t>(collect));
+      }
+      plan.blocks_moved = live_blocks.size() - before;
+      if (media_damage) {
+        usage_.SetState(seg, SegState::kQuarantined);
+        LFS_TRACE(obs_.tracer(), obs::TraceEventType::kQuarantine, obs::OpType::kCleanerPass,
+                  clock_.Now(), seg, plan.live_before, device_->ModeledTime());
+        stats_.segments_quarantined++;
+        quarantined_this_pass++;
+        plan.quarantined = true;
+      }
+      plans.push_back(plan);
+      continue;
+    }
     stats_.segments_cleaned++;
-    if (live_before == 0) {
+    if (plan.live_before == 0) {
       // An empty segment need not be read at all (Section 3.4: u=0 gives
       // write cost 1.0). Table 2 found more than half of cleaned segments
       // empty in production.
       stats_.segments_cleaned_empty++;
+      stats_.segments_cleaned_by_policy[static_cast<size_t>(plan.policy)]++;
       usage_.SetState(seg, SegState::kClean);
+      plans.push_back(plan);
       continue;
     }
     stats_.sum_cleaned_utilization += usage_.Utilization(seg);
@@ -470,12 +746,14 @@ Result<uint32_t> LfsFileSystem::CleanerPass() {
       // the pass continues with the remaining victims.
       usage_.SetState(seg, SegState::kQuarantined);
       LFS_TRACE(obs_.tracer(), obs::TraceEventType::kQuarantine, obs::OpType::kCleanerPass,
-                clock_.Now(), seg, live_before, device_->ModeledTime());
+                clock_.Now(), seg, plan.live_before, device_->ModeledTime());
       stats_.segments_quarantined++;
       quarantined_this_pass++;
+      plan.quarantined = true;
       stats_.segments_cleaned--;  // it was not reclaimed
       stats_.sum_cleaned_utilization -= usage_.Utilization(seg);
     }
+    plans.push_back(plan);
   }
 
   // Migrate metadata blocks first (their order is irrelevant), then the data
@@ -499,7 +777,7 @@ Result<uint32_t> LfsFileSystem::CleanerPass() {
                      });
   }
   for (LiveBlock& lb : live_blocks) {
-    Status mig = MigrateLiveBlock(lb.entry, lb.addr, std::move(lb.content));
+    Status mig = MigrateLiveBlock(lb.entry, lb.addr, std::move(lb.content), lb.drain_src);
     if (!mig.ok()) {
       return cleanup(Result<uint32_t>(mig));
     }
@@ -518,18 +796,61 @@ Result<uint32_t> LfsFileSystem::CleanerPass() {
     return cleanup(Result<uint32_t>(st));
   }
 
-  for (SegNo seg : chosen) {
+  uint32_t reclaimed = 0;
+  const uint64_t bs = sb_.block_size;
+  for (const VictimPlan& plan : plans) {
+    SegNo seg = plan.seg;
     // Mark a source segment clean only if nothing was written into it during
     // this pass: a source emptied early in the pass may already have been
     // recycled as the cleaner's own output segment, and marking it clean
     // again would discard the freshly migrated live data. Quarantined
     // sources are no longer kDirty, so they naturally stay quarantined.
-    if (usage_.Get(seg).state == SegState::kDirty &&
-        usage_.write_seq(seg) < pass_start_seq) {
+    const bool untouched_since = usage_.Get(seg).state == SegState::kDirty &&
+                                 usage_.write_seq(seg) < pass_start_seq;
+    if (!plan.partial) {
+      if (untouched_since) {
+        usage_.SetState(seg, SegState::kClean);
+      }
+      if (!plan.quarantined) {
+        reclaimed++;
+        if (plan.live_before > 0) {
+          stats_.full_compactions++;
+          stats_.segments_cleaned_by_policy[static_cast<size_t>(plan.policy)]++;
+          stats_.copy_bytes_by_policy[static_cast<size_t>(plan.policy)] +=
+              plan.live_before;
+        }
+      }
+      continue;
+    }
+    // Partial victim: account the drain, and reclaim it only if this pass's
+    // slice emptied it (the deferred metadata debits from FlushDirtyDataInner
+    // above have already landed, so live_bytes is exact here). A victim that
+    // still holds live bytes stays kDirty — with its compact cursor advanced —
+    // and remains selectable; a drained-but-rewritten victim is harvested by
+    // the zero-live sweep at the next checkpoint instead.
+    if (plan.quarantined) {
+      continue;
+    }
+    stats_.partial_compactions++;
+    stats_.partial_blocks_moved += plan.blocks_moved;
+    stats_.copy_bytes_by_policy[static_cast<size_t>(plan.policy)] +=
+        plan.blocks_moved * bs;
+    if (untouched_since && usage_.Get(seg).live_bytes == 0) {
       usage_.SetState(seg, SegState::kClean);
+      stats_.segments_cleaned++;
+      stats_.segments_cleaned_by_policy[static_cast<size_t>(plan.policy)]++;
+      stats_.sum_cleaned_utilization += plan.u_before;
+      reclaimed++;
     }
   }
-  const uint32_t reclaimed = static_cast<uint32_t>(chosen.size()) - quarantined_this_pass;
+  // Charge the bucket with what this pass actually moved (summary + live
+  // reads, migrated writes). Charging after the fact rather than reserving
+  // up front keeps the mechanism simple; the deficit carries the error.
+  if (qos_.enabled()) {
+    uint64_t moved_bytes = qos_reads.delta() + qos_writes.delta();
+    qos_.Charge(moved_bytes);
+    stats_.qos_charged_bytes += moved_bytes;
+  }
   LFS_TRACE(obs_.tracer(), obs::TraceEventType::kCleanerPassEnd, obs::OpType::kCleanerPass,
             clock_.Now(), reclaimed, live_blocks.size(), device_->ModeledTime());
   return cleanup(Result<uint32_t>(reclaimed));

@@ -86,6 +86,9 @@ void SegUsage::SetState(SegNo seg, SegState state) {
   } else if (e.state == SegState::kQuarantined && state != SegState::kQuarantined) {
     quarantined_count_--;
   }
+  if (state != SegState::kDirty) {
+    compact_cursors_.erase(seg);  // a drain in progress ends with the segment
+  }
   e.state = state;
   MarkDirty(seg);
   SyncIndex(seg);

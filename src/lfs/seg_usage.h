@@ -27,6 +27,7 @@
 #define LFS_LFS_SEG_USAGE_H_
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <set>
 #include <vector>
@@ -123,6 +124,33 @@ class SegUsage {
   // Appends the zero-live dirty segments in ascending order.
   void AppendZeroLiveDirty(std::vector<SegNo>* out) const;
 
+  // The live-utilization histogram over dirty segments (bucket i covers u in
+  // [i/n, (i+1)/n)): the adaptive cleaning governor's input.
+  std::vector<uint32_t> UtilizationHistogram() const {
+    return victim_index_.BucketHistogram();
+  }
+
+  // --- partial-compaction resume cursors ---------------------------------------
+  //
+  // A partially drained victim keeps, in memory only, the summary-chain
+  // offset where the last drain stopped, so the next pass resumes there
+  // instead of re-reading the already-relocated prefix. Reset whenever the
+  // segment leaves kDirty (reclaimed or recycled); lost on remount, which
+  // merely costs a rescan (relocated blocks re-check as dead).
+  uint32_t compact_cursor(SegNo seg) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = compact_cursors_.find(seg);
+    return it == compact_cursors_.end() ? 0 : it->second;
+  }
+  void set_compact_cursor(SegNo seg, uint32_t offset) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (offset == 0) {
+      compact_cursors_.erase(seg);
+    } else {
+      compact_cursors_[seg] = offset;
+    }
+  }
+
   // Overall disk capacity utilization: live bytes / total segment bytes.
   double DiskUtilization() const;
   uint64_t TotalLiveBytes() const { return total_live_; }
@@ -178,6 +206,7 @@ class SegUsage {
   std::set<uint32_t> dirty_chunks_;
   std::vector<SegNo> freed_;      // became kClean since last TakeFreed()
   std::set<SegNo> pending_reuse_; // became kClean since last checkpoint
+  std::map<SegNo, uint32_t> compact_cursors_;  // partial-drain resume offsets
   Relaxed<uint32_t> clean_count_{0};
   Relaxed<uint32_t> quarantined_count_{0};
   Relaxed<uint64_t> total_live_{0};  // sum of live_bytes, maintained incrementally

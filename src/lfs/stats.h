@@ -55,6 +55,20 @@ struct LfsStats {
   // and then discarded via BlockDevice::Trim (cfg.trim_on_free).
   Relaxed<uint64_t> segments_trimmed = 0;
 
+  // Fine-grained reclamation (adaptive governor + partial compaction + QoS).
+  // Victims reclaimed under each ordering policy (index = CleaningPolicy
+  // value: 0 greedy, 1 cost-benefit), and the live bytes rewritten on their
+  // behalf — the per-policy Table 2 columns.
+  std::array<Relaxed<uint64_t>, 2> segments_cleaned_by_policy{};
+  std::array<Relaxed<uint64_t>, 2> copy_bytes_by_policy{};
+  Relaxed<uint64_t> partial_compactions = 0;   // victims drained incrementally
+  Relaxed<uint64_t> full_compactions = 0;      // victims round-tripped whole
+  Relaxed<uint64_t> partial_blocks_moved = 0;  // live blocks relocated by drains
+  Relaxed<uint64_t> governor_switches = 0;     // hot-policy changes (adaptive)
+  Relaxed<uint64_t> qos_deferrals = 0;         // passes deferred on an empty bucket
+  Relaxed<uint64_t> qos_escalations = 0;       // passes run in deficit (critical floor)
+  Relaxed<uint64_t> qos_charged_bytes = 0;     // cleaner copy bytes metered
+
   uint64_t total_log_written() const {
     uint64_t payload = 0;
     for (uint64_t b : log_bytes_by_kind) {

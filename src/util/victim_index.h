@@ -67,6 +67,19 @@ class VictimIndex {
   bool contains(uint32_t seg) const { return entries_[seg].present; }
   uint32_t size() const { return static_cast<uint32_t>(by_live_.size()); }
   uint64_t live(uint32_t seg) const { return entries_[seg].live; }
+  uint32_t bucket_count() const { return static_cast<uint32_t>(buckets_.size()); }
+
+  // Member count per utilization bucket (bucket i covers u in
+  // [i/n, (i+1)/n)) — the live-utilization histogram the adaptive cleaning
+  // governor reads. Maintained as a byproduct of the cost-benefit buckets,
+  // so the snapshot is O(buckets), not O(segments).
+  std::vector<uint32_t> BucketHistogram() const {
+    std::vector<uint32_t> h(buckets_.size(), 0);
+    for (size_t b = 0; b < buckets_.size(); b++) {
+      h[b] = static_cast<uint32_t>(buckets_[b].size());
+    }
+    return h;
+  }
 
   void Insert(uint32_t seg, uint64_t live, uint64_t last_write) {
     Entry& e = entries_[seg];

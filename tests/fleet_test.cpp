@@ -326,6 +326,7 @@ struct StormParams {
   uint64_t ops_per_tenant = 120;
   uint32_t volumes = 2;
   uint32_t tenants = 4;
+  uint64_t qos = 0;  // nonzero: adaptive + partial compaction + cleaner QoS
 };
 
 // Writes a reproducer config for a failed storm so the nightly soak job can
@@ -344,11 +345,12 @@ void WriteStormRepro(const StormParams& p, const std::string& why) {
   fprintf(f,
           "# fleet storm failure reproducer\n"
           "# rerun: LFS_FLEET_SEED=%" PRIu64 " LFS_FLEET_SOAK_OPS=%" PRIu64
+          " LFS_FLEET_QOS=%" PRIu64
           " ./fleet_test --gtest_filter='*SeededStorm*'\n"
           "seed=%" PRIu64 "\nops_per_tenant=%" PRIu64
-          "\nvolumes=%u\ntenants=%u\nfailure=%s\n",
-          p.seed, p.ops_per_tenant, p.seed, p.ops_per_tenant, p.volumes,
-          p.tenants, why.c_str());
+          "\nvolumes=%u\ntenants=%u\nqos=%" PRIu64 "\nfailure=%s\n",
+          p.seed, p.ops_per_tenant, p.qos, p.seed, p.ops_per_tenant, p.volumes,
+          p.tenants, p.qos, why.c_str());
   fclose(f);
 }
 
@@ -356,8 +358,16 @@ TEST(FleetStormTest, SeededStormSurvivesOracleAndLfsck) {
   StormParams p;
   p.seed = EnvOr("LFS_FLEET_SEED", 42);
   p.ops_per_tenant = EnvOr("LFS_FLEET_SOAK_OPS", 120);
+  p.qos = EnvOr("LFS_FLEET_QOS", 0);
 
   FleetConfig cfg = SmallFleet(p.volumes, /*concurrent=*/true);
+  if (p.qos != 0) {
+    // Nightly cleaner-soak mode: the same storm with adaptive cleaning,
+    // partial compaction, and a throttled cleaner on every volume, so the
+    // governor/drain/QoS paths face the concurrent front end under TSan.
+    cfg.fine_grained_reclamation = true;
+    cfg.cleaner_qos_bytes_per_sec = 4.0 * 1024 * 1024;
+  }
   auto fleet = std::move(Fleet::Create(cfg)).value();
   for (uint32_t t = 0; t < p.tenants; t++) {
     TenantConfig tc = Tenant("t" + std::to_string(t), t % p.volumes);

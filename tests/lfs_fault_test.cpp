@@ -269,15 +269,25 @@ TEST(FaultInjectionTest, MountFallsBackToBackupSuperblock) {
 // The fault matrix: every operation races a seeded rain of transient read
 // and write faults. The retry layer must absorb all of it — the filesystem
 // may never diverge from the in-memory model, and the image must check
-// clean after a remount. Each seed runs in both locking regimes (the bool
-// parameter selects cfg.concurrent), so the sharded-lock front-end faces the
-// same matrix the single-lock survivors passed.
-class FaultMatrixTest : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+// clean after a remount. Each seed runs in both locking regimes (the first
+// bool selects cfg.concurrent), so the sharded-lock front-end faces the
+// same matrix the single-lock survivors passed; the second bool re-runs the
+// matrix with adaptive cleaning + partial compaction on, so a fault landing
+// mid-drain (victim half-relocated, cursor advanced) must quarantine the
+// victim, never corrupt the namespace or the live accounting.
+class FaultMatrixTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool, bool>> {};
 
 TEST_P(FaultMatrixTest, SeededTransientStressZeroDivergence) {
-  const auto [seed, concurrent] = GetParam();
+  const auto [seed, concurrent, fine_grained] = GetParam();
   LfsConfig cfg = SmallConfig();
   cfg.concurrent = concurrent;
+  if (fine_grained) {
+    cfg.adaptive_cleaning = true;
+    cfg.partial_compaction = true;
+    cfg.partial_compaction_min_u = 0.3;
+    cfg.partial_compaction_max_blocks = 8;
+  }
   FaultDisk disk(std::make_unique<MemDisk>(cfg.block_size, 8192), seed);
   auto fs = std::move(LfsFileSystem::Mkfs(&disk, cfg)).value();
   Rng rng(seed * 31 + 7);
@@ -350,7 +360,7 @@ TEST_P(FaultMatrixTest, SeededTransientStressZeroDivergence) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultMatrixTest,
                          ::testing::Combine(::testing::Values(17, 58, 4242),
-                                            ::testing::Bool()));
+                                            ::testing::Bool(), ::testing::Bool()));
 
 }  // namespace
 }  // namespace lfs
